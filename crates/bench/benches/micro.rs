@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the LoCEC building blocks.
+//!
+//! These back the per-phase cost constants used by the Table VI / Fig. 12
+//! extrapolations with real measurements: ego extraction and Girvan–Newman
+//! (Phase I), feature-matrix construction and model inference (Phase II),
+//! and the learners themselves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use locec_community::{edge_betweenness, girvan_newman, louvain, GirvanNewmanConfig};
+use locec_core::features::community_feature_matrix;
+use locec_core::{CommCnn, CommCnnConfig, LocecConfig};
+use locec_graph::{EgoNetwork, MutableGraph};
+use locec_ml::gbdt::{Gbdt, GbdtConfig};
+use locec_ml::linear::{LogisticRegression, LogisticRegressionConfig};
+use locec_ml::{Dataset, MinHasher, Tensor};
+use locec_synth::{Scenario, SynthConfig};
+use std::hint::black_box;
+
+fn scenario() -> Scenario {
+    Scenario::generate(&SynthConfig::tiny(7))
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let s = scenario();
+    let busiest = s
+        .graph
+        .nodes()
+        .max_by_key(|&v| s.graph.degree(v))
+        .unwrap();
+
+    c.bench_function("ego_extract_busiest", |b| {
+        b.iter(|| black_box(EgoNetwork::extract(&s.graph, busiest)))
+    });
+
+    let ego = EgoNetwork::extract(&s.graph, busiest);
+    let mutable = MutableGraph::from_csr(&ego.graph);
+    c.bench_function("edge_betweenness_ego", |b| {
+        b.iter(|| black_box(edge_betweenness(&mutable)))
+    });
+
+    c.bench_function("girvan_newman_ego", |b| {
+        b.iter(|| black_box(girvan_newman(&ego.graph, &GirvanNewmanConfig::default())))
+    });
+
+    c.bench_function("louvain_ego", |b| {
+        b.iter(|| black_box(louvain(&ego.graph, 7)))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let s = scenario();
+    let config = LocecConfig::fast();
+    let division = locec_core::phase1::divide(&s.graph, &config);
+    let data = s.dataset();
+    let largest = division
+        .communities
+        .iter()
+        .max_by_key(|c| c.len())
+        .unwrap();
+
+    c.bench_function("feature_matrix_largest_community", |b| {
+        b.iter(|| {
+            black_box(community_feature_matrix(
+                data.graph,
+                data.interactions,
+                data.user_features,
+                largest,
+                20,
+            ))
+        })
+    });
+
+    let hasher = MinHasher::new(20, 0);
+    c.bench_function("minhash_signature_100", |b| {
+        b.iter(|| black_box(hasher.signature(0..100u64)))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    // Shared synthetic classification task.
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..300usize {
+        let class = i % 3;
+        let mut row = vec![0.1f32; 24];
+        row[class] = 1.0 + (i as f32 * 0.001);
+        rows.push(row);
+        labels.push(class);
+    }
+    let ds = Dataset::from_rows(&rows, &labels);
+
+    c.bench_function("gbdt_fit_300x24", |b| {
+        b.iter(|| black_box(Gbdt::fit(&ds, 3, &GbdtConfig::fast())))
+    });
+
+    c.bench_function("logreg_fit_300x24", |b| {
+        b.iter(|| {
+            black_box(LogisticRegression::fit(
+                &ds,
+                3,
+                &LogisticRegressionConfig::default(),
+            ))
+        })
+    });
+
+    let matrices: Vec<Tensor> = (0..32)
+        .map(|i| {
+            let mut m = Tensor::zeros(&[20, 12]);
+            *m.at2_mut(i % 20, i % 12) = 1.0;
+            m
+        })
+        .collect();
+    let mat_labels: Vec<usize> = (0..32).map(|i| i % 3).collect();
+
+    c.bench_function("commcnn_train_epoch_32", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = CommCnnConfig::fast();
+                cfg.epochs = 1;
+                CommCnn::new(20, 12, 3, &cfg)
+            },
+            |mut cnn| black_box(cnn.train(&matrices, &mat_labels)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut cnn = CommCnn::new(20, 12, 3, &CommCnnConfig::fast());
+    c.bench_function("commcnn_infer_batch_32", |b| {
+        b.iter(|| {
+            let refs: Vec<&Tensor> = matrices.iter().collect();
+            black_box(cnn.predict_proba_batch(&refs))
+        })
+    });
+}
+
+criterion_group!(benches, bench_graph_ops, bench_features, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the three LoCEC phases end to end, including
+//! the Phase I thread-scaling series that backs Figure 12 with real
+//! hardware measurements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use locec_core::pipeline::split_edges;
+use locec_core::{CommunityModelKind, LocecConfig, LocecPipeline};
+use locec_synth::{Scenario, SynthConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scenario() -> Scenario {
+    Scenario::generate(&SynthConfig::tiny(7))
+}
+
+/// Phase I wall-clock vs worker threads (the paper's "servers").
+fn bench_phase1_threads(c: &mut Criterion) {
+    let s = scenario();
+    let data = s.dataset();
+    let mut group = c.benchmark_group("phase1_divide");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let config = LocecConfig {
+                    threads,
+                    ..LocecConfig::fast()
+                };
+                let pipeline = LocecPipeline::new(config);
+                b.iter(|| black_box(pipeline.divide_only(&data)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Phases II+III with both community models, shared Phase I division.
+fn bench_phases23(c: &mut Criterion) {
+    let s = scenario();
+    let data = s.dataset();
+    let base = LocecConfig {
+        threads: 2,
+        ..LocecConfig::fast()
+    };
+    let pipeline = LocecPipeline::new(base.clone());
+    let division = pipeline.divide_only(&data);
+    let labeled = data.labeled_edges_sorted();
+    let (train, test) = split_edges(&labeled, 0.8, 1);
+
+    let mut group = c.benchmark_group("phases23");
+    group.sample_size(10).measurement_time(Duration::from_secs(12));
+    for (name, kind) in [
+        ("locec_xgb", CommunityModelKind::Xgb),
+        ("locec_cnn", CommunityModelKind::Cnn),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut config = base.clone();
+                config.community_model = kind;
+                config.commcnn.epochs = 3;
+                config.gbdt.num_rounds = 10;
+                let mut p = LocecPipeline::new(config);
+                black_box(p.run_with_division(
+                    &data,
+                    &division,
+                    Duration::ZERO,
+                    &train,
+                    &test,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase1_threads, bench_phases23);
+criterion_main!(benches);

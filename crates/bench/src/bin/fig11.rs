@@ -1,0 +1,102 @@
+//! Figure 11 — F1 versus percentage of labeled edges, all five methods,
+//! four panels (colleagues / family / schoolmates / overall).
+//!
+//! The sweep varies the *visible* fraction of the labeled edge set from 5%
+//! to 80% (the rest of the labeled edges form the fixed evaluation pool,
+//! mirroring "we only evaluate the labels predicted for edges whose ground
+//! truth types are known").
+//!
+//! Paper shape: ProbWP collapses below 0.1 at 5% and climbs steeply;
+//! Economix climbs more gently; raw XGBoost is flat (more labels cannot fix
+//! missing features) and beats the propagators only at low fractions; the
+//! two LoCEC variants dominate everywhere and stay nearly flat.
+
+use locec_bench::{Harness, Method, Scale};
+use locec_core::pipeline::split_edges;
+use locec_synth::types::RelationType;
+
+fn main() {
+    let scale = Scale::from_env();
+    let scenario = scale.scenario(42);
+    let harness = Harness::new(&scenario);
+    let labeled = harness.data.labeled_edges_sorted();
+
+    // Fixed evaluation pool: 20% of the labeled edges.
+    let (train_pool, test) = split_edges(&labeled, 0.8, 42);
+
+    let fractions = [0.05f64, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.80];
+    println!(
+        "=== Figure 11: Edge Classification F1 vs. Labeled Percentage ===\n\
+         (training pool {} edges, fixed test pool {} edges)\n",
+        train_pool.len(),
+        test.len()
+    );
+
+    // results[method][fraction] = per-class + overall F1.
+    let mut results: Vec<Vec<[f64; 4]>> = vec![Vec::new(); Method::ALL.len()];
+    for &fraction in &fractions {
+        // Deterministic nested subsets: the 25% subset contains the 15% one.
+        let visible = ((train_pool.len() as f64) * fraction / 0.80).round() as usize;
+        let train = &train_pool[..visible.clamp(1, train_pool.len())];
+        for (mi, method) in Method::ALL.into_iter().enumerate() {
+            let eval = harness.run_method(method, train, &test);
+            results[mi].push([
+                eval.per_class[RelationType::Colleague.label()].f1,
+                eval.per_class[RelationType::Family.label()].f1,
+                eval.per_class[RelationType::Schoolmate.label()].f1,
+                eval.overall.f1,
+            ]);
+        }
+        eprintln!("swept fraction {:.0}%", 100.0 * fraction);
+    }
+
+    let panels = ["(a) Colleagues", "(b) Family Members", "(c) Schoolmates", "(d) Overall"];
+    for (p, panel) in panels.iter().enumerate() {
+        println!("{panel}");
+        print!("| {0:>9} |", "% labeled");
+        for m in Method::ALL {
+            print!(" {0:>9} |", m.name());
+        }
+        println!();
+        println!("|{0:-<11}|{0:-<11}|{0:-<11}|{0:-<11}|{0:-<11}|{0:-<11}|", "");
+        for (fi, &fraction) in fractions.iter().enumerate() {
+            print!("| {0:>8.0}% |", 100.0 * fraction);
+            for mi in 0..Method::ALL.len() {
+                print!(" {0:>9.3} |", results[mi][fi][p]);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    println!("Shape checks:");
+    let overall = |mi: usize, fi: usize| results[mi][fi][3];
+    let probwp = Method::ALL.iter().position(|&m| m == Method::ProbWp).unwrap();
+    let cnn = Method::ALL.iter().position(|&m| m == Method::LocecCnn).unwrap();
+    let xgb_edge = Method::ALL.iter().position(|&m| m == Method::XgbEdge).unwrap();
+    let last = fractions.len() - 1;
+    let checks = [
+        (
+            "ProbWP is weak at 5% labels and climbs with more",
+            overall(probwp, 0) < 0.45 && overall(probwp, last) > overall(probwp, 0) + 0.2,
+        ),
+        (
+            "LoCEC-CNN dominates at every fraction",
+            (0..fractions.len()).all(|fi| {
+                (0..Method::ALL.len()).all(|mi| overall(cnn, fi) >= overall(mi, fi) - 1e-9)
+            }),
+        ),
+        (
+            "raw XGBoost beats ProbWP at 5% but loses at 80%",
+            overall(xgb_edge, 0) > overall(probwp, 0)
+                && overall(xgb_edge, last) < overall(probwp, last),
+        ),
+        (
+            "LoCEC variants are nearly flat across fractions",
+            (overall(cnn, last) - overall(cnn, 1)).abs() < 0.15,
+        ),
+    ];
+    for (name, ok) in checks {
+        println!("  [{}] {name}", if ok { "ok" } else { "MISS" });
+    }
+}

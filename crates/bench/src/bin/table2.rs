@@ -1,0 +1,52 @@
+//! Table II — group-name rule-mining performance.
+//!
+//! High precision, near-zero recall: indicative names are rare and many
+//! friend pairs share no chat group at all.
+
+use locec_bench::Scale;
+use locec_core::group_names::{evaluate_mining, mine_group_names};
+use locec_synth::types::RelationType;
+
+fn main() {
+    let scale = Scale::from_env();
+    let scenario = scale.scenario(42);
+
+    let predictions = mine_group_names(&scenario.graph, &scenario.groups);
+    let metrics = evaluate_mining(&predictions, &scenario.edge_categories);
+
+    println!("=== Table II: Group Name Classification Performance ===");
+    println!(
+        "({} chat groups, {} rule-mined edge predictions)\n",
+        scenario.groups.groups.len(),
+        predictions.len()
+    );
+
+    let paper: [(f64, f64, f64); 3] = [
+        (0.705, 0.014, 0.027), // Family
+        (0.821, 0.005, 0.010), // Colleague
+        (0.934, 0.008, 0.016), // Schoolmates
+    ];
+
+    println!(
+        "| {0:<16} | {1:>9} | {2:>7} | {3:>8} | {4:>24} |",
+        "Relationship", "Precision", "Recall", "F1-score", "Paper (P / R / F1)"
+    );
+    println!("|{0:-<18}|{0:-<11}|{0:-<9}|{0:-<10}|{0:-<26}|", "");
+    for t in RelationType::ALL {
+        let m = &metrics[t.label()];
+        let (pp, pr, pf) = paper[t.label()];
+        println!(
+            "| {0:<16} | {1:>9.3} | {2:>7.3} | {3:>8.3} | {4:>7.3} / {5:>5.3} / {6:>5.3} |",
+            t.name(),
+            m.precision,
+            m.recall,
+            m.f1,
+            pp,
+            pr,
+            pf
+        );
+    }
+
+    println!("\nShape check: precision ≫ recall ≈ 0 for every type (the paper's");
+    println!("motivation for not relying on group names).");
+}

@@ -1,0 +1,71 @@
+//! Table IV — relationship (edge) classification performance of all five
+//! methods, 80/20 split over the labeled edges (≈40% of the subgraph's
+//! edges carry labels, as in §V-B).
+//!
+//! Expected shape: LoCEC-CNN ≥ LoCEC-XGB > ProbWP ≈ Economix > XGBoost,
+//! with raw XGBoost's recall as the weakest number.
+
+use locec_bench::{print_evaluation, print_table_header, Harness, Method, Scale};
+use locec_core::pipeline::split_edges;
+
+fn main() {
+    let scale = Scale::from_env();
+    let scenario = scale.scenario(42);
+    println!(
+        "=== Table IV: Relationship Classification Performance ===\n\
+         world: {} nodes, {} edges, {} labeled edges ({:.1}%)\n",
+        scenario.graph.num_nodes(),
+        scenario.graph.num_edges(),
+        scenario.dataset().num_labeled(),
+        100.0 * scenario.labeled_fraction()
+    );
+
+    let harness = Harness::new(&scenario);
+    let labeled = harness.data.labeled_edges_sorted();
+    let (train, test) = split_edges(&labeled, 0.8, 42);
+    println!(
+        "train edges: {}, test edges: {}\n",
+        train.len(),
+        test.len()
+    );
+
+    print_table_header();
+    let mut overall = Vec::new();
+    for method in Method::ALL {
+        let eval = harness.run_method(method, &train, &test);
+        print_evaluation(method.name(), &eval);
+        overall.push((method, eval.overall.f1));
+    }
+
+    println!("\nPaper overall F1: ProbWP 0.793, Economix 0.754, XGBoost 0.674,");
+    println!("LoCEC-XGB 0.850, LoCEC-CNN 0.916.");
+    println!("\nShape checks:");
+    let f1 = |m: Method| {
+        overall
+            .iter()
+            .find(|(x, _)| *x == m)
+            .map(|(_, f)| *f)
+            .unwrap()
+    };
+    let checks = [
+        (
+            "LoCEC-CNN is the best method",
+            Method::ALL
+                .iter()
+                .all(|&m| f1(Method::LocecCnn) >= f1(m)),
+        ),
+        (
+            "LoCEC-XGB is the runner-up",
+            f1(Method::LocecXgb) >= f1(Method::ProbWp)
+                && f1(Method::LocecXgb) >= f1(Method::Economix)
+                && f1(Method::LocecXgb) >= f1(Method::XgbEdge),
+        ),
+        (
+            "raw XGBoost is the weakest method",
+            Method::ALL.iter().all(|&m| f1(Method::XgbEdge) <= f1(m)),
+        ),
+    ];
+    for (name, ok) in checks {
+        println!("  [{}] {name}", if ok { "ok" } else { "MISS" });
+    }
+}

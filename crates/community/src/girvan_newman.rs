@@ -1,0 +1,247 @@
+//! The Girvan–Newman divisive community detection algorithm.
+//!
+//! Paper §IV-A: *"we adopt the Girvan-Newman community detection algorithm
+//! (GN) to detect local communities in the ego networks."* GN repeatedly
+//! removes the edge with the highest betweenness; the connected components
+//! after each removal form a dendrogram of nested partitions, and the
+//! partition with maximum modularity (measured on the original graph) is
+//! returned.
+//!
+//! Complexity is `O(m² n)` worst case, acceptable because ego networks are
+//! small (paper Fig. 10a: median community size 8, 90% below 30 members).
+//! Two practical optimizations are applied:
+//!
+//! * after a removal, betweenness is recomputed only from the nodes of the
+//!   component(s) the removed edge belonged to — other components are
+//!   unchanged;
+//! * the loop stops early once every component is smaller than
+//!   [`GirvanNewmanConfig::min_split_size`], since no better modularity can
+//!   be found by splitting further in LoCEC's regime (singleton spray only
+//!   lowers Q; this matches the reference behaviour on all test graphs).
+
+use crate::betweenness::edge_betweenness_from;
+use crate::modularity::modularity;
+use crate::partition::Partition;
+use locec_graph::{connected_components, CsrGraph, MutableGraph, NodeId};
+use std::collections::HashMap;
+
+/// Tuning knobs for [`girvan_newman`].
+#[derive(Clone, Debug)]
+pub struct GirvanNewmanConfig {
+    /// Stop splitting components smaller than this (default 2 = split all
+    /// the way; the dendrogram is still scanned for the best modularity).
+    pub min_split_size: usize,
+    /// Hard cap on edge removals (safety valve for huge inputs; `usize::MAX`
+    /// by default).
+    pub max_removals: usize,
+}
+
+impl Default for GirvanNewmanConfig {
+    fn default() -> Self {
+        GirvanNewmanConfig {
+            min_split_size: 2,
+            max_removals: usize::MAX,
+        }
+    }
+}
+
+/// Runs Girvan–Newman on `g` and returns the modularity-maximizing
+/// partition of its dendrogram (ties broken toward fewer removals).
+///
+/// An edgeless or empty graph yields the singleton partition.
+pub fn girvan_newman(g: &CsrGraph, config: &GirvanNewmanConfig) -> Partition {
+    let n = g.num_nodes();
+    if n == 0 || g.num_edges() == 0 {
+        return Partition::singletons(n);
+    }
+
+    let mut work = MutableGraph::from_csr(g);
+
+    // Initial components and betweenness over the full graph.
+    let mut best_partition = {
+        let cc = connected_components(&work);
+        Partition::from_labels(&cc.labels)
+    };
+    let mut best_q = modularity(g, &best_partition);
+
+    let mut scores: HashMap<(NodeId, NodeId), f64> = edge_betweenness_from(&work, None);
+
+    let mut removals = 0usize;
+    while work.num_edges() > 0 && removals < config.max_removals {
+        // Pick the max-betweenness edge; deterministic tie-break on the
+        // canonical endpoint pair keeps runs reproducible.
+        let (&(u, v), _) = match scores
+            .iter()
+            .filter(|(_, &s)| s.is_finite())
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then_with(|| b.0.cmp(a.0)))
+        {
+            Some(best) => best,
+            None => break,
+        };
+
+        work.remove_edge(u, v);
+        removals += 1;
+
+        let cc = connected_components(&work);
+        let partition = Partition::from_labels(&cc.labels);
+        let q = modularity(g, &partition);
+        if q > best_q + 1e-12 {
+            best_q = q;
+            best_partition = partition.clone();
+        }
+
+        // Early exit: all components below the split threshold.
+        if cc.sizes().iter().all(|&s| s < config.min_split_size) {
+            break;
+        }
+
+        // Recompute betweenness only inside the affected component(s): the
+        // nodes that were in (u ∪ v)'s component before removal are exactly
+        // the union of u's and v's components after removal.
+        let cu = cc.component(u);
+        let cv = cc.component(v);
+        let affected: Vec<NodeId> = (0..work.num_nodes() as u32)
+            .map(NodeId)
+            .filter(|w| cc.component(*w) == cu || cc.component(*w) == cv)
+            .collect();
+
+        // Drop stale scores for edges inside the affected node set.
+        let in_affected: Vec<bool> = {
+            let mut mask = vec![false; work.num_nodes()];
+            for &w in &affected {
+                mask[w.index()] = true;
+            }
+            mask
+        };
+        scores.retain(|&(a, b), _| !(in_affected[a.index()] && in_affected[b.index()]));
+        // The removed edge may span the two new components; ensure gone.
+        scores.remove(&if u < v { (u, v) } else { (v, u) });
+
+        for (k, s) in edge_betweenness_from(&work, Some(&affected)) {
+            scores.insert(k, s);
+        }
+    }
+
+    best_partition
+}
+
+/// Convenience wrapper with default configuration.
+pub fn girvan_newman_default(g: &CsrGraph) -> Partition {
+    girvan_newman(g, &GirvanNewmanConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locec_graph::GraphBuilder;
+
+    fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn splits_barbell_at_the_bridge() {
+        let g = build(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        assert_eq!(p.num_communities(), 2);
+        assert!(p.same_community(NodeId(0), NodeId(2)));
+        assert!(p.same_community(NodeId(3), NodeId(5)));
+        assert!(!p.same_community(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn paper_fig7c_ego_network_communities() {
+        // Ego network of U1 from paper Fig. 7(b): nodes {U2,U3,U4,U5,U6}
+        // (locally 0..5), edges (U2,U3),(U2,U4),(U3,U4),(U4,U6),(U5,U6).
+        // Fig. 7(c): communities C1={U2,U3,U4} and C2={U5,U6}.
+        let g = build(5, &[(0, 1), (0, 2), (1, 2), (2, 4), (3, 4)]);
+        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        assert_eq!(p.num_communities(), 2);
+        assert!(p.same_community(NodeId(0), NodeId(1)));
+        assert!(p.same_community(NodeId(0), NodeId(2)));
+        assert!(p.same_community(NodeId(3), NodeId(4)));
+        assert!(!p.same_community(NodeId(2), NodeId(4)));
+    }
+
+    #[test]
+    fn clique_stays_whole() {
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = build(5, &edges);
+        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        assert_eq!(p.num_communities(), 1);
+    }
+
+    #[test]
+    fn disconnected_components_stay_separate() {
+        let g = build(5, &[(0, 1), (1, 2), (3, 4)]);
+        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        assert!(p.num_communities() >= 2);
+        assert!(!p.same_community(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let p0 = girvan_newman(&build(0, &[]), &GirvanNewmanConfig::default());
+        assert_eq!(p0.num_nodes(), 0);
+        let p1 = girvan_newman(&build(4, &[]), &GirvanNewmanConfig::default());
+        assert_eq!(p1.num_communities(), 4);
+    }
+
+    #[test]
+    fn three_cliques_found() {
+        let mut edges = Vec::new();
+        for base in [0u32, 4, 8] {
+            for i in 0..4u32 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        // Sparse inter-clique links.
+        edges.push((0, 4));
+        edges.push((4, 8));
+        let g = build(12, &edges);
+        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        assert_eq!(p.num_communities(), 3);
+        for base in [0u32, 4, 8] {
+            for i in 1..4u32 {
+                assert!(p.same_community(NodeId(base), NodeId(base + i)));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = build(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (0, 5)],
+        );
+        let p1 = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let p2 = girvan_newman(&g, &GirvanNewmanConfig::default());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn max_removals_cap_respected() {
+        let g = build(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let cfg = GirvanNewmanConfig {
+            max_removals: 1,
+            ..Default::default()
+        };
+        // Must terminate and return a valid partition.
+        let p = girvan_newman(&g, &cfg);
+        assert_eq!(p.num_nodes(), 4);
+    }
+}

@@ -1,0 +1,126 @@
+//! Asynchronous label propagation community detection (Raghavan et al.,
+//! 2007). A second ablation for LoCEC Phase I: near-linear-time but noisier
+//! than Girvan–Newman.
+
+use crate::partition::Partition;
+use locec_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Runs asynchronous label propagation on `g`.
+///
+/// Every node starts in its own community; nodes repeatedly adopt the most
+/// frequent label among their neighbours (random tie-break) until no label
+/// changes or `max_iters` passes complete. Deterministic given `seed`.
+pub fn label_propagation(g: &CsrGraph, seed: u64, max_iters: usize) -> Partition {
+    let n = g.num_nodes();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return Partition::singletons(0);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for _ in 0..max_iters {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &v in &order {
+            let node = locec_graph::NodeId(v as u32);
+            if g.degree(node) == 0 {
+                continue;
+            }
+            counts.clear();
+            for &w in g.neighbors(node) {
+                *counts.entry(labels[w.index()]).or_insert(0) += 1;
+            }
+            let max_count = *counts.values().max().expect("non-empty neighbourhood");
+            let mut best: Vec<u32> = counts
+                .iter()
+                .filter(|&(_, &c)| c == max_count)
+                .map(|(&l, _)| l)
+                .collect();
+            best.sort_unstable();
+            let new = best[rng.gen_range(0..best.len())];
+            if new != labels[v] {
+                labels[v] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Partition::from_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locec_graph::{GraphBuilder, NodeId};
+
+    fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn separates_disconnected_cliques() {
+        let g = build(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let p = label_propagation(&g, 9, 50);
+        assert!(p.same_community(NodeId(0), NodeId(2)));
+        assert!(p.same_community(NodeId(3), NodeId(5)));
+        assert!(!p.same_community(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn isolated_nodes_stay_alone() {
+        let g = build(3, &[(0, 1)]);
+        let p = label_propagation(&g, 1, 50);
+        assert!(!p.same_community(NodeId(0), NodeId(2)));
+        assert!(!p.same_community(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = build(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        );
+        assert_eq!(label_propagation(&g, 4, 100), label_propagation(&g, 4, 100));
+    }
+
+    #[test]
+    fn converges_on_clique_to_one_label() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = build(6, &edges);
+        let p = label_propagation(&g, 11, 100);
+        assert_eq!(p.num_communities(), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = build(0, &[]);
+        assert_eq!(label_propagation(&g, 0, 10).num_nodes(), 0);
+    }
+}

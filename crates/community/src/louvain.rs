@@ -1,0 +1,278 @@
+//! The Louvain method (Blondel et al., 2008).
+//!
+//! Not part of the paper's pipeline, but included for two reasons:
+//! (1) an ablation of the Phase I design choice (GN vs Louvain local
+//! communities — see the `ablation` benches), and (2) a pragmatic fallback
+//! for ego networks large enough that GN's `O(m²n)` bite.
+//!
+//! Greedy modularity optimization in two repeated phases: local moves until
+//! convergence, then graph aggregation. Deterministic given a seed.
+
+use crate::partition::Partition;
+use locec_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Weighted adjacency used across aggregation levels.
+struct WeightedGraph {
+    adj: Vec<Vec<(usize, f64)>>,
+    /// Total edge weight (undirected sum, each edge once).
+    total_weight: f64,
+    /// Self-loop weight per node (intra-community weight after aggregation).
+    self_loops: Vec<f64>,
+}
+
+impl WeightedGraph {
+    fn from_csr(g: &CsrGraph) -> Self {
+        let adj = g
+            .nodes()
+            .map(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .map(|&w| (w.index(), 1.0))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        WeightedGraph {
+            adj,
+            total_weight: g.num_edges() as f64,
+            self_loops: vec![0.0; g.num_nodes()],
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn weighted_degree(&self, v: usize) -> f64 {
+        self.adj[v].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.self_loops[v]
+    }
+}
+
+/// Runs Louvain on `g`; `seed` fixes the node visiting order.
+pub fn louvain(g: &CsrGraph, seed: u64) -> Partition {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Partition::singletons(0);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut graph = WeightedGraph::from_csr(g);
+    // node (original) -> community at the current level, composed each level.
+    let mut membership: Vec<u32> = (0..n as u32).collect();
+
+    loop {
+        let (level_labels, improved) = one_level(&graph, &mut rng);
+        if !improved {
+            break;
+        }
+        // Compose the mapping for original nodes.
+        for m in membership.iter_mut() {
+            *m = level_labels[*m as usize];
+        }
+        let next = aggregate(&graph, &level_labels);
+        if next.n() == graph.n() {
+            break;
+        }
+        graph = next;
+    }
+
+    Partition::from_labels(&membership)
+}
+
+/// One pass of local moves. Returns (node -> community) labels, renumbered
+/// densely, and whether any node moved.
+fn one_level(graph: &WeightedGraph, rng: &mut StdRng) -> (Vec<u32>, bool) {
+    let n = graph.n();
+    let two_m = 2.0 * graph.total_weight;
+    if two_m == 0.0 {
+        return ((0..n as u32).collect(), false);
+    }
+
+    let mut community: Vec<usize> = (0..n).collect();
+    let mut comm_total: Vec<f64> = (0..n).map(|v| graph.weighted_degree(v)).collect();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut improved = false;
+    let mut moved = true;
+    // neighbour community -> accumulated edge weight, reused per node.
+    let mut neigh_weights: std::collections::HashMap<usize, f64> =
+        std::collections::HashMap::new();
+    while moved {
+        moved = false;
+        for &v in &order {
+            let kv = graph.weighted_degree(v);
+            let old = community[v];
+
+            neigh_weights.clear();
+            for &(w, weight) in &graph.adj[v] {
+                if w != v {
+                    *neigh_weights.entry(community[w]).or_insert(0.0) += weight;
+                }
+            }
+
+            // Remove v from its community for gain computation.
+            comm_total[old] -= kv;
+            let base_links = neigh_weights.get(&old).copied().unwrap_or(0.0);
+
+            let mut best_comm = old;
+            let mut best_gain = 0.0f64;
+            // Deterministic iteration: sort candidate communities.
+            let mut candidates: Vec<(usize, f64)> =
+                neigh_weights.iter().map(|(&c, &w)| (c, w)).collect();
+            candidates.sort_unstable_by_key(|&(c, _)| c);
+            for (c, links) in candidates {
+                // ΔQ of joining c (relative to staying isolated):
+                // links/m − k_v·Σ_tot(c)/(2m²)
+                let gain = links - base_links
+                    - kv * (comm_total[c] - comm_total[old]) / two_m;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_comm = c;
+                }
+            }
+
+            comm_total[best_comm] += kv;
+            if best_comm != old {
+                community[v] = best_comm;
+                moved = true;
+                improved = true;
+            }
+        }
+    }
+
+    // Renumber densely.
+    let mut remap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let labels: Vec<u32> = community
+        .iter()
+        .map(|&c| {
+            if remap[c] == u32::MAX {
+                remap[c] = next;
+                next += 1;
+            }
+            remap[c]
+        })
+        .collect();
+    (labels, improved)
+}
+
+/// Builds the aggregated graph whose nodes are the communities of `labels`.
+fn aggregate(graph: &WeightedGraph, labels: &[u32]) -> WeightedGraph {
+    let k = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+    let mut self_loops = vec![0.0f64; k];
+    let mut weight_maps: Vec<std::collections::HashMap<usize, f64>> =
+        vec![std::collections::HashMap::new(); k];
+
+    for v in 0..graph.n() {
+        let cv = labels[v] as usize;
+        self_loops[cv] += graph.self_loops[v];
+        for &(w, weight) in &graph.adj[v] {
+            let cw = labels[w] as usize;
+            if v < w {
+                if cv == cw {
+                    self_loops[cv] += weight;
+                } else {
+                    *weight_maps[cv].entry(cw).or_insert(0.0) += weight;
+                    *weight_maps[cw].entry(cv).or_insert(0.0) += weight;
+                }
+            }
+        }
+    }
+
+    let adj: Vec<Vec<(usize, f64)>> = weight_maps
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(usize, f64)> = m.into_iter().collect();
+            v.sort_unstable_by_key(|&(c, _)| c);
+            v
+        })
+        .collect();
+
+    WeightedGraph {
+        adj,
+        total_weight: graph.total_weight,
+        self_loops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity;
+    use locec_graph::{GraphBuilder, NodeId};
+
+    fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn splits_two_cliques() {
+        let g = build(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (4, 5),
+                (4, 6),
+                (4, 7),
+                (5, 6),
+                (5, 7),
+                (6, 7),
+                (3, 4),
+            ],
+        );
+        let p = louvain(&g, 7);
+        assert_eq!(p.num_communities(), 2);
+        assert!(p.same_community(NodeId(0), NodeId(3)));
+        assert!(p.same_community(NodeId(4), NodeId(7)));
+        assert!(!p.same_community(NodeId(0), NodeId(7)));
+    }
+
+    #[test]
+    fn modularity_not_worse_than_whole() {
+        let g = build(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let p = louvain(&g, 1);
+        assert!(modularity(&g, &p) >= modularity(&g, &Partition::whole(6)) - 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = build(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        assert_eq!(louvain(&g, 42), louvain(&g, 42));
+    }
+
+    #[test]
+    fn edgeless_graph_is_singletons() {
+        let g = build(4, &[]);
+        let p = louvain(&g, 0);
+        assert_eq!(p.num_communities(), 4);
+    }
+
+    #[test]
+    fn agrees_with_gn_on_barbell() {
+        let g = build(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let gn = crate::girvan_newman(&g, &crate::GirvanNewmanConfig::default());
+        let lv = louvain(&g, 3);
+        assert_eq!(gn, lv);
+    }
+}

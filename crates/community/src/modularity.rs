@@ -1,0 +1,107 @@
+//! Newman modularity of a partition.
+//!
+//! `Q = Σ_c ( e_c / m  −  (d_c / 2m)² )` where `e_c` is the number of
+//! intra-community edges of community `c`, `d_c` the sum of degrees of its
+//! nodes, and `m` the total edge count. Girvan–Newman uses `Q` (measured on
+//! the *original* graph) to pick the best level of its dendrogram.
+
+use crate::partition::Partition;
+use locec_graph::CsrGraph;
+
+/// Modularity of `partition` with respect to graph `g`.
+///
+/// Returns 0 for an edgeless graph (the conventional degenerate value).
+pub fn modularity(g: &CsrGraph, partition: &Partition) -> f64 {
+    assert_eq!(
+        g.num_nodes(),
+        partition.num_nodes(),
+        "partition must cover the graph's node set"
+    );
+    let m = g.num_edges() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let k = partition.num_communities();
+    let mut intra = vec![0f64; k];
+    let mut degree_sum = vec![0f64; k];
+
+    for (_, u, v) in g.edges() {
+        if partition.same_community(u, v) {
+            intra[partition.community_of(u) as usize] += 1.0;
+        }
+    }
+    for v in g.nodes() {
+        degree_sum[partition.community_of(v) as usize] += g.degree(v) as f64;
+    }
+
+    let two_m = 2.0 * m;
+    (0..k)
+        .map(|c| intra[c] / m - (degree_sum[c] / two_m).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locec_graph::{GraphBuilder, NodeId};
+
+    fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn whole_partition_has_zero_modularity() {
+        let g = build(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let q = modularity(&g, &Partition::whole(4));
+        assert!(q.abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_cliques_split_beats_whole() {
+        let g = build(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let split = Partition::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let q_split = modularity(&g, &split);
+        let q_whole = modularity(&g, &Partition::whole(6));
+        assert!(q_split > q_whole);
+        // Known value: m=7, intra=3 each, degree sums 7 and 7.
+        // Q = 2*(3/7 - (7/14)^2) = 2*(0.428571 - 0.25) = 0.357142...
+        assert!((q_split - (2.0 * (3.0 / 7.0 - 0.25))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singletons_have_negative_modularity() {
+        let g = build(4, &[(0, 1), (1, 2), (2, 3)]);
+        let q = modularity(&g, &Partition::singletons(4));
+        assert!(q < 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_is_zero() {
+        let g = build(3, &[]);
+        assert_eq!(modularity(&g, &Partition::singletons(3)), 0.0);
+    }
+
+    #[test]
+    fn modularity_bounded_above_by_one() {
+        let g = build(6, &[(0, 1), (2, 3), (4, 5)]);
+        let p = Partition::from_labels(&[0, 0, 1, 1, 2, 2]);
+        let q = modularity(&g, &p);
+        assert!(q > 0.0 && q < 1.0);
+        // Perfectly separated components: Q = 1 - Σ (d_c/2m)² = 1 - 3*(2/6)² = 2/3.
+        assert!((q - (1.0 - 3.0 * (2.0f64 / 6.0).powi(2))).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must cover")]
+    fn mismatched_sizes_panic() {
+        let g = build(3, &[(0, 1)]);
+        modularity(&g, &Partition::singletons(2));
+    }
+}

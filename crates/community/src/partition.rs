@@ -1,0 +1,140 @@
+//! Partition of a node set into disjoint communities.
+
+use locec_graph::NodeId;
+
+/// A partition of nodes `0..n` into communities `0..num_communities`.
+///
+/// Community ids are always dense and canonical: community `c` is the one
+/// containing the smallest node id not in communities `0..c`. Two partitions
+/// of the same node set are therefore equal iff they group nodes identically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    labels: Vec<u32>,
+    num_communities: usize,
+}
+
+impl Partition {
+    /// Builds a partition from arbitrary (possibly sparse) labels,
+    /// canonicalizing community ids.
+    pub fn from_labels(raw: &[u32]) -> Self {
+        let mut remap: Vec<u32> = Vec::new();
+        let mut mapping: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(raw.len());
+        for &r in raw {
+            let next = remap.len() as u32;
+            let id = *mapping.entry(r).or_insert_with(|| {
+                remap.push(r);
+                next
+            });
+            labels.push(id);
+        }
+        Partition {
+            labels,
+            num_communities: remap.len(),
+        }
+    }
+
+    /// The singleton partition: every node in its own community.
+    pub fn singletons(n: usize) -> Self {
+        Partition {
+            labels: (0..n as u32).collect(),
+            num_communities: n,
+        }
+    }
+
+    /// One community containing every node (empty partition for `n == 0`).
+    pub fn whole(n: usize) -> Self {
+        Partition {
+            labels: vec![0; n],
+            num_communities: usize::from(n > 0),
+        }
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of communities.
+    #[inline]
+    pub fn num_communities(&self) -> usize {
+        self.num_communities
+    }
+
+    /// Community of node `v`.
+    #[inline]
+    pub fn community_of(&self, v: NodeId) -> u32 {
+        self.labels[v.index()]
+    }
+
+    /// Whether `u` and `v` are in the same community.
+    #[inline]
+    pub fn same_community(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u.index()] == self.labels[v.index()]
+    }
+
+    /// Raw label slice (`labels[v] ∈ 0..num_communities`).
+    #[inline]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Nodes of each community, ascending within each group.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.num_communities];
+        for (i, &c) in self.labels.iter().enumerate() {
+            groups[c as usize].push(NodeId(i as u32));
+        }
+        groups
+    }
+
+    /// Size of each community.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_communities];
+        for &c in &self.labels {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_sparse_labels() {
+        let p = Partition::from_labels(&[7, 7, 3, 9, 3]);
+        assert_eq!(p.num_communities(), 3);
+        assert_eq!(p.labels(), &[0, 0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn groups_and_sizes_agree() {
+        let p = Partition::from_labels(&[0, 1, 0, 2, 1]);
+        assert_eq!(p.sizes(), vec![2, 2, 1]);
+        let groups = p.groups();
+        assert_eq!(groups[0], vec![NodeId(0), NodeId(2)]);
+        assert_eq!(groups[2], vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn singletons_and_whole() {
+        let s = Partition::singletons(3);
+        assert_eq!(s.num_communities(), 3);
+        assert!(!s.same_community(NodeId(0), NodeId(1)));
+        let w = Partition::whole(3);
+        assert_eq!(w.num_communities(), 1);
+        assert!(w.same_community(NodeId(0), NodeId(2)));
+        assert_eq!(Partition::whole(0).num_communities(), 0);
+    }
+
+    #[test]
+    fn equal_groupings_are_equal_partitions() {
+        let a = Partition::from_labels(&[5, 5, 8]);
+        let b = Partition::from_labels(&[1, 1, 0]);
+        // Different raw ids, same grouping order by first occurrence.
+        assert_eq!(a, b);
+    }
+}

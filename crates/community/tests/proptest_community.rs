@@ -1,0 +1,108 @@
+//! Property-based tests of the community-detection substrate.
+
+use locec_community::{
+    edge_betweenness, girvan_newman, label_propagation, louvain, modularity,
+    GirvanNewmanConfig, Partition,
+};
+use locec_graph::{connected_components, CsrGraph, GraphBuilder, MutableGraph, NodeId};
+use proptest::prelude::*;
+
+fn random_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..=20).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=50).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn betweenness_scores_are_positive_and_cover_edges(g in random_graph()) {
+        let m = MutableGraph::from_csr(&g);
+        let bc = edge_betweenness(&m);
+        prop_assert_eq!(bc.len(), g.num_edges());
+        for (&(u, v), &score) in &bc {
+            prop_assert!(u < v, "non-canonical key");
+            // Every edge carries at least its own endpoint pair.
+            prop_assert!(score >= 1.0 - 1e-9, "edge ({u},{v}) scored {score}");
+        }
+    }
+
+    #[test]
+    fn betweenness_total_equals_pair_distances(g in random_graph()) {
+        // Sum of edge betweenness = sum over connected pairs of d(s,t),
+        // since every shortest path contributes its length in edge hops.
+        let m = MutableGraph::from_csr(&g);
+        let bc = edge_betweenness(&m);
+        let total: f64 = bc.values().sum();
+        let mut dist_sum = 0.0f64;
+        for s in g.nodes() {
+            let dist = locec_graph::traversal::bfs_distances(&g, s);
+            for t in g.nodes() {
+                if t > s && dist[t.index()] != u32::MAX {
+                    dist_sum += dist[t.index()] as f64;
+                }
+            }
+        }
+        prop_assert!((total - dist_sum).abs() < 1e-6 * (1.0 + dist_sum));
+    }
+
+    #[test]
+    fn all_detectors_respect_components(g in random_graph()) {
+        let cc = connected_components(&g);
+        for p in [
+            girvan_newman(&g, &GirvanNewmanConfig::default()),
+            louvain(&g, 3),
+            label_propagation(&g, 3, 50),
+        ] {
+            for (_, u, v) in g.edges() {
+                if p.same_community(u, v) {
+                    prop_assert_eq!(cc.component(u), cc.component(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gn_is_deterministic(g in random_graph()) {
+        let p1 = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let p2 = girvan_newman(&g, &GirvanNewmanConfig::default());
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn partition_groups_are_a_partition(g in random_graph()) {
+        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let mut seen = vec![false; g.num_nodes()];
+        for group in p.groups() {
+            for v in group {
+                prop_assert!(!seen[v.index()]);
+                seen[v.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn modularity_of_whole_is_never_positive_minus_epsilon(g in random_graph()) {
+        // Q(whole) = 1·(m/m) − Σ(d_c/2m)² with one community = 0 exactly.
+        if g.num_edges() > 0 {
+            let q = modularity(&g, &Partition::whole(g.num_nodes()));
+            prop_assert!(q.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn louvain_never_loses_to_singletons(g in random_graph()) {
+        let p = louvain(&g, 11);
+        let q_louvain = modularity(&g, &p);
+        let q_singletons = modularity(&g, &Partition::singletons(g.num_nodes()));
+        prop_assert!(q_louvain >= q_singletons - 1e-9);
+    }
+}

@@ -1,0 +1,191 @@
+//! Cluster-scale cost model — the substitute for the paper's 50–200 Linux
+//! servers (Table VI, Figure 12).
+//!
+//! LoCEC's three phases are embarrassingly parallel over nodes ("each node
+//! is parsed separately in a streaming scheme in all three phases", §V-D),
+//! so wall-clock time is `nodes × per-node-cost / (servers × threads)`.
+//! The model can be calibrated two ways:
+//!
+//! * [`PhaseCosts::paper_calibrated`] — back-solved from Table VI (the full
+//!   WeChat network, 10⁹ nodes, 100 servers: 46.5 h / 15.3 h / 7.4 h);
+//! * [`PhaseCosts::from_measured`] — from per-node costs measured on this
+//!   machine by the benchmark harness, which lets Figure 12 be regenerated
+//!   with *our* implementation's constants.
+//!
+//! Either way the *shape* claims of Fig. 12 — linear in node count, inverse
+//! in server count — follow from the model, and the harness verifies the
+//! measured multi-thread speedup on real hardware.
+
+use std::time::Duration;
+
+/// Per-node processing costs for the three phases, in microseconds of
+/// single-worker compute, plus a fixed model-training cost.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseCosts {
+    /// Phase I (ego extraction + Girvan–Newman) per node.
+    pub phase1_us_per_node: f64,
+    /// Phase II (feature matrices + community inference) per node.
+    pub phase2_us_per_node: f64,
+    /// Phase III (edge features + LR inference) per node.
+    pub phase3_us_per_node: f64,
+    /// One-off CommCNN training cost in hours (4.5 h in Table VI).
+    pub training_hours: f64,
+}
+
+impl PhaseCosts {
+    /// Costs back-solved from Table VI: 10⁹ nodes on 100 servers took
+    /// 46.5 / 15.3 / 7.4 hours for Phases I–III.
+    pub fn paper_calibrated() -> Self {
+        let servers = 100.0;
+        let nodes = 1.0e9;
+        let to_us = |hours: f64| hours * servers * 3600.0 * 1e6 / nodes;
+        PhaseCosts {
+            phase1_us_per_node: to_us(46.5),
+            phase2_us_per_node: to_us(15.3),
+            phase3_us_per_node: to_us(7.4),
+            training_hours: 4.5,
+        }
+    }
+
+    /// Costs from measured wall-clock times of a run over `num_nodes`
+    /// nodes with `workers` parallel workers.
+    pub fn from_measured(
+        num_nodes: usize,
+        workers: usize,
+        phase1: Duration,
+        phase2: Duration,
+        phase3: Duration,
+        training: Duration,
+    ) -> Self {
+        let per_node =
+            |d: Duration| d.as_secs_f64() * 1e6 * workers as f64 / num_nodes.max(1) as f64;
+        PhaseCosts {
+            phase1_us_per_node: per_node(phase1),
+            phase2_us_per_node: per_node(phase2),
+            phase3_us_per_node: per_node(phase3),
+            training_hours: training.as_secs_f64() / 3600.0,
+        }
+    }
+}
+
+/// Predicted wall-clock hours per phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseTimes {
+    /// Phase I hours.
+    pub phase1_hours: f64,
+    /// Phase II hours.
+    pub phase2_hours: f64,
+    /// Phase III hours.
+    pub phase3_hours: f64,
+    /// Model training hours (not parallelized across servers).
+    pub training_hours: f64,
+}
+
+impl PhaseTimes {
+    /// Total including training (the paper's Table VI "Total").
+    pub fn total_hours(&self) -> f64 {
+        self.phase1_hours + self.phase2_hours + self.phase3_hours + self.training_hours
+    }
+}
+
+/// The analytic cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSim {
+    /// Number of servers.
+    pub servers: usize,
+    /// Effective parallel workers per server (the paper's servers run 2×
+    /// Xeon E5-2620 v3 ⇒ 24 hardware threads; throughput folds into the
+    /// calibration constant, so 1.0 is the right default when using
+    /// [`PhaseCosts::paper_calibrated`]).
+    pub workers_per_server: f64,
+}
+
+impl ClusterSim {
+    /// A cluster of `servers` servers with calibration-relative throughput.
+    pub fn new(servers: usize) -> Self {
+        ClusterSim {
+            servers,
+            workers_per_server: 1.0,
+        }
+    }
+
+    /// Predicted phase times for an input of `num_nodes` nodes.
+    pub fn predict(&self, costs: &PhaseCosts, num_nodes: u64) -> PhaseTimes {
+        let capacity = self.servers as f64 * self.workers_per_server;
+        assert!(capacity > 0.0, "cluster must have capacity");
+        let hours = |us_per_node: f64| num_nodes as f64 * us_per_node / capacity / 3.6e9;
+        PhaseTimes {
+            phase1_hours: hours(costs.phase1_us_per_node),
+            phase2_hours: hours(costs.phase2_us_per_node),
+            phase3_hours: hours(costs.phase3_us_per_node),
+            training_hours: costs.training_hours,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_reproduces_table6() {
+        let costs = PhaseCosts::paper_calibrated();
+        let cluster = ClusterSim::new(100);
+        let t = cluster.predict(&costs, 1_000_000_000);
+        assert!((t.phase1_hours - 46.5).abs() < 1e-6);
+        assert!((t.phase2_hours - 15.3).abs() < 1e-6);
+        assert!((t.phase3_hours - 7.4).abs() < 1e-6);
+        assert!((t.total_hours() - 73.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn runtime_is_linear_in_nodes() {
+        // Fig. 12(a): doubling input doubles phase time.
+        let costs = PhaseCosts::paper_calibrated();
+        let cluster = ClusterSim::new(50);
+        let t1 = cluster.predict(&costs, 100_000_000);
+        let t2 = cluster.predict(&costs, 200_000_000);
+        assert!((t2.phase1_hours / t1.phase1_hours - 2.0).abs() < 1e-9);
+        assert!((t2.phase3_hours / t1.phase3_hours - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runtime_is_inverse_in_servers() {
+        // Fig. 12(b): doubling servers halves phase time; training doesn't
+        // shrink (it is a one-off beforehand, Table VI).
+        let costs = PhaseCosts::paper_calibrated();
+        let t100 = ClusterSim::new(100).predict(&costs, 1_000_000_000);
+        let t200 = ClusterSim::new(200).predict(&costs, 1_000_000_000);
+        assert!((t100.phase1_hours / t200.phase1_hours - 2.0).abs() < 1e-9);
+        assert_eq!(t100.training_hours, t200.training_hours);
+    }
+
+    #[test]
+    fn phase1_dominates() {
+        // Table VI shape: division is the most expensive phase.
+        let costs = PhaseCosts::paper_calibrated();
+        assert!(costs.phase1_us_per_node > costs.phase2_us_per_node);
+        assert!(costs.phase2_us_per_node > costs.phase3_us_per_node);
+    }
+
+    #[test]
+    fn measured_costs_roundtrip() {
+        let costs = PhaseCosts::from_measured(
+            10_000,
+            8,
+            Duration::from_secs(10),
+            Duration::from_secs(5),
+            Duration::from_secs(2),
+            Duration::from_secs(60),
+        );
+        // 10s × 8 workers / 10k nodes = 8 ms/node.
+        assert!((costs.phase1_us_per_node - 8000.0).abs() < 1e-6);
+        // Predicting the same setup returns the measured wall time.
+        let sim = ClusterSim {
+            servers: 1,
+            workers_per_server: 8.0,
+        };
+        let t = sim.predict(&costs, 10_000);
+        assert!((t.phase1_hours * 3600.0 - 10.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,404 @@
+//! CommCNN — the community classification network of paper Fig. 8.
+//!
+//! The input is the Algorithm 1 feature matrix (`k × (|I|+|f|)`, zero-padded
+//! rows for small communities). Because feature *columns* have no spatial
+//! locality (unlike images), the network runs three kernel geometries in
+//! parallel and concatenates their outputs:
+//!
+//! * **square branch** — a 3×3 ("same") convolution followed by two *Square
+//!   Convolution Modules* (3×3 convolution + 2×2 max pooling each), then a
+//!   flatten;
+//! * **wide branch** — a `1 × (|I|+|f|)` kernel reading one member's whole
+//!   feature row at once, then a 1×1 convolution and global max pooling;
+//! * **long branch** — a `k × 1` kernel comparing one feature across all
+//!   members, then a 1×1 convolution and global max pooling.
+//!
+//! The concatenation feeds two fully connected layers and a softmax.
+
+use locec_ml::nn::{
+    Adam, Conv2d, Dense, Flatten, GlobalMaxPool2d, Layer, MaxPool2d, Model, Relu, Sequential,
+    SoftmaxCrossEntropy,
+};
+use locec_ml::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters of [`CommCnn`].
+#[derive(Clone, Debug)]
+pub struct CommCnnConfig {
+    /// Channels of the first square convolution.
+    pub square_channels: usize,
+    /// Channels of the two square convolution modules.
+    pub module_channels: (usize, usize),
+    /// Channels of the wide and long branches.
+    pub branch_channels: usize,
+    /// Width of the first fully connected layer.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Stop early when an epoch's mean loss falls below this.
+    pub target_loss: f32,
+    /// RNG seed (init + batch shuffling).
+    pub seed: u64,
+}
+
+impl Default for CommCnnConfig {
+    fn default() -> Self {
+        CommCnnConfig {
+            square_channels: 8,
+            module_channels: (12, 24),
+            branch_channels: 8,
+            hidden: 64,
+            epochs: 45,
+            batch_size: 64,
+            learning_rate: 2e-3,
+            target_loss: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+impl CommCnnConfig {
+    /// A light configuration for unit tests.
+    pub fn fast() -> Self {
+        CommCnnConfig {
+            square_channels: 4,
+            module_channels: (6, 8),
+            branch_channels: 4,
+            hidden: 32,
+            epochs: 25,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            target_loss: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// The CommCNN model.
+pub struct CommCnn {
+    square: Sequential,
+    wide: Sequential,
+    long: Sequential,
+    head: Sequential,
+    k: usize,
+    cols: usize,
+    num_classes: usize,
+    square_dim: usize,
+    branch_dim: usize,
+    config: CommCnnConfig,
+}
+
+impl CommCnn {
+    /// Builds an untrained CommCNN for `k × cols` inputs and
+    /// `num_classes` outputs.
+    pub fn new(k: usize, cols: usize, num_classes: usize, config: &CommCnnConfig) -> Self {
+        assert!(k >= 4 && cols >= 4, "need k ≥ 4 and cols ≥ 4 for pooling");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let (c1, (c2, c3)) = (config.square_channels, config.module_channels);
+
+        let square = Sequential::new()
+            .push(Conv2d::square3x3(1, c1, &mut rng))
+            .push(Relu::new())
+            // Square Convolution Module #1
+            .push(Conv2d::square3x3(c1, c2, &mut rng))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2, 2))
+            // Square Convolution Module #2
+            .push(Conv2d::square3x3(c2, c3, &mut rng))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2, 2))
+            .push(Flatten::new());
+        let square_dim = c3 * (k / 2 / 2) * (cols / 2 / 2);
+        assert!(square_dim > 0, "input too small for two 2x2 pools");
+
+        let cb = config.branch_channels;
+        let wide = Sequential::new()
+            .push(Conv2d::new(1, cb, 1, cols, &mut rng))
+            .push(Relu::new())
+            .push(Conv2d::new(cb, cb, 1, 1, &mut rng))
+            .push(Relu::new())
+            .push(GlobalMaxPool2d::new())
+            .push(Flatten::new());
+        let long = Sequential::new()
+            .push(Conv2d::new(1, cb, k, 1, &mut rng))
+            .push(Relu::new())
+            .push(Conv2d::new(cb, cb, 1, 1, &mut rng))
+            .push(Relu::new())
+            .push(GlobalMaxPool2d::new())
+            .push(Flatten::new());
+
+        let concat_dim = square_dim + 2 * cb;
+        let head = Sequential::new()
+            .push(Dense::new(concat_dim, config.hidden, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(config.hidden, num_classes, &mut rng));
+
+        CommCnn {
+            square,
+            wide,
+            long,
+            head,
+            k,
+            cols,
+            num_classes,
+            square_dim,
+            branch_dim: cb,
+            config: config.clone(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Expected input shape `(k, cols)`.
+    pub fn input_shape(&self) -> (usize, usize) {
+        (self.k, self.cols)
+    }
+
+    /// Stacks `k × cols` feature matrices into an NCHW batch tensor.
+    pub fn batch_tensor(&self, matrices: &[&Tensor]) -> Tensor {
+        let n = matrices.len();
+        let mut batch = Tensor::zeros(&[n, 1, self.k, self.cols]);
+        for (i, m) in matrices.iter().enumerate() {
+            assert_eq!(m.shape(), &[self.k, self.cols], "feature matrix shape");
+            let offset = i * self.k * self.cols;
+            batch.data_mut()[offset..offset + self.k * self.cols].copy_from_slice(m.data());
+        }
+        batch
+    }
+
+    /// Forward pass producing `(N, num_classes)` logits.
+    fn forward(&mut self, batch: &Tensor, train: bool) -> Tensor {
+        let sq = self.square.forward(batch, train);
+        let wd = self.wide.forward(batch, train);
+        let lg = self.long.forward(batch, train);
+        let concat = concat_cols(&[&sq, &wd, &lg]);
+        self.head.forward(&concat, train)
+    }
+
+    /// Backward pass from logit gradients.
+    fn backward(&mut self, grad_logits: &Tensor) {
+        let grad_concat = self.head.backward(grad_logits);
+        let parts = split_cols(
+            &grad_concat,
+            &[self.square_dim, self.branch_dim, self.branch_dim],
+        );
+        // Input gradients are discarded (input is data, not parameters).
+        let _ = self.square.backward(&parts[0]);
+        let _ = self.wide.backward(&parts[1]);
+        let _ = self.long.backward(&parts[2]);
+    }
+
+    /// Trains on feature matrices with labels; returns the final epoch's
+    /// mean loss.
+    pub fn train(&mut self, matrices: &[Tensor], labels: &[usize]) -> f32 {
+        assert_eq!(matrices.len(), labels.len());
+        assert!(!matrices.is_empty(), "empty training set");
+        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
+        let mut opt = Adam::new(self.config.learning_rate);
+        let mut order: Vec<usize> = (0..matrices.len()).collect();
+        let bs = self.config.batch_size.max(1);
+
+        let mut epoch_loss = f32::INFINITY;
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in order.chunks(bs) {
+                let refs: Vec<&Tensor> = chunk.iter().map(|&i| &matrices[i]).collect();
+                let batch = self.batch_tensor(&refs);
+                let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+
+                self.zero_grad();
+                let logits = self.forward(&batch, true);
+                let (loss, probs) = SoftmaxCrossEntropy::loss(&logits, &y);
+                let grad = SoftmaxCrossEntropy::grad(&probs, &y);
+                self.backward(&grad);
+                opt.step(self);
+
+                total += loss;
+                batches += 1;
+            }
+            epoch_loss = total / batches.max(1) as f32;
+            if epoch_loss < self.config.target_loss {
+                break;
+            }
+        }
+        epoch_loss
+    }
+
+    /// Class-probability vector `r_C` for one feature matrix (paper §IV-C:
+    /// `r_C = [P(C, l) ∀ l ∈ L]`).
+    pub fn predict_proba(&mut self, matrix: &Tensor) -> Vec<f32> {
+        self.predict_proba_batch(&[matrix]).pop().expect("one row")
+    }
+
+    /// Class-probability vectors for a batch of feature matrices.
+    pub fn predict_proba_batch(&mut self, matrices: &[&Tensor]) -> Vec<Vec<f32>> {
+        if matrices.is_empty() {
+            return Vec::new();
+        }
+        let batch = self.batch_tensor(matrices);
+        let logits = self.forward(&batch, false);
+        let probs = SoftmaxCrossEntropy::softmax(&logits);
+        (0..matrices.len()).map(|i| probs.row(i).to_vec()).collect()
+    }
+
+    /// Most likely class for one feature matrix.
+    pub fn predict(&mut self, matrix: &Tensor) -> usize {
+        locec_ml::linear::argmax(&self.predict_proba(matrix))
+    }
+}
+
+impl Model for CommCnn {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        Layer::visit_params(&mut self.square, f);
+        Layer::visit_params(&mut self.wide, f);
+        Layer::visit_params(&mut self.long, f);
+        Layer::visit_params(&mut self.head, f);
+    }
+}
+
+/// Concatenates 2-D tensors along columns (all must share the row count).
+fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    let n = parts[0].shape()[0];
+    let total: usize = parts.iter().map(|p| p.shape()[1]).sum();
+    let mut out = Tensor::zeros(&[n, total]);
+    for i in 0..n {
+        let mut col = 0;
+        for p in parts {
+            assert_eq!(p.shape()[0], n);
+            let w = p.shape()[1];
+            for j in 0..w {
+                *out.at2_mut(i, col + j) = p.at2(i, j);
+            }
+            col += w;
+        }
+    }
+    out
+}
+
+/// Splits a 2-D tensor into column blocks of the given widths.
+fn split_cols(t: &Tensor, widths: &[usize]) -> Vec<Tensor> {
+    let n = t.shape()[0];
+    assert_eq!(t.shape()[1], widths.iter().sum::<usize>());
+    let mut parts = Vec::with_capacity(widths.len());
+    let mut col = 0;
+    for &w in widths {
+        let mut p = Tensor::zeros(&[n, w]);
+        for i in 0..n {
+            for j in 0..w {
+                *p.at2_mut(i, j) = t.at2(i, col + j);
+            }
+        }
+        col += w;
+        parts.push(p);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: usize = 8;
+    const COLS: usize = 12;
+
+    /// Synthetic "communities": class 0 concentrates mass in the first
+    /// interaction column, class 1 in the second, class 2 in the third.
+    fn toy_matrices(n_per_class: usize, seed: u64) -> (Vec<Tensor>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for class in 0..3usize {
+            for _ in 0..n_per_class {
+                let mut m = Tensor::zeros(&[K, COLS]);
+                for r in 0..K {
+                    use rand::Rng;
+                    *m.at2_mut(r, class) = rng.gen_range(0.5..1.0);
+                    *m.at2_mut(r, 5) = rng.gen_range(0.0..0.2); // noise col
+                }
+                xs.push(m);
+                ys.push(class);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let mut cnn = CommCnn::new(K, COLS, 3, &CommCnnConfig::fast());
+        assert_eq!(cnn.input_shape(), (K, COLS));
+        let (xs, _) = toy_matrices(2, 0);
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let probs = cnn.predict_proba_batch(&refs);
+        assert_eq!(probs.len(), 6);
+        for p in probs {
+            assert_eq!(p.len(), 3);
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn learns_separable_feature_matrices() {
+        let (xs, ys) = toy_matrices(12, 1);
+        let mut cnn = CommCnn::new(K, COLS, 3, &CommCnnConfig::fast());
+        let loss = cnn.train(&xs, &ys);
+        assert!(loss < 0.7, "training loss {loss}");
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| cnn.predict(x) == y)
+            .count();
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.85,
+            "train accuracy {correct}/{}",
+            xs.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = toy_matrices(4, 2);
+        let mut c1 = CommCnn::new(K, COLS, 3, &CommCnnConfig::fast());
+        let mut c2 = CommCnn::new(K, COLS, 3, &CommCnnConfig::fast());
+        c1.train(&xs, &ys);
+        c2.train(&xs, &ys);
+        assert_eq!(c1.predict_proba(&xs[0]), c2.predict_proba(&xs[0]));
+    }
+
+    #[test]
+    fn concat_and_split_roundtrip() {
+        let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(&[2, 1], vec![5., 6.]);
+        let joined = concat_cols(&[&a, &b]);
+        assert_eq!(joined.shape(), &[2, 3]);
+        assert_eq!(joined.data(), &[1., 2., 5., 3., 4., 6.]);
+        let parts = split_cols(&joined, &[2, 1]);
+        assert_eq!(parts[0].data(), a.data());
+        assert_eq!(parts[1].data(), b.data());
+    }
+
+    #[test]
+    fn parameter_count_is_nontrivial() {
+        let mut cnn = CommCnn::new(20, 12, 3, &CommCnnConfig::default());
+        let params = Model::num_params(&mut cnn);
+        assert!(params > 10_000, "CommCNN has {params} params");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature matrix shape")]
+    fn rejects_wrong_input_shape() {
+        let mut cnn = CommCnn::new(K, COLS, 3, &CommCnnConfig::fast());
+        let bad = Tensor::zeros(&[K + 1, COLS]);
+        let _ = cnn.predict_proba(&bad);
+    }
+}

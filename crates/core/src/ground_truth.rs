@@ -1,0 +1,147 @@
+//! Ground-truth labels for local communities.
+//!
+//! Paper §V-C: "the ground-truth label of a community is determined by the
+//! majority type of friends with ground-truth relationship classes." A
+//! community is labelable when enough of its ego→member edges carry survey
+//! labels; the label is the plurality type (ties broken toward the
+//! higher-priority type, mirroring the principal-type rule of §III).
+
+use crate::phase1::DivisionResult;
+use locec_graph::{CsrGraph, EdgeId};
+use locec_synth::types::RelationType;
+use std::collections::HashMap;
+
+/// Assigns ground-truth labels to communities whose members are
+/// sufficiently covered by `edge_labels` (the visible survey labels).
+///
+/// Returns `(community index, label)` pairs in ascending community order.
+/// `min_coverage` is the fraction of members whose ego-edge must be labeled
+/// (the paper's communities come from fully surveyed egos; lower values
+/// admit partially covered ones).
+pub fn community_ground_truth(
+    graph: &CsrGraph,
+    division: &DivisionResult,
+    edge_labels: &HashMap<EdgeId, RelationType>,
+    min_coverage: f64,
+) -> Vec<(u32, RelationType)> {
+    let mut out = Vec::new();
+    for (idx, community) in division.communities.iter().enumerate() {
+        let mut counts = [0usize; RelationType::COUNT];
+        let mut labeled = 0usize;
+        for &member in &community.members {
+            let Some(edge) = graph.edge_between(community.ego, member) else {
+                continue; // cannot happen for ego-network members
+            };
+            if let Some(&t) = edge_labels.get(&edge) {
+                counts[t.label()] += 1;
+                labeled += 1;
+            }
+        }
+        if labeled == 0 || (labeled as f64) < min_coverage * community.len() as f64 {
+            continue;
+        }
+        let best = counts.iter().copied().max().expect("non-empty");
+        // Plurality with deterministic tie-break: lowest label index wins
+        // (Family > Colleague > Schoolmate priority, as in §III).
+        let label = counts
+            .iter()
+            .position(|&c| c == best)
+            .expect("max exists");
+        out.push((idx as u32, RelationType::from_label(label)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LocecConfig;
+    use crate::phase1::divide;
+    use locec_graph::{GraphBuilder, NodeId};
+
+    /// Star ego 0 with two triangles: {1,2,3} and {4,5} among friends.
+    fn setup() -> (CsrGraph, DivisionResult) {
+        let mut b = GraphBuilder::new(6);
+        for v in 1..6u32 {
+            b.add_edge(NodeId(0), NodeId(v));
+        }
+        for (u, v) in [(1, 2), (1, 3), (2, 3), (4, 5)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        let g = b.build();
+        let division = divide(&g, &LocecConfig::fast());
+        (g, division)
+    }
+
+    fn label_edge(
+        g: &CsrGraph,
+        labels: &mut HashMap<EdgeId, RelationType>,
+        u: u32,
+        v: u32,
+        t: RelationType,
+    ) {
+        labels.insert(g.edge_between(NodeId(u), NodeId(v)).unwrap(), t);
+    }
+
+    #[test]
+    fn majority_vote_labels_community() {
+        let (g, division) = setup();
+        let mut labels = HashMap::new();
+        label_edge(&g, &mut labels, 0, 1, RelationType::Colleague);
+        label_edge(&g, &mut labels, 0, 2, RelationType::Colleague);
+        label_edge(&g, &mut labels, 0, 3, RelationType::Family);
+        let gt = community_ground_truth(&g, &division, &labels, 0.5);
+        // The {1,2,3} community in 0's ego network must be Colleague.
+        let idx = division
+            .community_index_of(NodeId(0), NodeId(1))
+            .unwrap();
+        let found = gt.iter().find(|(i, _)| *i == idx).expect("labeled");
+        assert_eq!(found.1, RelationType::Colleague);
+    }
+
+    #[test]
+    fn insufficient_coverage_is_skipped() {
+        let (g, division) = setup();
+        let mut labels = HashMap::new();
+        // Only 1 of 3 members labeled; coverage 1/3 < 0.5.
+        label_edge(&g, &mut labels, 0, 1, RelationType::Family);
+        let gt = community_ground_truth(&g, &division, &labels, 0.5);
+        let idx = division
+            .community_index_of(NodeId(0), NodeId(1))
+            .unwrap();
+        assert!(gt.iter().all(|(i, _)| *i != idx));
+    }
+
+    #[test]
+    fn tie_breaks_toward_higher_priority_type() {
+        let (g, division) = setup();
+        let mut labels = HashMap::new();
+        label_edge(&g, &mut labels, 0, 4, RelationType::Schoolmate);
+        label_edge(&g, &mut labels, 0, 5, RelationType::Family);
+        let gt = community_ground_truth(&g, &division, &labels, 0.5);
+        let idx = division
+            .community_index_of(NodeId(0), NodeId(4))
+            .unwrap();
+        let found = gt.iter().find(|(i, _)| *i == idx).expect("labeled");
+        assert_eq!(found.1, RelationType::Family, "family wins ties");
+    }
+
+    #[test]
+    fn unlabeled_world_produces_nothing() {
+        let (g, division) = setup();
+        let gt = community_ground_truth(&g, &division, &HashMap::new(), 0.5);
+        assert!(gt.is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_by_community_index() {
+        let (g, division) = setup();
+        let mut labels = HashMap::new();
+        for v in 1..6u32 {
+            label_edge(&g, &mut labels, 0, v, RelationType::Colleague);
+        }
+        let gt = community_ground_truth(&g, &division, &labels, 0.5);
+        assert!(gt.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(gt.len() >= 2);
+    }
+}

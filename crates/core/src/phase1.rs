@@ -1,0 +1,329 @@
+//! Phase I — Division: parallel local community detection.
+//!
+//! Paper §IV-A / Fig. 6: for every node `v`, extract its ego network `G_v`
+//! (ego excluded) and run Girvan–Newman to obtain the *local communities*
+//! of `v`'s friend circle. Each friend `u` of `v` lands in exactly one local
+//! community of `G_v`; that assignment — plus the Eq. 3 tightness of every
+//! member — is everything Phases II and III need.
+//!
+//! The computation is embarrassingly parallel over ego nodes ("each node is
+//! parsed separately in a streaming scheme", §V-D); we shard the node range
+//! over worker threads and merge shard outputs in node order so results are
+//! deterministic regardless of thread count.
+
+use crate::config::{CommunityDetector, LocecConfig};
+use crate::features::tightness;
+use locec_community::{girvan_newman, label_propagation, louvain, GirvanNewmanConfig};
+use locec_graph::{CsrGraph, EgoNetwork, NodeId};
+use std::collections::HashMap;
+
+/// One local community: a cluster of `ego`'s friends in `ego`'s ego
+/// network.
+#[derive(Clone, Debug)]
+pub struct LocalCommunity {
+    /// The ego node whose ego network this community lives in.
+    pub ego: NodeId,
+    /// Global ids of the member friends (ascending).
+    pub members: Vec<NodeId>,
+    /// Eq. 3 tightness of each member w.r.t. this community (parallel to
+    /// `members`).
+    pub tightness: Vec<f32>,
+}
+
+impl LocalCommunity {
+    /// Number of members `|C|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the community is empty (never true for generated results).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Tightness of a member by global id.
+    pub fn member_tightness(&self, u: NodeId) -> Option<f32> {
+        self.members
+            .binary_search(&u)
+            .ok()
+            .map(|i| self.tightness[i])
+    }
+}
+
+/// Output of Phase I for the whole graph.
+#[derive(Clone, Debug, Default)]
+pub struct DivisionResult {
+    /// Every local community of every ego network.
+    pub communities: Vec<LocalCommunity>,
+    /// `(ego, friend) → community index` in [`DivisionResult::communities`].
+    membership: HashMap<(u32, u32), u32>,
+}
+
+impl DivisionResult {
+    /// The community that `friend` belongs to inside `ego`'s ego network —
+    /// the paper's `C_u` for an edge ⟨u=friend, v=ego⟩.
+    pub fn community_of(&self, ego: NodeId, friend: NodeId) -> Option<&LocalCommunity> {
+        self.membership
+            .get(&(ego.0, friend.0))
+            .map(|&i| &self.communities[i as usize])
+    }
+
+    /// Index variant of [`DivisionResult::community_of`].
+    pub fn community_index_of(&self, ego: NodeId, friend: NodeId) -> Option<u32> {
+        self.membership.get(&(ego.0, friend.0)).copied()
+    }
+
+    /// Number of detected local communities.
+    pub fn num_communities(&self) -> usize {
+        self.communities.len()
+    }
+
+    /// Community sizes (for the Fig. 10a CDF).
+    pub fn community_sizes(&self) -> Vec<u32> {
+        self.communities.iter().map(|c| c.len() as u32).collect()
+    }
+}
+
+/// Runs Phase I over every node of the graph.
+pub fn divide(graph: &CsrGraph, config: &LocecConfig) -> DivisionResult {
+    let n = graph.num_nodes();
+    let threads = config.threads.clamp(1, n.max(1));
+
+    // Shard the node range; each shard produces its communities in node
+    // order, so a plain in-order merge keeps global determinism.
+    let chunk = n.div_ceil(threads.max(1)).max(1);
+    let shards: Vec<Vec<LocalCommunity>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for v in start..end {
+                        divide_one(graph, NodeId(v as u32), config, &mut out);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard")).collect()
+    });
+
+    let mut communities = Vec::new();
+    for shard in shards {
+        communities.extend(shard);
+    }
+    let mut membership = HashMap::with_capacity(2 * graph.num_edges());
+    for (idx, c) in communities.iter().enumerate() {
+        for &m in &c.members {
+            membership.insert((c.ego.0, m.0), idx as u32);
+        }
+    }
+    DivisionResult {
+        communities,
+        membership,
+    }
+}
+
+/// Detects the local communities of one ego node.
+pub fn divide_one(
+    graph: &CsrGraph,
+    ego: NodeId,
+    config: &LocecConfig,
+    out: &mut Vec<LocalCommunity>,
+) {
+    let ego_net = EgoNetwork::extract(graph, ego);
+    if ego_net.num_friends() == 0 {
+        return;
+    }
+
+    let partition = detect(&ego_net, config);
+
+    for group in partition.groups() {
+        if group.is_empty() {
+            continue;
+        }
+        // Local degrees needed by Eq. 3.
+        let members_global: Vec<NodeId> =
+            group.iter().map(|&l| ego_net.to_global(l)).collect();
+        let in_group: std::collections::HashSet<NodeId> = group.iter().copied().collect();
+        let tightness_values: Vec<f32> = group
+            .iter()
+            .map(|&l| {
+                let friends_in_c = ego_net
+                    .graph
+                    .neighbors(l)
+                    .iter()
+                    .filter(|w| in_group.contains(w))
+                    .count();
+                let friends_in_ego = ego_net.friend_degree(l);
+                tightness(friends_in_c, friends_in_ego, group.len())
+            })
+            .collect();
+        out.push(LocalCommunity {
+            ego,
+            members: members_global,
+            tightness: tightness_values,
+        });
+    }
+}
+
+/// Runs the configured detector on one ego network.
+fn detect(ego_net: &EgoNetwork, config: &LocecConfig) -> locec_community::Partition {
+    let g = &ego_net.graph;
+    let detector = if ego_net.num_friends() > config.gn_max_friends
+        && config.detector == CommunityDetector::GirvanNewman
+    {
+        CommunityDetector::Louvain
+    } else {
+        config.detector
+    };
+    match detector {
+        CommunityDetector::GirvanNewman => girvan_newman(g, &GirvanNewmanConfig::default()),
+        CommunityDetector::Louvain => louvain(g, config.seed),
+        CommunityDetector::LabelPropagation => label_propagation(g, config.seed, 50),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locec_graph::GraphBuilder;
+
+    /// The paper's running example (Fig. 1 / Fig. 7): U1's ego network has
+    /// communities C1 = {U2,U3,U4} and C2 = {U5,U6}.
+    fn fig7_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(9);
+        for (u, v) in [
+            (0u32, 1u32),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (3, 5),
+            (5, 6),
+            (6, 7),
+            (6, 8),
+            (7, 8),
+        ] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    fn config() -> LocecConfig {
+        LocecConfig {
+            threads: 2,
+            ..LocecConfig::fast()
+        }
+    }
+
+    #[test]
+    fn paper_example_communities_found() {
+        let g = fig7_graph();
+        let division = divide(&g, &config());
+        // U1 = node 0: communities {1,2,3} and {4,5}.
+        let c_u2 = division.community_of(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(c_u2.members, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        let c_u5 = division.community_of(NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(c_u5.members, vec![NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn paper_tightness_example() {
+        // §IV-B: tightness(U2,C1) = tightness(U3,C1) = 1;
+        // tightness(U4,C1) = 2/2 × 2/3 = 0.67.
+        let g = fig7_graph();
+        let division = divide(&g, &config());
+        let c1 = division.community_of(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(c1.member_tightness(NodeId(1)), Some(1.0));
+        assert_eq!(c1.member_tightness(NodeId(2)), Some(1.0));
+        let t4 = c1.member_tightness(NodeId(3)).unwrap();
+        assert!((t4 - 2.0 / 3.0).abs() < 1e-6, "tightness(U4,C1) = {t4}");
+    }
+
+    #[test]
+    fn every_friend_pair_is_covered() {
+        let g = fig7_graph();
+        let division = divide(&g, &config());
+        for (_, u, v) in g.edges() {
+            assert!(
+                division.community_of(u, v).is_some(),
+                "missing community of {v:?} in {u:?}'s ego network"
+            );
+            assert!(division.community_of(v, u).is_some());
+        }
+    }
+
+    #[test]
+    fn communities_partition_each_ego_network() {
+        let g = fig7_graph();
+        let division = divide(&g, &config());
+        for ego in g.nodes() {
+            let mut seen = std::collections::HashSet::new();
+            for c in division.communities.iter().filter(|c| c.ego == ego) {
+                for m in &c.members {
+                    assert!(seen.insert(*m), "friend {m:?} in two communities");
+                }
+            }
+            let friends: std::collections::HashSet<NodeId> =
+                g.neighbors(ego).iter().copied().collect();
+            assert_eq!(seen, friends, "partition must cover ego {ego:?}");
+        }
+    }
+
+    #[test]
+    fn tightness_in_unit_interval() {
+        let g = fig7_graph();
+        let division = divide(&g, &config());
+        for c in &division.communities {
+            for &t in &c.tightness {
+                assert!((0.0..=1.0).contains(&t), "tightness {t} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let g = fig7_graph();
+        let d1 = divide(
+            &g,
+            &LocecConfig {
+                threads: 1,
+                ..config()
+            },
+        );
+        let d4 = divide(
+            &g,
+            &LocecConfig {
+                threads: 4,
+                ..config()
+            },
+        );
+        assert_eq!(d1.num_communities(), d4.num_communities());
+        for (a, b) in d1.communities.iter().zip(&d4.communities) {
+            assert_eq!(a.ego, b.ego);
+            assert_eq!(a.members, b.members);
+        }
+    }
+
+    #[test]
+    fn singleton_friend_gets_tightness_one() {
+        // Star graph: ego 0's friends are mutually unconnected.
+        let mut b = GraphBuilder::new(4);
+        for v in 1..4u32 {
+            b.add_edge(NodeId(0), NodeId(v));
+        }
+        let g = b.build();
+        let division = divide(&g, &config());
+        for v in 1..4u32 {
+            let c = division.community_of(NodeId(0), NodeId(v)).unwrap();
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.tightness[0], 1.0);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Phase II — Aggregation: community classification.
+//!
+//! Two model variants, exactly as compared in the paper:
+//!
+//! * **LoCEC-XGB** — the Algorithm 1 member rows are pooled into per-column
+//!   mean/std vectors and classified by gradient-boosted trees; the
+//!   community embedding `r_C` handed to Phase III is the concatenated leaf
+//!   values of all trees (the GBDT→LR trick, §IV-C).
+//! * **LoCEC-CNN** — the full `k × (|I|+|f|)` feature matrix is classified
+//!   by CommCNN; `r_C` is the softmax probability vector `[P(C,l) ∀l∈L]`.
+
+use crate::commcnn::CommCnn;
+use crate::config::{CommunityModelKind, LocecConfig};
+use crate::features::{community_feature_matrix_ordered, pooled_feature_vector};
+use crate::phase1::DivisionResult;
+use locec_ml::gbdt::Gbdt;
+use locec_ml::linear::argmax;
+use locec_ml::metrics::{evaluate, Evaluation};
+use locec_ml::{Dataset, Tensor};
+use locec_synth::types::RelationType;
+use locec_synth::SocialDataset;
+
+/// A trained Phase II model.
+pub enum CommunityClassifier {
+    /// Gradient-boosted trees on pooled features.
+    Xgb(Gbdt),
+    /// CommCNN on feature matrices.
+    Cnn(Box<CommCnn>),
+}
+
+/// `r_C` vectors (and class predictions) for every local community.
+#[derive(Clone, Debug)]
+pub struct AggregationResult {
+    /// Per-community embedding `r_C` handed to Phase III (probabilities for
+    /// CNN, leaf values for XGB). Indexed by community index.
+    pub embeddings: Vec<Vec<f32>>,
+    /// Per-community class probabilities (always length `|L|`).
+    pub probabilities: Vec<Vec<f32>>,
+    /// Dimensionality of one embedding.
+    pub embedding_dim: usize,
+}
+
+impl AggregationResult {
+    /// Predicted class of a community (argmax of probabilities).
+    pub fn predicted_class(&self, community_idx: u32) -> usize {
+        argmax(&self.probabilities[community_idx as usize])
+    }
+
+    /// Distribution of predicted community classes (Fig. 13a).
+    pub fn class_distribution(&self) -> [f64; RelationType::COUNT] {
+        let mut counts = [0usize; RelationType::COUNT];
+        for p in &self.probabilities {
+            counts[argmax(p)] += 1;
+        }
+        let total = self.probabilities.len().max(1) as f64;
+        [
+            counts[0] as f64 / total,
+            counts[1] as f64 / total,
+            counts[2] as f64 / total,
+        ]
+    }
+}
+
+impl CommunityClassifier {
+    /// Trains the configured model on ground-truth-labeled communities
+    /// (`labeled` pairs community indices with labels).
+    pub fn train(
+        data: &SocialDataset<'_>,
+        division: &DivisionResult,
+        labeled: &[(u32, RelationType)],
+        config: &LocecConfig,
+    ) -> Self {
+        assert!(!labeled.is_empty(), "no labeled communities to train on");
+        match config.community_model {
+            CommunityModelKind::Xgb => {
+                let mut ds = Dataset::new(2 * crate::features::FEATURE_COLS);
+                for &(idx, label) in labeled {
+                    let c = &division.communities[idx as usize];
+                    let v = pooled_feature_vector(
+                        data.graph,
+                        data.interactions,
+                        data.user_features,
+                        c,
+                    );
+                    ds.push(&v, label.label());
+                }
+                let model = Gbdt::fit(&ds, RelationType::COUNT, &config.gbdt);
+                CommunityClassifier::Xgb(model)
+            }
+            CommunityModelKind::Cnn => {
+                let matrices: Vec<Tensor> = labeled
+                    .iter()
+                    .map(|&(idx, _)| {
+                        community_feature_matrix_ordered(
+                            data.graph,
+                            data.interactions,
+                            data.user_features,
+                            &division.communities[idx as usize],
+                            config.k,
+                            config.row_order,
+                            config.seed,
+                        )
+                    })
+                    .collect();
+                let labels: Vec<usize> = labeled.iter().map(|&(_, l)| l.label()).collect();
+                let mut cnn = CommCnn::new(
+                    config.k,
+                    crate::features::FEATURE_COLS,
+                    RelationType::COUNT,
+                    &config.commcnn,
+                );
+                cnn.train(&matrices, &labels);
+                CommunityClassifier::Cnn(Box::new(cnn))
+            }
+        }
+    }
+
+    /// Computes `r_C` (embedding + probabilities) for every community.
+    pub fn predict_all(
+        &mut self,
+        data: &SocialDataset<'_>,
+        division: &DivisionResult,
+        config: &LocecConfig,
+    ) -> AggregationResult {
+        let n = division.communities.len();
+        let mut embeddings = Vec::with_capacity(n);
+        let mut probabilities = Vec::with_capacity(n);
+        match self {
+            CommunityClassifier::Xgb(model) => {
+                for c in &division.communities {
+                    let v = pooled_feature_vector(
+                        data.graph,
+                        data.interactions,
+                        data.user_features,
+                        c,
+                    );
+                    embeddings.push(model.leaf_values(&v));
+                    probabilities.push(model.predict_proba(&v));
+                }
+            }
+            CommunityClassifier::Cnn(cnn) => {
+                // Batched CNN inference keeps tensor churn bounded.
+                const BATCH: usize = 128;
+                let mut matrices = Vec::with_capacity(BATCH.min(n));
+                let mut flush = |matrices: &mut Vec<Tensor>,
+                                 probabilities: &mut Vec<Vec<f32>>,
+                                 embeddings: &mut Vec<Vec<f32>>| {
+                    if matrices.is_empty() {
+                        return;
+                    }
+                    let refs: Vec<&Tensor> = matrices.iter().collect();
+                    for p in cnn.predict_proba_batch(&refs) {
+                        embeddings.push(p.clone());
+                        probabilities.push(p);
+                    }
+                    matrices.clear();
+                };
+                for c in &division.communities {
+                    matrices.push(community_feature_matrix_ordered(
+                        data.graph,
+                        data.interactions,
+                        data.user_features,
+                        c,
+                        config.k,
+                        config.row_order,
+                        config.seed,
+                    ));
+                    if matrices.len() == BATCH {
+                        flush(&mut matrices, &mut probabilities, &mut embeddings);
+                    }
+                }
+                flush(&mut matrices, &mut probabilities, &mut embeddings);
+            }
+        }
+        let embedding_dim = embeddings.first().map_or(0, Vec::len);
+        AggregationResult {
+            embeddings,
+            probabilities,
+            embedding_dim,
+        }
+    }
+
+    /// Evaluates community classification on held-out labeled communities
+    /// (Table V).
+    pub fn evaluate_on(
+        &mut self,
+        data: &SocialDataset<'_>,
+        division: &DivisionResult,
+        test: &[(u32, RelationType)],
+        config: &LocecConfig,
+    ) -> Evaluation {
+        let mut y_true = Vec::with_capacity(test.len());
+        let mut y_pred = Vec::with_capacity(test.len());
+        for &(idx, label) in test {
+            let c = &division.communities[idx as usize];
+            let pred = match self {
+                CommunityClassifier::Xgb(model) => {
+                    let v = pooled_feature_vector(
+                        data.graph,
+                        data.interactions,
+                        data.user_features,
+                        c,
+                    );
+                    model.predict(&v)
+                }
+                CommunityClassifier::Cnn(cnn) => {
+                    let m = community_feature_matrix_ordered(
+                        data.graph,
+                        data.interactions,
+                        data.user_features,
+                        c,
+                        config.k,
+                        config.row_order,
+                        config.seed,
+                    );
+                    cnn.predict(&m)
+                }
+            };
+            y_true.push(label.label());
+            y_pred.push(pred);
+        }
+        evaluate(&y_true, &y_pred, RelationType::COUNT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ground_truth::community_ground_truth;
+    use crate::phase1::divide;
+    use locec_synth::{Scenario, SynthConfig};
+
+    fn setup() -> (Scenario, DivisionResult, LocecConfig) {
+        let scenario = Scenario::generate(&SynthConfig::tiny(31));
+        let config = LocecConfig::fast();
+        let division = divide(&scenario.graph, &config);
+        (scenario, division, config)
+    }
+
+    fn labeled_communities(
+        scenario: &Scenario,
+        division: &DivisionResult,
+        config: &LocecConfig,
+    ) -> Vec<(u32, RelationType)> {
+        let ds = scenario.dataset();
+        community_ground_truth(
+            ds.graph,
+            division,
+            ds.labeled_edges,
+            config.community_label_min_coverage,
+        )
+    }
+
+    #[test]
+    fn xgb_variant_trains_and_predicts_all() {
+        let (scenario, division, mut config) = setup();
+        config.community_model = CommunityModelKind::Xgb;
+        let labeled = labeled_communities(&scenario, &division, &config);
+        assert!(labeled.len() >= 10, "only {} labeled", labeled.len());
+        let ds = scenario.dataset();
+        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+        let agg = model.predict_all(&ds, &division, &config);
+        assert_eq!(agg.probabilities.len(), division.num_communities());
+        assert_eq!(agg.embeddings.len(), division.num_communities());
+        assert!(agg.embedding_dim > RelationType::COUNT, "leaf values");
+        for p in &agg.probabilities {
+            assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cnn_variant_trains_and_predicts_all() {
+        let (scenario, division, mut config) = setup();
+        config.community_model = CommunityModelKind::Cnn;
+        config.commcnn.epochs = 8; // keep the unit test quick
+        let labeled = labeled_communities(&scenario, &division, &config);
+        let ds = scenario.dataset();
+        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+        let agg = model.predict_all(&ds, &division, &config);
+        assert_eq!(agg.probabilities.len(), division.num_communities());
+        assert_eq!(agg.embedding_dim, RelationType::COUNT);
+        let dist = agg.class_distribution();
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xgb_fits_its_training_communities() {
+        let (scenario, division, mut config) = setup();
+        config.community_model = CommunityModelKind::Xgb;
+        let labeled = labeled_communities(&scenario, &division, &config);
+        let ds = scenario.dataset();
+        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+        let eval = model.evaluate_on(&ds, &division, &labeled, &config);
+        assert!(
+            eval.accuracy > 0.8,
+            "train-set accuracy {} too low",
+            eval.accuracy
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no labeled communities")]
+    fn training_requires_labels() {
+        let (scenario, division, config) = setup();
+        let ds = scenario.dataset();
+        let _ = CommunityClassifier::train(&ds, &division, &[], &config);
+    }
+}

@@ -1,0 +1,246 @@
+//! Phase III — Combination: edge labeling.
+//!
+//! For an edge ⟨u,v⟩, `C_u` is the local community u occupies in *v's* ego
+//! network and `C_v` the community v occupies in *u's* ego network. Their
+//! classification results usually — but not always — agree; a logistic
+//! regression over the Eq. 4 feature vector
+//! `f⟨u,v⟩ = [tightness(u,C_u), tightness(v,C_v), r_Cu, r_Cv]`
+//! arbitrates and emits the final relationship type.
+
+use crate::phase1::DivisionResult;
+use crate::phase2::AggregationResult;
+use locec_ml::linear::{LogisticRegression, LogisticRegressionConfig};
+use locec_ml::metrics::{evaluate, Evaluation};
+use locec_ml::Dataset;
+use locec_graph::{CsrGraph, EdgeId, NodeId};
+use locec_synth::types::RelationType;
+
+/// Builds the Eq. 4 feature vector of an edge. Returns `None` only when the
+/// division result does not cover the edge (cannot happen for divisions
+/// computed on the same graph).
+pub fn edge_feature(
+    graph: &CsrGraph,
+    division: &DivisionResult,
+    agg: &AggregationResult,
+    edge: EdgeId,
+) -> Option<Vec<f32>> {
+    let (u, v) = graph.endpoints(edge);
+    build_edge_feature(division, agg, u, v)
+}
+
+fn build_edge_feature(
+    division: &DivisionResult,
+    agg: &AggregationResult,
+    u: NodeId,
+    v: NodeId,
+) -> Option<Vec<f32>> {
+    // C_u: u's community in v's ego network; C_v: v's in u's.
+    let cu_idx = division.community_index_of(v, u)?;
+    let cv_idx = division.community_index_of(u, v)?;
+    let cu = &division.communities[cu_idx as usize];
+    let cv = &division.communities[cv_idx as usize];
+    let tight_u = cu.member_tightness(u)?;
+    let tight_v = cv.member_tightness(v)?;
+    let r_cu = &agg.embeddings[cu_idx as usize];
+    let r_cv = &agg.embeddings[cv_idx as usize];
+
+    let mut f = Vec::with_capacity(2 + r_cu.len() + r_cv.len());
+    f.push(tight_u);
+    f.push(tight_v);
+    f.extend_from_slice(r_cu);
+    f.extend_from_slice(r_cv);
+    Some(f)
+}
+
+/// The trained Phase III edge classifier.
+pub struct EdgeClassifier {
+    lr: LogisticRegression,
+}
+
+impl EdgeClassifier {
+    /// Trains the logistic regression on labeled training edges.
+    pub fn train(
+        graph: &CsrGraph,
+        division: &DivisionResult,
+        agg: &AggregationResult,
+        train_edges: &[(EdgeId, RelationType)],
+        lr_config: &LogisticRegressionConfig,
+    ) -> Self {
+        assert!(!train_edges.is_empty(), "no labeled edges to train on");
+        let dim = 2 + 2 * agg.embedding_dim;
+        let mut ds = Dataset::new(dim);
+        for &(e, label) in train_edges {
+            if let Some(f) = edge_feature(graph, division, agg, e) {
+                ds.push(&f, label.label());
+            }
+        }
+        assert!(!ds.is_empty(), "no train edge produced a feature vector");
+        let lr = LogisticRegression::fit(&ds, RelationType::COUNT, lr_config);
+        EdgeClassifier { lr }
+    }
+
+    /// Predicted relationship type of one edge.
+    pub fn predict(
+        &self,
+        graph: &CsrGraph,
+        division: &DivisionResult,
+        agg: &AggregationResult,
+        edge: EdgeId,
+    ) -> Option<RelationType> {
+        let f = edge_feature(graph, division, agg, edge)?;
+        Some(RelationType::from_label(self.lr.predict(&f)))
+    }
+
+    /// Class probabilities of one edge.
+    pub fn predict_proba(
+        &self,
+        graph: &CsrGraph,
+        division: &DivisionResult,
+        agg: &AggregationResult,
+        edge: EdgeId,
+    ) -> Option<Vec<f32>> {
+        let f = edge_feature(graph, division, agg, edge)?;
+        Some(self.lr.predict_proba(&f))
+    }
+
+    /// Evaluates on held-out labeled edges (Table IV / Fig. 11).
+    pub fn evaluate_on(
+        &self,
+        graph: &CsrGraph,
+        division: &DivisionResult,
+        agg: &AggregationResult,
+        test_edges: &[(EdgeId, RelationType)],
+    ) -> Evaluation {
+        let mut y_true = Vec::with_capacity(test_edges.len());
+        let mut y_pred = Vec::with_capacity(test_edges.len());
+        for &(e, label) in test_edges {
+            if let Some(pred) = self.predict(graph, division, agg, e) {
+                y_true.push(label.label());
+                y_pred.push(pred.label());
+            }
+        }
+        evaluate(&y_true, &y_pred, RelationType::COUNT)
+    }
+
+    /// Predicted type of every edge in the graph (Fig. 13b distribution).
+    pub fn predict_all(
+        &self,
+        graph: &CsrGraph,
+        division: &DivisionResult,
+        agg: &AggregationResult,
+    ) -> Vec<RelationType> {
+        graph
+            .edges()
+            .map(|(e, _, _)| {
+                self.predict(graph, division, agg, e)
+                    .expect("division covers every edge")
+            })
+            .collect()
+    }
+}
+
+/// Distribution of predicted edge types (Fig. 13b).
+pub fn type_distribution(predictions: &[RelationType]) -> [f64; RelationType::COUNT] {
+    let mut counts = [0usize; RelationType::COUNT];
+    for p in predictions {
+        counts[p.label()] += 1;
+    }
+    let total = predictions.len().max(1) as f64;
+    [
+        counts[0] as f64 / total,
+        counts[1] as f64 / total,
+        counts[2] as f64 / total,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CommunityModelKind, LocecConfig};
+    use crate::ground_truth::community_ground_truth;
+    use crate::phase1::divide;
+    use crate::phase2::CommunityClassifier;
+    use locec_synth::{Scenario, SynthConfig};
+
+    struct Fixture {
+        scenario: Scenario,
+        division: DivisionResult,
+        agg: AggregationResult,
+        config: LocecConfig,
+    }
+
+    fn fixture() -> Fixture {
+        let scenario = Scenario::generate(&SynthConfig::tiny(41));
+        let mut config = LocecConfig::fast();
+        config.community_model = CommunityModelKind::Xgb;
+        let division = divide(&scenario.graph, &config);
+        let ds = scenario.dataset();
+        let labeled = community_ground_truth(
+            ds.graph,
+            &division,
+            ds.labeled_edges,
+            config.community_label_min_coverage,
+        );
+        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+        let agg = model.predict_all(&ds, &division, &config);
+        Fixture {
+            scenario,
+            division,
+            agg,
+            config,
+        }
+    }
+
+    #[test]
+    fn edge_features_have_consistent_dimension() {
+        let f = fixture();
+        let expected = 2 + 2 * f.agg.embedding_dim;
+        for (e, _, _) in f.scenario.graph.edges().take(100) {
+            let feat = edge_feature(&f.scenario.graph, &f.division, &f.agg, e).unwrap();
+            assert_eq!(feat.len(), expected);
+            assert!((0.0..=1.0).contains(&feat[0]), "tightness {}", feat[0]);
+            assert!((0.0..=1.0).contains(&feat[1]));
+        }
+    }
+
+    #[test]
+    fn classifier_beats_chance_on_train_edges(){
+        let f = fixture();
+        let ds = f.scenario.dataset();
+        let labeled = ds.labeled_edges_sorted();
+        let clf = EdgeClassifier::train(
+            ds.graph,
+            &f.division,
+            &f.agg,
+            &labeled,
+            &f.config.lr,
+        );
+        let eval = clf.evaluate_on(ds.graph, &f.division, &f.agg, &labeled);
+        assert!(
+            eval.accuracy > 0.5,
+            "training accuracy {} is not above chance",
+            eval.accuracy
+        );
+    }
+
+    #[test]
+    fn predict_all_covers_every_edge() {
+        let f = fixture();
+        let ds = f.scenario.dataset();
+        let labeled = ds.labeled_edges_sorted();
+        let clf =
+            EdgeClassifier::train(ds.graph, &f.division, &f.agg, &labeled, &f.config.lr);
+        let preds = clf.predict_all(ds.graph, &f.division, &f.agg);
+        assert_eq!(preds.len(), ds.graph.num_edges());
+        let dist = type_distribution(&preds);
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no labeled edges")]
+    fn training_requires_edges() {
+        let f = fixture();
+        let ds = f.scenario.dataset();
+        let _ = EdgeClassifier::train(ds.graph, &f.division, &f.agg, &[], &f.config.lr);
+    }
+}

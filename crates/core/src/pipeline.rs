@@ -1,0 +1,274 @@
+//! Algorithm 2 — the end-to-end LoCEC pipeline.
+//!
+//! Division → aggregation → combination with leak-free label handling: the
+//! survey-labeled edge set is split into train/test; community ground truth
+//! (majority vote) is derived *from training labels only*; Phase II trains
+//! on those communities; Phase III trains its logistic regression on the
+//! training edges and is evaluated on the held-out ones.
+
+use crate::config::LocecConfig;
+use crate::ground_truth::community_ground_truth;
+use crate::phase1::{divide, DivisionResult};
+use crate::phase2::{AggregationResult, CommunityClassifier};
+use crate::phase3::{type_distribution, EdgeClassifier};
+use locec_graph::EdgeId;
+use locec_ml::metrics::Evaluation;
+use locec_synth::types::RelationType;
+use locec_synth::SocialDataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Everything a pipeline run produces.
+pub struct LocecOutcome {
+    /// Edge classification quality on the held-out labeled edges
+    /// (Table IV / Fig. 11).
+    pub edge_eval: Evaluation,
+    /// Community classification quality on held-out labeled communities
+    /// (Table V); `None` when too few labeled communities exist to split.
+    pub community_eval: Option<Evaluation>,
+    /// Number of local communities detected (Phase I).
+    pub num_communities: usize,
+    /// Sizes of all local communities (Fig. 10a CDF).
+    pub community_sizes: Vec<u32>,
+    /// Distribution of predicted community types over the whole network
+    /// (Fig. 13a).
+    pub community_type_distribution: [f64; RelationType::COUNT],
+    /// Distribution of predicted relationship types over all edges
+    /// (Fig. 13b).
+    pub edge_type_distribution: [f64; RelationType::COUNT],
+    /// Wall-clock time of Phase I (division).
+    pub phase1_time: Duration,
+    /// Wall-clock time of Phase II inference over all communities.
+    pub phase2_time: Duration,
+    /// Wall-clock time of Phase III (training + labeling all edges).
+    pub phase3_time: Duration,
+    /// Wall-clock time of model training (CommCNN / GBDT — the paper
+    /// reports training separately from the three phases, Table VI).
+    pub training_time: Duration,
+    /// Number of labeled edges used for training.
+    pub num_train_edges: usize,
+    /// Number of labeled edges evaluated.
+    pub num_test_edges: usize,
+}
+
+/// The orchestrator. Holds only configuration; all state flows through
+/// [`LocecPipeline::run`].
+pub struct LocecPipeline {
+    /// The configuration used for every phase.
+    pub config: LocecConfig,
+}
+
+impl LocecPipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: LocecConfig) -> Self {
+        LocecPipeline { config }
+    }
+
+    /// Runs Algorithm 2 end to end, holding out `1 − train_fraction` of the
+    /// labeled edges for evaluation.
+    pub fn run(&mut self, data: &SocialDataset<'_>, train_fraction: f64) -> LocecOutcome {
+        let labeled = data.labeled_edges_sorted();
+        let (train_edges, test_edges) = split_edges(&labeled, train_fraction, self.config.seed);
+        self.run_with_splits(data, &train_edges, &test_edges)
+    }
+
+    /// Runs with explicit train/test labeled-edge sets (used by the Fig. 11
+    /// label-fraction sweep).
+    pub fn run_with_splits(
+        &mut self,
+        data: &SocialDataset<'_>,
+        train_edges: &[(EdgeId, RelationType)],
+        test_edges: &[(EdgeId, RelationType)],
+    ) -> LocecOutcome {
+        // --- Phase I: division ---
+        let t0 = Instant::now();
+        let division = divide(data.graph, &self.config);
+        let phase1_time = t0.elapsed();
+        self.run_with_division(data, &division, phase1_time, train_edges, test_edges)
+    }
+
+    /// Runs Phases II/III against a precomputed division. Phase I depends
+    /// only on the graph, so parameter sweeps (Fig. 10b, Fig. 11) reuse one
+    /// division across sweep points.
+    pub fn run_with_division(
+        &mut self,
+        data: &SocialDataset<'_>,
+        division: &DivisionResult,
+        phase1_time: Duration,
+        train_edges: &[(EdgeId, RelationType)],
+        test_edges: &[(EdgeId, RelationType)],
+    ) -> LocecOutcome {
+        // --- ground truth for Phase II (train labels only; no leakage) ---
+        let train_label_map: std::collections::HashMap<EdgeId, RelationType> =
+            train_edges.iter().copied().collect();
+        let labeled_communities = community_ground_truth(
+            data.graph,
+            division,
+            &train_label_map,
+            self.config.community_label_min_coverage,
+        );
+
+        // --- Phase II: train + classify every community ---
+        let t1 = Instant::now();
+        let (community_train, community_test) =
+            split_communities(&labeled_communities, 0.8, self.config.seed);
+        let mut classifier =
+            CommunityClassifier::train(data, division, &community_train, &self.config);
+        let training_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let agg = classifier.predict_all(data, division, &self.config);
+        let phase2_time = t2.elapsed();
+
+        let community_eval = if community_test.is_empty() {
+            None
+        } else {
+            Some(classifier.evaluate_on(data, division, &community_test, &self.config))
+        };
+
+        // --- Phase III: edge labeling ---
+        let t3 = Instant::now();
+        let edge_clf = EdgeClassifier::train(
+            data.graph,
+            division,
+            &agg,
+            train_edges,
+            &self.config.lr,
+        );
+        let edge_eval = edge_clf.evaluate_on(data.graph, division, &agg, test_edges);
+        let all_predictions = edge_clf.predict_all(data.graph, division, &agg);
+        let phase3_time = t3.elapsed();
+
+        LocecOutcome {
+            edge_eval,
+            community_eval,
+            num_communities: division.num_communities(),
+            community_sizes: division.community_sizes(),
+            community_type_distribution: agg.class_distribution(),
+            edge_type_distribution: type_distribution(&all_predictions),
+            phase1_time,
+            phase2_time,
+            phase3_time,
+            training_time,
+            num_train_edges: train_edges.len(),
+            num_test_edges: test_edges.len(),
+        }
+    }
+
+    /// Phase I only (exposed for benchmarks and the parameter studies).
+    pub fn divide_only(&self, data: &SocialDataset<'_>) -> DivisionResult {
+        divide(data.graph, &self.config)
+    }
+
+    /// Trains Phase II on externally supplied labeled communities and
+    /// returns the classifier plus all-community results (exposed for the
+    /// Table V harness).
+    pub fn aggregate_only(
+        &self,
+        data: &SocialDataset<'_>,
+        division: &DivisionResult,
+        labeled: &[(u32, RelationType)],
+    ) -> (CommunityClassifier, AggregationResult) {
+        let mut classifier = CommunityClassifier::train(data, division, labeled, &self.config);
+        let agg = classifier.predict_all(data, division, &self.config);
+        (classifier, agg)
+    }
+}
+
+/// Seeded shuffle split of labeled edges.
+pub fn split_edges(
+    labeled: &[(EdgeId, RelationType)],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<(EdgeId, RelationType)>, Vec<(EdgeId, RelationType)>) {
+    let mut idx: Vec<usize> = (0..labeled.len()).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed ^ 0xE0E0));
+    let mut cut = (labeled.len() as f64 * train_fraction).round() as usize;
+    if labeled.len() >= 2 {
+        cut = cut.clamp(1, labeled.len() - 1);
+    }
+    let train = idx[..cut].iter().map(|&i| labeled[i]).collect();
+    let test = idx[cut..].iter().map(|&i| labeled[i]).collect();
+    (train, test)
+}
+
+fn split_communities(
+    labeled: &[(u32, RelationType)],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<(u32, RelationType)>, Vec<(u32, RelationType)>) {
+    let mut idx: Vec<usize> = (0..labeled.len()).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed ^ 0xC0C0));
+    let mut cut = (labeled.len() as f64 * train_fraction).round() as usize;
+    if labeled.len() >= 2 {
+        cut = cut.clamp(1, labeled.len() - 1);
+    }
+    let train = idx[..cut].iter().map(|&i| labeled[i]).collect();
+    let test = idx[cut..].iter().map(|&i| labeled[i]).collect();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CommunityModelKind;
+    use locec_synth::{Scenario, SynthConfig};
+
+    #[test]
+    fn end_to_end_xgb_beats_chance_comfortably() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(51));
+        let mut pipeline = LocecPipeline::new(LocecConfig {
+            community_model: CommunityModelKind::Xgb,
+            ..LocecConfig::fast()
+        });
+        let outcome = pipeline.run(&scenario.dataset(), 0.8);
+        assert!(
+            outcome.edge_eval.overall.f1 > 0.5,
+            "edge F1 {} too low",
+            outcome.edge_eval.overall.f1
+        );
+        assert!(outcome.num_communities > 100);
+        assert!(outcome.num_train_edges > outcome.num_test_edges);
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(52));
+        let mut pipeline = LocecPipeline::new(LocecConfig {
+            community_model: CommunityModelKind::Xgb,
+            ..LocecConfig::fast()
+        });
+        let outcome = pipeline.run(&scenario.dataset(), 0.8);
+        assert!(
+            (outcome.community_type_distribution.iter().sum::<f64>() - 1.0).abs() < 1e-9
+        );
+        assert!((outcome.edge_type_distribution.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_edges_partitions() {
+        let labeled: Vec<(EdgeId, RelationType)> = (0..10)
+            .map(|i| (EdgeId(i), RelationType::from_label(i as usize % 3)))
+            .collect();
+        let (train, test) = split_edges(&labeled, 0.8, 1);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        let mut all: Vec<u32> = train.iter().chain(&test).map(|(e, _)| e.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(53));
+        let mut pipeline = LocecPipeline::new(LocecConfig {
+            community_model: CommunityModelKind::Xgb,
+            ..LocecConfig::fast()
+        });
+        let outcome = pipeline.run(&scenario.dataset(), 0.8);
+        assert!(outcome.phase1_time > Duration::ZERO);
+        assert!(outcome.phase3_time > Duration::ZERO);
+    }
+}

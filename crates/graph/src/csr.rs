@@ -1,0 +1,329 @@
+//! Immutable compressed-sparse-row (CSR) undirected graph.
+//!
+//! This is the workhorse representation: every phase of LoCEC reads the
+//! global friendship graph (and each ego network) through this type.
+//!
+//! Layout: each undirected edge `{u, v}` is stored once in an edge table and
+//! appears twice in the adjacency arrays (`u → v` and `v → u`), both entries
+//! carrying the same [`EdgeId`]. Neighbour lists are sorted by node id, so
+//! edge lookup is `O(log d)` and neighbourhood intersection (used heavily by
+//! ego-network extraction and tightness computation) is a linear merge.
+
+use crate::ids::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable undirected simple graph in CSR form.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` is node `v`'s slice in `targets`/`edge_ids`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-node-sorted neighbour lists (length `2m`).
+    targets: Vec<NodeId>,
+    /// Edge id of each adjacency entry (parallel to `targets`).
+    edge_ids: Vec<EdgeId>,
+    /// Canonical endpoints `(min, max)` of each edge, indexed by `EdgeId`.
+    endpoints: Vec<(NodeId, NodeId)>,
+}
+
+impl CsrGraph {
+    /// Builds from canonicalized, sorted, deduplicated `(min, max)` pairs.
+    /// Callers should normally go through [`crate::GraphBuilder`].
+    pub(crate) fn from_canonical_edges(num_nodes: usize, edges: Vec<(u32, u32)>) -> Self {
+        assert!(num_nodes <= u32::MAX as usize);
+        assert!(edges.len() <= u32::MAX as usize, "edge count exceeds u32");
+        let n = num_nodes;
+        let m = edges.len();
+
+        let mut degree = vec![0u32; n];
+        for &(a, b) in &edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut targets = vec![NodeId(0); 2 * m];
+        let mut edge_ids = vec![EdgeId(0); 2 * m];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut endpoints = Vec::with_capacity(m);
+        for (idx, &(a, b)) in edges.iter().enumerate() {
+            let e = EdgeId(idx as u32);
+            endpoints.push((NodeId(a), NodeId(b)));
+            let ca = cursor[a as usize];
+            targets[ca as usize] = NodeId(b);
+            edge_ids[ca as usize] = e;
+            cursor[a as usize] += 1;
+            let cb = cursor[b as usize];
+            targets[cb as usize] = NodeId(a);
+            edge_ids[cb as usize] = e;
+            cursor[b as usize] += 1;
+        }
+
+        // Input edges are sorted by (min, max); entries written for node `a`
+        // (as the min endpoint) arrive in increasing `b`, but entries written
+        // for `b` (as the max endpoint) interleave with them, so each
+        // neighbour list still needs a per-node sort. Lists are short on
+        // average; an indirect sort keeps targets and edge_ids in sync.
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            let slice_len = hi - lo;
+            if slice_len > 1 {
+                let mut perm: Vec<usize> = (0..slice_len).collect();
+                perm.sort_unstable_by_key(|&i| targets[lo + i]);
+                let t: Vec<NodeId> = perm.iter().map(|&i| targets[lo + i]).collect();
+                let e: Vec<EdgeId> = perm.iter().map(|&i| edge_ids[lo + i]).collect();
+                targets[lo..hi].copy_from_slice(&t);
+                edge_ids[lo..hi].copy_from_slice(&e);
+            }
+        }
+
+        CsrGraph {
+            offsets,
+            targets,
+            edge_ids,
+            endpoints,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Sorted neighbour list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Neighbours of `v` together with the connecting edge ids.
+    #[inline]
+    pub fn neighbor_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.edge_ids[lo..hi].iter().copied())
+    }
+
+    /// Canonical `(min, max)` endpoints of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints[e.index()]
+    }
+
+    /// The edge id connecting `u` and `v`, if any. `O(log min(d_u, d_v))`.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let (probe, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        let lo = self.offsets[probe.index()] as usize;
+        let hi = self.offsets[probe.index() + 1] as usize;
+        let slice = &self.targets[lo..hi];
+        slice
+            .binary_search(&target)
+            .ok()
+            .map(|i| self.edge_ids[lo + i])
+    }
+
+    /// Whether `u` and `v` are adjacent.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edges as `(EdgeId, u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId(i as u32), u, v))
+    }
+
+    /// Number of common neighbours of `u` and `v` (linear merge of the two
+    /// sorted adjacency lists).
+    pub fn common_neighbor_count(&self, u: NodeId, v: NodeId) -> usize {
+        let a = self.neighbors(u);
+        let b = self.neighbors(v);
+        let (mut i, mut j, mut count) = (0, 0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Jaccard similarity of the two neighbourhoods (0 if both are empty).
+    pub fn neighborhood_jaccard(&self, u: NodeId, v: NodeId) -> f64 {
+        let inter = self.common_neighbor_count(u, v);
+        let union = self.degree(u) + self.degree(v) - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// Sum of all degrees (= `2m`), the volume of the graph.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// The example network `G` from the paper's Figure 7(a):
+    /// nodes 1..=9 (we use 0..=8), edges forming two clusters around node 0
+    /// (paper's U1) plus a tail 5-6-7-8 (paper's U6,U7,U8,U9).
+    fn fig7_graph() -> CsrGraph {
+        // Paper labels: U1=0, U2=1, U3=2, U4=3, U5=4, U6=5, U7=6, U8=7, U9=8
+        let mut b = GraphBuilder::new(9);
+        for (u, v) in [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (3, 5),
+            (5, 6),
+            (6, 7),
+            (6, 8),
+            (7, 8),
+        ] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = fig7_graph();
+        assert_eq!(g.num_nodes(), 9);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.volume(), 28);
+        assert_eq!(g.degree(NodeId(0)), 5);
+        assert_eq!(g.degree(NodeId(8)), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = fig7_graph();
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted at {v:?}");
+        }
+    }
+
+    #[test]
+    fn edge_lookup_both_directions() {
+        let g = fig7_graph();
+        let e = g.edge_between(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(g.edge_between(NodeId(3), NodeId(0)), Some(e));
+        assert_eq!(g.endpoints(e), (NodeId(0), NodeId(3)));
+        assert!(g.edge_between(NodeId(1), NodeId(8)).is_none());
+        assert!(g.has_edge(NodeId(6), NodeId(8)));
+    }
+
+    #[test]
+    fn neighbor_edges_match_endpoints() {
+        let g = fig7_graph();
+        for v in g.nodes() {
+            for (u, e) in g.neighbor_edges(v) {
+                let (a, b) = g.endpoints(e);
+                assert!(
+                    (a == v && b == u) || (a == u && b == v),
+                    "edge table inconsistent at {v:?} -> {u:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn common_neighbors() {
+        let g = fig7_graph();
+        // 1 and 2 share neighbours {0, 3}.
+        assert_eq!(g.common_neighbor_count(NodeId(1), NodeId(2)), 2);
+        // 7 and 8 share neighbour {6}.
+        assert_eq!(g.common_neighbor_count(NodeId(7), NodeId(8)), 1);
+        assert_eq!(g.common_neighbor_count(NodeId(1), NodeId(8)), 0);
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        let g = fig7_graph();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let j = g.neighborhood_jaccard(u, v);
+                assert!((0.0..=1.0).contains(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn edges_iterator_is_canonical() {
+        let g = fig7_graph();
+        let mut seen = std::collections::HashSet::new();
+        for (e, u, v) in g.edges() {
+            assert!(u < v);
+            assert!(seen.insert(e));
+            assert_eq!(g.edge_between(u, v), Some(e));
+        }
+        assert_eq!(seen.len(), g.num_edges());
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let g = fig7_graph();
+        let g2 = g.clone();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        assert_eq!(g.neighbors(NodeId(0)), g2.neighbors(NodeId(0)));
+        for (e, u, v) in g.edges() {
+            assert_eq!(g2.endpoints(e), (u, v));
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Graphviz DOT export.
+//!
+//! Used to regenerate Figure 5 of the paper ("Visualization of Labeled
+//! Friends"): an ego network rendered with one colour per relationship type
+//! and black for unlabeled friends.
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+use std::fmt::Write as _;
+
+/// Options controlling DOT rendering.
+#[derive(Clone, Debug, Default)]
+pub struct DotStyle {
+    /// Optional fill colour per node (Graphviz colour names or `#rrggbb`).
+    pub node_colors: Vec<Option<String>>,
+    /// Optional label per node; defaults to the node id.
+    pub node_labels: Vec<Option<String>>,
+    /// Graph title rendered as a label.
+    pub title: Option<String>,
+}
+
+impl DotStyle {
+    /// Style with capacity for `n` nodes and no colours or labels set.
+    pub fn for_nodes(n: usize) -> Self {
+        DotStyle {
+            node_colors: vec![None; n],
+            node_labels: vec![None; n],
+            title: None,
+        }
+    }
+
+    /// Sets a node's fill colour.
+    pub fn color(&mut self, v: NodeId, color: impl Into<String>) -> &mut Self {
+        self.node_colors[v.index()] = Some(color.into());
+        self
+    }
+
+    /// Sets a node's label.
+    pub fn label(&mut self, v: NodeId, label: impl Into<String>) -> &mut Self {
+        self.node_labels[v.index()] = Some(label.into());
+        self
+    }
+}
+
+/// Renders an undirected graph as a Graphviz `graph` document.
+pub fn to_dot(g: &CsrGraph, style: &DotStyle) -> String {
+    let mut out = String::with_capacity(64 + 32 * (g.num_nodes() + g.num_edges()));
+    out.push_str("graph G {\n");
+    out.push_str("  node [shape=circle, style=filled, fillcolor=white];\n");
+    if let Some(title) = &style.title {
+        let _ = writeln!(out, "  label=\"{}\";", escape(title));
+    }
+    for v in g.nodes() {
+        let mut attrs = Vec::new();
+        if let Some(Some(c)) = style.node_colors.get(v.index()) {
+            attrs.push(format!("fillcolor=\"{}\"", escape(c)));
+        }
+        if let Some(Some(l)) = style.node_labels.get(v.index()) {
+            attrs.push(format!("label=\"{}\"", escape(l)));
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {};", v.0);
+        } else {
+            let _ = writeln!(out, "  {} [{}];", v.0, attrs.join(", "));
+        }
+    }
+    for (_, u, v) in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", u.0, v.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path3() -> CsrGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.build()
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = path3();
+        let dot = to_dot(&g, &DotStyle::for_nodes(3));
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn renders_colors_and_labels() {
+        let g = path3();
+        let mut style = DotStyle::for_nodes(3);
+        style.color(NodeId(0), "red").label(NodeId(0), "family");
+        style.title = Some("ego of \"u\"".to_string());
+        let dot = to_dot(&g, &style);
+        assert!(dot.contains("fillcolor=\"red\""));
+        assert!(dot.contains("label=\"family\""));
+        assert!(dot.contains("label=\"ego of \\\"u\\\"\";"));
+    }
+
+    #[test]
+    fn escape_handles_backslash() {
+        assert_eq!(escape(r"a\b"), r"a\\b");
+    }
+}

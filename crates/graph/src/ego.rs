@@ -1,0 +1,214 @@
+//! Ego-network extraction — the Phase I "division" primitive.
+//!
+//! Paper §IV-A: *"We define an ego network of user u as the sub-graph around
+//! u. Formally, Gu = (Vu, Eu) is a sub-graph of G where Vu ⊂ V contains the
+//! ego node u's friends and u ∉ Vu. Eu ∈ E contains the edges between nodes
+//! in Vu."* The ego node and its incident edges are deliberately excluded;
+//! otherwise community detection would merge the whole neighbourhood into a
+//! single community through the ego hub.
+
+use crate::csr::CsrGraph;
+use crate::ids::{EdgeId, NodeId};
+
+/// The ego network `G_v` of a node: the subgraph induced by `v`'s
+/// neighbours, with `v` itself removed.
+///
+/// Nodes are re-indexed into a compact local id space `0..|Vu|`; the mapping
+/// back to global ids is kept so downstream phases can relate local
+/// communities to global edges.
+#[derive(Clone, Debug)]
+pub struct EgoNetwork {
+    /// The ego (excluded) node in the global graph.
+    pub ego: NodeId,
+    /// Induced subgraph over the ego's friends, in local id space.
+    pub graph: CsrGraph,
+    /// `global[local.index()]` is the global id of a local node. Sorted
+    /// ascending (it is exactly the ego's sorted neighbour list).
+    global: Vec<NodeId>,
+    /// Global edge id of each local edge, parallel to the local edge table.
+    global_edges: Vec<EdgeId>,
+}
+
+impl EgoNetwork {
+    /// Extracts the ego network of `ego` from `g`.
+    ///
+    /// Runs in `O(Σ_{u ∈ N(ego)} deg(u))` time using sorted-list merges; the
+    /// dominant cost of LoCEC Phase I at WeChat scale (paper Table VI).
+    pub fn extract(g: &CsrGraph, ego: NodeId) -> Self {
+        let friends = g.neighbors(ego); // sorted
+        let n = friends.len();
+
+        // Local edges: for each friend u, intersect N(u) with the friend set.
+        // Keep only pairs (u, w) with local_u < local_w to store each once.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut global_edges: Vec<EdgeId> = Vec::new();
+        for (lu, &u) in friends.iter().enumerate() {
+            // Merge N(u) against friends[lu+1..] (both sorted).
+            let nu = g.neighbors(u);
+            let rest = &friends[lu + 1..];
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < rest.len() {
+                match nu[i].cmp(&rest[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let lw = lu + 1 + j;
+                        edges.push((lu as u32, lw as u32));
+                        // Edge id in the global graph.
+                        let ge = g
+                            .edge_between(u, rest[j])
+                            .expect("intersection implies adjacency");
+                        global_edges.push(ge);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+
+        // (lu, lw) pairs are produced in lexicographic order already because
+        // the outer loop is ascending in lu and the merge ascends in lw.
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        let graph = CsrGraph::from_canonical_edges(n, edges);
+        EgoNetwork {
+            ego,
+            graph,
+            global: friends.to_vec(),
+            global_edges,
+        }
+    }
+
+    /// Number of friends (nodes of the ego network).
+    #[inline]
+    pub fn num_friends(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Global id of a local node.
+    #[inline]
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.global[local.index()]
+    }
+
+    /// Local id of a global node, if it is one of the ego's friends.
+    /// `O(log n)` via binary search on the sorted friend list.
+    pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
+        self.global
+            .binary_search(&global)
+            .ok()
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Global edge id of a local edge.
+    #[inline]
+    pub fn edge_to_global(&self, local: EdgeId) -> EdgeId {
+        self.global_edges[local.index()]
+    }
+
+    /// The sorted global ids of all friends.
+    #[inline]
+    pub fn friends(&self) -> &[NodeId] {
+        &self.global
+    }
+
+    /// Degree of a friend *within the ego network* — the paper's
+    /// `friend(u, Gv)` in Eq. 3.
+    #[inline]
+    pub fn friend_degree(&self, local: NodeId) -> usize {
+        self.graph.degree(local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// The paper's Figure 7(a) network. Node mapping: U_i -> i-1.
+    fn fig7_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(9);
+        for (u, v) in [
+            (0u32, 1u32),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (3, 5),
+            (5, 6),
+            (6, 7),
+            (6, 8),
+            (7, 8),
+        ] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fig7b_ego_network_of_u1() {
+        // Paper Fig. 7(b): ego network of U1 has friends {U2..U6} and keeps
+        // edges among them: (U2,U3),(U2,U4),(U3,U4),(U4,U6),(U5,U6).
+        let g = fig7_graph();
+        let ego = EgoNetwork::extract(&g, NodeId(0));
+        assert_eq!(ego.num_friends(), 5);
+        assert_eq!(
+            ego.friends(),
+            &[NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)]
+        );
+        assert_eq!(ego.graph.num_edges(), 5);
+        // Ego node must not appear.
+        assert!(ego.to_local(NodeId(0)).is_none());
+        // Check a specific retained edge (U2,U3) = global (1,2).
+        let l1 = ego.to_local(NodeId(1)).unwrap();
+        let l2 = ego.to_local(NodeId(2)).unwrap();
+        assert!(ego.graph.has_edge(l1, l2));
+        // Edge (U6,U7) = (5,6) must not be present (U7 not a friend of U1).
+        assert!(ego.to_local(NodeId(6)).is_none());
+    }
+
+    #[test]
+    fn global_edges_roundtrip() {
+        let g = fig7_graph();
+        let ego = EgoNetwork::extract(&g, NodeId(0));
+        for (le, lu, lv) in ego.graph.edges() {
+            let ge = ego.edge_to_global(le);
+            let (gu, gv) = g.endpoints(ge);
+            let (mu, mv) = (ego.to_global(lu), ego.to_global(lv));
+            assert!((gu == mu && gv == mv) || (gu == mv && gv == mu));
+        }
+    }
+
+    #[test]
+    fn friend_degree_excludes_ego() {
+        let g = fig7_graph();
+        let ego = EgoNetwork::extract(&g, NodeId(0));
+        // U4 (global 3) connects to U2, U3, U6 inside the ego network → 3,
+        // even though its global degree is 4 (it also touches U1 = the ego).
+        let l = ego.to_local(NodeId(3)).unwrap();
+        assert_eq!(ego.friend_degree(l), 3);
+        assert_eq!(g.degree(NodeId(3)), 4);
+    }
+
+    #[test]
+    fn leaf_node_ego_network() {
+        let g = fig7_graph();
+        // U9 (global 8) has neighbours {6, 7} which are adjacent.
+        let ego = EgoNetwork::extract(&g, NodeId(8));
+        assert_eq!(ego.num_friends(), 2);
+        assert_eq!(ego.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn isolated_node_ego_network() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let ego = EgoNetwork::extract(&g, NodeId(2));
+        assert_eq!(ego.num_friends(), 0);
+        assert_eq!(ego.graph.num_edges(), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Breadth-first traversal and connected components.
+//!
+//! Connected-component labelling is the termination/splitting check of
+//! Girvan–Newman, and BFS layers feed Brandes' betweenness accumulation.
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+use crate::mutable::MutableGraph;
+use std::collections::VecDeque;
+
+/// Result of connected-component labelling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// `labels[v] = c` assigns node `v` to component `c ∈ 0..num_components`.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+impl ComponentLabels {
+    /// Component of a node.
+    #[inline]
+    pub fn component(&self, v: NodeId) -> u32 {
+        self.labels[v.index()]
+    }
+
+    /// Groups node ids by component, in ascending node order.
+    pub fn groups(&self) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); self.num_components];
+        for (i, &c) in self.labels.iter().enumerate() {
+            groups[c as usize].push(NodeId(i as u32));
+        }
+        groups
+    }
+
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.labels {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Generic neighbour access so traversals work on both graph types.
+pub trait AdjacencyView {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+    /// Sorted neighbour slice.
+    fn adj(&self, v: NodeId) -> &[NodeId];
+}
+
+impl AdjacencyView for CsrGraph {
+    fn n(&self) -> usize {
+        self.num_nodes()
+    }
+    fn adj(&self, v: NodeId) -> &[NodeId] {
+        self.neighbors(v)
+    }
+}
+
+impl AdjacencyView for MutableGraph {
+    fn n(&self) -> usize {
+        self.num_nodes()
+    }
+    fn adj(&self, v: NodeId) -> &[NodeId] {
+        self.neighbors(v)
+    }
+}
+
+/// Labels connected components with consecutive ids (component ids follow
+/// the smallest node id they contain, ascending).
+pub fn connected_components<G: AdjacencyView>(g: &G) -> ComponentLabels {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.n();
+    let mut labels = vec![UNVISITED; n];
+    let mut num_components = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != UNVISITED {
+            continue;
+        }
+        let c = num_components;
+        num_components += 1;
+        labels[start] = c;
+        queue.push_back(NodeId(start as u32));
+        while let Some(v) = queue.pop_front() {
+            for &w in g.adj(v) {
+                if labels[w.index()] == UNVISITED {
+                    labels[w.index()] = c;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    ComponentLabels {
+        labels,
+        num_components: num_components as usize,
+    }
+}
+
+/// Returns the nodes reachable from `start` in BFS order (including `start`).
+pub fn bfs_order<G: AdjacencyView>(g: &G, start: NodeId) -> Vec<NodeId> {
+    let mut visited = vec![false; g.n()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.adj(v) {
+            if !visited[w.index()] {
+                visited[w.index()] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// Single-source shortest-path distances over unweighted edges.
+/// Unreachable nodes get `u32::MAX`.
+pub fn bfs_distances<G: AdjacencyView>(g: &G, start: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = 0;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for &w in g.adj(v) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_triangles() -> CsrGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = two_triangles();
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 2);
+        assert_eq!(cc.component(NodeId(0)), cc.component(NodeId(2)));
+        assert_ne!(cc.component(NodeId(0)), cc.component(NodeId(3)));
+        assert_eq!(cc.sizes(), vec![3, 3]);
+        let groups = cc.groups();
+        assert_eq!(groups[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn components_update_after_removal() {
+        let g = two_triangles();
+        let mut m = MutableGraph::from_csr(&g);
+        m.add_edge(NodeId(2), NodeId(3));
+        assert_eq!(connected_components(&m).num_components, 1);
+        m.remove_edge(NodeId(2), NodeId(3));
+        assert_eq!(connected_components(&m).num_components, 2);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singleton_components() {
+        let b = GraphBuilder::new(3);
+        let g = b.build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.num_components, 3);
+        assert_eq!(cc.sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn bfs_order_visits_component_once() {
+        let g = two_triangles();
+        let order = bfs_order(&g, NodeId(3));
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], NodeId(3));
+        assert!(order.contains(&NodeId(4)) && order.contains(&NodeId(5)));
+    }
+
+    #[test]
+    fn bfs_distances_path_graph() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let g = b.build();
+        assert_eq!(bfs_distances(&g, NodeId(0)), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_distances_unreachable() {
+        let g = two_triangles();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[5], u32::MAX);
+        assert_eq!(d[1], 1);
+    }
+}

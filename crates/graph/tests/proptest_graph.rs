@@ -1,0 +1,134 @@
+//! Property-based tests of the graph substrate.
+
+use locec_graph::{
+    bfs_order, connected_components, traversal::bfs_distances, CsrGraph, EgoNetwork,
+    GraphBuilder, MutableGraph, NodeId,
+};
+use proptest::prelude::*;
+
+fn random_graph() -> impl Strategy<Value = CsrGraph> {
+    (1usize..=30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=80).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn neighbors_sorted_and_unique(g in random_graph()) {
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!ns.contains(&v), "self loop survived");
+        }
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_consistent(g in random_graph()) {
+        let mut seen = vec![false; g.num_edges()];
+        for (e, u, v) in g.edges() {
+            prop_assert!(!seen[e.index()]);
+            seen[e.index()] = true;
+            prop_assert_eq!(g.endpoints(e), (u, v));
+            prop_assert!(u < v);
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn common_neighbors_match_bruteforce(g in random_graph()) {
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let brute = g
+                    .neighbors(u)
+                    .iter()
+                    .filter(|w| g.neighbors(v).contains(w))
+                    .count();
+                prop_assert_eq!(g.common_neighbor_count(u, v), brute);
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_with_bfs(g in random_graph()) {
+        let cc = connected_components(&g);
+        for v in g.nodes() {
+            let reach = bfs_order(&g, v);
+            for w in reach {
+                prop_assert_eq!(cc.component(v), cc.component(w));
+            }
+        }
+        prop_assert_eq!(
+            cc.sizes().iter().sum::<usize>(),
+            g.num_nodes()
+        );
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_rule(g in random_graph()) {
+        for s in g.nodes().take(5) {
+            let dist = bfs_distances(&g, s);
+            for (_, u, v) in g.edges() {
+                let (du, dv) = (dist[u.index()], dist[v.index()]);
+                if du != u32::MAX && dv != u32::MAX {
+                    prop_assert!(du.abs_diff(dv) <= 1, "edge endpoints differ by >1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ego_network_edge_count_matches_triangle_count(g in random_graph()) {
+        // Edges in v's ego network = pairs of v's neighbours that are
+        // adjacent = triangles through v.
+        for v in g.nodes() {
+            let ego = EgoNetwork::extract(&g, v);
+            let ns = g.neighbors(v);
+            let mut triangles = 0usize;
+            for (i, &a) in ns.iter().enumerate() {
+                for &b in &ns[i + 1..] {
+                    if g.has_edge(a, b) {
+                        triangles += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(ego.graph.num_edges(), triangles);
+        }
+    }
+
+    #[test]
+    fn mutable_matches_csr_after_copy(g in random_graph()) {
+        let m = MutableGraph::from_csr(&g);
+        prop_assert_eq!(m.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            prop_assert_eq!(m.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn builder_is_idempotent_under_duplicates(
+        n in 2usize..20,
+        pairs in proptest::collection::vec((0u32..20, 0u32..20), 0..40),
+    ) {
+        let mut b1 = GraphBuilder::new(20);
+        let mut b2 = GraphBuilder::new(20);
+        for &(u, v) in &pairs {
+            if u != v && (u as usize) < 20 && (v as usize) < 20 {
+                b1.add_edge(NodeId(u), NodeId(v));
+                b2.add_edge(NodeId(u), NodeId(v));
+                b2.add_edge(NodeId(v), NodeId(u)); // duplicate either way
+            }
+        }
+        let _ = n;
+        let g1 = b1.build();
+        let g2 = b2.build();
+        prop_assert_eq!(g1.num_edges(), g2.num_edges());
+    }
+}

@@ -1,0 +1,255 @@
+//! Multinomial logistic regression.
+//!
+//! LoCEC Phase III (paper §IV-C) trains *"a logistic regression model as a
+//! multi-label classifier to predict the edge label for each edge"* on the
+//! Eq. 4 feature vectors. Trained full-batch with Adam and L2 regularization;
+//! the feature dimension is tiny (2 + 2·|L|), so this converges in
+//! milliseconds.
+
+use crate::data::Dataset;
+use crate::nn::{Adam, Model};
+use crate::tensor::Tensor;
+
+/// Hyper-parameters for [`LogisticRegression`].
+#[derive(Clone, Debug)]
+pub struct LogisticRegressionConfig {
+    /// Full-batch Adam learning rate.
+    pub learning_rate: f32,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// L2 penalty strength.
+    pub l2: f32,
+    /// Early-stop when the loss improves less than this between epochs.
+    pub tol: f32,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        LogisticRegressionConfig {
+            learning_rate: 0.1,
+            epochs: 300,
+            l2: 1e-4,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// A trained multinomial logistic regression model.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    /// Weights `(num_features, num_classes)`.
+    w: Tensor,
+    /// Bias `(num_classes)`.
+    b: Tensor,
+    num_classes: usize,
+}
+
+struct Params {
+    w: Tensor,
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+}
+
+impl Model for Params {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+impl LogisticRegression {
+    /// Fits on a dataset with labels in `0..num_classes`.
+    pub fn fit(data: &Dataset, num_classes: usize, config: &LogisticRegressionConfig) -> Self {
+        assert!(!data.is_empty(), "empty training set");
+        assert!(num_classes >= 2, "need at least two classes");
+        let d = data.cols();
+        let n = data.len();
+
+        let mut params = Params {
+            w: Tensor::zeros(&[d, num_classes]),
+            b: Tensor::zeros(&[num_classes]),
+            gw: Tensor::zeros(&[d, num_classes]),
+            gb: Tensor::zeros(&[num_classes]),
+        };
+        let mut opt = Adam::new(config.learning_rate);
+
+        let mut prev_loss = f32::INFINITY;
+        for _ in 0..config.epochs {
+            params.gw.fill_zero();
+            params.gb.fill_zero();
+            let mut loss = 0.0f32;
+            for i in 0..n {
+                let x = data.row(i);
+                let y = data.label(i);
+                let probs = softmax_row(x, &params.w, &params.b, num_classes);
+                loss -= probs[y].max(1e-12).ln();
+                for (c, &p) in probs.iter().enumerate() {
+                    let g = (p - f32::from(c == y)) / n as f32;
+                    params.gb.data_mut()[c] += g;
+                    for (j, &xj) in x.iter().enumerate() {
+                        *params.gw.at2_mut(j, c) += g * xj;
+                    }
+                }
+            }
+            loss /= n as f32;
+            // L2 on weights only.
+            for j in 0..d {
+                for c in 0..num_classes {
+                    let w = params.w.at2(j, c);
+                    loss += 0.5 * config.l2 * w * w;
+                    *params.gw.at2_mut(j, c) += config.l2 * w;
+                }
+            }
+            opt.step(&mut params);
+            if (prev_loss - loss).abs() < config.tol {
+                break;
+            }
+            prev_loss = loss;
+        }
+
+        LogisticRegression {
+            w: params.w,
+            b: params.b,
+            num_classes,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Class probabilities for one feature row.
+    pub fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        softmax_row(x, &self.w, &self.b, self.num_classes)
+    }
+
+    /// Most likely class for one feature row.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.predict_proba(x))
+    }
+
+    /// Predictions for every row of a dataset.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+}
+
+fn softmax_row(x: &[f32], w: &Tensor, b: &Tensor, k: usize) -> Vec<f32> {
+    let mut logits = vec![0.0f32; k];
+    for (c, logit) in logits.iter_mut().enumerate() {
+        let mut acc = b.data()[c];
+        for (j, &xj) in x.iter().enumerate() {
+            acc += xj * w.at2(j, c);
+        }
+        *logit = acc;
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut denom = 0.0f32;
+    for l in logits.iter_mut() {
+        *l = (*l - max).exp();
+        denom += *l;
+    }
+    logits.iter_mut().for_each(|l| *l /= denom);
+    logits
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty slice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        // Three well-separated 2-D blobs.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let centers = [(0.0f32, 5.0f32), (5.0, -5.0), (-5.0, -5.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..20 {
+                let dx = (i % 5) as f32 * 0.2 - 0.4;
+                let dy = (i / 5) as f32 * 0.2 - 0.4;
+                rows.push(vec![cx + dx, cy + dy]);
+                labels.push(c);
+            }
+        }
+        Dataset::from_rows(&rows, &labels)
+    }
+
+    #[test]
+    fn separable_blobs_reach_high_accuracy() {
+        let data = blobs();
+        let model = LogisticRegression::fit(&data, 3, &LogisticRegressionConfig::default());
+        let preds = model.predict_all(&data);
+        let correct = preds
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, y)| p == y)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data = blobs();
+        let model = LogisticRegression::fit(&data, 3, &LogisticRegressionConfig::default());
+        let p = model.predict_proba(&[1.0, 1.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn binary_problem_works() {
+        let data = Dataset::from_rows(
+            &[vec![1.0], vec![2.0], vec![-1.0], vec![-2.0]],
+            &[0, 0, 1, 1],
+        );
+        let model = LogisticRegression::fit(&data, 2, &LogisticRegressionConfig::default());
+        assert_eq!(model.predict(&[3.0]), 0);
+        assert_eq!(model.predict(&[-3.0]), 1);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let data = blobs();
+        let weak = LogisticRegression::fit(
+            &data,
+            3,
+            &LogisticRegressionConfig {
+                l2: 0.0,
+                ..Default::default()
+            },
+        );
+        let strong = LogisticRegression::fit(
+            &data,
+            3,
+            &LogisticRegressionConfig {
+                l2: 1.0,
+                ..Default::default()
+            },
+        );
+        assert!(strong.w.norm() < weak.w.norm());
+    }
+
+    #[test]
+    fn argmax_tie_breaks_to_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn rejects_empty_training_set() {
+        LogisticRegression::fit(&Dataset::new(2), 2, &Default::default());
+    }
+}

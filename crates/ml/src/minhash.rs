@@ -1,0 +1,140 @@
+//! Min-hash signatures for Jaccard similarity estimation.
+//!
+//! The ProbWP baseline ([13] in the paper, Aggarwal et al., ICDE 2016)
+//! measures structural similarity between nodes with min-hash sketches of
+//! their (label-weighted) neighbourhoods; the paper fixes the number of
+//! hash functions to 20 (§V "Comparative Methods").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Mersenne prime 2⁶¹ − 1; multiply-add universal hashing modulo this prime
+/// keeps products inside `u128` comfortably.
+const PRIME: u64 = (1 << 61) - 1;
+
+/// A family of `k` universal hash functions producing min-hash signatures.
+#[derive(Clone, Debug)]
+pub struct MinHasher {
+    coeffs: Vec<(u64, u64)>,
+}
+
+/// A min-hash signature: the per-function minimum over a set's elements.
+pub type Signature = Vec<u64>;
+
+impl MinHasher {
+    /// A family of `k` hash functions with seeded coefficients.
+    pub fn new(k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coeffs = (0..k)
+            .map(|_| (rng.gen_range(1..PRIME), rng.gen_range(0..PRIME)))
+            .collect();
+        MinHasher { coeffs }
+    }
+
+    /// Number of hash functions (signature length).
+    pub fn num_hashes(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Signature of a set of `u64` elements. An empty set yields the
+    /// all-`u64::MAX` signature, which has similarity 0 with every
+    /// non-empty set's signature under [`MinHasher::similarity`].
+    pub fn signature<I: IntoIterator<Item = u64>>(&self, items: I) -> Signature {
+        let mut sig = vec![u64::MAX; self.coeffs.len()];
+        for item in items {
+            for (slot, &(a, b)) in sig.iter_mut().zip(&self.coeffs) {
+                let h = ((a as u128 * item as u128 + b as u128) % PRIME as u128) as u64;
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        sig
+    }
+
+    /// Estimated Jaccard similarity: fraction of agreeing signature slots.
+    /// Two empty-set signatures compare as 0 (not 1) — the graph semantics
+    /// LoCEC needs: isolated nodes are not similar to each other.
+    pub fn similarity(&self, a: &Signature, b: &Signature) -> f64 {
+        assert_eq!(a.len(), b.len(), "signature length mismatch");
+        assert_eq!(a.len(), self.coeffs.len());
+        let agree = a
+            .iter()
+            .zip(b)
+            .filter(|&(x, y)| x == y && *x != u64::MAX)
+            .count();
+        agree as f64 / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+        let inter = a.intersection(b).count() as f64;
+        let union = a.union(b).count() as f64;
+        if union == 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        let h = MinHasher::new(20, 7);
+        let sig = h.signature(1..=10u64);
+        assert_eq!(h.similarity(&sig, &sig), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_low_similarity() {
+        let h = MinHasher::new(64, 7);
+        let a = h.signature(0..50u64);
+        let b = h.signature(1000..1050u64);
+        assert!(h.similarity(&a, &b) < 0.15);
+    }
+
+    #[test]
+    fn estimate_tracks_true_jaccard() {
+        let h = MinHasher::new(256, 13);
+        let a: HashSet<u64> = (0..100).collect();
+        let b: HashSet<u64> = (50..150).collect(); // true J = 50/150 = 1/3
+        let sa = h.signature(a.iter().copied());
+        let sb = h.signature(b.iter().copied());
+        let est = h.similarity(&sa, &sb);
+        let truth = jaccard(&a, &b);
+        assert!(
+            (est - truth).abs() < 0.12,
+            "estimate {est} too far from {truth}"
+        );
+    }
+
+    #[test]
+    fn empty_sets_are_dissimilar() {
+        let h = MinHasher::new(20, 0);
+        let e1 = h.signature(std::iter::empty());
+        let e2 = h.signature(std::iter::empty());
+        assert_eq!(h.similarity(&e1, &e2), 0.0);
+        let s = h.signature(0..5u64);
+        assert_eq!(h.similarity(&e1, &s), 0.0);
+    }
+
+    #[test]
+    fn signature_is_order_invariant() {
+        let h = MinHasher::new(20, 3);
+        let a = h.signature(vec![5u64, 9, 1]);
+        let b = h.signature(vec![1u64, 5, 9]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let h1 = MinHasher::new(20, 42);
+        let h2 = MinHasher::new(20, 42);
+        assert_eq!(h1.signature(0..10u64), h2.signature(0..10u64));
+    }
+}

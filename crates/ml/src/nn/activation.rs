@@ -1,0 +1,81 @@
+//! Activation layers.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, applied element-wise.
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.clone();
+        if train {
+            let mask: Vec<bool> = input.data().iter().map(|&v| v > 0.0).collect();
+            self.mask = Some(mask);
+        }
+        out.data_mut().iter_mut().for_each(|v| {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .take()
+            .expect("backward without training forward");
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(&mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_masks_negatives_and_zero() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.0, 2.0, 5.0]);
+        let _ = relu.forward(&x, true);
+        let g = relu.backward(&Tensor::full(&[1, 4], 1.0));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn preserves_shape() {
+        let mut relu = Relu::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        assert_eq!(relu.forward(&x, false).shape(), &[2, 3, 4, 5]);
+    }
+}

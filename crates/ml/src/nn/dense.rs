@@ -1,0 +1,187 @@
+//! Fully connected layers and flattening.
+//!
+//! CommCNN ends in two fully connected layers before the softmax (paper
+//! Fig. 8); [`Flatten`] bridges the convolutional NCHW world to them.
+
+use super::{xavier_uniform, Layer};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Dense (fully connected) layer: `(N, in) → (N, out)`.
+pub struct Dense {
+    /// Weights `(in, out)`.
+    w: Tensor,
+    /// Bias `(out)`.
+    b: Tensor,
+    gw: Tensor,
+    gb: Tensor,
+    input_cache: Option<Tensor>,
+}
+
+impl Dense {
+    /// New dense layer with Xavier-uniform weights.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        Dense {
+            w: xavier_uniform(&[in_features, out_features], in_features, out_features, rng),
+            b: Tensor::zeros(&[out_features]),
+            gw: Tensor::zeros(&[in_features, out_features]),
+            gb: Tensor::zeros(&[out_features]),
+            input_cache: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.w.shape()[0]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.w.shape()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let [n, d]: [usize; 2] = input.shape().try_into().expect("2-D input");
+        let (din, dout) = (self.w.shape()[0], self.w.shape()[1]);
+        assert_eq!(d, din, "feature mismatch: input {d}, layer expects {din}");
+        let mut out = Tensor::zeros(&[n, dout]);
+        for i in 0..n {
+            let row = input.row(i);
+            for o in 0..dout {
+                let mut acc = self.b.data()[o];
+                for (j, &x) in row.iter().enumerate() {
+                    acc += x * self.w.at2(j, o);
+                }
+                *out.at2_mut(i, o) = acc;
+            }
+        }
+        if train {
+            self.input_cache = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .input_cache
+            .take()
+            .expect("backward without training forward");
+        let [n, din]: [usize; 2] = input.shape().try_into().unwrap();
+        let dout = self.w.shape()[1];
+        let mut grad_in = Tensor::zeros(&[n, din]);
+        for i in 0..n {
+            for o in 0..dout {
+                let g = grad_out.at2(i, o);
+                if g == 0.0 {
+                    continue;
+                }
+                self.gb.data_mut()[o] += g;
+                for j in 0..din {
+                    *self.gw.at2_mut(j, o) += g * input.at2(i, j);
+                    *grad_in.at2_mut(i, j) += g * self.w.at2(j, o);
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+/// Flattens `(N, C, H, W)` to `(N, C·H·W)`; backward reverses the reshape.
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_shape: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert!(!shape.is_empty());
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        if train {
+            self.in_shape = Some(shape);
+        }
+        input.clone().reshape(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .in_shape
+            .take()
+            .expect("backward without training forward");
+        grad_out.clone().reshape(&shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn dense_known_output() {
+        let mut d = Dense::new(2, 2, &mut rng());
+        d.w.data_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]); // (in=2, out=2)
+        d.b.data_mut().copy_from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let y = d.forward(&x, false);
+        // out_0 = 1*1 + 1*3 + 0.5 = 4.5 ; out_1 = 1*2 + 1*4 - 0.5 = 5.5
+        assert_eq!(y.data(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut d = Dense::new(3, 4, &mut rng());
+        let x = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]);
+        gradcheck::check_input_gradient(&mut d, &x, 1e-2);
+        gradcheck::check_param_gradients(&mut d, &x, 1e-2);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec(&[2, 2, 1, 3], (0..12).map(|v| v as f32).collect());
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 6]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 2, 1, 3]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn dense_batch_independence() {
+        // Each row of the batch must be transformed independently.
+        let mut d = Dense::new(2, 1, &mut rng());
+        let single = d.forward(&Tensor::from_vec(&[1, 2], vec![1.0, 2.0]), false);
+        let batch = d.forward(
+            &Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 1.0, 2.0]),
+            false,
+        );
+        assert!((batch.at2(0, 0) - single.at2(0, 0)).abs() < 1e-6);
+        assert!((batch.at2(1, 0) - single.at2(0, 0)).abs() < 1e-6);
+    }
+}

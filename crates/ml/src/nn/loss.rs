@@ -1,0 +1,132 @@
+//! Softmax + cross-entropy loss.
+//!
+//! CommCNN's final layer (paper Fig. 8) — the fused formulation keeps the
+//! backward pass numerically trivial: `∂L/∂logits = (softmax − one_hot)/N`.
+
+use crate::tensor::Tensor;
+
+/// Fused softmax + mean cross-entropy over a batch.
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Row-wise softmax of `(N, K)` logits.
+    pub fn softmax(logits: &Tensor) -> Tensor {
+        let [n, k]: [usize; 2] = logits.shape().try_into().expect("2-D logits");
+        let mut out = Tensor::zeros(&[n, k]);
+        for i in 0..n {
+            let row = logits.row(i);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (j, &v) in row.iter().enumerate() {
+                let e = (v - max).exp();
+                *out.at2_mut(i, j) = e;
+                denom += e;
+            }
+            for j in 0..k {
+                *out.at2_mut(i, j) /= denom;
+            }
+        }
+        out
+    }
+
+    /// Mean cross-entropy and the softmax probabilities.
+    ///
+    /// `labels[i] ∈ 0..K` is the true class of sample `i`.
+    pub fn loss(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        let [n, k]: [usize; 2] = logits.shape().try_into().expect("2-D logits");
+        assert_eq!(labels.len(), n, "one label per sample");
+        let probs = Self::softmax(logits);
+        let mut total = 0.0f32;
+        for (i, &y) in labels.iter().enumerate() {
+            assert!(y < k, "label {y} out of range for {k} classes");
+            total -= probs.at2(i, y).max(1e-12).ln();
+        }
+        (total / n as f32, probs)
+    }
+
+    /// Gradient of the mean cross-entropy w.r.t. the logits:
+    /// `(softmax − one_hot) / N`.
+    pub fn grad(probs: &Tensor, labels: &[usize]) -> Tensor {
+        let [n, _k]: [usize; 2] = probs.shape().try_into().expect("2-D probs");
+        let mut g = probs.clone();
+        let scale = 1.0 / n as f32;
+        for (i, &y) in labels.iter().enumerate() {
+            *g.at2_mut(i, y) -= 1.0;
+        }
+        g.scale(scale);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let p = SoftmaxCrossEntropy::softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(i).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[1, 3], vec![101.0, 102.0, 103.0]);
+        let pa = SoftmaxCrossEntropy::softmax(&a);
+        let pb = SoftmaxCrossEntropy::softmax(&b);
+        for j in 0..3 {
+            assert!((pa.at2(0, j) - pb.at2(0, j)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn loss_of_perfect_prediction_is_near_zero() {
+        let logits = Tensor::from_vec(&[1, 3], vec![100.0, 0.0, 0.0]);
+        let (loss, _) = SoftmaxCrossEntropy::loss(&logits, &[0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn loss_of_uniform_prediction_is_ln_k() {
+        let logits = Tensor::zeros(&[4, 3]);
+        let (loss, _) = SoftmaxCrossEntropy::loss(&logits, &[0, 1, 2, 0]);
+        assert!((loss - 3.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.3, -0.2, 0.5, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let (_, probs) = SoftmaxCrossEntropy::loss(&logits, &labels);
+        let g = SoftmaxCrossEntropy::grad(&probs, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = SoftmaxCrossEntropy::loss(&plus, &labels);
+            let (lm, _) = SoftmaxCrossEntropy::loss(&minus, &labels);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (g.data()[i] - numeric).abs() < 1e-3,
+                "grad mismatch at {i}: {} vs {numeric}",
+                g.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(&[1, 3], vec![0.1, 0.2, 0.3]);
+        let (_, probs) = SoftmaxCrossEntropy::loss(&logits, &[1]);
+        let g = SoftmaxCrossEntropy::grad(&probs, &[1]);
+        let s: f32 = g.row(0).iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+}

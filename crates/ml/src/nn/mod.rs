@@ -1,0 +1,268 @@
+//! Neural-network layers with manual backpropagation.
+//!
+//! Exactly the toolkit CommCNN (paper Fig. 8) needs: stride-1 2-D
+//! convolutions with optional zero padding, 2×2 max pooling, global max
+//! pooling, dense layers, ReLU, softmax cross-entropy, and SGD/Adam.
+//!
+//! Layers cache what their backward pass needs during `forward(…, train =
+//! true)`; `backward` consumes the cache and accumulates parameter
+//! gradients. Optimizers visit parameters in a deterministic order through
+//! [`Model::visit_params`], so their per-parameter state stays aligned
+//! across steps.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod loss;
+pub mod optim;
+pub mod pool;
+
+pub use activation::Relu;
+pub use conv::Conv2d;
+pub use dense::{Dense, Flatten};
+pub use loss::SoftmaxCrossEntropy;
+pub use optim::{Adam, Sgd};
+pub use pool::{GlobalMaxPool2d, MaxPool2d};
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A differentiable layer.
+pub trait Layer {
+    /// Computes the layer output. With `train = true` the layer caches
+    /// whatever its backward pass requires.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (∂loss/∂output) to ∂loss/∂input, accumulating
+    /// parameter gradients along the way. Must follow a training-mode
+    /// forward pass.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits each `(value, gradient)` parameter pair in a fixed order.
+    /// Parameter-free layers use the default empty impl.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+}
+
+/// Anything that exposes trainable parameters (a layer stack, CommCNN, …).
+pub trait Model {
+    /// Visits each `(value, gradient)` pair in a fixed order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| g.fill_zero());
+    }
+
+    /// Total number of scalar parameters.
+    fn num_params(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |v, _| count += v.len());
+        count
+    }
+}
+
+/// A simple chain of layers.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+impl Model for Sequential {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        Layer::visit_params(self, f)
+    }
+}
+
+/// He-normal initialization (suits ReLU networks): `N(0, sqrt(2/fan_in))`.
+pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / fan_in as f64).sqrt();
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| (sample_standard_normal(rng) * std) as f32)
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Xavier-uniform initialization: `U(±sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut StdRng,
+) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| (rng.gen_range(-limit..limit)) as f32)
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Box–Muller standard normal sample (keeps `rand` usage to the `Rng` core,
+/// avoiding a distribution-crate dependency).
+fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by the layer tests.
+    use super::*;
+
+    /// Checks ∂(sum of outputs)/∂input against finite differences.
+    ///
+    /// Using the plain sum as the loss makes the analytic gradient the
+    /// backward pass applied to an all-ones upstream gradient.
+    pub fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
+        let out = layer.forward(input, true);
+        let ones = Tensor::full(out.shape(), 1.0);
+        let analytic = layer.backward(&ones);
+
+        let eps = 1e-2f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let f_plus = layer.forward(&plus, false).sum();
+            let f_minus = layer.forward(&minus, false).sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "input grad mismatch at {i}: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    /// Checks parameter gradients against finite differences.
+    pub fn check_param_gradients(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
+        // Accumulate analytic parameter gradients.
+        layer.visit_params(&mut |_, g| g.fill_zero());
+        let out = layer.forward(input, true);
+        let ones = Tensor::full(out.shape(), 1.0);
+        let _ = layer.backward(&ones);
+
+        let mut analytic: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |_, g| analytic.push(g.data().to_vec()));
+
+        let eps = 1e-2f32;
+        let num_tensors = analytic.len();
+        for t in 0..num_tensors {
+            for i in 0..analytic[t].len() {
+                let mut f_plus = 0.0;
+                let mut f_minus = 0.0;
+                perturb(layer, t, i, eps);
+                f_plus += layer.forward(input, false).sum();
+                perturb(layer, t, i, -2.0 * eps);
+                f_minus += layer.forward(input, false).sum();
+                perturb(layer, t, i, eps); // restore
+                let numeric = (f_plus - f_minus) / (2.0 * eps);
+                let a = analytic[t][i];
+                assert!(
+                    (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                    "param grad mismatch tensor {t} elem {i}: analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    fn perturb(layer: &mut dyn Layer, tensor_idx: usize, elem: usize, delta: f32) {
+        let mut seen = 0usize;
+        layer.visit_params(&mut |v, _| {
+            if seen == tensor_idx {
+                v.data_mut()[elem] += delta;
+            }
+            seen += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_identity_composition() {
+        let mut seq = Sequential::new().push(Relu::new()).push(Relu::new());
+        let x = Tensor::from_vec(&[1, 3], vec![1.0, -2.0, 3.0]);
+        let y = seq.forward(&x, true);
+        assert_eq!(y.data(), &[1.0, 0.0, 3.0]);
+        let g = seq.backward(&Tensor::full(&[1, 3], 1.0));
+        assert_eq!(g.data(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn he_init_statistics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = he_normal(&[1000], 50, &mut rng);
+        let mean = t.sum() / 1000.0;
+        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 1000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 2.0 / 50.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn xavier_init_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = xavier_uniform(&[200], 10, 20, &mut rng);
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn model_num_params_counts_scalars() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seq = Sequential::new().push(Dense::new(4, 3, &mut rng));
+        assert_eq!(Model::num_params(&mut seq), 4 * 3 + 3);
+    }
+}

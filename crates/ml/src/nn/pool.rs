@@ -1,0 +1,216 @@
+//! Max pooling layers.
+//!
+//! CommCNN's square-convolution modules each end in a 2×2 max pool, and the
+//! wide/long branches end in *global* max pooling (paper Fig. 8), which
+//! collapses each channel map to a single activation.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Non-overlapping `kh × kw` max pooling (stride = kernel size). Trailing
+/// rows/columns that do not fill a full window are dropped.
+pub struct MaxPool2d {
+    kh: usize,
+    kw: usize,
+    /// Cached (input shape, argmax flat index per output element).
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxPool2d {
+    /// Pooling with a `kh × kw` window.
+    pub fn new(kh: usize, kw: usize) -> Self {
+        assert!(kh > 0 && kw > 0);
+        MaxPool2d {
+            kh,
+            kw,
+            cache: None,
+        }
+    }
+
+    /// Output spatial size for an `h × w` input (floor division).
+    pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
+        (h / self.kh, w / self.kw)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w]: [usize; 4] = input.shape().try_into().expect("NCHW input");
+        let (oh, ow) = self.output_size(h, w);
+        assert!(oh > 0 && ow > 0, "input {h}x{w} smaller than pool window");
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut oi = 0usize;
+        for ni in 0..n {
+            for ci in 0..c {
+                for yo in 0..oh {
+                    for xo in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.kh {
+                            for kx in 0..self.kw {
+                                let yi = yo * self.kh + ky;
+                                let xi = xo * self.kw + kx;
+                                let idx = input.idx4(ni, ci, yi, xi);
+                                let v = input.data()[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.data_mut()[oi] = best;
+                        argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some((input.shape().to_vec(), argmax));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (in_shape, argmax) = self
+            .cache
+            .take()
+            .expect("backward without training forward");
+        let mut grad_in = Tensor::zeros(&in_shape);
+        for (g, &idx) in grad_out.data().iter().zip(&argmax) {
+            grad_in.data_mut()[idx] += g;
+        }
+        grad_in
+    }
+}
+
+/// Global max pooling: `(N, C, H, W) → (N, C, 1, 1)`.
+pub struct GlobalMaxPool2d {
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl GlobalMaxPool2d {
+    /// New global pooling layer.
+    pub fn new() -> Self {
+        GlobalMaxPool2d { cache: None }
+    }
+}
+
+impl Default for GlobalMaxPool2d {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalMaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let [n, c, h, w]: [usize; 4] = input.shape().try_into().expect("NCHW input");
+        assert!(h * w > 0, "empty spatial extent");
+        let mut out = Tensor::zeros(&[n, c, 1, 1]);
+        let mut argmax = vec![0usize; n * c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for yi in 0..h {
+                    for xi in 0..w {
+                        let idx = input.idx4(ni, ci, yi, xi);
+                        let v = input.data()[idx];
+                        if v > best {
+                            best = v;
+                            best_idx = idx;
+                        }
+                    }
+                }
+                out.data_mut()[ni * c + ci] = best;
+                argmax[ni * c + ci] = best_idx;
+            }
+        }
+        if train {
+            self.cache = Some((input.shape().to_vec(), argmax));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (in_shape, argmax) = self
+            .cache
+            .take()
+            .expect("backward without training forward");
+        let mut grad_in = Tensor::zeros(&in_shape);
+        for (g, &idx) in grad_out.data().iter().zip(&argmax) {
+            grad_in.data_mut()[idx] += g;
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck;
+
+    #[test]
+    fn pool_2x2_takes_max() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            &[1, 1, 2, 4],
+            vec![1., 5., 2., 0., 3., 4., 8., 6.],
+        );
+        let y = pool.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[5.0, 8.0]);
+    }
+
+    #[test]
+    fn pool_drops_partial_windows() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            &[1, 1, 3, 3],
+            vec![1., 2., 9., 3., 4., 9., 9., 9., 9.],
+        );
+        let y = pool.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[4.0]);
+    }
+
+    #[test]
+    fn pool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 5., 2., 0.]);
+        let _ = pool.forward(&x, true);
+        let g = pool.backward(&Tensor::full(&[1, 1, 1, 1], 7.0));
+        assert_eq!(g.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_pool_shape_and_value() {
+        let mut gp = GlobalMaxPool2d::new();
+        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1., 2., 3., 4., -1., -2., -3., -4.]);
+        let y = gp.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[4.0, -1.0]);
+    }
+
+    #[test]
+    fn global_pool_gradient_check() {
+        let mut gp = GlobalMaxPool2d::new();
+        // Distinct values so the max is stable under ±eps perturbation.
+        let x = Tensor::from_vec(
+            &[2, 2, 2, 2],
+            (0..16).map(|i| i as f32 * 0.37 - 2.0).collect(),
+        );
+        gradcheck::check_input_gradient(&mut gp, &x, 1e-2);
+    }
+
+    #[test]
+    fn maxpool_gradient_check() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            &[1, 2, 4, 4],
+            (0..32).map(|i| ((i * 7) % 13) as f32 - 6.0).collect(),
+        );
+        gradcheck::check_input_gradient(&mut pool, &x, 1e-2);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the ML substrate.
+
+use locec_ml::gbdt::{Gbdt, GbdtConfig};
+use locec_ml::linear::{LogisticRegression, LogisticRegressionConfig};
+use locec_ml::metrics::evaluate;
+use locec_ml::nn::SoftmaxCrossEntropy;
+use locec_ml::{Dataset, MinHasher, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn softmax_is_a_distribution(
+        logits in proptest::collection::vec(-20.0f32..20.0, 2..8),
+    ) {
+        let k = logits.len();
+        let t = Tensor::from_vec(&[1, k], logits);
+        let p = SoftmaxCrossEntropy::softmax(&t);
+        let sum: f32 = p.row(0).iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(p.row(0).iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(
+        logits in proptest::collection::vec(-10.0f32..10.0, 3),
+        label in 0usize..3,
+    ) {
+        let t = Tensor::from_vec(&[1, 3], logits);
+        let (loss, _) = SoftmaxCrossEntropy::loss(&t, &[label]);
+        prop_assert!(loss >= 0.0);
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_consistent(
+        labels in proptest::collection::vec(0usize..3, 1..60),
+        preds_seed in 0u64..1000,
+    ) {
+        // Predictions: a deterministic scramble of the labels.
+        let preds: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (y + (preds_seed as usize + i) % 3) % 3)
+            .collect();
+        let e = evaluate(&labels, &preds, 3);
+        prop_assert!((0.0..=1.0).contains(&e.accuracy));
+        for m in &e.per_class {
+            prop_assert!((0.0..=1.0).contains(&m.precision));
+            prop_assert!((0.0..=1.0).contains(&m.recall));
+            prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-12);
+            prop_assert!(m.f1 >= 0.0);
+        }
+        let total: usize = e.confusion.iter().flatten().sum();
+        prop_assert_eq!(total, labels.len());
+        let support: usize = e.per_class.iter().map(|m| m.support).sum();
+        prop_assert_eq!(support, labels.len());
+    }
+
+    #[test]
+    fn perfect_predictions_score_one(labels in proptest::collection::vec(0usize..4, 1..40)) {
+        let e = evaluate(&labels, &labels, 4);
+        prop_assert_eq!(e.accuracy, 1.0);
+        for (c, m) in e.per_class.iter().enumerate() {
+            if labels.contains(&c) {
+                prop_assert_eq!(m.f1, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn minhash_similarity_is_symmetric_and_bounded(
+        a in proptest::collection::hash_set(0u64..200, 0..40),
+        b in proptest::collection::hash_set(0u64..200, 0..40),
+    ) {
+        let h = MinHasher::new(32, 5);
+        let sa = h.signature(a.iter().copied());
+        let sb = h.signature(b.iter().copied());
+        let s1 = h.similarity(&sa, &sb);
+        let s2 = h.similarity(&sb, &sa);
+        prop_assert_eq!(s1, s2);
+        prop_assert!((0.0..=1.0).contains(&s1));
+        if a == b && !a.is_empty() {
+            prop_assert_eq!(s1, 1.0);
+        }
+    }
+
+    #[test]
+    fn dataset_split_is_a_partition(
+        n in 2usize..80,
+        frac in 0.1f64..0.9,
+        seed in 0u64..100,
+    ) {
+        let rows: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32]).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let ds = Dataset::from_rows(&rows, &labels);
+        let (train, test) = ds.split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!train.is_empty() && !test.is_empty());
+        // Every original row appears exactly once.
+        let mut seen: Vec<f32> = (0..train.len())
+            .map(|i| train.row(i)[0])
+            .chain((0..test.len()).map(|i| test.row(i)[0]))
+            .collect();
+        seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, v) in seen.iter().enumerate() {
+            prop_assert_eq!(*v, i as f32);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn gbdt_predictions_are_valid_distributions(
+        seed in 0u64..50,
+    ) {
+        // Random-ish but separable data.
+        let rows: Vec<Vec<f32>> = (0..60)
+            .map(|i| vec![(i % 3) as f32 * 2.0 + ((seed + i as u64) % 5) as f32 * 0.1])
+            .collect();
+        let labels: Vec<usize> = (0..60).map(|i| i % 3).collect();
+        let ds = Dataset::from_rows(&rows, &labels);
+        let model = Gbdt::fit(&ds, 3, &GbdtConfig { seed, ..GbdtConfig::fast() });
+        for i in 0..ds.len() {
+            let p = model.predict_proba(ds.row(i));
+            let sum: f32 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn logreg_probabilities_are_valid(seed in 0u64..50) {
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|i| vec![(i % 2) as f32 * 4.0 - 2.0 + (seed % 7) as f32 * 0.01])
+            .collect();
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        let ds = Dataset::from_rows(&rows, &labels);
+        let model = LogisticRegression::fit(&ds, 2, &LogisticRegressionConfig::default());
+        for i in 0..ds.len() {
+            let p = model.predict_proba(ds.row(i));
+            prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+}

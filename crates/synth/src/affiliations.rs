@@ -1,0 +1,342 @@
+//! Affiliation planting: the hidden ground truth of the synthetic world.
+//!
+//! Real WeChat relationships arise from shared real-world contexts. The
+//! generator plants those contexts explicitly — family clans, workplaces
+//! (current and past), school cohorts, interest circles — and §II-B's two
+//! key observations then emerge naturally: friends who are closely
+//! connected share a relationship type (they share an affiliation), and one
+//! type can form several clusters in an ego network (e.g. two workplaces).
+
+use crate::config::SynthConfig;
+use crate::types::EdgeCategory;
+use locec_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// The real-world context kind behind an affiliation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AffiliationKind {
+    /// A family clan.
+    Family,
+    /// A workplace (current or past employer).
+    Workplace,
+    /// A school class cohort.
+    SchoolCohort,
+    /// A shared-interest circle (hobby, neighbours, …).
+    InterestCircle,
+}
+
+impl AffiliationKind {
+    /// The edge category this context induces between its members.
+    pub fn edge_category(self) -> EdgeCategory {
+        match self {
+            AffiliationKind::Family => EdgeCategory::Family,
+            AffiliationKind::Workplace => EdgeCategory::Colleague,
+            AffiliationKind::SchoolCohort => EdgeCategory::Schoolmate,
+            AffiliationKind::InterestCircle => EdgeCategory::Other,
+        }
+    }
+}
+
+/// A planted group of users sharing a real-world context.
+#[derive(Clone, Debug)]
+pub struct Affiliation {
+    /// The context kind.
+    pub kind: AffiliationKind,
+    /// Member user ids.
+    pub members: Vec<NodeId>,
+    /// Team id of each member (parallel to `members`). Teams model the
+    /// transitive core of real affiliations — the project team inside a
+    /// workplace, the friend group inside a cohort, the branch of a family
+    /// clan. Edge density and chat-group spawning both follow teams.
+    pub teams: Vec<u32>,
+}
+
+impl Affiliation {
+    /// Number of distinct teams.
+    pub fn num_teams(&self) -> usize {
+        self.teams.iter().map(|&t| t as usize + 1).max().unwrap_or(0)
+    }
+
+    /// Members of one team.
+    pub fn team_members(&self, team: u32) -> impl Iterator<Item = NodeId> + '_ {
+        self.members
+            .iter()
+            .zip(&self.teams)
+            .filter(move |&(_, &t)| t == team)
+            .map(|(&m, _)| m)
+    }
+}
+
+/// Chunks `n` members (already in random order) into teams with sizes drawn
+/// from `structure.team_size`.
+fn assign_teams(
+    n: usize,
+    structure: &crate::config::TeamStructure,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let mut teams = vec![0u32; n];
+    let mut cursor = 0usize;
+    let mut team = 0u32;
+    while cursor < n {
+        let size = rng
+            .gen_range(structure.team_size.0..=structure.team_size.1)
+            .min(n - cursor);
+        for slot in &mut teams[cursor..cursor + size] {
+            *slot = team;
+        }
+        cursor += size;
+        team += 1;
+    }
+    teams
+}
+
+/// The full planted structure: affiliations plus per-user ages (assigned
+/// jointly so families span generations and cohorts share an age band).
+#[derive(Clone, Debug)]
+pub struct AffiliationPlan {
+    /// All planted affiliations.
+    pub affiliations: Vec<Affiliation>,
+    /// Age of each user.
+    pub ages: Vec<u8>,
+}
+
+impl AffiliationPlan {
+    /// Plants affiliations for `config.num_users` users.
+    pub fn generate(config: &SynthConfig) -> Self {
+        let n = config.num_users;
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+        let mut affiliations = Vec::new();
+        let mut ages = vec![0u8; n];
+
+        // --- families: a partition of all users into clans ---
+        let mut ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        ids.shuffle(&mut rng);
+        let mut cursor = 0usize;
+        while cursor < n {
+            let size = rng
+                .gen_range(config.family_size.0..=config.family_size.1)
+                .min(n - cursor);
+            let members = ids[cursor..cursor + size].to_vec();
+            // Generational ages: 1-2 seniors, the rest adults.
+            for (i, &m) in members.iter().enumerate() {
+                let age = if i < 2 && size >= 4 {
+                    rng.gen_range(50..=78)
+                } else {
+                    rng.gen_range(18..=49)
+                };
+                ages[m.index()] = age;
+            }
+            let teams = assign_teams(members.len(), &config.family_teams, &mut rng);
+            affiliations.push(Affiliation {
+                kind: AffiliationKind::Family,
+                members,
+                teams,
+            });
+            cursor += size;
+        }
+
+        // --- workplaces: partition into current employers, plus past ones ---
+        ids.shuffle(&mut rng);
+        let mut workplace_ranges: Vec<(usize, usize)> = Vec::new();
+        cursor = 0;
+        while cursor < n {
+            let size = rng
+                .gen_range(config.workplace_size.0..=config.workplace_size.1)
+                .min(n - cursor);
+            workplace_ranges.push((cursor, cursor + size));
+            cursor += size;
+        }
+        let mut workplaces: Vec<Vec<NodeId>> = workplace_ranges
+            .iter()
+            .map(|&(lo, hi)| ids[lo..hi].to_vec())
+            .collect();
+        // Past workplaces: sprinkle users into other workplaces.
+        if workplaces.len() > 1 {
+            for &u in ids.iter() {
+                if rng.gen_bool(config.past_workplace_fraction) {
+                    let w = rng.gen_range(0..workplaces.len());
+                    if !workplaces[w].contains(&u) {
+                        workplaces[w].push(u);
+                    }
+                }
+            }
+        }
+        for members in workplaces {
+            let teams = assign_teams(members.len(), &config.workplace_teams, &mut rng);
+            affiliations.push(Affiliation {
+                kind: AffiliationKind::Workplace,
+                members,
+                teams,
+            });
+        }
+
+        // --- school cohorts: age-banded chunks ---
+        let mut by_age: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        by_age.sort_by_key(|u| (ages[u.index()], u.0));
+        let school_members: Vec<NodeId> = by_age
+            .into_iter()
+            .filter(|_| rng.gen_bool(config.school_member_fraction))
+            .collect();
+        cursor = 0;
+        while cursor < school_members.len() {
+            let size = rng
+                .gen_range(config.school_size.0..=config.school_size.1)
+                .min(school_members.len() - cursor);
+            let members = school_members[cursor..cursor + size].to_vec();
+            let teams = assign_teams(members.len(), &config.school_teams, &mut rng);
+            affiliations.push(Affiliation {
+                kind: AffiliationKind::SchoolCohort,
+                members,
+                teams,
+            });
+            cursor += size;
+        }
+
+        // --- interest circles: uniform random subsets ---
+        let avg_size = (config.interest_size.0 + config.interest_size.1) as f64 / 2.0;
+        let num_circles =
+            ((n as f64) * config.interest_circles_per_user / avg_size).round() as usize;
+        for _ in 0..num_circles {
+            let size = rng
+                .gen_range(config.interest_size.0..=config.interest_size.1)
+                .min(n);
+            let mut members: Vec<NodeId> = Vec::with_capacity(size);
+            while members.len() < size {
+                let u = NodeId(rng.gen_range(0..n as u32));
+                if !members.contains(&u) {
+                    members.push(u);
+                }
+            }
+            let teams = assign_teams(members.len(), &config.interest_teams, &mut rng);
+            affiliations.push(Affiliation {
+                kind: AffiliationKind::InterestCircle,
+                members,
+                teams,
+            });
+        }
+
+        AffiliationPlan { affiliations, ages }
+    }
+
+    /// All affiliations of a given kind.
+    pub fn of_kind(&self, kind: AffiliationKind) -> impl Iterator<Item = &Affiliation> {
+        self.affiliations.iter().filter(move |a| a.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> AffiliationPlan {
+        AffiliationPlan::generate(&SynthConfig::tiny(5))
+    }
+
+    #[test]
+    fn families_partition_all_users() {
+        let p = plan();
+        let mut seen = vec![false; 300];
+        for fam in p.of_kind(AffiliationKind::Family) {
+            for m in &fam.members {
+                assert!(!seen[m.index()], "user in two families");
+                seen[m.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "user without a family");
+    }
+
+    #[test]
+    fn everyone_has_a_current_workplace() {
+        let p = plan();
+        let mut count = vec![0usize; 300];
+        for w in p.of_kind(AffiliationKind::Workplace) {
+            for m in &w.members {
+                count[m.index()] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c >= 1));
+        // Some users must have past workplaces too.
+        assert!(count.iter().any(|&c| c >= 2));
+    }
+
+    #[test]
+    fn school_cohorts_share_age_bands() {
+        let p = plan();
+        for cohort in p.of_kind(AffiliationKind::SchoolCohort) {
+            let ages: Vec<u8> = cohort.members.iter().map(|m| p.ages[m.index()]).collect();
+            let (min, max) = (
+                *ages.iter().min().unwrap(),
+                *ages.iter().max().unwrap(),
+            );
+            // Banding comes from sorting by age; chunks span limited range
+            // except at partition boundaries of sparse bands.
+            assert!(max - min <= 40, "cohort spans ages {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn kinds_map_to_categories() {
+        assert_eq!(
+            AffiliationKind::Family.edge_category(),
+            EdgeCategory::Family
+        );
+        assert_eq!(
+            AffiliationKind::Workplace.edge_category(),
+            EdgeCategory::Colleague
+        );
+        assert_eq!(
+            AffiliationKind::SchoolCohort.edge_category(),
+            EdgeCategory::Schoolmate
+        );
+        assert_eq!(
+            AffiliationKind::InterestCircle.edge_category(),
+            EdgeCategory::Other
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p1 = AffiliationPlan::generate(&SynthConfig::tiny(11));
+        let p2 = AffiliationPlan::generate(&SynthConfig::tiny(11));
+        assert_eq!(p1.affiliations.len(), p2.affiliations.len());
+        assert_eq!(p1.ages, p2.ages);
+        for (a, b) in p1.affiliations.iter().zip(&p2.affiliations) {
+            assert_eq!(a.members, b.members);
+        }
+    }
+
+    #[test]
+    fn ages_are_plausible() {
+        let p = plan();
+        assert!(p.ages.iter().all(|&a| (18..=78).contains(&a)));
+    }
+
+    #[test]
+    fn teams_partition_every_affiliation() {
+        let p = plan();
+        let cfg = SynthConfig::tiny(5);
+        for aff in &p.affiliations {
+            assert_eq!(aff.teams.len(), aff.members.len());
+            let num_teams = aff.num_teams();
+            assert!(num_teams >= 1);
+            let structure = match aff.kind {
+                AffiliationKind::Family => cfg.family_teams,
+                AffiliationKind::Workplace => cfg.workplace_teams,
+                AffiliationKind::SchoolCohort => cfg.school_teams,
+                AffiliationKind::InterestCircle => cfg.interest_teams,
+            };
+            for t in 0..num_teams as u32 {
+                let size = aff.team_members(t).count();
+                assert!(size >= 1, "empty team {t}");
+                assert!(
+                    size <= structure.team_size.1,
+                    "team of {size} exceeds max {}",
+                    structure.team_size.1
+                );
+            }
+        }
+    }
+}

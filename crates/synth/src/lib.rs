@@ -1,0 +1,43 @@
+//! Synthetic WeChat-like social world.
+//!
+//! The paper evaluates on Tencent's production WeChat graph, its Moments
+//! interaction logs, chat-group metadata and a 431k-edge paid user survey —
+//! none of which are available. This crate builds the closest synthetic
+//! equivalent, preserving the statistical properties LoCEC's design actually
+//! exploits (paper §II-B):
+//!
+//! 1. **Planted affiliations** ([`affiliations`]): every user belongs to a
+//!    family clan, zero or more workplaces, school cohorts and interest
+//!    circles; edges form densely *within* affiliations, so closely
+//!    connected friends share a relationship type and one type can appear
+//!    as several clusters of an ego network (the two §II-B observations).
+//! 2. **Relationship-type ratios** calibrated to Table I
+//!    (28% family / 41% colleague / 15% schoolmate / 16% other).
+//! 3. **Sparse interactions** ([`interactions`]): ≈60% of friend pairs have
+//!    no interactions at all; conditional like/comment propensities per
+//!    Moments category follow the orderings of Figure 3.
+//! 4. **Chat groups** ([`groups`]) whose common-group-count distributions
+//!    follow Figure 2 (colleagues share the most groups, family the fewest)
+//!    and whose names are indicative only rarely (Table II's high-precision
+//!    / tiny-recall regime).
+//! 5. **Survey labels** ([`survey`]): a paid-survey simulator revealing
+//!    first/second-category labels for the edges of sampled users.
+//!
+//! [`Scenario::generate`] assembles everything; [`SocialDataset`] is the
+//! read-only view the LoCEC pipeline and all baselines consume.
+
+pub mod affiliations;
+pub mod config;
+pub mod dataset;
+pub mod groups;
+pub mod interactions;
+pub mod scenario;
+pub mod stats;
+pub mod survey;
+pub mod types;
+pub mod users;
+
+pub use config::SynthConfig;
+pub use dataset::SocialDataset;
+pub use scenario::Scenario;
+pub use types::{EdgeCategory, RelationType, SecondCategory, INTERACTION_DIMS, USER_FEATURE_DIMS};

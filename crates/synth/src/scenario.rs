@@ -1,0 +1,269 @@
+//! Scenario assembly: plant affiliations → materialize the friendship graph
+//! with ground-truth edge categories → generate interactions, chat groups,
+//! and survey labels.
+
+use crate::affiliations::AffiliationPlan;
+use crate::config::SynthConfig;
+use crate::dataset::SocialDataset;
+use crate::groups::Groups;
+use crate::interactions::EdgeInteractions;
+use crate::survey::Survey;
+use crate::types::{EdgeCategory, RelationType, USER_FEATURE_DIMS};
+use crate::users::UserProfile;
+use locec_graph::{CsrGraph, EdgeId, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A fully generated synthetic world.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The generator configuration used.
+    pub config: SynthConfig,
+    /// The friendship graph.
+    pub graph: CsrGraph,
+    /// Per-user profiles.
+    pub profiles: Vec<UserProfile>,
+    /// Oracle ground truth: the category of every edge.
+    pub edge_categories: Vec<EdgeCategory>,
+    /// Per-edge interaction vectors.
+    pub interactions: EdgeInteractions,
+    /// Chat groups.
+    pub groups: Groups,
+    /// Survey labels (the only ground truth visible to learners).
+    pub survey: Survey,
+    /// The hidden affiliation structure (kept for analysis experiments).
+    pub plan: AffiliationPlan,
+    /// Materialized `|f|`-dim user feature rows.
+    user_features: Vec<[f32; USER_FEATURE_DIMS]>,
+    /// Labeled edge set derived from the survey, restricted to the three
+    /// major classes (the classification targets).
+    labeled_edges: HashMap<EdgeId, RelationType>,
+}
+
+impl Scenario {
+    /// Generates a world from the configuration. Fully deterministic given
+    /// `config.seed`.
+    pub fn generate(config: &SynthConfig) -> Self {
+        let plan = AffiliationPlan::generate(config);
+        let n = config.num_users;
+        let mut rng =
+            StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(5));
+
+        // --- profiles (ages come from the plan) ---
+        let profiles: Vec<UserProfile> = (0..n)
+            .map(|u| UserProfile::sample(plan.ages[u], &mut rng))
+            .collect();
+
+        // --- edges: transitive team structure within affiliations ---
+        // Families are one dense team; workplaces / cohorts / circles split
+        // into small dense teams with sparse cross-team contact. This is
+        // what makes an ego's same-type friends mutually connected — the
+        // §II-B clustering observation LoCEC Phase I depends on.
+        let mut pair_category: HashMap<(u32, u32), EdgeCategory> = HashMap::new();
+        let add_pair = |pair_category: &mut HashMap<(u32, u32), EdgeCategory>,
+                            u: NodeId,
+                            v: NodeId,
+                            cat: EdgeCategory| {
+            pair_category
+                .entry(canonical(u, v))
+                .and_modify(|existing| *existing = EdgeCategory::principal(*existing, cat))
+                .or_insert(cat);
+        };
+        for aff in &plan.affiliations {
+            let cat = aff.kind.edge_category();
+            let structure = match aff.kind {
+                crate::affiliations::AffiliationKind::Family => config.family_teams,
+                crate::affiliations::AffiliationKind::Workplace => config.workplace_teams,
+                crate::affiliations::AffiliationKind::SchoolCohort => config.school_teams,
+                crate::affiliations::AffiliationKind::InterestCircle => config.interest_teams,
+            };
+            for (i, &u) in aff.members.iter().enumerate() {
+                for (j, &v) in aff.members.iter().enumerate().skip(i + 1) {
+                    let p = if aff.teams[i] == aff.teams[j] {
+                        structure.intra_prob
+                    } else {
+                        structure.cross_prob
+                    };
+                    if rng.gen_bool(p) {
+                        add_pair(&mut pair_category, u, v, cat);
+                    }
+                }
+            }
+        }
+        // Random "stranger" edges (category Other).
+        let num_random = ((n as f64) * config.random_edges_per_user / 2.0).round() as usize;
+        for _ in 0..num_random {
+            let u = NodeId(rng.gen_range(0..n as u32));
+            let v = NodeId(rng.gen_range(0..n as u32));
+            if u != v {
+                pair_category
+                    .entry(canonical(u, v))
+                    .or_insert(EdgeCategory::Other);
+            }
+        }
+
+        let mut builder = GraphBuilder::with_capacity(n, pair_category.len());
+        for &(a, b) in pair_category.keys() {
+            builder.add_edge(NodeId(a), NodeId(b));
+        }
+        let graph = builder.build();
+        let edge_categories: Vec<EdgeCategory> = graph
+            .edges()
+            .map(|(_, u, v)| pair_category[&(u.0, v.0)])
+            .collect();
+
+        // --- layered generators ---
+        let interactions = EdgeInteractions::generate(&graph, &edge_categories, &profiles, config);
+        let groups = Groups::generate(&plan, n, config);
+        let survey = Survey::generate(&graph, &edge_categories, config);
+
+        let user_features: Vec<[f32; USER_FEATURE_DIMS]> =
+            profiles.iter().map(UserProfile::features).collect();
+        let labeled_edges: HashMap<EdgeId, RelationType> = survey
+            .labeled_edges()
+            .into_iter()
+            .filter_map(|(e, cat)| cat.relation_type().map(|t| (e, t)))
+            .collect();
+
+        Scenario {
+            config: config.clone(),
+            graph,
+            profiles,
+            edge_categories,
+            interactions,
+            groups,
+            survey,
+            plan,
+            user_features,
+            labeled_edges,
+        }
+    }
+
+    /// The read-only view consumed by LoCEC and the baselines.
+    pub fn dataset(&self) -> SocialDataset<'_> {
+        SocialDataset {
+            graph: &self.graph,
+            user_features: &self.user_features,
+            interactions: &self.interactions,
+            labeled_edges: &self.labeled_edges,
+        }
+    }
+
+    /// Oracle relation type of an edge (None for category Other).
+    pub fn true_relation(&self, e: EdgeId) -> Option<RelationType> {
+        self.edge_categories[e.index()].relation_type()
+    }
+
+    /// Fraction of edges carrying survey labels (restricted to the three
+    /// major classes).
+    pub fn labeled_fraction(&self) -> f64 {
+        self.labeled_edges.len() as f64 / self.graph.num_edges().max(1) as f64
+    }
+
+    /// Oracle category ratios over all edges (Table I shape check).
+    pub fn category_ratios(&self) -> [f64; 4] {
+        let mut counts = [0usize; 4];
+        for c in &self.edge_categories {
+            counts[*c as usize] += 1;
+        }
+        let total = self.edge_categories.len().max(1) as f64;
+        [
+            counts[0] as f64 / total,
+            counts[1] as f64 / total,
+            counts[2] as f64 / total,
+            counts[3] as f64 / total,
+        ]
+    }
+}
+
+#[inline]
+fn canonical(u: NodeId, v: NodeId) -> (u32, u32) {
+    if u.0 <= v.0 {
+        (u.0, v.0)
+    } else {
+        (v.0, u.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_a_connected_enough_world() {
+        let s = Scenario::generate(&SynthConfig::tiny(1));
+        assert_eq!(s.graph.num_nodes(), 300);
+        assert!(s.graph.num_edges() > 500, "edges: {}", s.graph.num_edges());
+        let avg_degree = 2.0 * s.graph.num_edges() as f64 / 300.0;
+        assert!(
+            (5.0..=40.0).contains(&avg_degree),
+            "average degree {avg_degree}"
+        );
+    }
+
+    #[test]
+    fn category_ratios_approximate_table1() {
+        let s = Scenario::generate(&SynthConfig::small(2));
+        let [fam, col, sch, oth] = s.category_ratios();
+        // Table I targets: 28 / 41 / 15 / 16 (±8 points tolerance).
+        assert!((0.20..=0.36).contains(&fam), "family ratio {fam}");
+        assert!((0.33..=0.49).contains(&col), "colleague ratio {col}");
+        assert!((0.07..=0.23).contains(&sch), "schoolmate ratio {sch}");
+        assert!((0.08..=0.24).contains(&oth), "other ratio {oth}");
+    }
+
+    #[test]
+    fn edge_categories_align_with_graph() {
+        let s = Scenario::generate(&SynthConfig::tiny(3));
+        assert_eq!(s.edge_categories.len(), s.graph.num_edges());
+        assert_eq!(s.interactions.num_edges(), s.graph.num_edges());
+    }
+
+    #[test]
+    fn labeled_edges_only_cover_major_classes() {
+        let s = Scenario::generate(&SynthConfig::tiny(4));
+        let ds = s.dataset();
+        assert!(!ds.labeled_edges.is_empty());
+        for (&e, &t) in ds.labeled_edges {
+            assert_eq!(
+                s.edge_categories[e.index()].relation_type(),
+                Some(t),
+                "label disagrees with oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_end_to_end() {
+        let s1 = Scenario::generate(&SynthConfig::tiny(7));
+        let s2 = Scenario::generate(&SynthConfig::tiny(7));
+        assert_eq!(s1.graph.num_edges(), s2.graph.num_edges());
+        assert_eq!(s1.edge_categories, s2.edge_categories);
+        assert_eq!(s1.survey.records.len(), s2.survey.records.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s1 = Scenario::generate(&SynthConfig::tiny(100));
+        let s2 = Scenario::generate(&SynthConfig::tiny(101));
+        assert_ne!(s1.graph.num_edges(), s2.graph.num_edges());
+    }
+
+    #[test]
+    fn ego_networks_have_multiple_clusters() {
+        // §II-B observation 2: a user's friends of the same type cluster,
+        // and different types form different clusters. Check that typical
+        // ego networks are non-trivial.
+        let s = Scenario::generate(&SynthConfig::tiny(8));
+        let mut nontrivial = 0;
+        for u in s.graph.nodes().take(50) {
+            let ego = locec_graph::EgoNetwork::extract(&s.graph, u);
+            if ego.num_friends() >= 4 && ego.graph.num_edges() >= 3 {
+                nontrivial += 1;
+            }
+        }
+        assert!(nontrivial > 25, "only {nontrivial}/50 non-trivial egos");
+    }
+}

@@ -1,0 +1,97 @@
+//! Small statistics helpers for the figure-reproduction harnesses
+//! (empirical CDFs for Figures 2, 4 and 10a; ratio tables for Table I).
+
+/// An empirical cumulative distribution over integer-valued samples.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    /// Sorted samples.
+    sorted: Vec<u32>,
+}
+
+impl Cdf {
+    /// Builds from unsorted samples.
+    pub fn new(mut samples: Vec<u32>) -> Self {
+        samples.sort_unstable();
+        Cdf { sorted: samples }
+    }
+
+    /// `P(X <= x)`; 0 for an empty sample set.
+    pub fn at(&self, x: u32) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Smallest x with `P(X <= x) >= q` (the q-quantile).
+    pub fn quantile(&self, q: f64) -> u32 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize)
+            .clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// The CDF evaluated at each of the given points (for printing the
+    /// paper's figure series).
+    pub fn series(&self, points: &[u32]) -> Vec<(u32, f64)> {
+        points.iter().map(|&x| (x, self.at(x))).collect()
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> u32 {
+        self.quantile(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_of_known_samples() {
+        let cdf = Cdf::new(vec![0, 0, 1, 2, 4]);
+        assert_eq!(cdf.at(0), 0.4);
+        assert_eq!(cdf.at(1), 0.6);
+        assert_eq!(cdf.at(3), 0.8);
+        assert_eq!(cdf.at(4), 1.0);
+        assert_eq!(cdf.at(100), 1.0);
+    }
+
+    #[test]
+    fn quantiles_and_median() {
+        let cdf = Cdf::new(vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(cdf.median(), 5);
+        assert_eq!(cdf.quantile(0.9), 9);
+        assert_eq!(cdf.quantile(1.0), 10);
+        assert_eq!(cdf.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn series_matches_at() {
+        let cdf = Cdf::new(vec![0, 2, 2, 3]);
+        let s = cdf.series(&[0, 1, 2, 3]);
+        assert_eq!(s, vec![(0, 0.25), (1, 0.25), (2, 0.75), (3, 1.0)]);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.at(5), 0.0);
+        assert_eq!(cdf.quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Paid-survey simulation.
+//!
+//! Paper §II-B: "Users of different ages and genders are paid to participate
+//! in an online survey where they … indicate the true relationship between
+//! their contacts." Surveyed users must give the first category and may give
+//! the second; unspecified seconds are recorded as unknown. We mirror that:
+//! sample survey participants, emit one record per incident edge, and draw
+//! second categories from Table I's conditional distributions.
+
+use crate::config::SynthConfig;
+use crate::types::{EdgeCategory, SecondCategory};
+use locec_graph::{CsrGraph, EdgeId, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One surveyed relationship.
+#[derive(Clone, Copy, Debug)]
+pub struct SurveyRecord {
+    /// The surveyed user.
+    pub ego: NodeId,
+    /// The friend whose relationship was labeled.
+    pub friend: NodeId,
+    /// The labeled edge.
+    pub edge: EdgeId,
+    /// First category (always given).
+    pub first: EdgeCategory,
+    /// Second category ([`SecondCategory::Unknown`] when unspecified).
+    pub second: SecondCategory,
+}
+
+/// The collected survey.
+#[derive(Clone, Debug, Default)]
+pub struct Survey {
+    /// Users who participated.
+    pub surveyed: Vec<NodeId>,
+    /// One record per (participant, incident edge).
+    pub records: Vec<SurveyRecord>,
+}
+
+impl Survey {
+    /// Runs the survey over `config.surveyed_users` random participants.
+    pub fn generate(
+        graph: &CsrGraph,
+        edge_categories: &[EdgeCategory],
+        config: &SynthConfig,
+    ) -> Self {
+        let mut rng =
+            StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(4));
+        let mut users: Vec<NodeId> = graph.nodes().collect();
+        users.shuffle(&mut rng);
+        let surveyed: Vec<NodeId> = users
+            .into_iter()
+            .take(config.surveyed_users.min(graph.num_nodes()))
+            .collect();
+
+        let mut records = Vec::new();
+        for &ego in &surveyed {
+            for (friend, edge) in graph.neighbor_edges(ego) {
+                let first = edge_categories[edge.index()];
+                let second = sample_second(first, config, &mut rng);
+                records.push(SurveyRecord {
+                    ego,
+                    friend,
+                    edge,
+                    first,
+                    second,
+                });
+            }
+        }
+
+        Survey { surveyed, records }
+    }
+
+    /// The deduplicated labeled edge set (an edge surveyed from both
+    /// endpoints counts once; first categories agree by construction).
+    pub fn labeled_edges(&self) -> Vec<(EdgeId, EdgeCategory)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            if seen.insert(r.edge) {
+                out.push((r.edge, r.first));
+            }
+        }
+        out
+    }
+
+    /// First-category histogram over records (Table I "First Ratio").
+    pub fn first_category_ratios(&self) -> [f64; 4] {
+        let mut counts = [0usize; 4];
+        for r in &self.records {
+            counts[r.first as usize] += 1;
+        }
+        let total = self.records.len().max(1) as f64;
+        [
+            counts[0] as f64 / total,
+            counts[1] as f64 / total,
+            counts[2] as f64 / total,
+            counts[3] as f64 / total,
+        ]
+    }
+
+    /// Histogram of second categories within one first category
+    /// (Table I "Second Ratio", normalized over the *whole* survey like the
+    /// paper does).
+    pub fn second_category_ratio(&self, second: SecondCategory, first: EdgeCategory) -> f64 {
+        let hits = self
+            .records
+            .iter()
+            .filter(|r| r.first == first && r.second == second)
+            .count();
+        hits as f64 / self.records.len().max(1) as f64
+    }
+}
+
+/// Table I second-category distributions, conditioned on the first
+/// category. Weights follow the published ratios (e.g. Family 28% splits
+/// into kin 16 / in-law 5 / unknown 7; next-of-kin rounds to 0% in the
+/// paper so it gets a sliver).
+fn sample_second(first: EdgeCategory, config: &SynthConfig, rng: &mut StdRng) -> SecondCategory {
+    use SecondCategory::*;
+    if rng.gen_bool(config.survey_unknown_prob[first as usize]) {
+        return Unknown;
+    }
+    let r: f64 = rng.gen();
+    match first {
+        EdgeCategory::Family => {
+            // kin : in-law : next-of-kin ≈ 16 : 5 : 0.2
+            if r < 0.755 {
+                Kin
+            } else if r < 0.99 {
+                InLaw
+            } else {
+                NextOfKin
+            }
+        }
+        EdgeCategory::Colleague => {
+            // past : current ≈ 25 : 14
+            if r < 0.64 {
+                PastColleague
+            } else {
+                CurrentColleague
+            }
+        }
+        EdgeCategory::Schoolmate => {
+            // university : middle : primary : graduate ≈ 8 : 4 : 2 : 0.2
+            if r < 0.56 {
+                University
+            } else if r < 0.84 {
+                MiddleSchool
+            } else if r < 0.985 {
+                PrimarySchool
+            } else {
+                Graduate
+            }
+        }
+        EdgeCategory::Other => {
+            // interest : business : agent : private ≈ 9 : 1 : 1 : 0.2
+            if r < 0.80 {
+                Interest
+            } else if r < 0.89 {
+                Business
+            } else if r < 0.98 {
+                Agent
+            } else {
+                Private
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn scenario() -> Scenario {
+        Scenario::generate(&SynthConfig::tiny(17))
+    }
+
+    #[test]
+    fn survey_covers_requested_users() {
+        let s = scenario();
+        assert_eq!(s.survey.surveyed.len(), 60);
+        assert!(!s.survey.records.is_empty());
+    }
+
+    #[test]
+    fn records_reference_real_edges() {
+        let s = scenario();
+        for r in &s.survey.records {
+            let (u, v) = s.graph.endpoints(r.edge);
+            assert!(
+                (u == r.ego && v == r.friend) || (u == r.friend && v == r.ego),
+                "record does not match edge endpoints"
+            );
+            assert_eq!(s.edge_categories[r.edge.index()], r.first);
+        }
+    }
+
+    #[test]
+    fn second_category_is_consistent_with_first() {
+        let s = scenario();
+        for r in &s.survey.records {
+            if let Some(first) = r.second.first_category() {
+                assert_eq!(first, r.first, "second category under wrong first");
+            }
+        }
+    }
+
+    #[test]
+    fn labeled_edges_are_unique() {
+        let s = scenario();
+        let labeled = s.survey.labeled_edges();
+        let mut set = std::collections::HashSet::new();
+        for (e, _) in &labeled {
+            assert!(set.insert(*e));
+        }
+        assert!(labeled.len() <= s.survey.records.len());
+    }
+
+    #[test]
+    fn unknowns_appear_at_roughly_table1_rate() {
+        let s = Scenario::generate(&SynthConfig::small(23));
+        let fam_unknown: usize = s
+            .survey
+            .records
+            .iter()
+            .filter(|r| r.first == EdgeCategory::Family && r.second == SecondCategory::Unknown)
+            .count();
+        let fam_total: usize = s
+            .survey
+            .records
+            .iter()
+            .filter(|r| r.first == EdgeCategory::Family)
+            .count();
+        let rate = fam_unknown as f64 / fam_total.max(1) as f64;
+        // Table I: 7 of 28 family points are unknown ⇒ 25%.
+        assert!((0.15..=0.35).contains(&rate), "unknown rate {rate}");
+    }
+}

@@ -1,0 +1,91 @@
+//! User profiles and their feature vectors.
+//!
+//! The paper uses "individual features … extracted from users' public
+//! profiles such as gender" (§V). We model four: gender, age, Moments
+//! activity level and account age. Ages are generated jointly with family /
+//! cohort structure so affiliations are demographically plausible (school
+//! cohorts share an age band, families span generations).
+
+use crate::types::USER_FEATURE_DIMS;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A user's profile attributes.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// 0 or 1.
+    pub gender: u8,
+    /// Age in years.
+    pub age: u8,
+    /// Propensity to interact on Moments, in `[0, 1]`.
+    pub activity: f32,
+    /// Account age in days.
+    pub account_age_days: u16,
+}
+
+impl UserProfile {
+    /// Samples a profile for a user of roughly the given age.
+    pub fn sample(age: u8, rng: &mut StdRng) -> Self {
+        UserProfile {
+            gender: rng.gen_range(0..=1),
+            age,
+            activity: rng.gen_range(0.05f32..1.0),
+            account_age_days: rng.gen_range(30..3650),
+        }
+    }
+
+    /// The `|f|`-dimensional normalized feature vector `f_u` of §III.
+    pub fn features(&self) -> [f32; USER_FEATURE_DIMS] {
+        [
+            self.gender as f32,
+            self.age as f32 / 100.0,
+            self.activity,
+            self.account_age_days as f32 / 3650.0,
+        ]
+    }
+}
+
+/// Samples an adult age (working population skew).
+pub fn sample_adult_age(rng: &mut StdRng) -> u8 {
+    // Triangular-ish distribution peaking in the 20s-30s.
+    let a = rng.gen_range(18..=65);
+    let b = rng.gen_range(18..=45);
+    a.min(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn features_are_normalized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = UserProfile::sample(sample_adult_age(&mut rng), &mut rng);
+            let f = p.features();
+            assert_eq!(f.len(), USER_FEATURE_DIMS);
+            assert!(f.iter().all(|v| (0.0..=1.0).contains(v)), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn adult_ages_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let age = sample_adult_age(&mut rng);
+            assert!((18..=65).contains(&age));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let p1 = UserProfile::sample(30, &mut r1);
+        let p2 = UserProfile::sample(30, &mut r2);
+        assert_eq!(p1.gender, p2.gender);
+        assert_eq!(p1.account_age_days, p2.account_age_days);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the synthetic world generator.
+
+use locec_synth::{Scenario, SynthConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn worlds_are_internally_consistent(seed in 0u64..10_000) {
+        let mut config = SynthConfig::tiny(seed);
+        config.num_users = 150;
+        config.surveyed_users = 25;
+        let s = Scenario::generate(&config);
+
+        // Parallel arrays line up.
+        prop_assert_eq!(s.graph.num_nodes(), 150);
+        prop_assert_eq!(s.edge_categories.len(), s.graph.num_edges());
+        prop_assert_eq!(s.interactions.num_edges(), s.graph.num_edges());
+        prop_assert_eq!(s.profiles.len(), 150);
+
+        // Survey records point at real incident edges with oracle-true
+        // categories.
+        for r in &s.survey.records {
+            let (u, v) = s.graph.endpoints(r.edge);
+            prop_assert!(u == r.ego || v == r.ego);
+            prop_assert_eq!(s.edge_categories[r.edge.index()], r.first);
+        }
+
+        // Labeled edges ⊆ survey-covered edges with matching types.
+        let ds = s.dataset();
+        for (&e, &t) in ds.labeled_edges.iter() {
+            prop_assert_eq!(s.edge_categories[e.index()].relation_type(), Some(t));
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_config(seed in 0u64..200) {
+        let config = SynthConfig::tiny(seed);
+        let a = Scenario::generate(&config);
+        let b = Scenario::generate(&config);
+        prop_assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        prop_assert_eq!(&a.edge_categories, &b.edge_categories);
+        prop_assert_eq!(a.groups.groups.len(), b.groups.groups.len());
+        prop_assert_eq!(a.survey.records.len(), b.survey.records.len());
+        for (x, y) in a.profiles.iter().zip(&b.profiles) {
+            prop_assert_eq!(x.gender, y.gender);
+            prop_assert_eq!(x.age, y.age);
+        }
+    }
+
+    #[test]
+    fn interaction_counts_are_sane(seed in 0u64..200) {
+        let mut config = SynthConfig::tiny(seed);
+        config.num_users = 100;
+        let s = Scenario::generate(&config);
+        for (e, _, _) in s.graph.edges() {
+            for &c in s.interactions.edge(e) {
+                prop_assert!((0.0..=50.0).contains(&c), "count {c}");
+                prop_assert_eq!(c.fract(), 0.0, "counts are integers");
+            }
+        }
+        let sparsity = s.interactions.sparsity();
+        prop_assert!((0.2..=0.9).contains(&sparsity), "sparsity {sparsity}");
+    }
+
+    #[test]
+    fn group_memberships_are_bidirectional(seed in 0u64..100) {
+        let mut config = SynthConfig::tiny(seed);
+        config.num_users = 120;
+        let s = Scenario::generate(&config);
+        for (gid, g) in s.groups.groups.iter().enumerate() {
+            for m in &g.members {
+                prop_assert!(
+                    s.groups.groups_of(*m).contains(&(gid as u32)),
+                    "membership index out of sync"
+                );
+            }
+        }
+    }
+}

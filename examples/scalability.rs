@@ -1,0 +1,76 @@
+//! Scalability: measure LoCEC's per-node costs on this machine, then
+//! extrapolate a WeChat-scale deployment (10⁹ nodes) with the analytic
+//! cluster model the paper's Table VI / Figure 12 describe.
+//!
+//! ```sh
+//! cargo run --release --example scalability
+//! ```
+
+use locec::core::cluster::{ClusterSim, PhaseCosts};
+use locec::core::{CommunityModelKind, LocecConfig, LocecPipeline};
+use locec::synth::{Scenario, SynthConfig};
+
+fn main() {
+    let scenario = Scenario::generate(&SynthConfig::small(3));
+    let data = scenario.dataset();
+
+    // Measure a real run.
+    let config = LocecConfig {
+        community_model: CommunityModelKind::Xgb,
+        ..LocecConfig::default()
+    };
+    let threads = config.threads;
+    let mut pipeline = LocecPipeline::new(config);
+    let outcome = pipeline.run(&data, 0.8);
+    println!(
+        "measured on {} nodes with {} threads:",
+        scenario.graph.num_nodes(),
+        threads
+    );
+    println!(
+        "  Phase I {:?} | Phase II {:?} | Phase III {:?} | training {:?}",
+        outcome.phase1_time, outcome.phase2_time, outcome.phase3_time, outcome.training_time
+    );
+
+    let costs = PhaseCosts::from_measured(
+        scenario.graph.num_nodes(),
+        threads,
+        outcome.phase1_time,
+        outcome.phase2_time,
+        outcome.phase3_time,
+        outcome.training_time,
+    );
+    println!(
+        "\nper-node single-worker cost: Phase I {:.1} µs | Phase II {:.1} µs | Phase III {:.1} µs",
+        costs.phase1_us_per_node, costs.phase2_us_per_node, costs.phase3_us_per_node
+    );
+
+    // Extrapolate: WeChat-scale input on growing clusters.
+    println!("\nextrapolated wall-clock for 10^9 nodes (servers × {threads} threads):");
+    println!("  servers |  Phase I |  Phase II | Phase III |   total");
+    for servers in [50usize, 100, 150, 200] {
+        let sim = ClusterSim {
+            servers,
+            workers_per_server: threads as f64,
+        };
+        let t = sim.predict(&costs, 1_000_000_000);
+        println!(
+            "  {servers:>7} | {:>7.1}h | {:>8.1}h | {:>8.1}h | {:>6.1}h",
+            t.phase1_hours,
+            t.phase2_hours,
+            t.phase3_hours,
+            t.phase1_hours + t.phase2_hours + t.phase3_hours
+        );
+    }
+
+    // The paper's own Table VI row for reference.
+    let paper = ClusterSim::new(100).predict(&PhaseCosts::paper_calibrated(), 1_000_000_000);
+    println!(
+        "\npaper (Table VI, 100 servers): Phase I {:.1}h | Phase II {:.1}h | Phase III {:.1}h | training {:.1}h | total {:.1}h",
+        paper.phase1_hours,
+        paper.phase2_hours,
+        paper.phase3_hours,
+        paper.training_hours,
+        paper.total_hours()
+    );
+}

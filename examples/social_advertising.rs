@@ -1,0 +1,94 @@
+//! Social advertising with relationship-aware targeting — the paper's
+//! production use case (§V-E).
+//!
+//! Trains LoCEC on survey labels, classifies every friendship in the
+//! network, then runs two ad campaigns (furniture and a mobile game)
+//! comparing type-aware audience selection against plain CTR ranking.
+//!
+//! ```sh
+//! cargo run --release --example social_advertising
+//! ```
+
+use locec::core::advertising::{run_campaign, AdCategory, AdConfig, Targeting};
+use locec::core::phase3::EdgeClassifier;
+use locec::core::pipeline::split_edges;
+use locec::core::{community_ground_truth, CommunityModelKind, LocecConfig, LocecPipeline};
+use locec::graph::EdgeId;
+use locec::synth::types::RelationType;
+use locec::synth::{Scenario, SynthConfig};
+use std::collections::HashMap;
+
+fn main() {
+    let scenario = Scenario::generate(&SynthConfig::small(11));
+    let data = scenario.dataset();
+    println!(
+        "world: {} users, {} friendships",
+        scenario.graph.num_nodes(),
+        scenario.graph.num_edges()
+    );
+
+    // --- train LoCEC (GBDT variant for speed) and label every edge ---
+    let config = LocecConfig {
+        community_model: CommunityModelKind::Xgb,
+        ..LocecConfig::default()
+    };
+    let pipeline = LocecPipeline::new(config.clone());
+    let division = pipeline.divide_only(&data);
+    let labeled = data.labeled_edges_sorted();
+    let (train, _) = split_edges(&labeled, 0.8, 1);
+    let train_map: HashMap<EdgeId, RelationType> = train.iter().copied().collect();
+    let communities = community_ground_truth(
+        data.graph,
+        &division,
+        &train_map,
+        config.community_label_min_coverage,
+    );
+    let (_, agg) = pipeline.aggregate_only(&data, &division, &communities);
+    let classifier = EdgeClassifier::train(data.graph, &division, &agg, &train, &config.lr);
+    let predictions: HashMap<EdgeId, RelationType> = data
+        .graph
+        .edges()
+        .map(|(e, _, _)| {
+            let t = classifier
+                .predict(data.graph, &division, &agg, e)
+                .expect("division covers all edges");
+            (e, t)
+        })
+        .collect();
+    println!("classified {} friendships into relationship types\n", predictions.len());
+
+    // --- run both campaigns with both targeting strategies ---
+    let ad_config = AdConfig {
+        num_seeds: 400,
+        targets_per_seed: 5,
+        ..AdConfig::default()
+    };
+    for category in [AdCategory::Furniture, AdCategory::MobileGame] {
+        println!(
+            "campaign: {category:?} (resonates with {})",
+            category.affine_type().name()
+        );
+        for (name, targeting) in [
+            ("Relation  (CTR only)", Targeting::Relation),
+            ("LoCEC-CNN (type-aware)", Targeting::Locec),
+        ] {
+            let r = run_campaign(
+                &scenario.graph,
+                &scenario.edge_categories,
+                &predictions,
+                category,
+                targeting,
+                &ad_config,
+            );
+            println!(
+                "  {name:<24} impressions {:>5}  click rate {:>5.2}%  interact rate {:>6.3}%",
+                r.impressions,
+                100.0 * r.click_rate,
+                100.0 * r.interact_rate
+            );
+        }
+        println!();
+    }
+    println!("Type-aware targeting shows the paper's Figure 14 effect: higher");
+    println!("click-through, and an even larger lift in ad interactions.");
+}

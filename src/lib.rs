@@ -1,0 +1,39 @@
+//! # LoCEC — Local Community-based Edge Classification
+//!
+//! A full Rust reproduction of *"LoCEC: Local Community-based Edge
+//! Classification in Large Online Social Networks"* (Song et al., ICDE 2020).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`graph`] — CSR social graphs, ego networks, traversals.
+//! * [`community`] — Girvan–Newman, Brandes betweenness, modularity, Louvain.
+//! * [`ml`] — from-scratch tensors/CNN, gradient-boosted trees, logistic
+//!   regression, matrix factorization, min-hash, evaluation metrics.
+//! * [`synth`] — synthetic WeChat-like social world with planted
+//!   relationship types, interactions, chat groups and survey labels.
+//! * [`core`] — the LoCEC three-phase framework itself.
+//! * [`baselines`] — ProbWP, Economix and raw-XGBoost comparison methods.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use locec::synth::{Scenario, SynthConfig};
+//! use locec::core::{LocecConfig, LocecPipeline, CommunityModelKind};
+//!
+//! // Generate a small labeled social world and run the full pipeline.
+//! let scenario = Scenario::generate(&SynthConfig::tiny(7));
+//! let config = LocecConfig {
+//!     community_model: CommunityModelKind::Xgb,
+//!     ..LocecConfig::fast()
+//! };
+//! let mut pipeline = LocecPipeline::new(config);
+//! let outcome = pipeline.run(&scenario.dataset(), 0.8);
+//! assert!(outcome.edge_eval.overall.f1 > 0.5);
+//! ```
+
+pub use locec_baselines as baselines;
+pub use locec_community as community;
+pub use locec_core as core;
+pub use locec_graph as graph;
+pub use locec_ml as ml;
+pub use locec_synth as synth;

@@ -1,0 +1,193 @@
+//! Shape tests: the qualitative claims of the paper's figures and tables,
+//! asserted programmatically against the synthetic world. These are the
+//! invariants EXPERIMENTS.md reports; failures here mean the reproduction
+//! drifted from the paper's regime.
+
+use locec::core::advertising::{run_campaign, AdCategory, AdConfig, Targeting};
+use locec::core::group_names::{evaluate_mining, mine_group_names};
+use locec::core::{LocecConfig, LocecPipeline};
+use locec::graph::EdgeId;
+use locec::synth::stats::Cdf;
+use locec::synth::types::RelationType;
+use locec::synth::{Scenario, SynthConfig};
+use std::collections::HashMap;
+
+fn scenario() -> Scenario {
+    Scenario::generate(&SynthConfig::small(301))
+}
+
+#[test]
+fn table1_shape_major_types_dominate() {
+    let s = scenario();
+    let ratios = s.survey.first_category_ratios();
+    let major: f64 = ratios[..3].iter().sum();
+    assert!(major > 0.75, "major types cover {major:.2}, paper: 0.84");
+    // Colleagues > family > schoolmates (Table I ordering).
+    assert!(ratios[1] > ratios[0], "colleague {} > family {}", ratios[1], ratios[0]);
+    assert!(ratios[0] > ratios[2], "family {} > schoolmate {}", ratios[0], ratios[2]);
+}
+
+#[test]
+fn table2_shape_precision_dwarfs_recall() {
+    let s = scenario();
+    let preds = mine_group_names(&s.graph, &s.groups);
+    let metrics = evaluate_mining(&preds, &s.edge_categories);
+    for (i, m) in metrics.iter().enumerate() {
+        if m.precision > 0.0 {
+            assert!(
+                m.precision > 10.0 * m.recall,
+                "type {i}: precision {:.3} should dwarf recall {:.3}",
+                m.precision,
+                m.recall
+            );
+        }
+    }
+}
+
+#[test]
+fn fig2_shape_colleagues_share_most_groups() {
+    let s = scenario();
+    let mut sums = [0.0f64; 3];
+    let mut counts = [0usize; 3];
+    for (e, u, v) in s.graph.edges() {
+        if let Some(t) = s.edge_categories[e.index()].relation_type() {
+            sums[t.label()] += s.groups.common_group_count(u, v) as f64;
+            counts[t.label()] += 1;
+        }
+    }
+    let mean = |t: RelationType| sums[t.label()] / counts[t.label()].max(1) as f64;
+    assert!(
+        mean(RelationType::Colleague) > mean(RelationType::Family),
+        "colleagues must share more groups than family"
+    );
+    assert!(
+        mean(RelationType::Schoolmate) > mean(RelationType::Family) * 0.8,
+        "schoolmates share more groups than family (paper Fig. 2)"
+    );
+}
+
+#[test]
+fn fig4_shape_interactions_are_sparse_for_all_types() {
+    let s = scenario();
+    let mut zeros = [0usize; 3];
+    let mut counts = [0usize; 3];
+    for (e, _, _) in s.graph.edges() {
+        if let Some(t) = s.edge_categories[e.index()].relation_type() {
+            counts[t.label()] += 1;
+            if s.interactions.total(e) == 0.0 {
+                zeros[t.label()] += 1;
+            }
+        }
+    }
+    for t in RelationType::ALL {
+        let frac = zeros[t.label()] as f64 / counts[t.label()].max(1) as f64;
+        assert!(
+            (0.2..=0.8).contains(&frac),
+            "{}: silent fraction {frac:.2} outside the paper's sparsity regime",
+            t.name()
+        );
+    }
+}
+
+#[test]
+fn fig10a_shape_community_sizes() {
+    let s = scenario();
+    let config = LocecConfig::fast();
+    let pipeline = LocecPipeline::new(config);
+    let division = pipeline.divide_only(&s.dataset());
+    let cdf = Cdf::new(division.community_sizes());
+    // Paper: median 8, 80% ≤ 20, 90% < 30. Accept a generous band.
+    let median = cdf.median();
+    assert!(
+        (2..=20).contains(&median),
+        "median community size {median}, paper: 8"
+    );
+    assert!(
+        cdf.at(20) > 0.6,
+        "≤20-member fraction {:.2}, paper ≈ 0.8",
+        cdf.at(20)
+    );
+}
+
+#[test]
+fn fig13_shape_family_communities_are_smaller() {
+    // The mechanism behind Fig. 13's inversion: family communities are
+    // smaller than colleague communities. Checked on oracle composition.
+    let s = scenario();
+    let config = LocecConfig::fast();
+    let pipeline = LocecPipeline::new(config);
+    let division = pipeline.divide_only(&s.dataset());
+
+    let mut size_sum = [0.0f64; 3];
+    let mut n = [0usize; 3];
+    for community in &division.communities {
+        // Oracle-dominant type of the community.
+        let mut counts = [0usize; 4];
+        for &m in &community.members {
+            let e = s.graph.edge_between(community.ego, m).unwrap();
+            counts[s.edge_categories[e.index()] as usize] += 1;
+        }
+        let (best, _) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .unwrap();
+        if best < 3 {
+            size_sum[best] += community.len() as f64;
+            n[best] += 1;
+        }
+    }
+    let family_mean = size_sum[0] / n[0].max(1) as f64;
+    let colleague_mean = size_sum[1] / n[1].max(1) as f64;
+    assert!(
+        colleague_mean > family_mean,
+        "colleague communities ({colleague_mean:.1}) must outsize family ({family_mean:.1})"
+    );
+}
+
+#[test]
+fn fig14_shape_type_targeting_wins() {
+    let s = scenario();
+    // Oracle predictions isolate the targeting mechanism from classifier
+    // noise (the fig14 binary uses real LoCEC predictions).
+    let predictions: HashMap<EdgeId, RelationType> = s
+        .graph
+        .edges()
+        .filter_map(|(e, _, _)| s.true_relation(e).map(|t| (e, t)))
+        .collect();
+    let config = AdConfig {
+        num_seeds: 500,
+        base_ctr: 0.05,
+        ..AdConfig::default()
+    };
+    for category in [AdCategory::Furniture, AdCategory::MobileGame] {
+        let locec = run_campaign(
+            &s.graph,
+            &s.edge_categories,
+            &predictions,
+            category,
+            Targeting::Locec,
+            &config,
+        );
+        let relation = run_campaign(
+            &s.graph,
+            &s.edge_categories,
+            &predictions,
+            category,
+            Targeting::Relation,
+            &config,
+        );
+        assert!(
+            locec.click_rate > relation.click_rate,
+            "{category:?}: type targeting must lift clicks"
+        );
+    }
+}
+
+#[test]
+fn survey_is_reproducible_across_generations() {
+    let a = Scenario::generate(&SynthConfig::tiny(303));
+    let b = Scenario::generate(&SynthConfig::tiny(303));
+    assert_eq!(a.survey.records.len(), b.survey.records.len());
+    assert_eq!(a.survey.first_category_ratios(), b.survey.first_category_ratios());
+}

@@ -1,0 +1,161 @@
+//! Property-based tests over the cross-crate invariants of the LoCEC
+//! stack: random graphs in, structural guarantees out.
+
+use locec::community::{girvan_newman, modularity, GirvanNewmanConfig, Partition};
+use locec::core::features::tightness;
+use locec::core::{LocecConfig, LocecPipeline};
+use locec::graph::{
+    connected_components, CsrGraph, EgoNetwork, GraphBuilder, MutableGraph, NodeId,
+};
+use locec::synth::{Scenario, SynthConfig};
+use proptest::prelude::*;
+
+/// Strategy: a random simple undirected graph with 2..=24 nodes.
+fn random_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..=24).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=max_edges.min(60)).prop_map(
+            move |pairs| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v) in pairs {
+                    if u != v {
+                        b.add_edge(NodeId(u), NodeId(v));
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_adjacency_is_symmetric(g in random_graph()) {
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                prop_assert!(g.neighbors(w).contains(&v), "asymmetric adjacency");
+                prop_assert_eq!(g.edge_between(v, w), g.edge_between(w, v));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_degree_sums_to_twice_edges(g in random_graph()) {
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn ego_networks_exclude_ego_and_preserve_edges(g in random_graph()) {
+        for v in g.nodes() {
+            let ego = EgoNetwork::extract(&g, v);
+            prop_assert!(ego.to_local(v).is_none(), "ego inside own network");
+            prop_assert_eq!(ego.num_friends(), g.degree(v));
+            // Every local edge maps to a real global edge between friends.
+            for (le, lu, lv) in ego.graph.edges() {
+                let (gu, gv) = (ego.to_global(lu), ego.to_global(lv));
+                prop_assert!(g.has_edge(gu, gv));
+                let ge = ego.edge_to_global(le);
+                let (a, b) = g.endpoints(ge);
+                prop_assert!((a == gu && b == gv) || (a == gv && b == gu));
+            }
+            // Every global edge among friends appears locally.
+            let friends = ego.friends();
+            for (i, &fu) in friends.iter().enumerate() {
+                for &fv in &friends[i + 1..] {
+                    if g.has_edge(fu, fv) {
+                        let lu = ego.to_local(fu).unwrap();
+                        let lv = ego.to_local(fv).unwrap();
+                        prop_assert!(ego.graph.has_edge(lu, lv));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn girvan_newman_partitions_are_valid(g in random_graph()) {
+        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        prop_assert_eq!(p.num_nodes(), g.num_nodes());
+        // Partition labels are dense.
+        for v in g.nodes() {
+            prop_assert!((p.community_of(v) as usize) < p.num_communities());
+        }
+        // Communities never straddle connected components.
+        let cc = connected_components(&g);
+        for (_, u, v) in g.edges() {
+            if p.same_community(u, v) {
+                prop_assert_eq!(cc.component(u), cc.component(v));
+            }
+        }
+        // GN's choice is at least as good as the trivial partitions it
+        // always contains in its dendrogram (the initial component split).
+        let components = Partition::from_labels(&cc.labels);
+        prop_assert!(
+            modularity(&g, &p) >= modularity(&g, &components) - 1e-9,
+            "GN must not underperform the component partition"
+        );
+    }
+
+    #[test]
+    fn modularity_is_bounded(g in random_graph()) {
+        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let q = modularity(&g, &p);
+        prop_assert!((-1.0..=1.0).contains(&q), "modularity {} out of range", q);
+    }
+
+    #[test]
+    fn mutable_graph_edge_removal_roundtrip(g in random_graph()) {
+        let mut m = MutableGraph::from_csr(&g);
+        let edges: Vec<_> = m.edges().collect();
+        for &(u, v) in &edges {
+            prop_assert!(m.remove_edge(u, v));
+        }
+        prop_assert_eq!(m.num_edges(), 0);
+        for &(u, v) in &edges {
+            prop_assert!(m.add_edge(u, v));
+        }
+        prop_assert_eq!(m.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn tightness_is_a_unit_interval_measure(
+        friends_in_c in 0usize..30,
+        extra_out in 0usize..30,
+        size in 1usize..40,
+    ) {
+        let friends_in_c = friends_in_c.min(size.saturating_sub(1));
+        let ego_degree = friends_in_c + extra_out;
+        let t = tightness(friends_in_c, ego_degree, size);
+        prop_assert!((0.0..=1.0).contains(&t), "tightness {}", t);
+        // Monotone: more outside connections never raise tightness.
+        let t_more_outside = tightness(friends_in_c, ego_degree + 1, size);
+        prop_assert!(t_more_outside <= t + 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Phase I invariants hold on full synthetic worlds (expensive case
+    /// count kept low).
+    #[test]
+    fn division_covers_every_edge_of_random_worlds(seed in 0u64..500) {
+        let mut config = SynthConfig::tiny(seed);
+        config.num_users = 120;
+        config.surveyed_users = 20;
+        let s = Scenario::generate(&config);
+        let pipeline = LocecPipeline::new(LocecConfig { threads: 2, ..LocecConfig::fast() });
+        let division = pipeline.divide_only(&s.dataset());
+        for (_, u, v) in s.graph.edges() {
+            prop_assert!(division.community_of(u, v).is_some());
+            prop_assert!(division.community_of(v, u).is_some());
+        }
+        // Tightness bounds hold everywhere.
+        for c in &division.communities {
+            for &t in &c.tightness {
+                prop_assert!((0.0..=1.0).contains(&t));
+            }
+        }
+    }
+}
