@@ -15,13 +15,11 @@ use locec_synth::types::{RelationType, INTERACTION_DIMS, USER_FEATURE_DIMS};
 use locec_synth::SocialDataset;
 
 /// Configuration of the raw-XGBoost baseline.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct XgbEdgeConfig {
     /// Booster hyper-parameters.
     pub gbdt: GbdtConfig,
 }
-
 
 /// Feature width: two profiles plus the pair interaction vector.
 pub const EDGE_FEATURE_DIMS: usize = 2 * USER_FEATURE_DIMS + INTERACTION_DIMS;
@@ -32,8 +30,7 @@ pub fn raw_edge_feature(data: &SocialDataset<'_>, e: EdgeId) -> [f32; EDGE_FEATU
     let (u, v) = data.graph.endpoints(e);
     let mut out = [0.0f32; EDGE_FEATURE_DIMS];
     out[..USER_FEATURE_DIMS].copy_from_slice(&data.user_features[u.index()]);
-    out[USER_FEATURE_DIMS..2 * USER_FEATURE_DIMS]
-        .copy_from_slice(&data.user_features[v.index()]);
+    out[USER_FEATURE_DIMS..2 * USER_FEATURE_DIMS].copy_from_slice(&data.user_features[v.index()]);
     out[2 * USER_FEATURE_DIMS..].copy_from_slice(data.interactions.edge(e));
     out
 }

@@ -22,11 +22,7 @@ fn scenario() -> Scenario {
 
 fn bench_graph_ops(c: &mut Criterion) {
     let s = scenario();
-    let busiest = s
-        .graph
-        .nodes()
-        .max_by_key(|&v| s.graph.degree(v))
-        .unwrap();
+    let busiest = s.graph.nodes().max_by_key(|&v| s.graph.degree(v)).unwrap();
 
     c.bench_function("ego_extract_busiest", |b| {
         b.iter(|| black_box(EgoNetwork::extract(&s.graph, busiest)))
@@ -52,11 +48,7 @@ fn bench_features(c: &mut Criterion) {
     let config = LocecConfig::fast();
     let division = locec_core::phase1::divide(&s.graph, &config);
     let data = s.dataset();
-    let largest = division
-        .communities
-        .iter()
-        .max_by_key(|c| c.len())
-        .unwrap();
+    let largest = division.communities.iter().max_by_key(|c| c.len()).unwrap();
 
     c.bench_function("feature_matrix_largest_community", |b| {
         b.iter(|| {

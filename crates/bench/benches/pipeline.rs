@@ -50,7 +50,9 @@ fn bench_phases23(c: &mut Criterion) {
     let (train, test) = split_edges(&labeled, 0.8, 1);
 
     let mut group = c.benchmark_group("phases23");
-    group.sample_size(10).measurement_time(Duration::from_secs(12));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12));
     for (name, kind) in [
         ("locec_xgb", CommunityModelKind::Xgb),
         ("locec_cnn", CommunityModelKind::Cnn),
@@ -62,13 +64,7 @@ fn bench_phases23(c: &mut Criterion) {
                 config.commcnn.epochs = 3;
                 config.gbdt.num_rounds = 10;
                 let mut p = LocecPipeline::new(config);
-                black_box(p.run_with_division(
-                    &data,
-                    &division,
-                    Duration::ZERO,
-                    &train,
-                    &test,
-                ))
+                black_box(p.run_with_division(&data, &division, Duration::ZERO, &train, &test))
             });
         });
     }

@@ -59,13 +59,8 @@ fn main() {
         config.community_model = CommunityModelKind::Cnn;
         config.row_order = order;
         let mut pipeline = LocecPipeline::new(config);
-        let outcome = pipeline.run_with_division(
-            &data,
-            &division,
-            std::time::Duration::ZERO,
-            &train,
-            &test,
-        );
+        let outcome =
+            pipeline.run_with_division(&data, &division, std::time::Duration::ZERO, &train, &test);
         println!(
             "    {name:<24} overall F1 {:.3}",
             outcome.edge_eval.overall.f1
@@ -115,7 +110,10 @@ fn main() {
     // --- 4. pooled features: mean+std vs mean-only (GBDT input) ---
     println!("\n(4) Community pooling (GBDT on pooled features directly):");
     use locec_core::features::{pooled_feature_vector, FEATURE_COLS};
-    for (name, cols) in [("mean + std (paper)", 2 * FEATURE_COLS), ("mean only", FEATURE_COLS)] {
+    for (name, cols) in [
+        ("mean + std (paper)", 2 * FEATURE_COLS),
+        ("mean only", FEATURE_COLS),
+    ] {
         let mut ds = Dataset::new(cols);
         for &(idx, label) in &labeled_communities {
             let v = pooled_feature_vector(

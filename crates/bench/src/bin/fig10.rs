@@ -58,8 +58,6 @@ fn main() {
         .iter()
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
-    println!(
-        "\nPaper shape: performance peaks at k = 20 and declines for large k."
-    );
+    println!("\nPaper shape: performance peaks at k = 20 and declines for large k.");
     println!("Measured peak: k = {} (F1 {:.3}).", best.0, best.1);
 }

@@ -50,7 +50,12 @@ fn main() {
         eprintln!("swept fraction {:.0}%", 100.0 * fraction);
     }
 
-    let panels = ["(a) Colleagues", "(b) Family Members", "(c) Schoolmates", "(d) Overall"];
+    let panels = [
+        "(a) Colleagues",
+        "(b) Family Members",
+        "(c) Schoolmates",
+        "(d) Overall",
+    ];
     for (p, panel) in panels.iter().enumerate() {
         println!("{panel}");
         print!("| {0:>9} |", "% labeled");
@@ -58,7 +63,10 @@ fn main() {
             print!(" {0:>9} |", m.name());
         }
         println!();
-        println!("|{0:-<11}|{0:-<11}|{0:-<11}|{0:-<11}|{0:-<11}|{0:-<11}|", "");
+        println!(
+            "|{0:-<11}|{0:-<11}|{0:-<11}|{0:-<11}|{0:-<11}|{0:-<11}|",
+            ""
+        );
         for (fi, &fraction) in fractions.iter().enumerate() {
             print!("| {0:>8.0}% |", 100.0 * fraction);
             for mi in 0..Method::ALL.len() {
@@ -71,9 +79,18 @@ fn main() {
 
     println!("Shape checks:");
     let overall = |mi: usize, fi: usize| results[mi][fi][3];
-    let probwp = Method::ALL.iter().position(|&m| m == Method::ProbWp).unwrap();
-    let cnn = Method::ALL.iter().position(|&m| m == Method::LocecCnn).unwrap();
-    let xgb_edge = Method::ALL.iter().position(|&m| m == Method::XgbEdge).unwrap();
+    let probwp = Method::ALL
+        .iter()
+        .position(|&m| m == Method::ProbWp)
+        .unwrap();
+    let cnn = Method::ALL
+        .iter()
+        .position(|&m| m == Method::LocecCnn)
+        .unwrap();
+    let xgb_edge = Method::ALL
+        .iter()
+        .position(|&m| m == Method::XgbEdge)
+        .unwrap();
     let last = fractions.len() - 1;
     let checks = [
         (

@@ -74,18 +74,28 @@ fn main() {
             } else {
                 println!(
                     "| {0:<16} | {1:>10} | {2:>10} | {3:<16} | {4:>9.1}% |",
-                    "", "", "", name, 100.0 * ratio
+                    "",
+                    "",
+                    "",
+                    name,
+                    100.0 * ratio
                 );
             }
         }
         let unknown = survey.second_category_ratio(Unknown, cat);
         println!(
             "| {0:<16} | {1:>10} | {2:>10} | {3:<16} | {4:>9.1}% |",
-            "", "", "", "Unknown", 100.0 * unknown
+            "",
+            "",
+            "",
+            "Unknown",
+            100.0 * unknown
         );
     }
 
-    println!("\nPaper first-category ratios: Family 28%, Colleagues 41%, Schoolmates 15%, Others 16%.");
+    println!(
+        "\nPaper first-category ratios: Family 28%, Colleagues 41%, Schoolmates 15%, Others 16%."
+    );
     println!("Shape check: the three major types dominate (paper: 84% combined).");
     let major: f64 = first[..3].iter().sum();
     println!("Measured major-type share: {:.1}%", 100.0 * major);

@@ -23,11 +23,7 @@ fn main() {
     let harness = Harness::new(&scenario);
     let labeled = harness.data.labeled_edges_sorted();
     let (train, test) = split_edges(&labeled, 0.8, 42);
-    println!(
-        "train edges: {}, test edges: {}\n",
-        train.len(),
-        test.len()
-    );
+    println!("train edges: {}, test edges: {}\n", train.len(), test.len());
 
     print_table_header();
     let mut overall = Vec::new();
@@ -50,9 +46,7 @@ fn main() {
     let checks = [
         (
             "LoCEC-CNN is the best method",
-            Method::ALL
-                .iter()
-                .all(|&m| f1(Method::LocecCnn) >= f1(m)),
+            Method::ALL.iter().all(|&m| f1(Method::LocecCnn) >= f1(m)),
         ),
         (
             "LoCEC-XGB is the runner-up",

@@ -23,7 +23,13 @@ fn main() {
     let cluster = ClusterSim::new(100);
     let t = cluster.predict(&paper_costs, 1_000_000_000);
     println!("(a) paper-calibrated model, 10^9 nodes on 100 servers:");
-    print_row("model", t.training_hours, t.phase1_hours, t.phase2_hours, t.phase3_hours);
+    print_row(
+        "model",
+        t.training_hours,
+        t.phase1_hours,
+        t.phase2_hours,
+        t.phase3_hours,
+    );
     println!("    paper reports:   training 4.5 | Phase I 46.5 | Phase II 15.3 | Phase III 7.4 | total 73.7\n");
 
     // (b) measured on this machine, extrapolated to the same deployment.

@@ -176,8 +176,7 @@ mod tests {
         // full scores for that component's edges.
         let g = build(5, &[(0, 1), (1, 2), (3, 4)]);
         let full = edge_betweenness(&g);
-        let restricted =
-            edge_betweenness_from(&g, Some(&[NodeId(0), NodeId(1), NodeId(2)]));
+        let restricted = edge_betweenness_from(&g, Some(&[NodeId(0), NodeId(1), NodeId(2)]));
         assert_eq!(
             restricted[&(NodeId(0), NodeId(1))],
             full[&(NodeId(0), NodeId(1))]

@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn splits_barbell_at_the_bridge() {
-        let g = build(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = build(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let p = girvan_newman(&g, &GirvanNewmanConfig::default());
         assert_eq!(p.num_communities(), 2);
         assert!(p.same_community(NodeId(0), NodeId(2)));
@@ -226,7 +223,16 @@ mod tests {
     fn deterministic_across_runs() {
         let g = build(
             6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (0, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (2, 3),
+                (0, 5),
+            ],
         );
         let p1 = girvan_newman(&g, &GirvanNewmanConfig::default());
         let p2 = girvan_newman(&g, &GirvanNewmanConfig::default());

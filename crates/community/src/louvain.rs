@@ -98,8 +98,7 @@ fn one_level(graph: &WeightedGraph, rng: &mut StdRng) -> (Vec<u32>, bool) {
     let mut improved = false;
     let mut moved = true;
     // neighbour community -> accumulated edge weight, reused per node.
-    let mut neigh_weights: std::collections::HashMap<usize, f64> =
-        std::collections::HashMap::new();
+    let mut neigh_weights: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
     while moved {
         moved = false;
         for &v in &order {
@@ -126,8 +125,7 @@ fn one_level(graph: &WeightedGraph, rng: &mut StdRng) -> (Vec<u32>, bool) {
             for (c, links) in candidates {
                 // ΔQ of joining c (relative to staying isolated):
                 // links/m − k_v·Σ_tot(c)/(2m²)
-                let gain = links - base_links
-                    - kv * (comm_total[c] - comm_total[old]) / two_m;
+                let gain = links - base_links - kv * (comm_total[c] - comm_total[old]) / two_m;
                 if gain > best_gain + 1e-12 {
                     best_gain = gain;
                     best_comm = c;
@@ -241,20 +239,14 @@ mod tests {
 
     #[test]
     fn modularity_not_worse_than_whole() {
-        let g = build(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = build(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let p = louvain(&g, 1);
         assert!(modularity(&g, &p) >= modularity(&g, &Partition::whole(6)) - 1e-12);
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let g = build(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = build(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         assert_eq!(louvain(&g, 42), louvain(&g, 42));
     }
 
@@ -267,10 +259,7 @@ mod tests {
 
     #[test]
     fn agrees_with_gn_on_barbell() {
-        let g = build(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = build(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let gn = crate::girvan_newman(&g, &crate::GirvanNewmanConfig::default());
         let lv = louvain(&g, 3);
         assert_eq!(gn, lv);

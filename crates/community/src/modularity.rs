@@ -62,10 +62,7 @@ mod tests {
 
     #[test]
     fn two_cliques_split_beats_whole() {
-        let g = build(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = build(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let split = Partition::from_labels(&[0, 0, 0, 1, 1, 1]);
         let q_split = modularity(&g, &split);
         let q_whole = modularity(&g, &Partition::whole(6));

@@ -1,8 +1,8 @@
 //! Property-based tests of the community-detection substrate.
 
 use locec_community::{
-    edge_betweenness, girvan_newman, label_propagation, louvain, modularity,
-    GirvanNewmanConfig, Partition,
+    edge_betweenness, girvan_newman, label_propagation, louvain, modularity, GirvanNewmanConfig,
+    Partition,
 };
 use locec_graph::{connected_components, CsrGraph, GraphBuilder, MutableGraph, NodeId};
 use proptest::prelude::*;

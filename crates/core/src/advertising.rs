@@ -170,10 +170,9 @@ pub fn run_campaign(
         for (friend, edge) in selected {
             impressions += 1;
             let truth = true_types[edge.index()].relation_type();
-            let p_click = (config.base_ctr
-                * ctr_score[friend.index()]
-                * category.click_boost(truth))
-            .min(1.0);
+            let p_click =
+                (config.base_ctr * ctr_score[friend.index()] * category.click_boost(truth))
+                    .min(1.0);
             if rng.gen_bool(p_click) {
                 clicks += 1;
                 let p_interact =
@@ -310,7 +309,10 @@ mod tests {
     #[test]
     fn affinity_mapping_matches_paper() {
         assert_eq!(AdCategory::Furniture.affine_type(), RelationType::Family);
-        assert_eq!(AdCategory::MobileGame.affine_type(), RelationType::Schoolmate);
+        assert_eq!(
+            AdCategory::MobileGame.affine_type(),
+            RelationType::Schoolmate
+        );
     }
 
     #[test]

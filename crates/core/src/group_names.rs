@@ -46,10 +46,8 @@ pub fn mine_group_names(graph: &CsrGraph, groups: &Groups) -> HashMap<EdgeId, Re
                 predictions
                     .entry(edge)
                     .and_modify(|existing| {
-                        let merged = EdgeCategory::principal(
-                            category_of(*existing),
-                            category_of(rel),
-                        );
+                        let merged =
+                            EdgeCategory::principal(category_of(*existing), category_of(rel));
                         *existing = merged.relation_type().expect("major types only");
                     })
                     .or_insert(rel);
@@ -149,7 +147,10 @@ mod tests {
             }
             assert!(m.recall < 0.10, "recall {} should be tiny", m.recall);
         }
-        assert!(some_type_predicted, "no indicative group produced a prediction");
+        assert!(
+            some_type_predicted,
+            "no indicative group produced a prediction"
+        );
     }
 
     #[test]

@@ -106,7 +106,10 @@ pub fn divide(graph: &CsrGraph, config: &LocecConfig) -> DivisionResult {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("shard")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard"))
+            .collect()
     });
 
     let mut communities = Vec::new();
@@ -144,8 +147,7 @@ pub fn divide_one(
             continue;
         }
         // Local degrees needed by Eq. 3.
-        let members_global: Vec<NodeId> =
-            group.iter().map(|&l| ego_net.to_global(l)).collect();
+        let members_global: Vec<NodeId> = group.iter().map(|&l| ego_net.to_global(l)).collect();
         let in_group: std::collections::HashSet<NodeId> = group.iter().copied().collect();
         let tightness_values: Vec<f32> = group
             .iter()

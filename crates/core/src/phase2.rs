@@ -76,12 +76,8 @@ impl CommunityClassifier {
                 let mut ds = Dataset::new(2 * crate::features::FEATURE_COLS);
                 for &(idx, label) in labeled {
                     let c = &division.communities[idx as usize];
-                    let v = pooled_feature_vector(
-                        data.graph,
-                        data.interactions,
-                        data.user_features,
-                        c,
-                    );
+                    let v =
+                        pooled_feature_vector(data.graph, data.interactions, data.user_features, c);
                     ds.push(&v, label.label());
                 }
                 let model = Gbdt::fit(&ds, RelationType::COUNT, &config.gbdt);
@@ -128,12 +124,8 @@ impl CommunityClassifier {
         match self {
             CommunityClassifier::Xgb(model) => {
                 for c in &division.communities {
-                    let v = pooled_feature_vector(
-                        data.graph,
-                        data.interactions,
-                        data.user_features,
-                        c,
-                    );
+                    let v =
+                        pooled_feature_vector(data.graph, data.interactions, data.user_features, c);
                     embeddings.push(model.leaf_values(&v));
                     probabilities.push(model.predict_proba(&v));
                 }
@@ -195,12 +187,8 @@ impl CommunityClassifier {
             let c = &division.communities[idx as usize];
             let pred = match self {
                 CommunityClassifier::Xgb(model) => {
-                    let v = pooled_feature_vector(
-                        data.graph,
-                        data.interactions,
-                        data.user_features,
-                        c,
-                    );
+                    let v =
+                        pooled_feature_vector(data.graph, data.interactions, data.user_features, c);
                     model.predict(&v)
                 }
                 CommunityClassifier::Cnn(cnn) => {

@@ -9,10 +9,10 @@
 
 use crate::phase1::DivisionResult;
 use crate::phase2::AggregationResult;
+use locec_graph::{CsrGraph, EdgeId, NodeId};
 use locec_ml::linear::{LogisticRegression, LogisticRegressionConfig};
 use locec_ml::metrics::{evaluate, Evaluation};
 use locec_ml::Dataset;
-use locec_graph::{CsrGraph, EdgeId, NodeId};
 use locec_synth::types::RelationType;
 
 /// Builds the Eq. 4 feature vector of an edge. Returns `None` only when the
@@ -204,17 +204,11 @@ mod tests {
     }
 
     #[test]
-    fn classifier_beats_chance_on_train_edges(){
+    fn classifier_beats_chance_on_train_edges() {
         let f = fixture();
         let ds = f.scenario.dataset();
         let labeled = ds.labeled_edges_sorted();
-        let clf = EdgeClassifier::train(
-            ds.graph,
-            &f.division,
-            &f.agg,
-            &labeled,
-            &f.config.lr,
-        );
+        let clf = EdgeClassifier::train(ds.graph, &f.division, &f.agg, &labeled, &f.config.lr);
         let eval = clf.evaluate_on(ds.graph, &f.division, &f.agg, &labeled);
         assert!(
             eval.accuracy > 0.5,
@@ -228,8 +222,7 @@ mod tests {
         let f = fixture();
         let ds = f.scenario.dataset();
         let labeled = ds.labeled_edges_sorted();
-        let clf =
-            EdgeClassifier::train(ds.graph, &f.division, &f.agg, &labeled, &f.config.lr);
+        let clf = EdgeClassifier::train(ds.graph, &f.division, &f.agg, &labeled, &f.config.lr);
         let preds = clf.predict_all(ds.graph, &f.division, &f.agg);
         assert_eq!(preds.len(), ds.graph.num_edges());
         let dist = type_distribution(&preds);

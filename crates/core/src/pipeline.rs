@@ -130,13 +130,8 @@ impl LocecPipeline {
 
         // --- Phase III: edge labeling ---
         let t3 = Instant::now();
-        let edge_clf = EdgeClassifier::train(
-            data.graph,
-            division,
-            &agg,
-            train_edges,
-            &self.config.lr,
-        );
+        let edge_clf =
+            EdgeClassifier::train(data.graph, division, &agg, train_edges, &self.config.lr);
         let edge_eval = edge_clf.evaluate_on(data.graph, division, &agg, test_edges);
         let all_predictions = edge_clf.predict_all(data.graph, division, &agg);
         let phase3_time = t3.elapsed();
@@ -241,9 +236,7 @@ mod tests {
             ..LocecConfig::fast()
         });
         let outcome = pipeline.run(&scenario.dataset(), 0.8);
-        assert!(
-            (outcome.community_type_distribution.iter().sum::<f64>() - 1.0).abs() < 1e-9
-        );
+        assert!((outcome.community_type_distribution.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((outcome.edge_type_distribution.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 

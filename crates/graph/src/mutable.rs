@@ -102,15 +102,9 @@ impl MutableGraph {
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, ns)| {
             let u = NodeId(u as u32);
-            ns.iter().copied().filter_map(
-                move |v| {
-                    if u < v {
-                        Some((u, v))
-                    } else {
-                        None
-                    }
-                },
-            )
+            ns.iter()
+                .copied()
+                .filter_map(move |v| if u < v { Some((u, v)) } else { None })
         })
     }
 

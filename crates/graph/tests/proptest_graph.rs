@@ -1,8 +1,8 @@
 //! Property-based tests of the graph substrate.
 
 use locec_graph::{
-    bfs_order, connected_components, traversal::bfs_distances, CsrGraph, EgoNetwork,
-    GraphBuilder, MutableGraph, NodeId,
+    bfs_order, connected_components, traversal::bfs_distances, CsrGraph, EgoNetwork, GraphBuilder,
+    MutableGraph, NodeId,
 };
 use proptest::prelude::*;
 

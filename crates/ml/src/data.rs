@@ -116,10 +116,7 @@ impl Dataset {
                 var[j] += (v - mean[j]).powi(2);
             }
         }
-        let std = var
-            .into_iter()
-            .map(|v| (v / n).sqrt().max(1e-9))
-            .collect();
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-9)).collect();
         (mean, std)
     }
 

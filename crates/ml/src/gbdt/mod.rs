@@ -266,7 +266,10 @@ mod tests {
         };
         let m1 = Gbdt::fit(&data, 3, &cfg);
         let m2 = Gbdt::fit(&data, 3, &cfg);
-        assert_eq!(m1.predict_margins(&[0.5, 0.5]), m2.predict_margins(&[0.5, 0.5]));
+        assert_eq!(
+            m1.predict_margins(&[0.5, 0.5]),
+            m2.predict_margins(&[0.5, 0.5])
+        );
     }
 
     #[test]

@@ -242,7 +242,14 @@ mod tests {
     #[test]
     fn splits_a_step_function_exactly() {
         let data = Dataset::from_rows(
-            &[vec![0.0], vec![1.0], vec![2.0], vec![10.0], vec![11.0], vec![12.0]],
+            &[
+                vec![0.0],
+                vec![1.0],
+                vec![2.0],
+                vec![10.0],
+                vec![11.0],
+                vec![12.0],
+            ],
             &[0; 6],
         );
         let (grad, hess) = regression_setup(&[1.0, 1.0, 1.0, 5.0, 5.0, 5.0]);

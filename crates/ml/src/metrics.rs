@@ -62,8 +62,14 @@ pub fn evaluate(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> Evalu
     let mut correct = 0usize;
     for c in 0..num_classes {
         let tp = confusion[c][c];
-        let fp: usize = (0..num_classes).filter(|&t| t != c).map(|t| confusion[t][c]).sum();
-        let fn_: usize = (0..num_classes).filter(|&p| p != c).map(|p| confusion[c][p]).sum();
+        let fp: usize = (0..num_classes)
+            .filter(|&t| t != c)
+            .map(|t| confusion[t][c])
+            .sum();
+        let fn_: usize = (0..num_classes)
+            .filter(|&p| p != c)
+            .map(|p| confusion[c][p])
+            .sum();
         correct += tp;
         per_class.push(ClassMetrics::from_counts(tp, fp, fn_));
     }

@@ -37,10 +37,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self
-            .mask
-            .take()
-            .expect("backward without training forward");
+        let mask = self.mask.take().expect("backward without training forward");
         let mut g = grad_out.clone();
         for (v, &keep) in g.data_mut().iter_mut().zip(&mask) {
             if !keep {

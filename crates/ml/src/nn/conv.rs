@@ -119,10 +119,8 @@ impl Layer for Conv2d {
                                 let yi = (yo as isize + dy) as usize;
                                 let out_row = out_plane + yo * ow;
                                 let in_row = in_plane + yi * w;
-                                let o = &mut out_data
-                                    [out_row + xo_lo..out_row + xo_hi];
-                                let iv = &in_data[in_row
-                                    + (xo_lo as isize + dx) as usize
+                                let o = &mut out_data[out_row + xo_lo..out_row + xo_hi];
+                                let iv = &in_data[in_row + (xo_lo as isize + dx) as usize
                                     ..in_row + (xo_hi as isize + dx) as usize];
                                 for (ov, &x) in o.iter_mut().zip(iv) {
                                     *ov += weight * x;
@@ -187,9 +185,7 @@ impl Layer for Conv2d {
                                 let ihi = (in_row as isize + xo_hi as isize + dx) as usize;
                                 let ivs = &in_data[ilo..ihi];
                                 let gins = &mut gin_data[ilo..ihi];
-                                for ((gin, &g), &x) in
-                                    gins.iter_mut().zip(gs).zip(ivs)
-                                {
+                                for ((gin, &g), &x) in gins.iter_mut().zip(gs).zip(ivs) {
                                     *gin += weight * g;
                                     wgrad += g * x;
                                 }

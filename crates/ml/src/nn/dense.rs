@@ -177,10 +177,7 @@ mod tests {
         // Each row of the batch must be transformed independently.
         let mut d = Dense::new(2, 1, &mut rng());
         let single = d.forward(&Tensor::from_vec(&[1, 2], vec![1.0, 2.0]), false);
-        let batch = d.forward(
-            &Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 1.0, 2.0]),
-            false,
-        );
+        let batch = d.forward(&Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 1.0, 2.0]), false);
         assert!((batch.at2(0, 0) - single.at2(0, 0)).abs() < 1e-6);
         assert!((batch.at2(1, 0) - single.at2(0, 0)).abs() < 1e-6);
     }

@@ -131,12 +131,7 @@ pub fn he_normal(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
 }
 
 /// Xavier-uniform initialization: `U(±sqrt(6/(fan_in+fan_out)))`.
-pub fn xavier_uniform(
-    shape: &[usize],
-    fan_in: usize,
-    fan_out: usize,
-    rng: &mut StdRng,
-) -> Tensor {
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
     let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
     let data = (0..shape.iter().product::<usize>())
         .map(|_| (rng.gen_range(-limit..limit)) as f32)

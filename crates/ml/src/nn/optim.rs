@@ -203,10 +203,7 @@ mod tests {
         // Two linearly separable blobs must reach zero training error.
         let mut rng = StdRng::seed_from_u64(3);
         let mut net = Sequential::new().push(Dense::new(2, 2, &mut rng));
-        let x = Tensor::from_vec(
-            &[4, 2],
-            vec![2.0, 2.0, 3.0, 2.5, -2.0, -2.0, -3.0, -2.5],
-        );
+        let x = Tensor::from_vec(&[4, 2], vec![2.0, 2.0, 3.0, 2.5, -2.0, -2.0, -3.0, -2.5]);
         let y = [0usize, 0, 1, 1];
         let mut opt = Adam::new(0.1);
         let mut last_loss = f32::INFINITY;

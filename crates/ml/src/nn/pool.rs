@@ -154,10 +154,7 @@ mod tests {
     #[test]
     fn pool_2x2_takes_max() {
         let mut pool = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            &[1, 1, 2, 4],
-            vec![1., 5., 2., 0., 3., 4., 8., 6.],
-        );
+        let x = Tensor::from_vec(&[1, 1, 2, 4], vec![1., 5., 2., 0., 3., 4., 8., 6.]);
         let y = pool.forward(&x, false);
         assert_eq!(y.shape(), &[1, 1, 1, 2]);
         assert_eq!(y.data(), &[5.0, 8.0]);
@@ -166,10 +163,7 @@ mod tests {
     #[test]
     fn pool_drops_partial_windows() {
         let mut pool = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            &[1, 1, 3, 3],
-            vec![1., 2., 9., 3., 4., 9., 9., 9., 9.],
-        );
+        let x = Tensor::from_vec(&[1, 1, 3, 3], vec![1., 2., 9., 3., 4., 9., 9., 9., 9.]);
         let y = pool.forward(&x, false);
         assert_eq!(y.shape(), &[1, 1, 1, 1]);
         assert_eq!(y.data(), &[4.0]);

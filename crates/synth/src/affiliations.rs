@@ -57,7 +57,11 @@ pub struct Affiliation {
 impl Affiliation {
     /// Number of distinct teams.
     pub fn num_teams(&self) -> usize {
-        self.teams.iter().map(|&t| t as usize + 1).max().unwrap_or(0)
+        self.teams
+            .iter()
+            .map(|&t| t as usize + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Members of one team.
@@ -72,11 +76,7 @@ impl Affiliation {
 
 /// Chunks `n` members (already in random order) into teams with sizes drawn
 /// from `structure.team_size`.
-fn assign_teams(
-    n: usize,
-    structure: &crate::config::TeamStructure,
-    rng: &mut StdRng,
-) -> Vec<u32> {
+fn assign_teams(n: usize, structure: &crate::config::TeamStructure, rng: &mut StdRng) -> Vec<u32> {
     let mut teams = vec![0u32; n];
     let mut cursor = 0usize;
     let mut team = 0u32;
@@ -267,10 +267,7 @@ mod tests {
         let p = plan();
         for cohort in p.of_kind(AffiliationKind::SchoolCohort) {
             let ages: Vec<u8> = cohort.members.iter().map(|m| p.ages[m.index()]).collect();
-            let (min, max) = (
-                *ages.iter().min().unwrap(),
-                *ages.iter().max().unwrap(),
-            );
+            let (min, max) = (*ages.iter().min().unwrap(), *ages.iter().max().unwrap());
             // Banding comes from sorting by age; chunks span limited range
             // except at partition boundaries of sparse bands.
             assert!(max - min <= 40, "cohort spans ages {min}..{max}");

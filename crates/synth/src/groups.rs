@@ -39,8 +39,7 @@ pub struct Groups {
 impl Groups {
     /// Generates groups from the planted affiliations.
     pub fn generate(plan: &AffiliationPlan, num_users: usize, config: &SynthConfig) -> Self {
-        let mut rng =
-            StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(3));
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(3));
         let mut groups: Vec<ChatGroup> = Vec::new();
 
         for (aff_idx, aff) in plan.affiliations.iter().enumerate() {
@@ -60,8 +59,7 @@ impl Groups {
                 }
                 AffiliationKind::Workplace => {
                     // Whole-workplace groups (announcements, socials)…
-                    let k = ((aff.members.len() as f64 / 10.0)
-                        * config.workplace_groups_per_10)
+                    let k = ((aff.members.len() as f64 / 10.0) * config.workplace_groups_per_10)
                         .ceil() as usize;
                     for _ in 0..k.max(1) {
                         groups.push(make_group(
@@ -248,7 +246,14 @@ const SCHOOLS: [&str; 6] = [
     "Tsing",
     "Lakeside",
 ];
-const HOBBIES: [&str; 6] = ["Hiking", "Photography", "Badminton", "Chess", "Cycling", "Running"];
+const HOBBIES: [&str; 6] = [
+    "Hiking",
+    "Photography",
+    "Badminton",
+    "Chess",
+    "Cycling",
+    "Running",
+];
 const GENERIC: [&str; 10] = [
     "Happy friends",
     "Weekend crew",

@@ -47,15 +47,14 @@ impl EdgeInteractions {
         config: &SynthConfig,
     ) -> Self {
         assert_eq!(graph.num_edges(), edge_categories.len());
-        let mut rng =
-            StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(2));
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(2));
         let mut counts = vec![[0.0f32; INTERACTION_DIMS]; graph.num_edges()];
 
         for (e, u, v) in graph.edges() {
             let cat = edge_categories[e.index()];
             // Activity of the pair modulates whether they interact at all.
-            let pair_activity = 0.5
-                * (profiles[u.index()].activity + profiles[v.index()].activity) as f64;
+            let pair_activity =
+                0.5 * (profiles[u.index()].activity + profiles[v.index()].activity) as f64;
             let p_active =
                 (config.interaction_prob[cat as usize] * (0.6 + 0.8 * pair_activity)).min(1.0);
             if !rng.gen_bool(p_active) {

@@ -48,8 +48,7 @@ impl Scenario {
     pub fn generate(config: &SynthConfig) -> Self {
         let plan = AffiliationPlan::generate(config);
         let n = config.num_users;
-        let mut rng =
-            StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(5));
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(5));
 
         // --- profiles (ages come from the plan) ---
         let profiles: Vec<UserProfile> = (0..n)
@@ -63,9 +62,9 @@ impl Scenario {
         // §II-B clustering observation LoCEC Phase I depends on.
         let mut pair_category: HashMap<(u32, u32), EdgeCategory> = HashMap::new();
         let add_pair = |pair_category: &mut HashMap<(u32, u32), EdgeCategory>,
-                            u: NodeId,
-                            v: NodeId,
-                            cat: EdgeCategory| {
+                        u: NodeId,
+                        v: NodeId,
+                        cat: EdgeCategory| {
             pair_category
                 .entry(canonical(u, v))
                 .and_modify(|existing| *existing = EdgeCategory::principal(*existing, cat))

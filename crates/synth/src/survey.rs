@@ -46,8 +46,7 @@ impl Survey {
         edge_categories: &[EdgeCategory],
         config: &SynthConfig,
     ) -> Self {
-        let mut rng =
-            StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(4));
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(4));
         let mut users: Vec<NodeId> = graph.nodes().collect();
         users.shuffle(&mut rng);
         let surveyed: Vec<NodeId> = users

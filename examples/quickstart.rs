@@ -43,7 +43,10 @@ fn main() {
         outcome.phase1_time, outcome.phase2_time, outcome.phase3_time
     );
 
-    println!("\nedge classification on {} held-out labeled edges:", outcome.num_test_edges);
+    println!(
+        "\nedge classification on {} held-out labeled edges:",
+        outcome.num_test_edges
+    );
     for t in RelationType::ALL {
         let m = &outcome.edge_eval.per_class[t.label()];
         println!(

@@ -55,7 +55,10 @@ fn main() {
             (e, t)
         })
         .collect();
-    println!("classified {} friendships into relationship types\n", predictions.len());
+    println!(
+        "classified {} friendships into relationship types\n",
+        predictions.len()
+    );
 
     // --- run both campaigns with both targeting strategies ---
     let ad_config = AdConfig {

@@ -23,8 +23,18 @@ fn table1_shape_major_types_dominate() {
     let major: f64 = ratios[..3].iter().sum();
     assert!(major > 0.75, "major types cover {major:.2}, paper: 0.84");
     // Colleagues > family > schoolmates (Table I ordering).
-    assert!(ratios[1] > ratios[0], "colleague {} > family {}", ratios[1], ratios[0]);
-    assert!(ratios[0] > ratios[2], "family {} > schoolmate {}", ratios[0], ratios[2]);
+    assert!(
+        ratios[1] > ratios[0],
+        "colleague {} > family {}",
+        ratios[1],
+        ratios[0]
+    );
+    assert!(
+        ratios[0] > ratios[2],
+        "family {} > schoolmate {}",
+        ratios[0],
+        ratios[2]
+    );
 }
 
 #[test]
@@ -127,11 +137,7 @@ fn fig13_shape_family_communities_are_smaller() {
             let e = s.graph.edge_between(community.ego, m).unwrap();
             counts[s.edge_categories[e.index()] as usize] += 1;
         }
-        let (best, _) = counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, c)| *c)
-            .unwrap();
+        let (best, _) = counts.iter().enumerate().max_by_key(|&(_, c)| *c).unwrap();
         if best < 3 {
             size_sum[best] += community.len() as f64;
             n[best] += 1;
@@ -189,5 +195,8 @@ fn survey_is_reproducible_across_generations() {
     let a = Scenario::generate(&SynthConfig::tiny(303));
     let b = Scenario::generate(&SynthConfig::tiny(303));
     assert_eq!(a.survey.records.len(), b.survey.records.len());
-    assert_eq!(a.survey.first_category_ratios(), b.survey.first_category_ratios());
+    assert_eq!(
+        a.survey.first_category_ratios(),
+        b.survey.first_category_ratios()
+    );
 }

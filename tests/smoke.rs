@@ -1,0 +1,49 @@
+//! Cheap end-to-end smoke test: a tiny synthetic world through the full
+//! three-phase pipeline. Exists so CI catches pipeline breakage in seconds
+//! without waiting for the property suites.
+
+use locec::core::{CommunityModelKind, LocecConfig, LocecPipeline};
+use locec::synth::{Scenario, SynthConfig};
+use std::time::{Duration, Instant};
+
+#[test]
+fn tiny_world_runs_end_to_end() {
+    let started = Instant::now();
+
+    // Smaller than `tiny` and on the GBDT model: the CommCNN path in a
+    // debug build costs tens of seconds, which belongs in end_to_end.rs,
+    // not here.
+    let mut synth = SynthConfig::tiny(3);
+    synth.num_users = 120;
+    synth.surveyed_users = 30;
+    let scenario = Scenario::generate(&synth);
+    let config = LocecConfig {
+        community_model: CommunityModelKind::Xgb,
+        ..LocecConfig::fast()
+    };
+    let mut pipeline = LocecPipeline::new(config);
+    let outcome = pipeline.run(&scenario.dataset(), 0.8);
+
+    // Non-empty outcome: communities were found and edges were classified.
+    assert!(outcome.num_communities > 0, "no local communities detected");
+    assert!(!outcome.community_sizes.is_empty());
+    assert!(outcome.num_train_edges > 0, "no training edges");
+    assert!(outcome.num_test_edges > 0, "no held-out edges");
+    let edge_share: f64 = outcome.edge_type_distribution.iter().sum();
+    assert!(
+        (edge_share - 1.0).abs() < 1e-6,
+        "edge type distribution must sum to 1, got {edge_share}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&outcome.edge_eval.overall.f1),
+        "overall F1 out of range"
+    );
+
+    // "Under a few seconds": generous bound so debug builds on slow CI
+    // runners still pass, while hangs and accidental quadratic blowups fail.
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "smoke test took {:?} — pipeline performance regressed badly",
+        started.elapsed()
+    );
+}

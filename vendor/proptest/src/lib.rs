@@ -1,0 +1,171 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: range/tuple strategies, `prop_map`/`prop_flat_map`,
+//! `proptest::collection::{vec, hash_set}`, `ProptestConfig::with_cases`,
+//! and the `proptest!`/`prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **Deterministic**: each property derives its RNG seed from the test
+//!   function name, so every run (and every CI run) exercises the same
+//!   cases and failures reproduce immediately.
+//! * **No shrinking**: a failing case is reported with its case index;
+//!   because runs are deterministic, the failing input can be re-derived
+//!   and promoted to an explicit regression test (the convention this
+//!   workspace follows).
+//! * `prop_assert*` panics instead of returning `TestCaseError`, which is
+//!   equivalent under `#[test]`.
+//!
+//! Case count defaults to 64 (upstream defaults to 256) to keep the suite
+//! fast; override per-block with `ProptestConfig::with_cases` or globally
+//! with the `PROPTEST_CASES` environment variable.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Entry-point macro: a block of deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(10))]
+///     #[test]
+///     fn prop(x in 0u32..100, v in proptest::collection::vec(0i64..9, 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @config($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                for __case in 0..__config.cases {
+                    let __vals = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut __rng), )+
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || {
+                            let ( $($pat,)+ ) = __vals;
+                            $body
+                        }),
+                    );
+                    if let ::std::result::Result::Err(__panic) = __outcome {
+                        ::std::eprintln!(
+                            "proptest shim: property `{}` failed on case {}/{} \
+                             (deterministic seed; rerunning reproduces this case)",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Panicking stand-in for proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { ::std::assert!($($tokens)*) };
+}
+
+/// Panicking stand-in for proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { ::std::assert_eq!($($tokens)*) };
+}
+
+/// Panicking stand-in for proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { ::std::assert_ne!($($tokens)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::test_runner::rng_for("ranges");
+        for _ in 0..500 {
+            let x = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&x));
+            let y = (0u32..=4).generate(&mut rng);
+            assert!(y <= 4);
+            let f = (-2.0f32..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = crate::test_runner::rng_for("compose");
+        let strat = (1usize..5)
+            .prop_flat_map(|n| crate::collection::vec(0..n as u32, n).prop_map(move |v| (n, v)));
+        for _ in 0..200 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| (x as usize) < n));
+        }
+    }
+
+    #[test]
+    fn collections_honor_size_ranges() {
+        let mut rng = crate::test_runner::rng_for("collections");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u64..100, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let s: HashSet<u64> = crate::collection::hash_set(0u64..3, 0..=3).generate(&mut rng);
+            assert!(s.len() <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(
+            x in 0usize..50,
+            (a, b) in (0u32..10, 0u32..10),
+            v in crate::collection::vec(-5i64..5, 0..=4),
+        ) {
+            prop_assert!(x < 50);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert!(v.len() <= 4);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Runner configuration and deterministic per-property seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block (subset of upstream's fields).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG derived from the property's name (FNV-1a), so every
+/// run of a given test binary explores the same cases.
+pub fn rng_for(test_name: &str) -> StdRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}

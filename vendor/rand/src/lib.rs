@@ -1,0 +1,334 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the few pieces of `rand` the codebase actually uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64, matching `SeedableRng::seed_from_u64` semantics.
+//! * [`Rng::gen_range`] over integer and float ranges (half-open and
+//!   inclusive), [`Rng::gen_bool`], and [`Rng::gen`].
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//!
+//! The streams differ from upstream `rand` (no algorithmic compatibility is
+//! promised), but every generator here is deterministic given its seed,
+//! which is the property the synthetic-world code relies on.
+
+pub mod rngs;
+pub mod seq;
+
+use core::ops::{Range, RangeInclusive};
+
+/// Minimal core generator trait: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with SplitMix64 (same contract as
+    /// upstream: distinct inputs give independent-looking generators).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = splitmix64(&mut sm).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+
+    fn from_entropy() -> Self {
+        // No OS entropy source in the sandbox: derive from the monotonic
+        // address of a stack local plus a fixed constant. Callers in this
+        // workspace always seed explicitly; this exists for API parity.
+        let marker = 0u8;
+        Self::seed_from_u64(&marker as *const u8 as u64 ^ 0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform sampling within a range, one impl per primitive.
+pub trait SampleUniform: Sized {
+    fn sample_between<G: RngCore + ?Sized>(
+        rng: &mut G,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<G: RngCore + ?Sized>(
+                rng: &mut G,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let lo_w = lo as i128;
+                let hi_w = hi as i128;
+                let span = (hi_w - lo_w) as u128 + if inclusive { 1 } else { 0 };
+                debug_assert!(span > 0, "empty range in gen_range");
+                let r = (rng.next_u64() as u128) % span;
+                (lo_w + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_between<G: RngCore + ?Sized>(
+        rng: &mut G,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
+        // 53 uniform mantissa bits; inclusive ranges divide by 2^53 - 1 so
+        // the unit interval (and therefore `hi`) is attainable.
+        let bits = (rng.next_u64() >> 11) as f64;
+        let unit = if inclusive {
+            bits / ((1u64 << 53) - 1) as f64
+        } else {
+            bits * (1.0 / (1u64 << 53) as f64)
+        };
+        lo + (hi - lo) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_between<G: RngCore + ?Sized>(
+        rng: &mut G,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self {
+        let bits = (rng.next_u64() >> 40) as f32;
+        let unit = if inclusive {
+            bits / ((1u32 << 24) - 1) as f32
+        } else {
+            bits * (1.0 / (1u32 << 24) as f32)
+        };
+        lo + (hi - lo) * unit
+    }
+}
+
+/// Range argument adapter for [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty inclusive range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution subset).
+pub trait StandardSample {
+    fn standard_sample<G: RngCore + ?Sized>(rng: &mut G) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn standard_sample<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn standard_sample<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn standard_sample<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn standard_sample<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn standard_sample<G: RngCore + ?Sized>(rng: &mut G) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// User-facing generator methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        f64::standard_sample(self) < p
+    }
+
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value_of_small_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_inclusive_ranges_can_reach_their_upper_bound() {
+        // Regression: the inclusive flag used to be ignored for floats,
+        // making gen_range(a..=b) behave as a..b. Drive sample_between
+        // with a saturated generator so the unit draw is exactly 1.0.
+        struct MaxRng;
+        impl RngCore for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        assert_eq!(f64::sample_between(&mut MaxRng, 0.0, 1.0, true), 1.0);
+        assert_eq!(f32::sample_between(&mut MaxRng, -2.0, 3.0, true), 3.0);
+        assert!(f64::sample_between(&mut MaxRng, 0.0, 1.0, false) < 1.0);
+        assert!(f32::sample_between(&mut MaxRng, 0.0, 1.0, false) < 1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..2000 {
+            let v = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gen_bool_rejects_out_of_range_p_in_release_too() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_bool(1.5);
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert_eq!((0..100).filter(|_| rng.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| rng.gen_bool(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

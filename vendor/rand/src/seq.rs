@@ -1,0 +1,43 @@
+//! Sequence utilities (`rand::seq` subset): Fisher–Yates shuffle and
+//! uniform element choice over slices.
+
+use crate::{Rng, RngCore, SampleUniform};
+
+pub trait SliceRandom {
+    type Item;
+
+    /// In-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, or `None` on an empty slice.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Up to `amount` distinct elements via a partial shuffle of indices.
+    fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> Vec<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_between(rng, 0, i, true);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore>(&self, rng: &mut R, amount: usize) -> Vec<&T> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(amount.min(self.len()));
+        idx.into_iter().map(|i| &self[i]).collect()
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The LoCEC codebase only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations — nothing actually serializes yet (there is
+//! no `serde_json` in the tree). This shim keeps those derives compiling
+//! without crates.io access: the derive macros expand to nothing, and the
+//! trait names exist so `use serde::{Deserialize, Serialize}` resolves in
+//! both the macro and trait namespaces.
+//!
+//! When real serialization lands (see ROADMAP), swap this vendored crate
+//! for upstream `serde` by editing one line in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// intentionally does not implement it).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de>: Sized {}
