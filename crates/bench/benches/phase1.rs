@@ -1,0 +1,66 @@
+//! Criterion group `phase1_throughput`: division throughput on the tiny
+//! synthetic world, optimized vs reference, plus the per-ego building
+//! blocks the overhaul touched (arena-reusing extraction + GN).
+//!
+//! The headline numbers (50k-user world, JSON trajectory) come from the
+//! `phase1_throughput` *bin*; this group exists so `cargo bench -p
+//! locec_bench` tracks the same path continuously at micro scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locec_community::{girvan_newman_with, GirvanNewmanConfig, GnScratch};
+use locec_core::{phase1, LocecConfig};
+use locec_graph::{EgoNetwork, EgoScratch};
+use locec_synth::{Scenario, SynthConfig};
+use std::hint::black_box;
+
+fn world() -> Scenario {
+    Scenario::generate(&SynthConfig::tiny(7))
+}
+
+fn config(threads: usize) -> LocecConfig {
+    LocecConfig {
+        threads,
+        ..LocecConfig::default()
+    }
+}
+
+fn bench_divide(c: &mut Criterion) {
+    let s = world();
+    for threads in [1usize, 2] {
+        c.bench_function(&format!("phase1_divide_optimized_t{threads}"), |b| {
+            b.iter(|| black_box(phase1::divide(&s.graph, &config(threads))))
+        });
+        c.bench_function(&format!("phase1_divide_reference_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(phase1::reference::divide_reference(
+                    &s.graph,
+                    &config(threads),
+                ))
+            })
+        });
+    }
+}
+
+fn bench_ego_pipeline(c: &mut Criterion) {
+    let s = world();
+    let busiest = s.graph.nodes().max_by_key(|&v| s.graph.degree(v)).unwrap();
+
+    let mut slot = EgoNetwork::default();
+    let mut scratch = EgoScratch::default();
+    c.bench_function("ego_rebuild_busiest_arena", |b| {
+        b.iter(|| {
+            slot.rebuild(&s.graph, busiest, &mut scratch);
+            black_box(slot.num_friends())
+        })
+    });
+
+    let ego = EgoNetwork::extract(&s.graph, busiest);
+    let mut gn_scratch = GnScratch::default();
+    let gn_config = GirvanNewmanConfig::default();
+    c.bench_function("girvan_newman_ego_arena", |b| {
+        b.iter(|| black_box(girvan_newman_with(&ego.graph, &gn_config, &mut gn_scratch)))
+    });
+}
+
+criterion_group!(phase1_throughput, bench_divide, bench_ego_pipeline);
+criterion_main!(phase1_throughput);

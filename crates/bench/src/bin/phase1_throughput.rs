@@ -1,0 +1,199 @@
+//! Phase I throughput benchmark: ego-networks/sec of `divide` (persistent
+//! pool + flat edge-indexed GN + per-worker arenas) against the preserved
+//! pre-optimization implementation (`phase1::reference`), across thread
+//! counts, on a synthetic social world.
+//!
+//! Run: `cargo run --release -p locec_bench --bin phase1_throughput`
+//!
+//! Environment knobs:
+//! * `LOCEC_SCALE` — `tiny` (CI smoke, 300 users) | `small` | `medium` |
+//!   `paper`; overridden by
+//! * `LOCEC_P1_USERS` — explicit user count (default 50_000, the world the
+//!   ROADMAP's ≥2× acceptance criterion is measured on);
+//! * `LOCEC_P1_THREADS` — comma-separated thread counts (default `1,2,4,8`);
+//! * `LOCEC_P1_OUT` — output path (default `BENCH_phase1.json`).
+//!
+//! Results (and the machine's thread budget) are written as JSON so later
+//! PRs can track the perf trajectory; the committed `BENCH_phase1.json` is
+//! the baseline recorded when this benchmark landed.
+
+use locec_bench::Scale;
+use locec_core::phase1;
+use locec_core::LocecConfig;
+use locec_synth::{Scenario, SynthConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Sample {
+    implementation: &'static str,
+    threads: usize,
+    seconds: f64,
+    egos_per_sec: f64,
+}
+
+fn main() {
+    let users: usize = std::env::var("LOCEC_P1_USERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            if std::env::var("LOCEC_SCALE").is_ok() {
+                Scale::from_env().config(7).num_users
+            } else {
+                50_000
+            }
+        });
+    let thread_counts: Vec<usize> = std::env::var("LOCEC_P1_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let out_path = std::env::var("LOCEC_P1_OUT").unwrap_or_else(|_| "BENCH_phase1.json".into());
+
+    eprintln!("generating synthetic world ({users} users)...");
+    let t_gen = Instant::now();
+    let scenario = Scenario::generate(&SynthConfig {
+        num_users: users,
+        surveyed_users: (users / 50).max(10),
+        seed: 7,
+        ..SynthConfig::default()
+    });
+    let graph = &scenario.graph;
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    eprintln!(
+        "world ready in {:.1}s: {n} nodes, {m} edges",
+        t_gen.elapsed().as_secs_f64()
+    );
+
+    let config_for = |threads: usize| LocecConfig {
+        threads,
+        ..LocecConfig::default()
+    };
+
+    // Correctness gate: the optimized path must match the reference and be
+    // thread-count invariant before its numbers mean anything.
+    {
+        let d1 = phase1::divide(graph, &config_for(1));
+        let dt = phase1::divide(graph, &config_for(*thread_counts.last().unwrap()));
+        assert_eq!(
+            d1.num_communities(),
+            dt.num_communities(),
+            "divide() not thread-count invariant"
+        );
+        for (a, b) in d1.communities.iter().zip(&dt.communities) {
+            assert!(
+                a.ego == b.ego && a.members == b.members && a.tightness == b.tightness,
+                "divide() not thread-count invariant at ego {:?}",
+                a.ego
+            );
+        }
+        if n <= 5_000 {
+            // The reference run doubles the gate's cost; only at smoke
+            // scales. Large-scale equivalence is covered by the property
+            // tests.
+            let reference = phase1::reference::divide_reference(graph, &config_for(2));
+            assert_eq!(d1.num_communities(), reference.num_communities());
+            for (a, b) in d1.communities.iter().zip(&reference.communities) {
+                assert!(
+                    a.ego == b.ego && a.members == b.members && a.tightness == b.tightness,
+                    "divide() diverged from reference at ego {:?}",
+                    a.ego
+                );
+            }
+            for (_, u, v) in graph.edges() {
+                assert_eq!(
+                    d1.community_index_of(graph, u, v),
+                    reference.community_index_of(graph, u, v),
+                    "membership tables diverged at edge ({u}, {v})"
+                );
+                assert_eq!(
+                    d1.community_index_of(graph, v, u),
+                    reference.community_index_of(graph, v, u),
+                    "membership tables diverged at edge ({v}, {u})"
+                );
+            }
+            eprintln!(
+                "checked: divide == reference ({} communities, all members/tightness/membership equal)",
+                d1.num_communities()
+            );
+        }
+    }
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &threads in &thread_counts {
+        let config = config_for(threads);
+        let t = Instant::now();
+        let division = phase1::divide(graph, &config);
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(&division);
+        let rate = n as f64 / secs;
+        eprintln!("optimized  t={threads}: {secs:>8.3}s  {rate:>10.0} egos/s");
+        samples.push(Sample {
+            implementation: "optimized",
+            threads,
+            seconds: secs,
+            egos_per_sec: rate,
+        });
+    }
+    for &threads in &thread_counts {
+        let config = config_for(threads);
+        let t = Instant::now();
+        let division = phase1::reference::divide_reference(graph, &config);
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(&division);
+        let rate = n as f64 / secs;
+        eprintln!("reference  t={threads}: {secs:>8.3}s  {rate:>10.0} egos/s");
+        samples.push(Sample {
+            implementation: "reference",
+            threads,
+            seconds: secs,
+            egos_per_sec: rate,
+        });
+    }
+
+    let rate_of = |implementation: &str, threads: usize| {
+        samples
+            .iter()
+            .find(|s| s.implementation == implementation && s.threads == threads)
+            .map(|s| s.egos_per_sec)
+    };
+    let &max_t = thread_counts.iter().max().unwrap();
+    let speedup = match (rate_of("optimized", max_t), rate_of("reference", max_t)) {
+        (Some(new), Some(old)) if old > 0.0 => new / old,
+        _ => f64::NAN,
+    };
+    println!("speedup at {max_t} threads: {speedup:.2}x (optimized vs reference)");
+
+    // Hand-rolled JSON (the workspace's serde is a vendored no-op shim).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"phase1_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"world\": {{ \"users\": {users}, \"nodes\": {n}, \"edges\": {m}, \"seed\": 7 }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"impl\": \"{}\", \"threads\": {}, \"seconds\": {:.4}, \"egos_per_sec\": {:.1} }}{comma}",
+            s.implementation, s.threads, s.seconds, s.egos_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"speedup_optimized_vs_reference_at_max_threads\": {speedup:.3}"
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

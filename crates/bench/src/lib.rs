@@ -1,9 +1,12 @@
 //! Shared harness code for the experiment binaries.
 //!
 //! Every table and figure of the paper has a binary in `src/bin/` that
-//! regenerates it: run `cargo run --release -p locec-bench --bin <id>`
+//! regenerates it: run `cargo run --release -p locec_bench --bin <id>`
 //! where `<id>` is `table1|table2|table4|table5|table6` or
-//! `fig2|fig3|fig4|fig5|fig10|fig11|fig12|fig13|fig14`.
+//! `fig2|fig3|fig4|fig5|fig10|fig11|fig12|fig13|fig14`. The
+//! `phase1_throughput` bin benchmarks the division pipeline against the
+//! preserved pre-optimization implementation and records the numbers in
+//! `BENCH_phase1.json`.
 //!
 //! Scale is controlled by the `LOCEC_SCALE` environment variable:
 //! `tiny` (smoke test), `small`, `medium` (default), or `paper`

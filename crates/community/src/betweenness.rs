@@ -6,20 +6,157 @@
 //! with the highest betweenness; Brandes (2001) computes all edge scores in
 //! `O(nm)` on unweighted graphs via per-source BFS plus a reverse-order
 //! dependency accumulation.
+//!
+//! Two implementations live here:
+//!
+//! * [`edge_betweenness_flat_into`] — the production path. Scores live in a
+//!   flat `Vec<f64>` indexed by [`EdgeId`], the per-source state lives in a
+//!   caller-owned [`BrandesWorkspace`], and the accumulation is pure array
+//!   arithmetic: no hashing, no per-call allocation in steady state.
+//! * [`edge_betweenness_from`] — the original `HashMap<(NodeId, NodeId),
+//!   f64>` formulation, kept as an executable specification; property tests
+//!   assert the flat path reproduces it exactly.
+//!
+//! Both accumulate per-edge contributions in the same order (sources in
+//! caller order, BFS layers identically), and the final halving is a
+//! power-of-two scale, so the flat scores are bit-identical to the
+//! reference.
 
-use locec_graph::traversal::AdjacencyView;
-use locec_graph::NodeId;
-use std::collections::HashMap;
+use locec_graph::traversal::{AdjacencyView, EdgeAdjacencyView};
+use locec_graph::{EdgeId, NodeId};
+use std::collections::{HashMap, VecDeque};
 
-/// Exact edge betweenness for all edges of an undirected, unweighted graph.
+/// Reusable per-source state of Brandes' algorithm. Girvan–Newman calls
+/// betweenness once per edge removal on graphs of the same node set, so a
+/// per-worker workspace removes every allocation from the inner loop.
+#[derive(Clone, Debug, Default)]
+pub struct BrandesWorkspace {
+    sigma: Vec<f64>,
+    dist: Vec<i32>,
+    delta: Vec<f64>,
+    preds: Vec<Vec<(NodeId, EdgeId)>>,
+    order: Vec<NodeId>,
+    queue: VecDeque<NodeId>,
+}
+
+impl BrandesWorkspace {
+    /// A fresh workspace (buffers grow lazily on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the buffers to cover `n` nodes.
+    ///
+    /// Invariant maintained by `edge_betweenness_flat_into`: between calls
+    /// every entry is in its reset state (`sigma = 0`, `dist = -1`,
+    /// `delta = 0`, `preds` empty), so growing just extends with the reset
+    /// values and shrinking is unnecessary.
+    fn ensure(&mut self, n: usize) {
+        if self.sigma.len() < n {
+            self.sigma.resize(n, 0.0);
+            self.dist.resize(n, -1);
+            self.delta.resize(n, 0.0);
+            self.preds.resize(n, Vec::new());
+        }
+    }
+}
+
+/// Exact edge betweenness with flat [`EdgeId`]-indexed scores.
+///
+/// Adds each edge's contribution into `scores[edge.index()]`; the caller is
+/// responsible for zeroing the slots it wants recomputed (Girvan–Newman
+/// zeroes only the affected component's edges and keeps the rest). `scores`
+/// must have at least [`EdgeAdjacencyView::edge_id_bound`] entries.
+///
+/// `sources` restricts the contribution to shortest paths *starting* at the
+/// given sources; pass `None` for the exact full computation. Scores count
+/// each unordered node pair once (the symmetric double-count is halved).
+pub fn edge_betweenness_flat_into<G: EdgeAdjacencyView>(
+    g: &G,
+    sources: Option<&[NodeId]>,
+    scores: &mut [f64],
+    ws: &mut BrandesWorkspace,
+) {
+    let n = g.n();
+    assert!(
+        scores.len() >= g.edge_id_bound(),
+        "scores slice shorter than the graph's edge id bound"
+    );
+    ws.ensure(n);
+
+    let all_sources: Vec<NodeId>;
+    let sources: &[NodeId] = match sources {
+        Some(s) => s,
+        None => {
+            all_sources = (0..n as u32).map(NodeId).collect();
+            &all_sources
+        }
+    };
+
+    for &s in sources {
+        // --- forward BFS phase ---
+        ws.sigma[s.index()] = 1.0;
+        ws.dist[s.index()] = 0;
+        ws.queue.push_back(s);
+        while let Some(v) = ws.queue.pop_front() {
+            ws.order.push(v);
+            let dv = ws.dist[v.index()];
+            for (&w, &e) in g.adj(v).iter().zip(g.adj_edge_ids(v)) {
+                if ws.dist[w.index()] < 0 {
+                    ws.dist[w.index()] = dv + 1;
+                    ws.queue.push_back(w);
+                }
+                if ws.dist[w.index()] == dv + 1 {
+                    ws.sigma[w.index()] += ws.sigma[v.index()];
+                    ws.preds[w.index()].push((v, e));
+                }
+            }
+        }
+
+        // --- backward accumulation phase ---
+        for i in (0..ws.order.len()).rev() {
+            let w = ws.order[i];
+            let coeff = (1.0 + ws.delta[w.index()]) / ws.sigma[w.index()];
+            for pi in 0..ws.preds[w.index()].len() {
+                let (v, e) = ws.preds[w.index()][pi];
+                let c = ws.sigma[v.index()] * coeff;
+                // Halve inline: each unordered pair contributes from both
+                // sides. Scaling by 0.5 is exact, so this matches the
+                // reference's sum-then-halve bit for bit.
+                scores[e.index()] += 0.5 * c;
+                ws.delta[v.index()] += c;
+            }
+        }
+
+        // Reset exactly the nodes this source touched, restoring the
+        // workspace invariant.
+        for v in ws.order.drain(..) {
+            ws.sigma[v.index()] = 0.0;
+            ws.dist[v.index()] = -1;
+            ws.delta[v.index()] = 0.0;
+            ws.preds[v.index()].clear();
+        }
+    }
+}
+
+/// Convenience form of [`edge_betweenness_flat_into`] returning a fresh
+/// zeroed score vector of length [`EdgeAdjacencyView::edge_id_bound`].
+pub fn edge_betweenness_flat<G: EdgeAdjacencyView>(g: &G, sources: Option<&[NodeId]>) -> Vec<f64> {
+    let mut scores = vec![0.0; g.edge_id_bound()];
+    let mut ws = BrandesWorkspace::new();
+    edge_betweenness_flat_into(g, sources, &mut scores, &mut ws);
+    scores
+}
+
+/// Exact edge betweenness for all edges of an undirected, unweighted graph —
+/// the original hash-map formulation, kept as the executable reference for
+/// the flat implementation.
 ///
 /// Keys are canonical `(min, max)` endpoint pairs. Scores count each
 /// unordered node pair once (the symmetric double-count is halved).
 ///
 /// `sources` restricts the contribution to shortest paths *starting* at the
 /// given sources (still halved); pass `None` for the exact full computation.
-/// Girvan–Newman uses the restricted form to recompute betweenness only
-/// within the component that changed.
 pub fn edge_betweenness_from<G: AdjacencyView>(
     g: &G,
     sources: Option<&[NodeId]>,
@@ -110,6 +247,20 @@ mod tests {
         MutableGraph::from_csr(&b.build())
     }
 
+    /// Flat scores must agree edge-for-edge with the hash-map reference.
+    fn assert_flat_matches_reference(g: &MutableGraph, sources: Option<&[NodeId]>) {
+        let reference = edge_betweenness_from(g, sources);
+        let flat = edge_betweenness_flat(g, sources);
+        for v in g.nodes() {
+            for (&w, &e) in g.neighbors(v).iter().zip(g.neighbor_edge_ids(v)) {
+                if v < w {
+                    let want = reference.get(&(v, w)).copied().unwrap_or(0.0);
+                    assert_eq!(flat[e.index()], want, "edge ({v}, {w})");
+                }
+            }
+        }
+    }
+
     #[test]
     fn path_graph_scores() {
         // 0-1-2-3: edge (1,2) lies on paths {0,1,2,3}×..: pairs crossing it
@@ -119,6 +270,7 @@ mod tests {
         assert_eq!(bc[&(NodeId(0), NodeId(1))], 3.0);
         assert_eq!(bc[&(NodeId(1), NodeId(2))], 4.0);
         assert_eq!(bc[&(NodeId(2), NodeId(3))], 3.0);
+        assert_flat_matches_reference(&g, None);
     }
 
     #[test]
@@ -129,6 +281,7 @@ mod tests {
         for (_, v) in bc {
             assert!((v - 1.0).abs() < 1e-9);
         }
+        assert_flat_matches_reference(&g, None);
     }
 
     #[test]
@@ -144,21 +297,19 @@ mod tests {
                 assert!(score < bridge, "bridge must dominate, edge ({u},{v})");
             }
         }
+        assert_flat_matches_reference(&g, None);
     }
 
     #[test]
     fn split_shortest_paths_share_credit() {
-        // Square 0-1-2-3-0: paths between opposite corners split 50/50,
-        // so every edge gets 1 (own pair) + 0.5 + 0.5 = wait: each edge's
-        // own endpoints (1 pair) plus two diagonal pairs passing with 1/2
-        // each → 1 + 0.5 + 0.5 = 2? Diagonals: (0,2) has two shortest paths
-        // 0-1-2 and 0-3-2; (1,3) likewise. Edge (0,1) carries: pair (0,1)=1,
-        // pair (0,2) via 0-1-2 = 0.5, pair (1,3) via 1-0-3 = 0.5 → 2.0.
+        // Square 0-1-2-3-0: diagonal pairs split 50/50 over two shortest
+        // paths, so every edge gets 1 (own pair) + 0.5 + 0.5 = 2.0.
         let g = build(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
         let bc = edge_betweenness(&g);
         for (_, v) in bc {
             assert!((v - 2.0).abs() < 1e-9);
         }
+        assert_flat_matches_reference(&g, None);
     }
 
     #[test]
@@ -168,6 +319,7 @@ mod tests {
         assert_eq!(bc[&(NodeId(0), NodeId(1))], 1.0);
         assert_eq!(bc[&(NodeId(2), NodeId(3))], 1.0);
         assert_eq!(bc.len(), 2);
+        assert_flat_matches_reference(&g, None);
     }
 
     #[test]
@@ -176,17 +328,54 @@ mod tests {
         // full scores for that component's edges.
         let g = build(5, &[(0, 1), (1, 2), (3, 4)]);
         let full = edge_betweenness(&g);
-        let restricted = edge_betweenness_from(&g, Some(&[NodeId(0), NodeId(1), NodeId(2)]));
+        let sources = [NodeId(0), NodeId(1), NodeId(2)];
+        let restricted = edge_betweenness_from(&g, Some(&sources));
         assert_eq!(
             restricted[&(NodeId(0), NodeId(1))],
             full[&(NodeId(0), NodeId(1))]
         );
         assert!(!restricted.contains_key(&(NodeId(3), NodeId(4))));
+        assert_flat_matches_reference(&g, Some(&sources));
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_graphs() {
+        let mut ws = BrandesWorkspace::new();
+        let big = build(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let mut scores_big = vec![0.0; big.edge_id_bound()];
+        edge_betweenness_flat_into(&big, None, &mut scores_big, &mut ws);
+
+        // Reuse the same (larger) workspace on a smaller graph.
+        let small = build(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut scores_small = vec![0.0; small.edge_id_bound()];
+        edge_betweenness_flat_into(&small, None, &mut scores_small, &mut ws);
+        let fresh = edge_betweenness_flat(&small, None);
+        assert_eq!(scores_small, fresh);
+
+        // And again on the big graph: identical to the first run.
+        let mut scores_big2 = vec![0.0; big.edge_id_bound()];
+        edge_betweenness_flat_into(&big, None, &mut scores_big2, &mut ws);
+        assert_eq!(scores_big, scores_big2);
+    }
+
+    #[test]
+    fn flat_accumulates_into_existing_slots() {
+        let g = build(3, &[(0, 1), (1, 2)]);
+        let mut ws = BrandesWorkspace::new();
+        let mut scores = vec![0.0; g.edge_id_bound()];
+        edge_betweenness_flat_into(&g, None, &mut scores, &mut ws);
+        let once = scores.clone();
+        // A second accumulation without zeroing doubles every slot.
+        edge_betweenness_flat_into(&g, None, &mut scores, &mut ws);
+        for (a, b) in scores.iter().zip(&once) {
+            assert_eq!(*a, 2.0 * b);
+        }
     }
 
     #[test]
     fn empty_graph() {
         let g = build(3, &[]);
         assert!(edge_betweenness(&g).is_empty());
+        assert!(edge_betweenness_flat(&g, None).is_empty());
     }
 }

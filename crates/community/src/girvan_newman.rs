@@ -9,21 +9,36 @@
 //!
 //! Complexity is `O(m² n)` worst case, acceptable because ego networks are
 //! small (paper Fig. 10a: median community size 8, 90% below 30 members).
-//! Two practical optimizations are applied:
+//! The production path ([`girvan_newman_with`]) is engineered for Phase I
+//! throughput:
 //!
+//! * betweenness scores live in a flat `Vec<f64>` indexed by the graph's
+//!   [`EdgeId`]s (plus an `alive` bitmask) — the max-edge scan and the
+//!   incremental rescore are pure array arithmetic, no hash maps;
 //! * after a removal, betweenness is recomputed only from the nodes of the
-//!   component(s) the removed edge belonged to — other components are
-//!   unchanged;
+//!   component(s) the removed edge belonged to, read off the component
+//!   member lists that connected-components labelling already produced —
+//!   not a full `0..n` scan per removal;
+//! * every buffer (mutable graph, Brandes workspace, component tables)
+//!   lives in a caller-owned [`GnScratch`], so one worker detecting
+//!   communities in millions of ego networks allocates only when an ego
+//!   network outgrows every predecessor;
 //! * the loop stops early once every component is smaller than
 //!   [`GirvanNewmanConfig::min_split_size`], since no better modularity can
-//!   be found by splitting further in LoCEC's regime (singleton spray only
-//!   lowers Q; this matches the reference behaviour on all test graphs).
+//!   be found by splitting further in LoCEC's regime.
+//!
+//! [`girvan_newman_reference`] preserves the original hash-map formulation
+//! as an executable specification; property tests assert the fast path
+//! returns identical partitions.
 
-use crate::betweenness::edge_betweenness_from;
-use crate::modularity::modularity;
+use crate::betweenness::{edge_betweenness_flat_into, edge_betweenness_from, BrandesWorkspace};
+use crate::modularity::{modularity, modularity_of_labels};
 use crate::partition::Partition;
-use locec_graph::{connected_components, CsrGraph, MutableGraph, NodeId};
-use std::collections::HashMap;
+use locec_graph::{
+    connected_components, connected_components_into, group_members, CsrGraph, EdgeId, MutableGraph,
+    NodeId,
+};
+use std::collections::{HashMap, VecDeque};
 
 /// Tuning knobs for [`girvan_newman`].
 #[derive(Clone, Debug)]
@@ -45,11 +60,171 @@ impl Default for GirvanNewmanConfig {
     }
 }
 
+/// Reusable buffers for [`girvan_newman_with`]. One instance per worker
+/// thread makes repeated GN runs allocation-free in steady state.
+#[derive(Clone, Debug, Default)]
+pub struct GnScratch {
+    /// Mutable copy of the input graph that edges are removed from.
+    work: MutableGraph,
+    /// Brandes per-source state.
+    ws: BrandesWorkspace,
+    /// Flat betweenness scores indexed by `EdgeId`.
+    scores: Vec<f64>,
+    /// Whether each edge is still present in `work`.
+    alive: Vec<bool>,
+    /// Component labels after the latest removal.
+    labels: Vec<u32>,
+    /// BFS queue for component labelling.
+    queue: VecDeque<NodeId>,
+    /// CSR-style component member table (offsets into `comp_members`).
+    comp_offsets: Vec<u32>,
+    comp_members: Vec<NodeId>,
+    /// Ascending union of the two affected components' members.
+    affected: Vec<NodeId>,
+    /// Modularity accumulators (per-community intra-edge and degree sums).
+    intra: Vec<f64>,
+    degree_sum: Vec<f64>,
+}
+
 /// Runs Girvan–Newman on `g` and returns the modularity-maximizing
 /// partition of its dendrogram (ties broken toward fewer removals).
 ///
 /// An edgeless or empty graph yields the singleton partition.
 pub fn girvan_newman(g: &CsrGraph, config: &GirvanNewmanConfig) -> Partition {
+    girvan_newman_with(g, config, &mut GnScratch::default())
+}
+
+/// [`girvan_newman`] with caller-owned scratch buffers — the Phase I hot
+/// path. Results are identical to [`girvan_newman_reference`].
+pub fn girvan_newman_with(
+    g: &CsrGraph,
+    config: &GirvanNewmanConfig,
+    scratch: &mut GnScratch,
+) -> Partition {
+    let n = g.num_nodes();
+    if n == 0 || g.num_edges() == 0 {
+        return Partition::singletons(n);
+    }
+    let m = g.num_edges();
+
+    let s = scratch;
+    s.work.rebuild_from_csr(g);
+
+    // Initial components and betweenness over the full graph. Component
+    // labels are already dense and canonical, so they are usable directly
+    // as a partition's labels — `Partition::from_labels` is only invoked
+    // when a new best is found.
+    let num_comp = connected_components_into(&s.work, &mut s.labels, &mut s.queue);
+    let mut best_partition = Partition::from_labels(&s.labels);
+    let mut best_q = modularity_of_labels(g, &s.labels, num_comp, &mut s.intra, &mut s.degree_sum);
+
+    s.scores.clear();
+    s.scores.resize(m, 0.0);
+    s.alive.clear();
+    s.alive.resize(m, true);
+    edge_betweenness_flat_into(&s.work, None, &mut s.scores, &mut s.ws);
+
+    let mut removals = 0usize;
+    while s.work.num_edges() > 0 && removals < config.max_removals {
+        // Pick the max-betweenness live edge; ties break toward the
+        // smallest canonical endpoint pair, keeping runs reproducible and
+        // matching the reference implementation's ordering.
+        let mut best_edge: Option<EdgeId> = None;
+        for e in 0..m {
+            if !s.alive[e] {
+                continue;
+            }
+            let better = match best_edge {
+                None => true,
+                Some(b) => {
+                    let (sb, se) = (s.scores[b.index()], s.scores[e]);
+                    se > sb || (se == sb && g.endpoints(EdgeId(e as u32)) < g.endpoints(b))
+                }
+            };
+            if better {
+                best_edge = Some(EdgeId(e as u32));
+            }
+        }
+        let Some(edge) = best_edge else { break };
+        let (u, v) = g.endpoints(edge);
+
+        s.work.remove_edge(u, v);
+        s.alive[edge.index()] = false;
+        removals += 1;
+
+        let num_comp = connected_components_into(&s.work, &mut s.labels, &mut s.queue);
+        let q = modularity_of_labels(g, &s.labels, num_comp, &mut s.intra, &mut s.degree_sum);
+        if q > best_q + 1e-12 {
+            best_q = q;
+            best_partition = Partition::from_labels(&s.labels);
+        }
+
+        // Component member lists (CSR layout, ascending node order within
+        // each component — `connected_components` labels follow node order).
+        group_members(
+            &s.labels,
+            num_comp,
+            &mut s.comp_offsets,
+            &mut s.comp_members,
+        );
+
+        // Early exit: all components below the split threshold.
+        let all_small = (0..num_comp)
+            .all(|c| (s.comp_offsets[c + 1] - s.comp_offsets[c]) < config.min_split_size as u32);
+        if all_small {
+            break;
+        }
+
+        // Recompute betweenness only inside the affected component(s): the
+        // nodes that were in (u ∪ v)'s component before removal are exactly
+        // the union of u's and v's components after removal. Read them off
+        // the member lists instead of scanning every node, and merge to
+        // ascending node order so the source iteration (and therefore the
+        // floating-point accumulation) matches a full recomputation.
+        let cu = s.labels[u.index()] as usize;
+        let cv = s.labels[v.index()] as usize;
+        s.affected.clear();
+        let members = |c: usize| (s.comp_offsets[c] as usize)..(s.comp_offsets[c + 1] as usize);
+        if cu == cv {
+            s.affected.extend_from_slice(&s.comp_members[members(cu)]);
+        } else {
+            let (mut i, mut j) = (members(cu).start, members(cv).start);
+            let (iend, jend) = (members(cu).end, members(cv).end);
+            while i < iend && j < jend {
+                if s.comp_members[i] < s.comp_members[j] {
+                    s.affected.push(s.comp_members[i]);
+                    i += 1;
+                } else {
+                    s.affected.push(s.comp_members[j]);
+                    j += 1;
+                }
+            }
+            s.affected.extend_from_slice(&s.comp_members[i..iend]);
+            s.affected.extend_from_slice(&s.comp_members[j..jend]);
+        }
+
+        // Zero the stale scores of every live edge inside the affected node
+        // set (any edge incident to an affected node has both endpoints in
+        // the same component, hence both affected), then accumulate fresh
+        // contributions from the affected sources.
+        for &w in &s.affected {
+            for (&x, &e) in s.work.neighbors(w).iter().zip(s.work.neighbor_edge_ids(w)) {
+                if w < x {
+                    s.scores[e.index()] = 0.0;
+                }
+            }
+        }
+        edge_betweenness_flat_into(&s.work, Some(&s.affected), &mut s.scores, &mut s.ws);
+    }
+
+    best_partition
+}
+
+/// The original hash-map Girvan–Newman, kept verbatim as an executable
+/// specification of [`girvan_newman_with`] (and as the baseline side of the
+/// `phase1_throughput` benchmark). Property tests assert both return
+/// identical partitions on random graphs.
+pub fn girvan_newman_reference(g: &CsrGraph, config: &GirvanNewmanConfig) -> Partition {
     let n = g.num_nodes();
     if n == 0 || g.num_edges() == 0 {
         return Partition::singletons(n);
@@ -57,7 +232,6 @@ pub fn girvan_newman(g: &CsrGraph, config: &GirvanNewmanConfig) -> Partition {
 
     let mut work = MutableGraph::from_csr(g);
 
-    // Initial components and betweenness over the full graph.
     let mut best_partition = {
         let cc = connected_components(&work);
         Partition::from_labels(&cc.labels)
@@ -68,8 +242,6 @@ pub fn girvan_newman(g: &CsrGraph, config: &GirvanNewmanConfig) -> Partition {
 
     let mut removals = 0usize;
     while work.num_edges() > 0 && removals < config.max_removals {
-        // Pick the max-betweenness edge; deterministic tie-break on the
-        // canonical endpoint pair keeps runs reproducible.
         let (&(u, v), _) = match scores
             .iter()
             .filter(|(_, &s)| s.is_finite())
@@ -90,14 +262,10 @@ pub fn girvan_newman(g: &CsrGraph, config: &GirvanNewmanConfig) -> Partition {
             best_partition = partition.clone();
         }
 
-        // Early exit: all components below the split threshold.
         if cc.sizes().iter().all(|&s| s < config.min_split_size) {
             break;
         }
 
-        // Recompute betweenness only inside the affected component(s): the
-        // nodes that were in (u ∪ v)'s component before removal are exactly
-        // the union of u's and v's components after removal.
         let cu = cc.component(u);
         let cv = cc.component(v);
         let affected: Vec<NodeId> = (0..work.num_nodes() as u32)
@@ -105,7 +273,6 @@ pub fn girvan_newman(g: &CsrGraph, config: &GirvanNewmanConfig) -> Partition {
             .filter(|w| cc.component(*w) == cu || cc.component(*w) == cv)
             .collect();
 
-        // Drop stale scores for edges inside the affected node set.
         let in_affected: Vec<bool> = {
             let mut mask = vec![false; work.num_nodes()];
             for &w in &affected {
@@ -114,11 +281,10 @@ pub fn girvan_newman(g: &CsrGraph, config: &GirvanNewmanConfig) -> Partition {
             mask
         };
         scores.retain(|&(a, b), _| !(in_affected[a.index()] && in_affected[b.index()]));
-        // The removed edge may span the two new components; ensure gone.
         scores.remove(&if u < v { (u, v) } else { (v, u) });
 
-        for (k, s) in edge_betweenness_from(&work, Some(&affected)) {
-            scores.insert(k, s);
+        for (k, sc) in edge_betweenness_from(&work, Some(&affected)) {
+            scores.insert(k, sc);
         }
     }
 
@@ -143,10 +309,19 @@ mod tests {
         b.build()
     }
 
+    /// Runs both implementations and asserts they agree before returning
+    /// the fast path's partition.
+    fn gn_checked(g: &CsrGraph, config: &GirvanNewmanConfig) -> Partition {
+        let fast = girvan_newman(g, config);
+        let reference = girvan_newman_reference(g, config);
+        assert_eq!(fast, reference, "fast GN diverged from the reference");
+        fast
+    }
+
     #[test]
     fn splits_barbell_at_the_bridge() {
         let g = build(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
-        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let p = gn_checked(&g, &GirvanNewmanConfig::default());
         assert_eq!(p.num_communities(), 2);
         assert!(p.same_community(NodeId(0), NodeId(2)));
         assert!(p.same_community(NodeId(3), NodeId(5)));
@@ -159,7 +334,7 @@ mod tests {
         // (locally 0..5), edges (U2,U3),(U2,U4),(U3,U4),(U4,U6),(U5,U6).
         // Fig. 7(c): communities C1={U2,U3,U4} and C2={U5,U6}.
         let g = build(5, &[(0, 1), (0, 2), (1, 2), (2, 4), (3, 4)]);
-        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let p = gn_checked(&g, &GirvanNewmanConfig::default());
         assert_eq!(p.num_communities(), 2);
         assert!(p.same_community(NodeId(0), NodeId(1)));
         assert!(p.same_community(NodeId(0), NodeId(2)));
@@ -176,23 +351,23 @@ mod tests {
             }
         }
         let g = build(5, &edges);
-        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let p = gn_checked(&g, &GirvanNewmanConfig::default());
         assert_eq!(p.num_communities(), 1);
     }
 
     #[test]
     fn disconnected_components_stay_separate() {
         let g = build(5, &[(0, 1), (1, 2), (3, 4)]);
-        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let p = gn_checked(&g, &GirvanNewmanConfig::default());
         assert!(p.num_communities() >= 2);
         assert!(!p.same_community(NodeId(0), NodeId(3)));
     }
 
     #[test]
     fn empty_and_edgeless_graphs() {
-        let p0 = girvan_newman(&build(0, &[]), &GirvanNewmanConfig::default());
+        let p0 = gn_checked(&build(0, &[]), &GirvanNewmanConfig::default());
         assert_eq!(p0.num_nodes(), 0);
-        let p1 = girvan_newman(&build(4, &[]), &GirvanNewmanConfig::default());
+        let p1 = gn_checked(&build(4, &[]), &GirvanNewmanConfig::default());
         assert_eq!(p1.num_communities(), 4);
     }
 
@@ -210,7 +385,7 @@ mod tests {
         edges.push((0, 4));
         edges.push((4, 8));
         let g = build(12, &edges);
-        let p = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let p = gn_checked(&g, &GirvanNewmanConfig::default());
         assert_eq!(p.num_communities(), 3);
         for base in [0u32, 4, 8] {
             for i in 1..4u32 {
@@ -234,9 +409,31 @@ mod tests {
                 (0, 5),
             ],
         );
-        let p1 = girvan_newman(&g, &GirvanNewmanConfig::default());
-        let p2 = girvan_newman(&g, &GirvanNewmanConfig::default());
+        let p1 = gn_checked(&g, &GirvanNewmanConfig::default());
+        let p2 = gn_checked(&g, &GirvanNewmanConfig::default());
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_results() {
+        let graphs = [
+            build(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]),
+            build(5, &[(0, 1), (0, 2), (1, 2), (2, 4), (3, 4)]),
+            build(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+            build(3, &[]),
+        ];
+        let config = GirvanNewmanConfig::default();
+        let mut scratch = GnScratch::default();
+        for g in &graphs {
+            let reused = girvan_newman_with(g, &config, &mut scratch);
+            let fresh = girvan_newman(g, &config);
+            assert_eq!(reused, fresh);
+        }
+        // Second pass over the same graphs with the now-warm scratch.
+        for g in &graphs {
+            let reused = girvan_newman_with(g, &config, &mut scratch);
+            assert_eq!(reused, girvan_newman(g, &config));
+        }
     }
 
     #[test]
@@ -247,7 +444,7 @@ mod tests {
             ..Default::default()
         };
         // Must terminate and return a valid partition.
-        let p = girvan_newman(&g, &cfg);
+        let p = gn_checked(&g, &cfg);
         assert_eq!(p.num_nodes(), 4);
     }
 }

@@ -20,9 +20,14 @@ pub mod louvain;
 pub mod modularity;
 pub mod partition;
 
-pub use betweenness::edge_betweenness;
-pub use girvan_newman::{girvan_newman, GirvanNewmanConfig};
+pub use betweenness::{
+    edge_betweenness, edge_betweenness_flat, edge_betweenness_flat_into, edge_betweenness_from,
+    BrandesWorkspace,
+};
+pub use girvan_newman::{
+    girvan_newman, girvan_newman_reference, girvan_newman_with, GirvanNewmanConfig, GnScratch,
+};
 pub use label_prop::label_propagation;
 pub use louvain::louvain;
-pub use modularity::modularity;
+pub use modularity::{modularity, modularity_of_labels};
 pub use partition::Partition;

@@ -17,25 +17,49 @@ pub fn modularity(g: &CsrGraph, partition: &Partition) -> f64 {
         partition.num_nodes(),
         "partition must cover the graph's node set"
     );
+    let mut intra = Vec::new();
+    let mut degree_sum = Vec::new();
+    modularity_of_labels(
+        g,
+        partition.labels(),
+        partition.num_communities(),
+        &mut intra,
+        &mut degree_sum,
+    )
+}
+
+/// Modularity computed directly from a dense label array, with caller-owned
+/// accumulator buffers. Girvan–Newman evaluates modularity once per edge
+/// removal on labels it already has; this form skips building a
+/// [`Partition`] (and any allocation) on that hot path. Labels must be
+/// dense in `0..num_groups`.
+pub fn modularity_of_labels(
+    g: &CsrGraph,
+    labels: &[u32],
+    num_groups: usize,
+    intra: &mut Vec<f64>,
+    degree_sum: &mut Vec<f64>,
+) -> f64 {
     let m = g.num_edges() as f64;
     if m == 0.0 {
         return 0.0;
     }
-    let k = partition.num_communities();
-    let mut intra = vec![0f64; k];
-    let mut degree_sum = vec![0f64; k];
+    intra.clear();
+    intra.resize(num_groups, 0.0);
+    degree_sum.clear();
+    degree_sum.resize(num_groups, 0.0);
 
     for (_, u, v) in g.edges() {
-        if partition.same_community(u, v) {
-            intra[partition.community_of(u) as usize] += 1.0;
+        if labels[u.index()] == labels[v.index()] {
+            intra[labels[u.index()] as usize] += 1.0;
         }
     }
     for v in g.nodes() {
-        degree_sum[partition.community_of(v) as usize] += g.degree(v) as f64;
+        degree_sum[labels[v.index()] as usize] += g.degree(v) as f64;
     }
 
     let two_m = 2.0 * m;
-    (0..k)
+    (0..num_groups)
         .map(|c| intra[c] / m - (degree_sum[c] / two_m).powi(2))
         .sum()
 }

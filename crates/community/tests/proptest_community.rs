@@ -1,8 +1,9 @@
 //! Property-based tests of the community-detection substrate.
 
 use locec_community::{
-    edge_betweenness, girvan_newman, label_propagation, louvain, modularity, GirvanNewmanConfig,
-    Partition,
+    edge_betweenness, edge_betweenness_flat, edge_betweenness_from, girvan_newman,
+    girvan_newman_reference, girvan_newman_with, label_propagation, louvain, modularity,
+    GirvanNewmanConfig, GnScratch, Partition,
 };
 use locec_graph::{connected_components, CsrGraph, GraphBuilder, MutableGraph, NodeId};
 use proptest::prelude::*;
@@ -67,6 +68,49 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn flat_betweenness_equals_hashmap_reference(g in random_graph()) {
+        // Full computation: every edge's flat score must equal the hash-map
+        // reference bit for bit (same accumulation order, exact halving).
+        let m = MutableGraph::from_csr(&g);
+        let flat = edge_betweenness_flat(&m, None);
+        let reference = edge_betweenness(&m);
+        prop_assert_eq!(flat.len(), g.num_edges());
+        for (e, u, v) in g.edges() {
+            let want = reference.get(&(u, v)).copied().unwrap_or(0.0);
+            prop_assert_eq!(flat[e.index()], want, "edge ({}, {})", u, v);
+        }
+
+        // Restricted-source computation (the Girvan–Newman incremental
+        // path): pick one component's nodes as sources.
+        if g.num_nodes() > 0 {
+            let cc = connected_components(&g);
+            let sources: Vec<NodeId> = g
+                .nodes()
+                .filter(|&v| cc.component(v) == cc.component(NodeId(0)))
+                .collect();
+            let flat_r = edge_betweenness_flat(&m, Some(&sources));
+            let ref_r = edge_betweenness_from(&m, Some(&sources));
+            for (e, u, v) in g.edges() {
+                let want = ref_r.get(&(u, v)).copied().unwrap_or(0.0);
+                prop_assert_eq!(flat_r[e.index()], want, "restricted edge ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn gn_fast_path_equals_reference(g in random_graph()) {
+        let config = GirvanNewmanConfig::default();
+        let fast = girvan_newman(&g, &config);
+        let reference = girvan_newman_reference(&g, &config);
+        prop_assert_eq!(&fast, &reference);
+        // A warm scratch must not change the answer either.
+        let mut scratch = GnScratch::default();
+        girvan_newman_with(&g, &config, &mut scratch);
+        let warm = girvan_newman_with(&g, &config, &mut scratch);
+        prop_assert_eq!(&warm, &reference);
     }
 
     #[test]

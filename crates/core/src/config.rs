@@ -62,6 +62,10 @@ pub struct LocecConfig {
     /// Phase III logistic-regression hyper-parameters.
     pub lr: LogisticRegressionConfig,
     /// Worker threads for Phase I/II sweeps (the paper's "servers").
+    /// Phase I runs on the process-wide persistent pool
+    /// (`locec_runtime::WorkerPool::global`), so effective parallelism is
+    /// additionally clamped to the machine's hardware threads; results are
+    /// identical for every value (only wall-clock time changes).
     pub threads: usize,
     /// Minimum fraction of a community's members that must carry labels
     /// before the community gets a ground-truth label (majority vote).

@@ -89,7 +89,9 @@ mod tests {
         label_edge(&g, &mut labels, 0, 3, RelationType::Family);
         let gt = community_ground_truth(&g, &division, &labels, 0.5);
         // The {1,2,3} community in 0's ego network must be Colleague.
-        let idx = division.community_index_of(NodeId(0), NodeId(1)).unwrap();
+        let idx = division
+            .community_index_of(&g, NodeId(0), NodeId(1))
+            .unwrap();
         let found = gt.iter().find(|(i, _)| *i == idx).expect("labeled");
         assert_eq!(found.1, RelationType::Colleague);
     }
@@ -101,7 +103,9 @@ mod tests {
         // Only 1 of 3 members labeled; coverage 1/3 < 0.5.
         label_edge(&g, &mut labels, 0, 1, RelationType::Family);
         let gt = community_ground_truth(&g, &division, &labels, 0.5);
-        let idx = division.community_index_of(NodeId(0), NodeId(1)).unwrap();
+        let idx = division
+            .community_index_of(&g, NodeId(0), NodeId(1))
+            .unwrap();
         assert!(gt.iter().all(|(i, _)| *i != idx));
     }
 
@@ -112,7 +116,9 @@ mod tests {
         label_edge(&g, &mut labels, 0, 4, RelationType::Schoolmate);
         label_edge(&g, &mut labels, 0, 5, RelationType::Family);
         let gt = community_ground_truth(&g, &division, &labels, 0.5);
-        let idx = division.community_index_of(NodeId(0), NodeId(4)).unwrap();
+        let idx = division
+            .community_index_of(&g, NodeId(0), NodeId(4))
+            .unwrap();
         let found = gt.iter().find(|(i, _)| *i == idx).expect("labeled");
         assert_eq!(found.1, RelationType::Family, "family wins ties");
     }

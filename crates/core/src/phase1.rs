@@ -7,15 +7,28 @@
 //! member — is everything Phases II and III need.
 //!
 //! The computation is embarrassingly parallel over ego nodes ("each node is
-//! parsed separately in a streaming scheme", §V-D); we shard the node range
-//! over worker threads and merge shard outputs in node order so results are
-//! deterministic regardless of thread count.
+//! parsed separately in a streaming scheme", §V-D). Execution goes through
+//! the persistent [`locec_runtime::WorkerPool`]: ego ids are claimed in
+//! small chunks from a shared cursor, so the power-law hubs that dominate a
+//! statically sharded range re-balance across workers automatically. Chunk
+//! outputs are merged in ego order, which keeps the result bit-identical
+//! for every thread count.
+//!
+//! Each worker thread owns a [`DivideScratch`] arena (ego-network slot,
+//! Girvan–Newman buffers, tightness bitmask) that persists across `divide`
+//! calls, so the steady-state per-ego pipeline performs no heap allocation
+//! beyond the result itself. The original thread-pool-per-call
+//! implementation is preserved in [`reference`] as an executable
+//! specification and benchmark baseline.
 
 use crate::config::{CommunityDetector, LocecConfig};
 use crate::features::tightness;
-use locec_community::{girvan_newman, label_propagation, louvain, GirvanNewmanConfig};
-use locec_graph::{CsrGraph, EgoNetwork, NodeId};
-use std::collections::HashMap;
+use locec_community::{girvan_newman_with, label_propagation, louvain, GnScratch};
+use locec_graph::{group_members, CsrGraph, EgoNetwork, EgoScratch, NodeId};
+use locec_runtime::WorkerPool;
+use std::cell::RefCell;
+
+pub mod reference;
 
 /// One local community: a cluster of `ego`'s friends in `ego`'s ego
 /// network.
@@ -51,26 +64,50 @@ impl LocalCommunity {
 }
 
 /// Output of Phase I for the whole graph.
+///
+/// Membership lookups are backed by a flat table keyed by the graph's
+/// adjacency order: slot [`CsrGraph::adjacency_slot`]`(ego, friend)` holds
+/// the community index of `friend` inside `ego`'s ego network. That is one
+/// dense `u32` per directed friend pair (`2m` total) instead of the former
+/// `HashMap<(u32, u32), u32>` — smaller, allocation-light to build, and a
+/// cache-friendly array read to query. Queries therefore take the graph the
+/// division was computed from.
 #[derive(Clone, Debug, Default)]
 pub struct DivisionResult {
     /// Every local community of every ego network.
     pub communities: Vec<LocalCommunity>,
-    /// `(ego, friend) → community index` in [`DivisionResult::communities`].
-    membership: HashMap<(u32, u32), u32>,
+    /// `membership[graph.adjacency_slot(ego, friend)] = community index`
+    /// into [`DivisionResult::communities`]; `u32::MAX` marks an uncovered
+    /// slot (never produced for a division of the full graph).
+    membership: Vec<u32>,
 }
+
+const NO_COMMUNITY: u32 = u32::MAX;
 
 impl DivisionResult {
     /// The community that `friend` belongs to inside `ego`'s ego network —
-    /// the paper's `C_u` for an edge ⟨u=friend, v=ego⟩.
-    pub fn community_of(&self, ego: NodeId, friend: NodeId) -> Option<&LocalCommunity> {
-        self.membership
-            .get(&(ego.0, friend.0))
-            .map(|&i| &self.communities[i as usize])
+    /// the paper's `C_u` for an edge ⟨u=friend, v=ego⟩. `graph` must be the
+    /// graph this division was computed from.
+    pub fn community_of(
+        &self,
+        graph: &CsrGraph,
+        ego: NodeId,
+        friend: NodeId,
+    ) -> Option<&LocalCommunity> {
+        self.community_index_of(graph, ego, friend)
+            .map(|i| &self.communities[i as usize])
     }
 
     /// Index variant of [`DivisionResult::community_of`].
-    pub fn community_index_of(&self, ego: NodeId, friend: NodeId) -> Option<u32> {
-        self.membership.get(&(ego.0, friend.0)).copied()
+    pub fn community_index_of(&self, graph: &CsrGraph, ego: NodeId, friend: NodeId) -> Option<u32> {
+        debug_assert_eq!(
+            self.membership.len(),
+            graph.volume(),
+            "division queried with a different graph than it was computed from"
+        );
+        let slot = graph.adjacency_slot(ego, friend)?;
+        let idx = *self.membership.get(slot)?;
+        (idx != NO_COMMUNITY).then_some(idx)
     }
 
     /// Number of detected local communities.
@@ -82,6 +119,57 @@ impl DivisionResult {
     pub fn community_sizes(&self) -> Vec<u32> {
         self.communities.iter().map(|c| c.len() as u32).collect()
     }
+
+    /// Builds the adjacency-slot membership table for `communities`
+    /// computed on `graph`. Shared by the production and reference paths.
+    fn build_membership(graph: &CsrGraph, communities: &[LocalCommunity]) -> Vec<u32> {
+        let mut membership = vec![NO_COMMUNITY; graph.volume()];
+        for (idx, c) in communities.iter().enumerate() {
+            let base = graph.adjacency_offset(c.ego);
+            let nbrs = graph.neighbors(c.ego);
+            // Members are an ascending subset of the ego's (ascending)
+            // neighbour list: a forward merge finds each slot in O(deg).
+            let mut j = 0usize;
+            for &m in &c.members {
+                while nbrs[j] != m {
+                    j += 1;
+                }
+                membership[base + j] = idx as u32;
+                j += 1;
+            }
+        }
+        membership
+    }
+}
+
+/// Ego ids per pool chunk. Small enough that one hub-heavy chunk cannot
+/// serialize a call, large enough that the per-chunk bookkeeping (one
+/// mutex write) vanishes against even the cheapest ego networks.
+const DIVIDE_GRAIN: usize = 64;
+
+thread_local! {
+    /// Per-thread arena for the divide pipeline. Worker threads are
+    /// persistent, so the arena survives across `divide` calls and the
+    /// steady-state ego loop allocates nothing.
+    static SCRATCH: RefCell<DivideScratch> = RefCell::new(DivideScratch::default());
+}
+
+/// Reusable buffers threaded through [`divide_one_with`].
+#[derive(Default)]
+pub struct DivideScratch {
+    /// Reusable ego-network slot.
+    ego_net: EgoNetwork,
+    /// Extraction buffers.
+    ego: EgoScratch,
+    /// Girvan–Newman buffers (mutable graph, Brandes workspace, flat
+    /// scores, component tables).
+    gn: GnScratch,
+    /// Tightness bitmask over local ids — replaces the former per-group
+    /// `HashSet<NodeId>`.
+    in_group: Vec<bool>,
+    /// CSR-style grouping of the partition labels.
+    group_offsets: Vec<u32>,
+    group_members: Vec<NodeId>,
 }
 
 /// Runs Phase I over every node of the graph.
@@ -89,66 +177,82 @@ pub fn divide(graph: &CsrGraph, config: &LocecConfig) -> DivisionResult {
     let n = graph.num_nodes();
     let threads = config.threads.clamp(1, n.max(1));
 
-    // Shard the node range; each shard produces its communities in node
-    // order, so a plain in-order merge keeps global determinism.
-    let chunk = n.div_ceil(threads.max(1)).max(1);
-    let shards: Vec<Vec<LocalCommunity>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .step_by(chunk)
-            .map(|start| {
-                let end = (start + chunk).min(n);
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for v in start..end {
-                        divide_one(graph, NodeId(v as u32), config, &mut out);
-                    }
-                    out
-                })
+    let chunks: Vec<Vec<LocalCommunity>> =
+        WorkerPool::global().run_chunked(n, threads, DIVIDE_GRAIN, |range| {
+            SCRATCH.with(|scratch| {
+                let scratch = &mut scratch.borrow_mut();
+                let mut out = Vec::new();
+                for v in range {
+                    divide_one_with(graph, NodeId(v as u32), config, scratch, &mut out);
+                }
+                out
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard"))
-            .collect()
-    });
+        });
 
-    let mut communities = Vec::new();
-    for shard in shards {
-        communities.extend(shard);
+    let mut communities = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for chunk in chunks {
+        communities.extend(chunk);
     }
-    let mut membership = HashMap::with_capacity(2 * graph.num_edges());
-    for (idx, c) in communities.iter().enumerate() {
-        for &m in &c.members {
-            membership.insert((c.ego.0, m.0), idx as u32);
-        }
-    }
+    let membership = DivisionResult::build_membership(graph, &communities);
     DivisionResult {
         communities,
         membership,
     }
 }
 
-/// Detects the local communities of one ego node.
+/// Detects the local communities of one ego node (fresh scratch per call;
+/// the hot loop uses [`divide_one_with`]).
 pub fn divide_one(
     graph: &CsrGraph,
     ego: NodeId,
     config: &LocecConfig,
     out: &mut Vec<LocalCommunity>,
 ) {
-    let ego_net = EgoNetwork::extract(graph, ego);
-    if ego_net.num_friends() == 0 {
+    divide_one_with(graph, ego, config, &mut DivideScratch::default(), out)
+}
+
+/// Detects the local communities of one ego node using caller-owned scratch.
+pub fn divide_one_with(
+    graph: &CsrGraph,
+    ego: NodeId,
+    config: &LocecConfig,
+    scratch: &mut DivideScratch,
+    out: &mut Vec<LocalCommunity>,
+) {
+    scratch.ego_net.rebuild(graph, ego, &mut scratch.ego);
+    let ego_net = &scratch.ego_net;
+    let nf = ego_net.num_friends();
+    if nf == 0 {
         return;
     }
 
-    let partition = detect(&ego_net, config);
+    let partition = detect(ego_net, config, &mut scratch.gn);
 
-    for group in partition.groups() {
+    // Group local ids by community label (ascending within each group, as
+    // Partition::groups() yields, but into reusable buffers).
+    group_members(
+        partition.labels(),
+        partition.num_communities(),
+        &mut scratch.group_offsets,
+        &mut scratch.group_members,
+    );
+
+    // Reusable membership bitmask for the Eq. 3 tightness counts.
+    let mask = &mut scratch.in_group;
+    if mask.len() < nf {
+        mask.resize(nf, false);
+    }
+
+    for gi in 0..partition.num_communities() {
+        let group = &scratch.group_members
+            [scratch.group_offsets[gi] as usize..scratch.group_offsets[gi + 1] as usize];
         if group.is_empty() {
             continue;
         }
-        // Local degrees needed by Eq. 3.
+        for &l in group {
+            mask[l.index()] = true;
+        }
         let members_global: Vec<NodeId> = group.iter().map(|&l| ego_net.to_global(l)).collect();
-        let in_group: std::collections::HashSet<NodeId> = group.iter().copied().collect();
         let tightness_values: Vec<f32> = group
             .iter()
             .map(|&l| {
@@ -156,12 +260,15 @@ pub fn divide_one(
                     .graph
                     .neighbors(l)
                     .iter()
-                    .filter(|w| in_group.contains(w))
+                    .filter(|w| mask[w.index()])
                     .count();
                 let friends_in_ego = ego_net.friend_degree(l);
                 tightness(friends_in_c, friends_in_ego, group.len())
             })
             .collect();
+        for &l in group {
+            mask[l.index()] = false;
+        }
         out.push(LocalCommunity {
             ego,
             members: members_global,
@@ -171,7 +278,11 @@ pub fn divide_one(
 }
 
 /// Runs the configured detector on one ego network.
-fn detect(ego_net: &EgoNetwork, config: &LocecConfig) -> locec_community::Partition {
+fn detect(
+    ego_net: &EgoNetwork,
+    config: &LocecConfig,
+    gn_scratch: &mut GnScratch,
+) -> locec_community::Partition {
     let g = &ego_net.graph;
     let detector = if ego_net.num_friends() > config.gn_max_friends
         && config.detector == CommunityDetector::GirvanNewman
@@ -181,7 +292,7 @@ fn detect(ego_net: &EgoNetwork, config: &LocecConfig) -> locec_community::Partit
         config.detector
     };
     match detector {
-        CommunityDetector::GirvanNewman => girvan_newman(g, &GirvanNewmanConfig::default()),
+        CommunityDetector::GirvanNewman => girvan_newman_with(g, &Default::default(), gn_scratch),
         CommunityDetector::Louvain => louvain(g, config.seed),
         CommunityDetector::LabelPropagation => label_propagation(g, config.seed, 50),
     }
@@ -229,9 +340,9 @@ mod tests {
         let g = fig7_graph();
         let division = divide(&g, &config());
         // U1 = node 0: communities {1,2,3} and {4,5}.
-        let c_u2 = division.community_of(NodeId(0), NodeId(1)).unwrap();
+        let c_u2 = division.community_of(&g, NodeId(0), NodeId(1)).unwrap();
         assert_eq!(c_u2.members, vec![NodeId(1), NodeId(2), NodeId(3)]);
-        let c_u5 = division.community_of(NodeId(0), NodeId(4)).unwrap();
+        let c_u5 = division.community_of(&g, NodeId(0), NodeId(4)).unwrap();
         assert_eq!(c_u5.members, vec![NodeId(4), NodeId(5)]);
     }
 
@@ -241,7 +352,7 @@ mod tests {
         // tightness(U4,C1) = 2/2 × 2/3 = 0.67.
         let g = fig7_graph();
         let division = divide(&g, &config());
-        let c1 = division.community_of(NodeId(0), NodeId(1)).unwrap();
+        let c1 = division.community_of(&g, NodeId(0), NodeId(1)).unwrap();
         assert_eq!(c1.member_tightness(NodeId(1)), Some(1.0));
         assert_eq!(c1.member_tightness(NodeId(2)), Some(1.0));
         let t4 = c1.member_tightness(NodeId(3)).unwrap();
@@ -254,10 +365,10 @@ mod tests {
         let division = divide(&g, &config());
         for (_, u, v) in g.edges() {
             assert!(
-                division.community_of(u, v).is_some(),
+                division.community_of(&g, u, v).is_some(),
                 "missing community of {v:?} in {u:?}'s ego network"
             );
-            assert!(division.community_of(v, u).is_some());
+            assert!(division.community_of(&g, v, u).is_some());
         }
     }
 
@@ -292,25 +403,40 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_result() {
         let g = fig7_graph();
-        let d1 = divide(
-            &g,
-            &LocecConfig {
-                threads: 1,
-                ..config()
-            },
-        );
-        let d4 = divide(
-            &g,
-            &LocecConfig {
-                threads: 4,
-                ..config()
-            },
-        );
-        assert_eq!(d1.num_communities(), d4.num_communities());
-        for (a, b) in d1.communities.iter().zip(&d4.communities) {
+        let run = |threads: usize| {
+            divide(
+                &g,
+                &LocecConfig {
+                    threads,
+                    ..config()
+                },
+            )
+        };
+        let d1 = run(1);
+        for threads in [2, 4, 8] {
+            let dt = run(threads);
+            assert_eq!(d1.num_communities(), dt.num_communities());
+            for (a, b) in d1.communities.iter().zip(&dt.communities) {
+                assert_eq!(a.ego, b.ego);
+                assert_eq!(a.members, b.members);
+                assert_eq!(a.tightness, b.tightness);
+            }
+            assert_eq!(d1.membership, dt.membership);
+        }
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        let g = fig7_graph();
+        let division = divide(&g, &config());
+        let reference = reference::divide_reference(&g, &config());
+        assert_eq!(division.num_communities(), reference.num_communities());
+        for (a, b) in division.communities.iter().zip(&reference.communities) {
             assert_eq!(a.ego, b.ego);
             assert_eq!(a.members, b.members);
+            assert_eq!(a.tightness, b.tightness);
         }
+        assert_eq!(division.membership, reference.membership);
     }
 
     #[test]
@@ -323,7 +449,7 @@ mod tests {
         let g = b.build();
         let division = divide(&g, &config());
         for v in 1..4u32 {
-            let c = division.community_of(NodeId(0), NodeId(v)).unwrap();
+            let c = division.community_of(&g, NodeId(0), NodeId(v)).unwrap();
             assert_eq!(c.len(), 1);
             assert_eq!(c.tightness[0], 1.0);
         }

@@ -25,18 +25,19 @@ pub fn edge_feature(
     edge: EdgeId,
 ) -> Option<Vec<f32>> {
     let (u, v) = graph.endpoints(edge);
-    build_edge_feature(division, agg, u, v)
+    build_edge_feature(graph, division, agg, u, v)
 }
 
 fn build_edge_feature(
+    graph: &CsrGraph,
     division: &DivisionResult,
     agg: &AggregationResult,
     u: NodeId,
     v: NodeId,
 ) -> Option<Vec<f32>> {
     // C_u: u's community in v's ego network; C_v: v's in u's.
-    let cu_idx = division.community_index_of(v, u)?;
-    let cv_idx = division.community_index_of(u, v)?;
+    let cu_idx = division.community_index_of(graph, v, u)?;
+    let cv_idx = division.community_index_of(graph, u, v)?;
     let cu = &division.communities[cu_idx as usize];
     let cv = &division.communities[cv_idx as usize];
     let tight_u = cu.member_tightness(u)?;

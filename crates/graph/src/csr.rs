@@ -26,69 +26,87 @@ pub struct CsrGraph {
 }
 
 impl CsrGraph {
+    /// The empty graph (no nodes, no edges). Mainly useful as the initial
+    /// state of a reusable graph slot fed through
+    /// [`CsrGraph::rebuild_from_canonical_edges`].
+    pub fn empty() -> Self {
+        CsrGraph {
+            offsets: vec![0],
+            targets: Vec::new(),
+            edge_ids: Vec::new(),
+            endpoints: Vec::new(),
+        }
+    }
+
     /// Builds from canonicalized, sorted, deduplicated `(min, max)` pairs.
     /// Callers should normally go through [`crate::GraphBuilder`].
     pub(crate) fn from_canonical_edges(num_nodes: usize, edges: Vec<(u32, u32)>) -> Self {
+        let mut g = CsrGraph::empty();
+        let mut cursor = Vec::new();
+        g.rebuild_from_canonical_edges(num_nodes, &edges, &mut cursor);
+        g
+    }
+
+    /// Rebuilds this graph in place from canonicalized, sorted, deduplicated
+    /// `(min, max)` pairs, reusing every internal allocation. `cursor` is
+    /// caller-provided scratch (contents irrelevant) so steady-state rebuilds
+    /// — the Phase I ego pipeline extracts millions of small graphs — do not
+    /// allocate at all.
+    ///
+    /// Because the input is sorted lexicographically, each node's neighbour
+    /// list can be materialized already sorted without any per-node sort:
+    /// neighbours smaller than `v` (edges where `v` is the max endpoint)
+    /// arrive in ascending order of the min endpoint, neighbours greater
+    /// than `v` arrive in ascending order of the max endpoint, and the first
+    /// group wholly precedes the second.
+    pub(crate) fn rebuild_from_canonical_edges(
+        &mut self,
+        num_nodes: usize,
+        edges: &[(u32, u32)],
+        cursor: &mut Vec<u32>,
+    ) {
         assert!(num_nodes <= u32::MAX as usize);
         assert!(edges.len() <= u32::MAX as usize, "edge count exceeds u32");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]) && edges.iter().all(|&(a, b)| a < b),
+            "edges must be canonical, sorted and deduplicated"
+        );
         let n = num_nodes;
         let m = edges.len();
 
-        let mut degree = vec![0u32; n];
-        for &(a, b) in &edges {
-            degree[a as usize] += 1;
-            degree[b as usize] += 1;
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for &(a, b) in edges {
+            self.offsets[a as usize + 1] += 1;
+            self.offsets[b as usize + 1] += 1;
+        }
+        for v in 0..n {
+            self.offsets[v + 1] += self.offsets[v];
         }
 
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut acc = 0u32;
-        offsets.push(0);
-        for d in &degree {
-            acc += d;
-            offsets.push(acc);
-        }
+        self.endpoints.clear();
+        self.endpoints
+            .extend(edges.iter().map(|&(a, b)| (NodeId(a), NodeId(b))));
+        self.targets.clear();
+        self.targets.resize(2 * m, NodeId(0));
+        self.edge_ids.clear();
+        self.edge_ids.resize(2 * m, EdgeId(0));
 
-        let mut targets = vec![NodeId(0); 2 * m];
-        let mut edge_ids = vec![EdgeId(0); 2 * m];
-        let mut cursor: Vec<u32> = offsets[..n].to_vec();
-        let mut endpoints = Vec::with_capacity(m);
+        cursor.clear();
+        cursor.extend_from_slice(&self.offsets[..n]);
+        // Pass 1: every node's smaller neighbours (v as the max endpoint).
         for (idx, &(a, b)) in edges.iter().enumerate() {
-            let e = EdgeId(idx as u32);
-            endpoints.push((NodeId(a), NodeId(b)));
-            let ca = cursor[a as usize];
-            targets[ca as usize] = NodeId(b);
-            edge_ids[ca as usize] = e;
-            cursor[a as usize] += 1;
-            let cb = cursor[b as usize];
-            targets[cb as usize] = NodeId(a);
-            edge_ids[cb as usize] = e;
+            let pos = cursor[b as usize] as usize;
+            self.targets[pos] = NodeId(a);
+            self.edge_ids[pos] = EdgeId(idx as u32);
             cursor[b as usize] += 1;
         }
-
-        // Input edges are sorted by (min, max); entries written for node `a`
-        // (as the min endpoint) arrive in increasing `b`, but entries written
-        // for `b` (as the max endpoint) interleave with them, so each
-        // neighbour list still needs a per-node sort. Lists are short on
-        // average; an indirect sort keeps targets and edge_ids in sync.
-        for v in 0..n {
-            let lo = offsets[v] as usize;
-            let hi = offsets[v + 1] as usize;
-            let slice_len = hi - lo;
-            if slice_len > 1 {
-                let mut perm: Vec<usize> = (0..slice_len).collect();
-                perm.sort_unstable_by_key(|&i| targets[lo + i]);
-                let t: Vec<NodeId> = perm.iter().map(|&i| targets[lo + i]).collect();
-                let e: Vec<EdgeId> = perm.iter().map(|&i| edge_ids[lo + i]).collect();
-                targets[lo..hi].copy_from_slice(&t);
-                edge_ids[lo..hi].copy_from_slice(&e);
-            }
-        }
-
-        CsrGraph {
-            offsets,
-            targets,
-            edge_ids,
-            endpoints,
+        // Pass 2: every node's greater neighbours (v as the min endpoint).
+        for (idx, &(a, b)) in edges.iter().enumerate() {
+            let pos = cursor[a as usize] as usize;
+            self.targets[pos] = NodeId(b);
+            self.edge_ids[pos] = EdgeId(idx as u32);
+            cursor[a as usize] += 1;
         }
     }
 
@@ -116,6 +134,32 @@ impl CsrGraph {
         let lo = self.offsets[v.index()] as usize;
         let hi = self.offsets[v.index() + 1] as usize;
         &self.targets[lo..hi]
+    }
+
+    /// Edge ids of `v`'s adjacency entries, parallel to
+    /// [`CsrGraph::neighbors`].
+    #[inline]
+    pub fn neighbor_edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.edge_ids[lo..hi]
+    }
+
+    /// Start of `v`'s slice in the global adjacency arrays. Together with
+    /// [`CsrGraph::adjacency_slot`] this gives a dense `0..volume()` index
+    /// for directed `(v, neighbour)` pairs — the key space of Phase I's
+    /// membership table.
+    #[inline]
+    pub fn adjacency_offset(&self, v: NodeId) -> usize {
+        self.offsets[v.index()] as usize
+    }
+
+    /// Dense index of the directed adjacency entry `v → w` in `0..volume()`,
+    /// or `None` if `w` is not a neighbour of `v`. `O(log d_v)`.
+    pub fn adjacency_slot(&self, v: NodeId, w: NodeId) -> Option<usize> {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.targets[lo..hi].binary_search(&w).ok().map(|i| lo + i)
     }
 
     /// Neighbours of `v` together with the connecting edge ids.
@@ -314,6 +358,65 @@ mod tests {
             assert_eq!(g.edge_between(u, v), Some(e));
         }
         assert_eq!(seen.len(), g.num_edges());
+    }
+
+    #[test]
+    fn neighbor_edge_ids_parallel_to_neighbors() {
+        let g = fig7_graph();
+        for v in g.nodes() {
+            let ns = g.neighbors(v);
+            let es = g.neighbor_edge_ids(v);
+            assert_eq!(ns.len(), es.len());
+            for (&w, &e) in ns.iter().zip(es) {
+                assert_eq!(g.edge_between(v, w), Some(e));
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_slots_are_dense_and_correct() {
+        let g = fig7_graph();
+        let mut seen = std::collections::HashSet::new();
+        for v in g.nodes() {
+            for (i, &w) in g.neighbors(v).iter().enumerate() {
+                assert_eq!(g.adjacency_slot(v, w), Some(g.adjacency_offset(v) + i));
+            }
+            for &w in g.neighbors(v) {
+                let slot = g.adjacency_slot(v, w).unwrap();
+                assert!(slot < g.volume());
+                assert!(seen.insert(slot), "slot {slot} reused");
+            }
+        }
+        assert_eq!(seen.len(), g.volume());
+        assert!(g.adjacency_slot(NodeId(1), NodeId(8)).is_none());
+    }
+
+    #[test]
+    fn rebuild_reuses_allocations_and_matches_fresh_build() {
+        let g = fig7_graph();
+        let mut reused = CsrGraph::empty();
+        let mut cursor = Vec::new();
+        for _ in 0..3 {
+            let edges: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+            reused.rebuild_from_canonical_edges(g.num_nodes(), &edges, &mut cursor);
+            assert_eq!(reused.num_edges(), g.num_edges());
+            for v in g.nodes() {
+                assert_eq!(reused.neighbors(v), g.neighbors(v));
+                assert_eq!(reused.neighbor_edge_ids(v), g.neighbor_edge_ids(v));
+            }
+        }
+        // Rebuilding to a smaller graph must fully shrink the node range.
+        reused.rebuild_from_canonical_edges(2, &[(0, 1)], &mut cursor);
+        assert_eq!(reused.num_nodes(), 2);
+        assert_eq!(reused.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_graph_constructor() {
+        let g = CsrGraph::empty();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.volume(), 0);
     }
 
     #[test]

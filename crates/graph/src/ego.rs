@@ -10,6 +10,19 @@
 use crate::csr::CsrGraph;
 use crate::ids::{EdgeId, NodeId};
 
+/// Reusable buffers for [`EgoNetwork::rebuild`]. Phase I extracts one ego
+/// network per node of a billion-node graph; holding these per worker makes
+/// the steady-state extraction loop allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct EgoScratch {
+    /// Accumulated local `(min, max)` edge pairs.
+    edges: Vec<(u32, u32)>,
+    /// Global edge id of each accumulated local edge.
+    eids: Vec<EdgeId>,
+    /// CSR fill cursor, forwarded to the graph rebuild.
+    cursor: Vec<u32>,
+}
+
 /// The ego network `G_v` of a node: the subgraph induced by `v`'s
 /// neighbours, with `v` itself removed.
 ///
@@ -29,22 +42,47 @@ pub struct EgoNetwork {
     global_edges: Vec<EdgeId>,
 }
 
+impl Default for EgoNetwork {
+    /// An empty ego network, the initial state of a reusable slot fed
+    /// through [`EgoNetwork::rebuild`].
+    fn default() -> Self {
+        EgoNetwork {
+            ego: NodeId(0),
+            graph: CsrGraph::empty(),
+            global: Vec::new(),
+            global_edges: Vec::new(),
+        }
+    }
+}
+
 impl EgoNetwork {
     /// Extracts the ego network of `ego` from `g`.
     ///
     /// Runs in `O(Σ_{u ∈ N(ego)} deg(u))` time using sorted-list merges; the
     /// dominant cost of LoCEC Phase I at WeChat scale (paper Table VI).
+    /// Allocates a fresh network — the Phase I hot loop uses
+    /// [`EgoNetwork::rebuild`] on a per-worker slot instead.
     pub fn extract(g: &CsrGraph, ego: NodeId) -> Self {
+        let mut net = EgoNetwork::default();
+        net.rebuild(g, ego, &mut EgoScratch::default());
+        net
+    }
+
+    /// Re-extracts this slot as the ego network of `ego`, reusing both this
+    /// network's allocations and the provided scratch buffers. Steady-state
+    /// rebuilds perform no heap allocation.
+    pub fn rebuild(&mut self, g: &CsrGraph, ego: NodeId, scratch: &mut EgoScratch) {
         let friends = g.neighbors(ego); // sorted
         let n = friends.len();
 
         // Local edges: for each friend u, intersect N(u) with the friend set.
         // Keep only pairs (u, w) with local_u < local_w to store each once.
-        let mut edges: Vec<(u32, u32)> = Vec::new();
-        let mut global_edges: Vec<EdgeId> = Vec::new();
+        scratch.edges.clear();
+        scratch.eids.clear();
         for (lu, &u) in friends.iter().enumerate() {
             // Merge N(u) against friends[lu+1..] (both sorted).
             let nu = g.neighbors(u);
+            let nu_eids = g.neighbor_edge_ids(u);
             let rest = &friends[lu + 1..];
             let (mut i, mut j) = (0usize, 0usize);
             while i < nu.len() && j < rest.len() {
@@ -53,12 +91,10 @@ impl EgoNetwork {
                     std::cmp::Ordering::Greater => j += 1,
                     std::cmp::Ordering::Equal => {
                         let lw = lu + 1 + j;
-                        edges.push((lu as u32, lw as u32));
-                        // Edge id in the global graph.
-                        let ge = g
-                            .edge_between(u, rest[j])
-                            .expect("intersection implies adjacency");
-                        global_edges.push(ge);
+                        scratch.edges.push((lu as u32, lw as u32));
+                        // Edge id in the global graph, read off u's
+                        // adjacency entry (no extra lookup).
+                        scratch.eids.push(nu_eids[i]);
                         i += 1;
                         j += 1;
                     }
@@ -68,14 +104,14 @@ impl EgoNetwork {
 
         // (lu, lw) pairs are produced in lexicographic order already because
         // the outer loop is ascending in lu and the merge ascends in lw.
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
-        let graph = CsrGraph::from_canonical_edges(n, edges);
-        EgoNetwork {
-            ego,
-            graph,
-            global: friends.to_vec(),
-            global_edges,
-        }
+        debug_assert!(scratch.edges.windows(2).all(|w| w[0] < w[1]));
+        self.graph
+            .rebuild_from_canonical_edges(n, &scratch.edges, &mut scratch.cursor);
+        self.ego = ego;
+        self.global.clear();
+        self.global.extend_from_slice(friends);
+        self.global_edges.clear();
+        self.global_edges.extend_from_slice(&scratch.eids);
     }
 
     /// Number of friends (nodes of the ego network).
@@ -200,6 +236,26 @@ mod tests {
         let ego = EgoNetwork::extract(&g, NodeId(8));
         assert_eq!(ego.num_friends(), 2);
         assert_eq!(ego.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn rebuild_reuses_slot_across_egos() {
+        let g = fig7_graph();
+        let mut scratch = EgoScratch::default();
+        let mut net = EgoNetwork::default();
+        // Cycle the same slot through several egos; each state must match a
+        // fresh extraction exactly.
+        for ego in [NodeId(0), NodeId(5), NodeId(8), NodeId(0)] {
+            net.rebuild(&g, ego, &mut scratch);
+            let fresh = EgoNetwork::extract(&g, ego);
+            assert_eq!(net.ego, fresh.ego);
+            assert_eq!(net.friends(), fresh.friends());
+            assert_eq!(net.graph.num_edges(), fresh.graph.num_edges());
+            for (le, lu, lv) in net.graph.edges() {
+                assert!(fresh.graph.has_edge(lu, lv));
+                assert_eq!(net.edge_to_global(le), fresh.edge_to_global(le));
+            }
+        }
     }
 
     #[test]

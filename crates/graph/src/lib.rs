@@ -28,7 +28,10 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
-pub use ego::EgoNetwork;
+pub use ego::{EgoNetwork, EgoScratch};
 pub use ids::{EdgeId, NodeId};
 pub use mutable::MutableGraph;
-pub use traversal::{bfs_order, connected_components, ComponentLabels};
+pub use traversal::{
+    bfs_order, connected_components, connected_components_into, group_members, AdjacencyView,
+    ComponentLabels, EdgeAdjacencyView,
+};

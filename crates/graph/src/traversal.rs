@@ -4,7 +4,7 @@
 //! Girvan–Newman, and BFS layers feed Brandes' betweenness accumulation.
 
 use crate::csr::CsrGraph;
-use crate::ids::NodeId;
+use crate::ids::{EdgeId, NodeId};
 use crate::mutable::MutableGraph;
 use std::collections::VecDeque;
 
@@ -69,14 +69,62 @@ impl AdjacencyView for MutableGraph {
     }
 }
 
+/// Adjacency access with per-entry edge ids, for algorithms that keep flat
+/// `Vec`s indexed by [`EdgeId`] instead of hash maps keyed by endpoint
+/// pairs (Brandes betweenness, Girvan–Newman).
+pub trait EdgeAdjacencyView: AdjacencyView {
+    /// One past the largest edge id; the length flat edge-indexed arrays
+    /// must have.
+    fn edge_id_bound(&self) -> usize;
+    /// Edge ids parallel to [`AdjacencyView::adj`].
+    fn adj_edge_ids(&self, v: NodeId) -> &[EdgeId];
+}
+
+impl EdgeAdjacencyView for CsrGraph {
+    fn edge_id_bound(&self) -> usize {
+        self.num_edges()
+    }
+    fn adj_edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        self.neighbor_edge_ids(v)
+    }
+}
+
+impl EdgeAdjacencyView for MutableGraph {
+    fn edge_id_bound(&self) -> usize {
+        self.edge_id_bound()
+    }
+    fn adj_edge_ids(&self, v: NodeId) -> &[EdgeId] {
+        self.neighbor_edge_ids(v)
+    }
+}
+
 /// Labels connected components with consecutive ids (component ids follow
 /// the smallest node id they contain, ascending).
 pub fn connected_components<G: AdjacencyView>(g: &G) -> ComponentLabels {
+    let mut labels = Vec::new();
+    let mut queue = VecDeque::new();
+    let num_components = connected_components_into(g, &mut labels, &mut queue);
+    ComponentLabels {
+        labels,
+        num_components,
+    }
+}
+
+/// Allocation-reusing form of [`connected_components`]: fills `labels` (one
+/// entry per node) and returns the component count. `queue` is BFS scratch.
+/// Girvan–Newman recomputes components after every edge removal, so the
+/// buffers are hot.
+pub fn connected_components_into<G: AdjacencyView>(
+    g: &G,
+    labels: &mut Vec<u32>,
+    queue: &mut VecDeque<NodeId>,
+) -> usize {
     const UNVISITED: u32 = u32::MAX;
     let n = g.n();
-    let mut labels = vec![UNVISITED; n];
+    labels.clear();
+    labels.resize(n, UNVISITED);
+    queue.clear();
     let mut num_components = 0u32;
-    let mut queue = VecDeque::new();
     for start in 0..n {
         if labels[start] != UNVISITED {
             continue;
@@ -94,9 +142,42 @@ pub fn connected_components<G: AdjacencyView>(g: &G) -> ComponentLabels {
             }
         }
     }
-    ComponentLabels {
-        labels,
-        num_components: num_components as usize,
+    num_components as usize
+}
+
+/// Groups nodes by label into a reusable CSR-style table: after the call,
+/// the members of group `c` (ascending node order) are
+/// `members[offsets[c] as usize..offsets[c + 1] as usize]`. Both output
+/// buffers are reused across calls. Labels must be dense in
+/// `0..num_groups`.
+pub fn group_members(
+    labels: &[u32],
+    num_groups: usize,
+    offsets: &mut Vec<u32>,
+    members: &mut Vec<NodeId>,
+) {
+    offsets.clear();
+    offsets.resize(num_groups + 1, 0);
+    for &c in labels {
+        offsets[c as usize + 1] += 1;
+    }
+    for c in 0..num_groups {
+        offsets[c + 1] += offsets[c];
+    }
+    members.clear();
+    members.resize(labels.len(), NodeId(0));
+    // Use the offsets themselves as write cursors, then shift them back —
+    // keeps the helper allocation-free.
+    for (i, &c) in labels.iter().enumerate() {
+        let pos = offsets[c as usize] as usize;
+        members[pos] = NodeId(i as u32);
+        offsets[c as usize] += 1;
+    }
+    for c in (1..=num_groups).rev() {
+        offsets[c] = offsets[c - 1];
+    }
+    if num_groups > 0 {
+        offsets[0] = 0;
     }
 }
 
@@ -180,6 +261,48 @@ mod tests {
         let cc = connected_components(&g);
         assert_eq!(cc.num_components, 3);
         assert_eq!(cc.sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn connected_components_into_reuses_buffers() {
+        let g = two_triangles();
+        let mut labels = vec![99; 50];
+        let mut queue = VecDeque::new();
+        queue.push_back(NodeId(0)); // stale state must be cleared
+        let k = connected_components_into(&g, &mut labels, &mut queue);
+        assert_eq!(k, 2);
+        assert_eq!(labels.len(), 6);
+        assert_eq!(labels, connected_components(&g).labels);
+    }
+
+    #[test]
+    fn group_members_matches_groups() {
+        let g = two_triangles();
+        let cc = connected_components(&g);
+        let mut offsets = Vec::new();
+        let mut members = Vec::new();
+        group_members(&cc.labels, cc.num_components, &mut offsets, &mut members);
+        let groups = cc.groups();
+        assert_eq!(offsets.len(), cc.num_components + 1);
+        for (c, group) in groups.iter().enumerate() {
+            let slice = &members[offsets[c] as usize..offsets[c + 1] as usize];
+            assert_eq!(slice, group.as_slice(), "component {c}");
+        }
+        // Second call on different input reuses the buffers correctly.
+        group_members(&[0, 0, 0], 1, &mut offsets, &mut members);
+        assert_eq!(offsets, vec![0, 3]);
+        assert_eq!(members, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn edge_adjacency_view_is_consistent() {
+        let g = two_triangles();
+        let m = MutableGraph::from_csr(&g);
+        assert_eq!(EdgeAdjacencyView::edge_id_bound(&g), 6);
+        assert_eq!(EdgeAdjacencyView::edge_id_bound(&m), 6);
+        for v in g.nodes() {
+            assert_eq!(g.adj_edge_ids(v), m.adj_edge_ids(v));
+        }
     }
 
     #[test]

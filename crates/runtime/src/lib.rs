@@ -1,0 +1,20 @@
+//! Execution runtime for LoCEC's parallel phases.
+//!
+//! The paper's scale story (§V-D: "each node is parsed separately in a
+//! streaming scheme") makes Phase I embarrassingly parallel over ego nodes,
+//! but a thread-pool-per-call with static sharding loses twice on real
+//! social graphs: spawn/join overhead is paid on every invocation, and the
+//! power-law degree distribution concentrates the heaviest ego networks in
+//! a few shards, serializing the whole call on the unlucky worker.
+//!
+//! [`WorkerPool`] fixes both. Workers are spawned once per process and
+//! parked on a condvar between jobs, and work is distributed as small
+//! chunks claimed from a shared cursor (work-stealing-style dynamic
+//! self-scheduling), so a worker that draws a cheap chunk immediately goes
+//! back for more instead of idling behind a hub node. Results are merged in
+//! chunk order, which keeps every parallel computation bit-identical across
+//! pool sizes.
+
+pub mod pool;
+
+pub use pool::WorkerPool;

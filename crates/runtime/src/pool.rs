@@ -1,0 +1,460 @@
+//! A persistent, dependency-free worker pool.
+//!
+//! Design: `N` OS threads are spawned once and parked on a condvar. A job is
+//! a borrowed `&(dyn Fn(usize) + Sync)` broadcast to up to `parallelism - 1`
+//! workers plus the submitting thread itself; the submitter blocks until the
+//! last participant finishes, which is what makes lending a non-`'static`
+//! closure to `'static` worker threads sound (see `Job` below). On top of
+//! that, [`WorkerPool::run_chunked`] implements dynamic self-scheduling:
+//! items are grouped into fixed-grain chunks and workers claim the next
+//! chunk from a shared atomic cursor, so skewed per-item costs (power-law
+//! ego networks) re-balance automatically. Chunk outputs are collected into
+//! per-chunk slots and concatenated in chunk order, making the result
+//! independent of the number of workers and of scheduling order.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased pointer to the submitter's task closure.
+///
+/// # Soundness
+/// The referent is a `&(dyn Fn(usize) + Sync)` borrowed from the stack frame
+/// of [`WorkerPool::broadcast`]. That frame does not return (or unwind past
+/// cleanup) until `State::running == 0` **and** the job slot has been
+/// cleared, so no worker can observe the pointer after the borrow ends.
+/// Raw pointers carry no lifetime, hence no transmute is needed; the only
+/// unsafe operations are the `Send` impl and the dereference in the worker.
+#[derive(Copy, Clone)]
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and outlives the job
+// per the protocol documented on `Job`.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Currently broadcast job, if any.
+    job: Option<Job>,
+    /// Bumped once per job so a worker never joins the same job twice.
+    epoch: u64,
+    /// Workers still allowed to join the current job.
+    remaining_slots: usize,
+    /// Next participant slot id to hand out (0 is the submitter).
+    next_slot: usize,
+    /// Workers currently executing the current job.
+    running: usize,
+    /// Set when any participant panicked inside the task.
+    panicked: bool,
+    /// Pool is shutting down; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes parked workers when a job is published (or on shutdown).
+    work_cv: Condvar,
+    /// Wakes the submitter when the last worker finishes, and queued
+    /// submitters when the pool becomes idle.
+    done_cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // Worker panics are caught before the lock is re-acquired, so the
+        // mutex can only be poisoned by a panic in this module's own locked
+        // sections; recover defensively instead of cascading.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+thread_local! {
+    /// True while this thread is executing a pool task; nested `broadcast`
+    /// calls from inside a task run inline instead of deadlocking on the
+    /// single shared job slot.
+    static IN_POOL_TASK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A persistent pool of worker threads. See the module docs.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` persistent worker threads (0 is valid:
+    /// every call then runs inline on the submitting thread).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                remaining_slots: 0,
+                next_slot: 0,
+                running: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("locec-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            handles,
+        }
+    }
+
+    /// The process-wide pool, created on first use with one worker per
+    /// available hardware thread. A job's `parallelism` is honored up to
+    /// that pool size plus the submitting thread; requesting more is
+    /// clamped (oversubscribing CPU-bound work buys nothing, and the
+    /// dynamic chunk scheduler keeps every granted worker busy).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            WorkerPool::new(workers)
+        })
+    }
+
+    /// Number of persistent worker threads (the submitter adds one more
+    /// participant on top during a job).
+    pub fn num_workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `task(slot)` concurrently on up to `parallelism` participants:
+    /// the calling thread (slot 0) plus at most `parallelism - 1` pool
+    /// workers. Blocks until every participant has returned. Panics from any
+    /// participant are re-raised here after all others finished.
+    pub fn broadcast<F: Fn(usize) + Sync>(&self, parallelism: usize, task: F) {
+        let extra = parallelism.saturating_sub(1).min(self.workers);
+        if extra == 0 || IN_POOL_TASK.with(|f| f.get()) {
+            task(0);
+            return;
+        }
+
+        let task_ref: &(dyn Fn(usize) + Sync + '_) = &task;
+        // SAFETY: erases only the trait object's lifetime bound ('_ →
+        // 'static). The protocol documented on `Job` guarantees no worker
+        // dereferences the pointer after this function returns.
+        let job = Job {
+            task: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync + '_),
+                    *const (dyn Fn(usize) + Sync + 'static),
+                >(task_ref as *const (dyn Fn(usize) + Sync + '_))
+            },
+        };
+
+        {
+            let mut st = self.shared.lock();
+            // One job at a time: queue behind an in-flight broadcast from
+            // another thread.
+            while st.job.is_some() || st.running > 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = Some(job);
+            st.epoch += 1;
+            st.remaining_slots = extra;
+            st.next_slot = 1;
+            st.panicked = false;
+            self.shared.work_cv.notify_all();
+        }
+
+        // The submitter participates as slot 0.
+        IN_POOL_TASK.with(|f| f.set(true));
+        let caller_result = catch_unwind(AssertUnwindSafe(|| task(0)));
+        IN_POOL_TASK.with(|f| f.set(false));
+
+        // Close the job and wait for in-flight workers; only after this may
+        // the borrow of `task` end. `job` stays occupied (with joining
+        // disabled via `remaining_slots = 0`) until this submitter has read
+        // its own job's panic flag — clearing it earlier would admit a
+        // queued submitter whose publish step resets `panicked`, losing or
+        // misattributing a worker panic from this job.
+        let worker_panicked;
+        {
+            let mut st = self.shared.lock();
+            st.remaining_slots = 0;
+            while st.running > 0 {
+                st = self
+                    .shared
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            worker_panicked = st.panicked;
+            st.panicked = false;
+            st.job = None;
+            // Wake any submitter queued behind this job.
+            self.shared.done_cv.notify_all();
+        }
+
+        if let Err(payload) = caller_result {
+            resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("WorkerPool task panicked on a worker thread");
+        }
+    }
+
+    /// Parallel map over `0..n` in chunks of `grain` items: `f` is called
+    /// once per chunk with the chunk's item range, chunks are claimed
+    /// dynamically by up to `parallelism` participants, and the outputs are
+    /// returned in chunk order. The result is therefore identical for every
+    /// `parallelism` (including 1) — only wall-clock time changes.
+    pub fn run_chunked<T, F>(&self, n: usize, parallelism: usize, grain: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let grain = grain.max(1);
+        let num_chunks = n.div_ceil(grain);
+        if num_chunks == 0 {
+            return Vec::new();
+        }
+        let chunk_range = |c: usize| (c * grain)..((c + 1) * grain).min(n);
+        if parallelism <= 1 || self.workers == 0 || num_chunks == 1 {
+            return (0..num_chunks).map(|c| f(chunk_range(c))).collect();
+        }
+
+        let slots: Vec<Mutex<Option<T>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        self.broadcast(parallelism.min(num_chunks), |_slot| loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= num_chunks {
+                break;
+            }
+            let out = f(chunk_range(c));
+            *slots[c].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every chunk is computed before broadcast returns")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job;
+        let slot;
+        {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.job.is_some() && st.epoch != seen_epoch && st.remaining_slots > 0 {
+                    break;
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            seen_epoch = st.epoch;
+            st.remaining_slots -= 1;
+            slot = st.next_slot;
+            st.next_slot += 1;
+            st.running += 1;
+            job = st.job.expect("checked above");
+        }
+
+        IN_POOL_TASK.with(|f| f.set(true));
+        // SAFETY: see `Job` — the submitter keeps the closure alive until
+        // `running` returns to 0, which cannot happen before this call ends.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.task)(slot) }));
+        IN_POOL_TASK.with(|f| f.set(false));
+
+        let mut st = shared.lock();
+        st.running -= 1;
+        if result.is_err() {
+            st.panicked = true;
+        }
+        if st.running == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunked_results_are_in_item_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.run_chunked(100, 4, 7, |r| r.map(|i| i * i).collect::<Vec<_>>());
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_across_parallelism_levels() {
+        let pool = WorkerPool::new(4);
+        let run =
+            |p: usize| pool.run_chunked(257, p, 16, |r| r.map(|i| i as u64 * 31).sum::<u64>());
+        let base = run(1);
+        for p in [2, 3, 8, 64] {
+            assert_eq!(run(p), base, "parallelism {p} diverged");
+        }
+    }
+
+    #[test]
+    fn skewed_chunks_all_complete() {
+        let pool = WorkerPool::new(2);
+        // One chunk vastly heavier than the rest: dynamic scheduling must
+        // still produce all outputs.
+        let out = pool.run_chunked(32, 3, 1, |r| {
+            let i = r.start;
+            if i == 0 {
+                (0..200_000u64).sum::<u64>() + i as u64
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out.len(), 32);
+        assert_eq!(out[5], 5);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.broadcast(3, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // Each broadcast runs the task once per participant (1 submitter +
+        // up to 2 workers); at minimum the submitter ran every time.
+        assert!(counter.load(Ordering::Relaxed) >= 50);
+    }
+
+    #[test]
+    fn zero_items_and_zero_workers() {
+        let pool = WorkerPool::new(0);
+        let empty: Vec<u32> = pool.run_chunked(0, 4, 8, |_| 1u32);
+        assert!(empty.is_empty());
+        let inline = pool.run_chunked(10, 4, 4, |r| r.len() as u32);
+        assert_eq!(inline, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn nested_broadcast_runs_inline() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicU64::new(0);
+        pool.broadcast(2, |_| {
+            pool.broadcast(2, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn panic_in_task_propagates() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_chunked(16, 4, 1, |r| {
+                if r.start == 7 {
+                    panic!("boom");
+                }
+                r.start
+            })
+        }));
+        assert!(result.is_err());
+        // Pool must stay usable after a panicked job.
+        let ok = pool.run_chunked(8, 4, 2, |r| r.start);
+        assert_eq!(ok, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn concurrent_broadcasts_attribute_panics_to_their_own_job() {
+        // Regression: the job slot must stay occupied until its submitter
+        // has read the panic flag; otherwise a queued submitter's publish
+        // step resets `panicked` and a worker panic is lost (or observed by
+        // the wrong submitter).
+        let pool = WorkerPool::new(2);
+        std::thread::scope(|scope| {
+            let panicker = scope.spawn(|| {
+                for _ in 0..200 {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        pool.broadcast(3, |slot| {
+                            if slot != 0 {
+                                panic!("worker boom");
+                            }
+                        })
+                    }));
+                    // May legitimately succeed when no worker joined in
+                    // time, but must never panic for any other reason than
+                    // the propagated worker panic.
+                    if let Err(p) = r {
+                        let msg = p
+                            .downcast_ref::<&str>()
+                            .copied()
+                            .map(str::to_owned)
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_default();
+                        assert!(msg.contains("panicked"), "unexpected panic: {msg}");
+                    }
+                }
+            });
+            let clean = scope.spawn(|| {
+                for i in 0..200usize {
+                    let out = pool.run_chunked(16, 3, 4, |r| r.start + i);
+                    assert_eq!(out, vec![i, 4 + i, 8 + i, 12 + i]);
+                }
+            });
+            panicker.join().expect("panicking submitter thread");
+            clean
+                .join()
+                .expect("clean submitter must never observe a foreign panic");
+        });
+    }
+
+    #[test]
+    fn global_pool_is_singleton() {
+        let a = WorkerPool::global() as *const _;
+        let b = WorkerPool::global() as *const _;
+        assert_eq!(a, b);
+    }
+}

@@ -8,6 +8,7 @@ use locec::graph::{
     connected_components, CsrGraph, EgoNetwork, GraphBuilder, MutableGraph, NodeId,
 };
 use locec::synth::{Scenario, SynthConfig};
+use locec_core::phase1;
 use proptest::prelude::*;
 
 /// Strategy: a random simple undirected graph with 2..=24 nodes.
@@ -25,6 +26,38 @@ fn random_graph() -> impl Strategy<Value = CsrGraph> {
                 b.build()
             },
         )
+    })
+}
+
+/// Strategy: a random power-law-ish graph built by preferential attachment —
+/// every new node attaches to `k` picks that favour high-degree targets, so
+/// hub ego networks dwarf the median, the regime the chunked worker pool
+/// must load-balance.
+fn random_power_law_graph() -> impl Strategy<Value = CsrGraph> {
+    (20usize..=60, 1usize..=3, 0u64..1u64 << 32).prop_map(|(n, k, seed)| {
+        let mut b = GraphBuilder::new(n);
+        // Repeated-endpoint list: picking a uniform element of `ends` is a
+        // degree-proportional pick (Barabási–Albert style).
+        let mut ends: Vec<u32> = vec![0, 1];
+        b.add_edge(NodeId(0), NodeId(1));
+        let mut state = seed | 1;
+        let mut next = move |bound: usize| {
+            // xorshift64* — deterministic, dependency-free.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % bound
+        };
+        for v in 2..n as u32 {
+            for _ in 0..k.min(v as usize) {
+                let target = ends[next(ends.len())];
+                if target != v && b.add_edge(NodeId(v), NodeId(target)) {
+                    ends.push(target);
+                    ends.push(v);
+                }
+            }
+        }
+        b.build()
     })
 }
 
@@ -135,6 +168,47 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The pooled, arena-reusing `divide` must be bit-identical across pool
+    /// sizes and to the preserved pre-optimization implementation on random
+    /// power-law graphs (hubs are exactly where scheduling could diverge).
+    #[test]
+    fn divide_is_identical_across_pool_sizes_and_to_reference(g in random_power_law_graph()) {
+        let run = |threads: usize| {
+            phase1::divide(&g, &LocecConfig { threads, ..LocecConfig::fast() })
+        };
+        let base = run(1);
+        for threads in [2usize, 8] {
+            let d = run(threads);
+            prop_assert_eq!(d.num_communities(), base.num_communities());
+            for (a, b) in d.communities.iter().zip(&base.communities) {
+                prop_assert_eq!(a.ego, b.ego);
+                prop_assert_eq!(&a.members, &b.members);
+                prop_assert_eq!(&a.tightness, &b.tightness);
+            }
+        }
+        let reference = phase1::reference::divide_reference(
+            &g,
+            &LocecConfig { threads: 2, ..LocecConfig::fast() },
+        );
+        prop_assert_eq!(base.num_communities(), reference.num_communities());
+        for (a, b) in base.communities.iter().zip(&reference.communities) {
+            prop_assert_eq!(a.ego, b.ego);
+            prop_assert_eq!(&a.members, &b.members);
+            prop_assert_eq!(&a.tightness, &b.tightness);
+        }
+        // Membership tables agree through the public lookup.
+        for (_, u, v) in g.edges() {
+            prop_assert_eq!(
+                base.community_index_of(&g, u, v),
+                reference.community_index_of(&g, u, v)
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Phase I invariants hold on full synthetic worlds (expensive case
@@ -148,8 +222,8 @@ proptest! {
         let pipeline = LocecPipeline::new(LocecConfig { threads: 2, ..LocecConfig::fast() });
         let division = pipeline.divide_only(&s.dataset());
         for (_, u, v) in s.graph.edges() {
-            prop_assert!(division.community_of(u, v).is_some());
-            prop_assert!(division.community_of(v, u).is_some());
+            prop_assert!(division.community_of(&s.graph, u, v).is_some());
+            prop_assert!(division.community_of(&s.graph, v, u).is_some());
         }
         // Tightness bounds hold everywhere.
         for c in &division.communities {
