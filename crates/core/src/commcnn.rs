@@ -163,6 +163,14 @@ impl CommCnn {
         (self.k, self.cols)
     }
 
+    /// The hyper-parameters the network was built with — together with
+    /// [`CommCnn::input_shape`] and [`CommCnn::num_classes`] this is enough
+    /// to reconstruct the architecture, after which
+    /// [`locec_ml::nn::import_params`] restores the trained weights.
+    pub fn config(&self) -> &CommCnnConfig {
+        &self.config
+    }
+
     /// Stacks `k × cols` feature matrices into an NCHW batch tensor.
     pub fn batch_tensor(&self, matrices: &[&Tensor]) -> Tensor {
         let n = matrices.len();

@@ -32,7 +32,10 @@ pub mod reference;
 
 /// One local community: a cluster of `ego`'s friends in `ego`'s ego
 /// network.
-#[derive(Clone, Debug)]
+///
+/// (`Default` produces an empty placeholder — only used as the pre-fill
+/// value of parallel merge buffers, never observable in results.)
+#[derive(Clone, Debug, Default)]
 pub struct LocalCommunity {
     /// The ego node whose ego network this community lives in.
     pub ego: NodeId,
@@ -120,6 +123,104 @@ impl DivisionResult {
         self.communities.iter().map(|c| c.len() as u32).collect()
     }
 
+    /// Assembles a division from communities in ego order (as produced by
+    /// [`divide_range`], or by concatenating shard outputs), building the
+    /// membership table in parallel on the worker pool. This is both
+    /// `divide`'s own merge step and the entry point for combining the
+    /// partial results of a sharded multi-process run: because every ego is
+    /// computed independently, the result is bit-identical to a
+    /// single-process [`divide`] over the same graph.
+    pub fn from_communities(
+        graph: &CsrGraph,
+        communities: Vec<LocalCommunity>,
+        threads: usize,
+    ) -> Self {
+        debug_assert!(
+            communities.windows(2).all(|w| w[0].ego <= w[1].ego),
+            "communities must be in ego order"
+        );
+        let membership = Self::build_membership_parallel(graph, &communities, threads);
+        DivisionResult {
+            communities,
+            membership,
+        }
+    }
+
+    /// The raw adjacency-slot membership table (`u32::MAX` = uncovered) —
+    /// public for persistence.
+    pub fn membership_table(&self) -> &[u32] {
+        &self.membership
+    }
+
+    /// Reassembles a division from untrusted stored parts without
+    /// recomputing the membership table (the snapshot load path — loading
+    /// the stored table verbatim is what makes round-trips bit-identical).
+    /// Validates the cheap invariants: parallel member/tightness arrays and
+    /// in-range membership indices.
+    pub fn from_raw_parts(
+        communities: Vec<LocalCommunity>,
+        membership: Vec<u32>,
+    ) -> Result<Self, &'static str> {
+        for c in &communities {
+            if c.members.len() != c.tightness.len() {
+                return Err("community members/tightness length mismatch");
+            }
+        }
+        let num = communities.len();
+        if membership
+            .iter()
+            .any(|&m| m != NO_COMMUNITY && (m as usize) >= num)
+        {
+            return Err("membership index out of community range");
+        }
+        Ok(DivisionResult {
+            communities,
+            membership,
+        })
+    }
+
+    /// Parallel membership-table construction: egos are chunked, each chunk
+    /// fills the (contiguous) adjacency-slot range of its egos into a local
+    /// buffer, and the buffers are move-concatenated on the pool. Falls
+    /// back to the serial builder when the graph is small. Bit-identical to
+    /// [`DivisionResult::build_membership`] for every thread count.
+    fn build_membership_parallel(
+        graph: &CsrGraph,
+        communities: &[LocalCommunity],
+        threads: usize,
+    ) -> Vec<u32> {
+        /// Egos per chunk; membership filling is pure memory traffic, so
+        /// chunks can be much coarser than the divide grain.
+        const EGO_GRAIN: usize = 1024;
+        let n = graph.num_nodes();
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 || n < 2 * EGO_GRAIN {
+            return Self::build_membership(graph, communities);
+        }
+        let pool = WorkerPool::global();
+        let chunks: Vec<Vec<u32>> = pool.run_chunked(n, threads, EGO_GRAIN, |range| {
+            let base = graph.adjacency_offset(NodeId(range.start as u32));
+            let end = graph.adjacency_offset(NodeId(range.end as u32));
+            let mut local = vec![NO_COMMUNITY; end - base];
+            let lo = communities.partition_point(|c| (c.ego.0 as usize) < range.start);
+            let hi = communities.partition_point(|c| (c.ego.0 as usize) < range.end);
+            for (offset, c) in communities[lo..hi].iter().enumerate() {
+                let cbase = graph.adjacency_offset(c.ego) - base;
+                let nbrs = graph.neighbors(c.ego);
+                let mut j = 0usize;
+                for &m in &c.members {
+                    while nbrs[j] != m {
+                        j += 1;
+                    }
+                    local[cbase + j] = (lo + offset) as u32;
+                    j += 1;
+                }
+            }
+            local
+        });
+        pool.concat(threads, chunks)
+    }
+
     /// Builds the adjacency-slot membership table for `communities`
     /// computed on `graph`. Shared by the production and reference paths.
     fn build_membership(graph: &CsrGraph, communities: &[LocalCommunity]) -> Vec<u32> {
@@ -174,30 +275,46 @@ pub struct DivideScratch {
 
 /// Runs Phase I over every node of the graph.
 pub fn divide(graph: &CsrGraph, config: &LocecConfig) -> DivisionResult {
-    let n = graph.num_nodes();
-    let threads = config.threads.clamp(1, n.max(1));
+    let communities = divide_range(graph, 0..graph.num_nodes() as u32, config);
+    DivisionResult::from_communities(graph, communities, config.threads)
+}
 
-    let chunks: Vec<Vec<LocalCommunity>> =
-        WorkerPool::global().run_chunked(n, threads, DIVIDE_GRAIN, |range| {
-            SCRATCH.with(|scratch| {
-                let scratch = &mut scratch.borrow_mut();
-                let mut out = Vec::new();
-                for v in range {
-                    divide_one_with(graph, NodeId(v as u32), config, scratch, &mut out);
-                }
-                out
-            })
-        });
-
-    let mut communities = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
-    for chunk in chunks {
-        communities.extend(chunk);
-    }
-    let membership = DivisionResult::build_membership(graph, &communities);
-    DivisionResult {
-        communities,
-        membership,
-    }
+/// Phase I over a contiguous ego-id range only — the unit of work of a
+/// sharded multi-process run (`locec divide --shard i/n`). Returns the
+/// range's communities in ego order; because every ego's computation is
+/// independent, concatenating the outputs of a partition of `0..n` and
+/// feeding them to [`DivisionResult::from_communities`] reproduces a
+/// single-process [`divide`] bit-identically.
+pub fn divide_range(
+    graph: &CsrGraph,
+    egos: std::ops::Range<u32>,
+    config: &LocecConfig,
+) -> Vec<LocalCommunity> {
+    assert!(
+        egos.end as usize <= graph.num_nodes(),
+        "ego range {egos:?} exceeds the graph's {} nodes",
+        graph.num_nodes()
+    );
+    let len = egos.len();
+    let threads = config.threads.clamp(1, len.max(1));
+    let pool = WorkerPool::global();
+    let chunks: Vec<Vec<LocalCommunity>> = pool.run_chunked(len, threads, DIVIDE_GRAIN, |range| {
+        SCRATCH.with(|scratch| {
+            let scratch = &mut scratch.borrow_mut();
+            let mut out = Vec::new();
+            for v in range {
+                divide_one_with(
+                    graph,
+                    NodeId(egos.start + v as u32),
+                    config,
+                    scratch,
+                    &mut out,
+                );
+            }
+            out
+        })
+    });
+    pool.concat(threads, chunks)
 }
 
 /// Detects the local communities of one ego node (fresh scratch per call;
@@ -437,6 +554,69 @@ mod tests {
             assert_eq!(a.tightness, b.tightness);
         }
         assert_eq!(division.membership, reference.membership);
+    }
+
+    #[test]
+    fn sharded_ranges_merge_to_the_full_division() {
+        let g = fig7_graph();
+        let cfg = config();
+        let full = divide(&g, &cfg);
+        let n = g.num_nodes() as u32;
+        for shards in [1u32, 2, 3, 9] {
+            let mut communities = Vec::new();
+            for i in 0..shards {
+                let start = i * n / shards;
+                let end = (i + 1) * n / shards;
+                communities.extend(divide_range(&g, start..end, &cfg));
+            }
+            let merged = DivisionResult::from_communities(&g, communities, cfg.threads);
+            assert_eq!(merged.num_communities(), full.num_communities());
+            for (a, b) in merged.communities.iter().zip(&full.communities) {
+                assert_eq!(a.ego, b.ego);
+                assert_eq!(a.members, b.members);
+                assert_eq!(a.tightness, b.tightness);
+            }
+            assert_eq!(merged.membership, full.membership, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn parallel_membership_matches_serial_on_a_large_graph() {
+        // Large enough to cross the parallel threshold; a ring with chords
+        // keeps every ego network tiny so label propagation is instant.
+        let n = 5000u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for v in 0..n {
+            b.add_edge(NodeId(v), NodeId((v + 1) % n));
+            b.add_edge(NodeId(v), NodeId((v + 7) % n));
+        }
+        let g = b.build();
+        let cfg = LocecConfig {
+            detector: CommunityDetector::LabelPropagation,
+            threads: 4,
+            ..LocecConfig::fast()
+        };
+        let d = divide(&g, &cfg);
+        let serial = DivisionResult::build_membership(&g, &d.communities);
+        assert_eq!(d.membership, serial);
+    }
+
+    #[test]
+    fn raw_parts_roundtrip_and_validation() {
+        let g = fig7_graph();
+        let d = divide(&g, &config());
+        let rebuilt =
+            DivisionResult::from_raw_parts(d.communities.clone(), d.membership_table().to_vec())
+                .unwrap();
+        assert_eq!(rebuilt.membership, d.membership);
+
+        let mut bad = d.membership_table().to_vec();
+        bad[0] = d.num_communities() as u32; // out of range, not NO_COMMUNITY
+        assert!(DivisionResult::from_raw_parts(d.communities.clone(), bad).is_err());
+
+        let mut torn = d.communities.clone();
+        torn[0].tightness.pop();
+        assert!(DivisionResult::from_raw_parts(torn, d.membership_table().to_vec()).is_err());
     }
 
     #[test]

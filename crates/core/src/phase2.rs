@@ -17,8 +17,68 @@ use locec_ml::gbdt::Gbdt;
 use locec_ml::linear::argmax;
 use locec_ml::metrics::{evaluate, Evaluation};
 use locec_ml::{Dataset, Tensor};
+use locec_runtime::WorkerPool;
 use locec_synth::types::RelationType;
 use locec_synth::SocialDataset;
+
+/// Communities per worker-pool chunk for feature building. Feature cost
+/// scales with community size, so the small grain lets the dynamic
+/// scheduler re-balance around the big-community tail.
+const FEATURE_GRAIN: usize = 64;
+
+/// Builds the Algorithm 1 feature matrix of each listed community, in
+/// order, parallelized over the worker pool. Pure per-community work, so
+/// the output is identical for every thread count.
+fn feature_matrices(
+    data: &SocialDataset<'_>,
+    division: &DivisionResult,
+    ids: &[u32],
+    config: &LocecConfig,
+) -> Vec<Tensor> {
+    let threads = config.threads.max(1);
+    let chunks: Vec<Vec<Tensor>> =
+        WorkerPool::global().run_chunked(ids.len(), threads, FEATURE_GRAIN, |range| {
+            range
+                .map(|i| {
+                    community_feature_matrix_ordered(
+                        data.graph,
+                        data.interactions,
+                        data.user_features,
+                        &division.communities[ids[i] as usize],
+                        config.k,
+                        config.row_order,
+                        config.seed,
+                    )
+                })
+                .collect()
+        });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Builds the LoCEC-XGB pooled feature vector of each listed community, in
+/// order, parallelized over the worker pool.
+fn pooled_rows(
+    data: &SocialDataset<'_>,
+    division: &DivisionResult,
+    ids: &[u32],
+    threads: usize,
+) -> Vec<Vec<f32>> {
+    let threads = threads.max(1);
+    let chunks: Vec<Vec<Vec<f32>>> =
+        WorkerPool::global().run_chunked(ids.len(), threads, FEATURE_GRAIN, |range| {
+            range
+                .map(|i| {
+                    pooled_feature_vector(
+                        data.graph,
+                        data.interactions,
+                        data.user_features,
+                        &division.communities[ids[i] as usize],
+                    )
+                })
+                .collect()
+        });
+    chunks.into_iter().flatten().collect()
+}
 
 /// A trained Phase II model.
 pub enum CommunityClassifier {
@@ -71,33 +131,19 @@ impl CommunityClassifier {
         config: &LocecConfig,
     ) -> Self {
         assert!(!labeled.is_empty(), "no labeled communities to train on");
+        let ids: Vec<u32> = labeled.iter().map(|&(idx, _)| idx).collect();
         match config.community_model {
             CommunityModelKind::Xgb => {
+                let rows = pooled_rows(data, division, &ids, config.threads);
                 let mut ds = Dataset::new(2 * crate::features::FEATURE_COLS);
-                for &(idx, label) in labeled {
-                    let c = &division.communities[idx as usize];
-                    let v =
-                        pooled_feature_vector(data.graph, data.interactions, data.user_features, c);
-                    ds.push(&v, label.label());
+                for (row, &(_, label)) in rows.iter().zip(labeled) {
+                    ds.push(row, label.label());
                 }
                 let model = Gbdt::fit(&ds, RelationType::COUNT, &config.gbdt);
                 CommunityClassifier::Xgb(model)
             }
             CommunityModelKind::Cnn => {
-                let matrices: Vec<Tensor> = labeled
-                    .iter()
-                    .map(|&(idx, _)| {
-                        community_feature_matrix_ordered(
-                            data.graph,
-                            data.interactions,
-                            data.user_features,
-                            &division.communities[idx as usize],
-                            config.k,
-                            config.row_order,
-                            config.seed,
-                        )
-                    })
-                    .collect();
+                let matrices = feature_matrices(data, division, &ids, config);
                 let labels: Vec<usize> = labeled.iter().map(|&(_, l)| l.label()).collect();
                 let mut cnn = CommCnn::new(
                     config.k,
@@ -123,45 +169,49 @@ impl CommunityClassifier {
         let mut probabilities = Vec::with_capacity(n);
         match self {
             CommunityClassifier::Xgb(model) => {
-                for c in &division.communities {
-                    let v =
-                        pooled_feature_vector(data.graph, data.interactions, data.user_features, c);
-                    embeddings.push(model.leaf_values(&v));
-                    probabilities.push(model.predict_proba(&v));
+                // Feature building and tree inference are both pure, so the
+                // whole per-community pipeline runs fused on the pool.
+                let model: &Gbdt = model;
+                let threads = config.threads.max(1);
+                let chunks: Vec<Vec<(Vec<f32>, Vec<f32>)>> =
+                    WorkerPool::global().run_chunked(n, threads, FEATURE_GRAIN, |range| {
+                        range
+                            .map(|i| {
+                                let v = pooled_feature_vector(
+                                    data.graph,
+                                    data.interactions,
+                                    data.user_features,
+                                    &division.communities[i],
+                                );
+                                (model.leaf_values(&v), model.predict_proba(&v))
+                            })
+                            .collect()
+                    });
+                for (e, p) in chunks.into_iter().flatten() {
+                    embeddings.push(e);
+                    probabilities.push(p);
                 }
             }
             CommunityClassifier::Cnn(cnn) => {
-                // Batched CNN inference keeps tensor churn bounded.
+                // Feature matrices build in parallel slabs; inference stays
+                // on the submitting thread (the network is `&mut`) in
+                // batches that keep tensor churn bounded.
                 const BATCH: usize = 128;
-                let mut matrices = Vec::with_capacity(BATCH.min(n));
-                let mut flush = |matrices: &mut Vec<Tensor>,
-                                 probabilities: &mut Vec<Vec<f32>>,
-                                 embeddings: &mut Vec<Vec<f32>>| {
-                    if matrices.is_empty() {
-                        return;
+                const SLAB: usize = 2048;
+                let mut start = 0usize;
+                while start < n {
+                    let end = (start + SLAB).min(n);
+                    let ids: Vec<u32> = (start as u32..end as u32).collect();
+                    let matrices = feature_matrices(data, division, &ids, config);
+                    for chunk in matrices.chunks(BATCH) {
+                        let refs: Vec<&Tensor> = chunk.iter().collect();
+                        for p in cnn.predict_proba_batch(&refs) {
+                            embeddings.push(p.clone());
+                            probabilities.push(p);
+                        }
                     }
-                    let refs: Vec<&Tensor> = matrices.iter().collect();
-                    for p in cnn.predict_proba_batch(&refs) {
-                        embeddings.push(p.clone());
-                        probabilities.push(p);
-                    }
-                    matrices.clear();
-                };
-                for c in &division.communities {
-                    matrices.push(community_feature_matrix_ordered(
-                        data.graph,
-                        data.interactions,
-                        data.user_features,
-                        c,
-                        config.k,
-                        config.row_order,
-                        config.seed,
-                    ));
-                    if matrices.len() == BATCH {
-                        flush(&mut matrices, &mut probabilities, &mut embeddings);
-                    }
+                    start = end;
                 }
-                flush(&mut matrices, &mut probabilities, &mut embeddings);
             }
         }
         let embedding_dim = embeddings.first().map_or(0, Vec::len);
@@ -284,6 +334,25 @@ mod tests {
             "train-set accuracy {} too low",
             eval.accuracy
         );
+    }
+
+    #[test]
+    fn predict_all_is_thread_count_invariant() {
+        let (scenario, division, mut config) = setup();
+        config.community_model = CommunityModelKind::Xgb;
+        let labeled = labeled_communities(&scenario, &division, &config);
+        let ds = scenario.dataset();
+        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+        let base = model.predict_all(&ds, &division, &config);
+        for threads in [1usize, 4, 8] {
+            let cfg = LocecConfig {
+                threads,
+                ..config.clone()
+            };
+            let agg = model.predict_all(&ds, &division, &cfg);
+            assert_eq!(agg.embeddings, base.embeddings, "{threads} threads");
+            assert_eq!(agg.probabilities, base.probabilities);
+        }
     }
 
     #[test]

@@ -59,6 +59,17 @@ pub struct EdgeClassifier {
 }
 
 impl EdgeClassifier {
+    /// The fitted logistic regression — public for persistence.
+    pub fn model(&self) -> &LogisticRegression {
+        &self.lr
+    }
+
+    /// Reassembles a classifier around an already-fitted model (the
+    /// snapshot load path).
+    pub fn from_model(lr: LogisticRegression) -> Self {
+        EdgeClassifier { lr }
+    }
+
     /// Trains the logistic regression on labeled training edges.
     pub fn train(
         graph: &CsrGraph,

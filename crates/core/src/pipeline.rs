@@ -38,6 +38,10 @@ pub struct LocecOutcome {
     /// Distribution of predicted relationship types over all edges
     /// (Fig. 13b).
     pub edge_type_distribution: [f64; RelationType::COUNT],
+    /// Predicted type of every edge, indexed by `EdgeId` — the pipeline's
+    /// final artifact (and the reference the `locec classify` CLI output is
+    /// checked against).
+    pub edge_predictions: Vec<RelationType>,
     /// Wall-clock time of Phase I (division).
     pub phase1_time: Duration,
     /// Wall-clock time of Phase II inference over all communities.
@@ -143,6 +147,7 @@ impl LocecPipeline {
             community_sizes: division.community_sizes(),
             community_type_distribution: agg.class_distribution(),
             edge_type_distribution: type_distribution(&all_predictions),
+            edge_predictions: all_predictions,
             phase1_time,
             phase2_time,
             phase3_time,
@@ -189,7 +194,11 @@ pub fn split_edges(
     (train, test)
 }
 
-fn split_communities(
+/// Seeded shuffle split of labeled communities — public so external
+/// drivers (the `locec aggregate` CLI) can reproduce
+/// [`LocecPipeline::run_with_division`]'s Phase II train/test split
+/// exactly.
+pub fn split_communities(
     labeled: &[(u32, RelationType)],
     train_fraction: f64,
     seed: u64,

@@ -38,6 +38,34 @@ impl CsrGraph {
         }
     }
 
+    /// Builds from an untrusted canonical edge list: `(min, max)` pairs that
+    /// must be strictly sorted (which implies deduplicated), loop-free and
+    /// within `0..num_nodes`. Unlike [`crate::GraphBuilder`] this performs no
+    /// sorting or deduplication — it *validates* and rejects — which makes it
+    /// the right entry point for deserializers: a well-formed input
+    /// reconstructs the original graph bit-identically, a corrupt one gets a
+    /// typed error instead of a panic or a silently different graph.
+    pub fn from_edge_list(num_nodes: usize, edges: Vec<(u32, u32)>) -> Result<Self, &'static str> {
+        if num_nodes > u32::MAX as usize {
+            return Err("node count exceeds u32");
+        }
+        if edges.len() > u32::MAX as usize {
+            return Err("edge count exceeds u32");
+        }
+        for &(a, b) in &edges {
+            if a >= b {
+                return Err("edge endpoints must satisfy min < max");
+            }
+            if (b as usize) >= num_nodes {
+                return Err("edge endpoint out of node range");
+            }
+        }
+        if edges.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("edges must be strictly sorted");
+        }
+        Ok(CsrGraph::from_canonical_edges(num_nodes, edges))
+    }
+
     /// Builds from canonicalized, sorted, deduplicated `(min, max)` pairs.
     /// Callers should normally go through [`crate::GraphBuilder`].
     pub(crate) fn from_canonical_edges(num_nodes: usize, edges: Vec<(u32, u32)>) -> Self {
@@ -409,6 +437,23 @@ mod tests {
         reused.rebuild_from_canonical_edges(2, &[(0, 1)], &mut cursor);
         assert_eq!(reused.num_nodes(), 2);
         assert_eq!(reused.num_edges(), 1);
+    }
+
+    #[test]
+    fn from_edge_list_validates_and_reconstructs() {
+        let g = fig7_graph();
+        let edges: Vec<(u32, u32)> = g.edges().map(|(_, u, v)| (u.0, v.0)).collect();
+        let rebuilt = CsrGraph::from_edge_list(g.num_nodes(), edges.clone()).unwrap();
+        for v in g.nodes() {
+            assert_eq!(rebuilt.neighbors(v), g.neighbors(v));
+            assert_eq!(rebuilt.neighbor_edge_ids(v), g.neighbor_edge_ids(v));
+        }
+        // Rejections: self loop, inverted pair, out of range, unsorted, dup.
+        assert!(CsrGraph::from_edge_list(3, vec![(1, 1)]).is_err());
+        assert!(CsrGraph::from_edge_list(3, vec![(2, 1)]).is_err());
+        assert!(CsrGraph::from_edge_list(3, vec![(0, 3)]).is_err());
+        assert!(CsrGraph::from_edge_list(4, vec![(1, 2), (0, 3)]).is_err());
+        assert!(CsrGraph::from_edge_list(4, vec![(0, 1), (0, 1)]).is_err());
     }
 
     #[test]

@@ -10,13 +10,13 @@ use std::fmt;
 
 /// Identifier of a node (user) in a graph. Indices are dense: a graph with
 /// `n` nodes uses ids `0..n`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 /// Identifier of an undirected edge (relationship). Each undirected edge has
 /// exactly one `EdgeId`, regardless of traversal direction. Indices are
 /// dense: a graph with `m` edges uses ids `0..m`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct EdgeId(pub u32);
 
 impl NodeId {

@@ -10,7 +10,7 @@
 
 pub mod tree;
 
-pub use tree::{RegressionTree, TreeConfig};
+pub use tree::{FlatNode, RegressionTree, TreeConfig, FLAT_LEAF};
 
 use crate::data::Dataset;
 use rand::rngs::StdRng;
@@ -143,6 +143,48 @@ impl Gbdt {
     /// Number of trees (`rounds × classes`).
     pub fn num_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Expected feature-row width.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// The shrinkage η the ensemble was trained with.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// The fitted trees in round-major order
+    /// (`trees[round * num_classes + class]`).
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// Reassembles an ensemble from its parts (the inverse of the
+    /// [`Gbdt::trees`]/[`Gbdt::num_features`]/[`Gbdt::learning_rate`]
+    /// accessors), validating the round-major shape invariant.
+    pub fn from_parts(
+        trees: Vec<RegressionTree>,
+        num_classes: usize,
+        num_features: usize,
+        learning_rate: f32,
+    ) -> Result<Self, &'static str> {
+        if num_classes < 2 {
+            return Err("need at least two classes");
+        }
+        if trees.is_empty() || trees.len() % num_classes != 0 {
+            return Err("tree count must be a positive multiple of the class count");
+        }
+        if !learning_rate.is_finite() {
+            return Err("learning rate is not finite");
+        }
+        Ok(Gbdt {
+            trees,
+            num_classes,
+            num_features,
+            learning_rate,
+        })
     }
 
     /// Raw class margins `F_c(x) = Σ_t η·tree_t(x)` for one row, matching
@@ -318,6 +360,43 @@ mod tests {
                 .count()
         };
         assert!(acc(&long) >= acc(&short));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_predictions_bit_identically() {
+        let data = three_blobs();
+        let model = Gbdt::fit(&data, 3, &GbdtConfig::fast());
+        let rebuilt = Gbdt::from_parts(
+            model.trees().to_vec(),
+            model.num_classes(),
+            model.num_features(),
+            model.learning_rate(),
+        )
+        .unwrap();
+        for i in 0..data.len() {
+            let a = model.predict_margins(data.row(i));
+            let b = rebuilt.predict_margins(data.row(i));
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                model.leaf_values(data.row(i)),
+                rebuilt.leaf_values(data.row(i))
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_bad_shapes() {
+        let data = three_blobs();
+        let model = Gbdt::fit(&data, 3, &GbdtConfig::fast());
+        let trees = model.trees().to_vec();
+        assert!(Gbdt::from_parts(Vec::new(), 3, 2, 0.3).is_err());
+        assert!(Gbdt::from_parts(trees.clone(), 1, 2, 0.3).is_err());
+        let odd = trees[..trees.len() - 1].to_vec();
+        assert!(Gbdt::from_parts(odd, 3, 2, 0.3).is_err());
+        assert!(Gbdt::from_parts(trees, 3, 2, f32::NAN).is_err());
     }
 
     #[test]

@@ -54,6 +54,26 @@ pub struct RegressionTree {
     num_leaves: usize,
 }
 
+/// One arena node in flattened form, for persistence. A node with
+/// `feature == u32::MAX` is a leaf carrying `weight`; any other node is a
+/// split on `feature` at `threshold` with child node ids `left`/`right`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlatNode {
+    /// Split feature index, or `u32::MAX` for a leaf.
+    pub feature: u32,
+    /// Split threshold (`x[feature] <= threshold` goes left); 0 for leaves.
+    pub threshold: f32,
+    /// Left child node id; 0 for leaves.
+    pub left: u32,
+    /// Right child node id; 0 for leaves.
+    pub right: u32,
+    /// Leaf weight; 0 for splits.
+    pub weight: f32,
+}
+
+/// Sentinel marking a leaf in [`FlatNode::feature`].
+pub const FLAT_LEAF: u32 = u32::MAX;
+
 impl RegressionTree {
     /// Fits a tree to gradients/hessians of the samples at `indices`.
     pub fn fit(
@@ -170,6 +190,78 @@ impl RegressionTree {
             right,
         };
         my_id
+    }
+
+    /// Flattens the arena into [`FlatNode`]s (index order preserved, node 0
+    /// is the root). The inverse of [`RegressionTree::from_flat_nodes`].
+    pub fn flat_nodes(&self) -> Vec<FlatNode> {
+        self.nodes
+            .iter()
+            .map(|n| match *n {
+                Node::Leaf { weight } => FlatNode {
+                    feature: FLAT_LEAF,
+                    threshold: 0.0,
+                    left: 0,
+                    right: 0,
+                    weight,
+                },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => FlatNode {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    weight: 0.0,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuilds a tree from untrusted flattened nodes, validating the arena
+    /// invariants the builder guarantees (children exist and point strictly
+    /// forward, so the structure is acyclic and `predict` terminates).
+    /// `num_features` bounds split feature indices so a loaded tree can
+    /// never index out of a feature row.
+    pub fn from_flat_nodes(nodes: &[FlatNode], num_features: usize) -> Result<Self, &'static str> {
+        if nodes.is_empty() {
+            return Err("tree has no nodes");
+        }
+        let mut num_leaves = 0usize;
+        let mut arena = Vec::with_capacity(nodes.len());
+        for (id, n) in nodes.iter().enumerate() {
+            if n.feature == FLAT_LEAF {
+                if !n.weight.is_finite() {
+                    return Err("leaf weight is not finite");
+                }
+                num_leaves += 1;
+                arena.push(Node::Leaf { weight: n.weight });
+            } else {
+                if n.feature as usize >= num_features {
+                    return Err("split feature out of range");
+                }
+                if !n.threshold.is_finite() {
+                    return Err("split threshold is not finite");
+                }
+                let (l, r) = (n.left as usize, n.right as usize);
+                if l <= id || r <= id || l >= nodes.len() || r >= nodes.len() {
+                    return Err("split children must point strictly forward");
+                }
+                arena.push(Node::Split {
+                    feature: n.feature,
+                    threshold: n.threshold,
+                    left: n.left,
+                    right: n.right,
+                });
+            }
+        }
+        Ok(RegressionTree {
+            nodes: arena,
+            num_leaves,
+        })
     }
 
     /// Predicted leaf weight for a feature row.
@@ -373,6 +465,55 @@ mod tests {
         );
         assert!(tree.depth() <= 3);
         assert!(tree.num_leaves() <= 8);
+    }
+
+    #[test]
+    fn flat_nodes_roundtrip_bit_identically() {
+        let rows: Vec<Vec<f32>> = (0..16)
+            .map(|i| vec![i as f32, (i * 3 % 7) as f32])
+            .collect();
+        let targets: Vec<f32> = (0..16).map(|i| ((i * i) % 11) as f32).collect();
+        let data = Dataset::from_rows(&rows, &vec![0; 16]);
+        let (grad, hess) = regression_setup(&targets);
+        let idx: Vec<usize> = (0..16).collect();
+        let tree = RegressionTree::fit(&data, &idx, &grad, &hess, &TreeConfig::default());
+        let flat = tree.flat_nodes();
+        let rebuilt = RegressionTree::from_flat_nodes(&flat, 2).unwrap();
+        assert_eq!(rebuilt.num_leaves(), tree.num_leaves());
+        assert_eq!(rebuilt.flat_nodes(), flat);
+        for row in &rows {
+            assert_eq!(rebuilt.predict(row).to_bits(), tree.predict(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn from_flat_nodes_rejects_malformed_arenas() {
+        let leaf = FlatNode {
+            feature: FLAT_LEAF,
+            threshold: 0.0,
+            left: 0,
+            right: 0,
+            weight: 1.0,
+        };
+        assert!(RegressionTree::from_flat_nodes(&[], 2).is_err());
+        // Split pointing at itself / backwards / out of range.
+        let split = |l: u32, r: u32, feature: u32| FlatNode {
+            feature,
+            threshold: 0.5,
+            left: l,
+            right: r,
+            weight: 0.0,
+        };
+        assert!(RegressionTree::from_flat_nodes(&[split(0, 1, 0), leaf], 2).is_err());
+        assert!(RegressionTree::from_flat_nodes(&[split(1, 5, 0), leaf], 2).is_err());
+        assert!(RegressionTree::from_flat_nodes(&[split(1, 2, 9), leaf, leaf], 2).is_err());
+        let bad_weight = FlatNode {
+            weight: f32::NAN,
+            ..leaf
+        };
+        assert!(RegressionTree::from_flat_nodes(&[bad_weight], 2).is_err());
+        // A valid 3-node tree passes.
+        assert!(RegressionTree::from_flat_nodes(&[split(1, 2, 0), leaf, leaf], 2).is_ok());
     }
 
     #[test]

@@ -120,6 +120,39 @@ impl LogisticRegression {
         self.num_classes
     }
 
+    /// Expected feature-row width.
+    pub fn num_features(&self) -> usize {
+        self.w.shape()[0]
+    }
+
+    /// The fitted parameters: weights `(num_features, num_classes)` and
+    /// bias `(num_classes)`.
+    pub fn params(&self) -> (&Tensor, &Tensor) {
+        (&self.w, &self.b)
+    }
+
+    /// Reassembles a model from fitted parameters (the inverse of
+    /// [`LogisticRegression::params`]), validating the shapes.
+    pub fn from_params(w: Tensor, b: Tensor) -> Result<Self, &'static str> {
+        let [d, k] = *w.shape() else {
+            return Err("weights must be 2-D");
+        };
+        if b.shape() != [k] {
+            return Err("bias length must equal the class count");
+        }
+        if k < 2 || d == 0 {
+            return Err("need at least two classes and one feature");
+        }
+        if w.data().iter().chain(b.data()).any(|v| !v.is_finite()) {
+            return Err("parameters must be finite");
+        }
+        Ok(LogisticRegression {
+            w,
+            b,
+            num_classes: k,
+        })
+    }
+
     /// Class probabilities for one feature row.
     pub fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
         softmax_row(x, &self.w, &self.b, self.num_classes)
@@ -239,6 +272,41 @@ mod tests {
             },
         );
         assert!(strong.w.norm() < weak.w.norm());
+    }
+
+    #[test]
+    fn params_roundtrip_bit_identically() {
+        let data = blobs();
+        let model = LogisticRegression::fit(&data, 3, &LogisticRegressionConfig::default());
+        let (w, b) = model.params();
+        let rebuilt = LogisticRegression::from_params(w.clone(), b.clone()).unwrap();
+        assert_eq!(rebuilt.num_classes(), 3);
+        assert_eq!(rebuilt.num_features(), 2);
+        let p1 = model.predict_proba(&[0.3, -1.2]);
+        let p2 = rebuilt.predict_proba(&[0.3, -1.2]);
+        assert_eq!(
+            p1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            p2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn from_params_rejects_bad_shapes() {
+        assert!(LogisticRegression::from_params(Tensor::zeros(&[3]), Tensor::zeros(&[3])).is_err());
+        assert!(
+            LogisticRegression::from_params(Tensor::zeros(&[2, 3]), Tensor::zeros(&[2])).is_err()
+        );
+        assert!(
+            LogisticRegression::from_params(Tensor::zeros(&[2, 1]), Tensor::zeros(&[1])).is_err()
+        );
+        assert!(LogisticRegression::from_params(
+            Tensor::full(&[2, 3], f32::INFINITY),
+            Tensor::zeros(&[3])
+        )
+        .is_err());
+        assert!(
+            LogisticRegression::from_params(Tensor::zeros(&[2, 3]), Tensor::zeros(&[3])).is_ok()
+        );
     }
 
     #[test]

@@ -62,6 +62,34 @@ pub trait Model {
     }
 }
 
+/// Flattens every parameter tensor of a model into one vector, in
+/// [`Model::visit_params`] order. The inverse of [`import_params`]; together
+/// they are the persistence story for any `Model`: reconstruct the
+/// architecture from its config, then overwrite the freshly initialized
+/// parameters with the stored values.
+pub fn export_params(model: &mut dyn Model) -> Vec<f32> {
+    let mut out = Vec::new();
+    model.visit_params(&mut |v, _| out.extend_from_slice(v.data()));
+    out
+}
+
+/// Overwrites every parameter tensor of a model from a flat vector written
+/// by [`export_params`]. Fails (leaving some parameters already updated)
+/// when the total scalar count does not match the model's architecture.
+pub fn import_params(model: &mut dyn Model, data: &[f32]) -> Result<(), &'static str> {
+    let expected = model.num_params();
+    if data.len() != expected {
+        return Err("parameter count does not match the model architecture");
+    }
+    let mut offset = 0usize;
+    model.visit_params(&mut |v, _| {
+        let n = v.len();
+        v.data_mut().copy_from_slice(&data[offset..offset + n]);
+        offset += n;
+    });
+    Ok(())
+}
+
 /// A simple chain of layers.
 #[derive(Default)]
 pub struct Sequential {
@@ -259,5 +287,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut seq = Sequential::new().push(Dense::new(4, 3, &mut rng));
         assert_eq!(Model::num_params(&mut seq), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn export_import_params_roundtrip_bit_identically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = Sequential::new()
+            .push(Dense::new(4, 5, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(5, 2, &mut rng));
+        let mut b = Sequential::new()
+            .push(Dense::new(4, 5, &mut StdRng::seed_from_u64(99)))
+            .push(Relu::new())
+            .push(Dense::new(5, 2, &mut StdRng::seed_from_u64(100)));
+        let params = export_params(&mut a);
+        assert_eq!(params.len(), Model::num_params(&mut a));
+        import_params(&mut b, &params).unwrap();
+        let x = Tensor::from_vec(&[1, 4], vec![0.5, -1.0, 2.0, 0.1]);
+        assert_eq!(a.forward(&x, false).data(), b.forward(&x, false).data());
+        // Mismatched architectures are rejected.
+        assert!(import_params(&mut b, &params[1..]).is_err());
     }
 }

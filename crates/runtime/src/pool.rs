@@ -258,6 +258,61 @@ impl WorkerPool {
             })
             .collect()
     }
+
+    /// Ordered move-concatenation of `parts` into one `Vec`, equivalent to
+    /// `parts.into_iter().flatten().collect()` but with the element moves
+    /// spread over up to `parallelism` participants. The output is
+    /// pre-filled with `T::default()` placeholders and pre-split into one
+    /// disjoint `&mut` slice per part, each handed to exactly one claimant
+    /// through a `Mutex<Option<_>>` slot — order is positional, so the
+    /// result is identical for every parallelism level.
+    ///
+    /// This is the merge step of Phase I-style computations: `run_chunked`
+    /// produces per-chunk output vectors, and at high core counts the
+    /// serial `extend` loop over them becomes the bottleneck.
+    pub fn concat<T: Send + Default>(&self, parallelism: usize, parts: Vec<Vec<T>>) -> Vec<T> {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        // Below this size the per-part synchronization costs more than the
+        // serial element moves it saves.
+        const PARALLEL_THRESHOLD: usize = 1 << 14;
+        if parallelism <= 1 || self.workers == 0 || total < PARALLEL_THRESHOLD {
+            let mut out = Vec::with_capacity(total);
+            for p in parts {
+                out.extend(p);
+            }
+            return out;
+        }
+
+        let mut out = Vec::new();
+        out.resize_with(total, T::default);
+        {
+            let mut tail = out.as_mut_slice();
+            let tasks: Vec<Mutex<Option<(&mut [T], Vec<T>)>>> = parts
+                .into_iter()
+                .map(|p| {
+                    let (head, rest) = std::mem::take(&mut tail).split_at_mut(p.len());
+                    tail = rest;
+                    Mutex::new(Some((head, p)))
+                })
+                .collect();
+            let cursor = AtomicUsize::new(0);
+            self.broadcast(parallelism.min(tasks.len()), |_slot| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                let (dst, src) = tasks[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("each part is claimed exactly once");
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = s;
+                }
+            });
+        }
+        out
+    }
 }
 
 impl Drop for WorkerPool {
@@ -449,6 +504,49 @@ mod tests {
                 .join()
                 .expect("clean submitter must never observe a foreign panic");
         });
+    }
+
+    #[test]
+    fn concat_matches_flatten_for_every_parallelism() {
+        let pool = WorkerPool::new(3);
+        // Large enough to cross the parallel threshold, with skewed and
+        // empty parts.
+        let make_parts = || -> Vec<Vec<u64>> {
+            let mut parts = Vec::new();
+            let mut next = 0u64;
+            for i in 0..40 {
+                let len = match i % 5 {
+                    0 => 0,
+                    1 => 3_000,
+                    _ => 300,
+                };
+                parts.push((next..next + len).collect());
+                next += len;
+            }
+            parts
+        };
+        let expected: Vec<u64> = make_parts().into_iter().flatten().collect();
+        for p in [1, 2, 4, 16] {
+            assert_eq!(pool.concat(p, make_parts()), expected, "parallelism {p}");
+        }
+    }
+
+    #[test]
+    fn concat_small_input_stays_serial_and_correct() {
+        let pool = WorkerPool::new(2);
+        let parts = vec![vec![1u8, 2], vec![], vec![3]];
+        assert_eq!(pool.concat(8, parts), vec![1, 2, 3]);
+        assert_eq!(pool.concat(8, Vec::<Vec<u8>>::new()), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn concat_moves_non_copy_values() {
+        let pool = WorkerPool::new(2);
+        let parts: Vec<Vec<String>> = (0..30)
+            .map(|i| (0..1_000).map(|j| format!("{i}:{j}")).collect())
+            .collect();
+        let expected: Vec<String> = parts.clone().into_iter().flatten().collect();
+        assert_eq!(pool.concat(4, parts), expected);
     }
 
     #[test]

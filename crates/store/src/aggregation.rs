@@ -1,0 +1,124 @@
+//! Aggregation snapshots: the Phase II outputs Phase III consumes — one
+//! embedding `r_C` and one class-probability vector per local community.
+
+use crate::format::{Enc, Snapshot, SnapshotError, SnapshotKind, SnapshotWriter};
+use locec_core::phase2::AggregationResult;
+use locec_synth::types::RelationType;
+use std::path::Path;
+
+/// Writes the Phase II result for every community.
+pub fn save_aggregation(path: &Path, agg: &AggregationResult) -> Result<(), SnapshotError> {
+    debug_assert!(agg.embeddings.iter().all(|e| e.len() == agg.embedding_dim));
+    let mut w = SnapshotWriter::new(SnapshotKind::Aggregation);
+
+    let mut meta = Enc::new();
+    meta.u64(agg.embeddings.len() as u64);
+    meta.u64(agg.embedding_dim as u64);
+    meta.u64(RelationType::COUNT as u64);
+    w.add("meta", meta.finish());
+
+    let mut emb = Enc::new();
+    for e in &agg.embeddings {
+        emb.f32_slice(e);
+    }
+    w.add("embeddings", emb.finish());
+
+    let mut prob = Enc::new();
+    for p in &agg.probabilities {
+        prob.f32_slice(p);
+    }
+    w.add("probabilities", prob.finish());
+
+    w.write_to(path)
+}
+
+/// Reads a Phase II result back, bit-identically.
+pub fn load_aggregation(path: &Path) -> Result<AggregationResult, SnapshotError> {
+    let snap = Snapshot::read_from(path)?;
+    snap.expect_kind(SnapshotKind::Aggregation)?;
+
+    let mut dec = snap.section("meta")?;
+    let num = dec.count()?;
+    let embedding_dim = dec.count()?;
+    let num_classes = dec.count()?;
+    dec.done()?;
+    if num_classes != RelationType::COUNT {
+        return Err(SnapshotError::Corrupt("class count mismatch"));
+    }
+
+    let mut dec = snap.section("embeddings")?;
+    let flat = dec.f32_vec(
+        num.checked_mul(embedding_dim)
+            .ok_or(SnapshotError::Corrupt("embedding size overflow"))?,
+    )?;
+    dec.done()?;
+    let embeddings: Vec<Vec<f32>> = if embedding_dim == 0 {
+        vec![Vec::new(); num]
+    } else {
+        flat.chunks_exact(embedding_dim)
+            .map(<[f32]>::to_vec)
+            .collect()
+    };
+
+    let mut dec = snap.section("probabilities")?;
+    let flat = dec.f32_vec(
+        num.checked_mul(num_classes)
+            .ok_or(SnapshotError::Corrupt("probability size overflow"))?,
+    )?;
+    dec.done()?;
+    let probabilities: Vec<Vec<f32>> = flat
+        .chunks_exact(num_classes)
+        .map(<[f32]>::to_vec)
+        .collect();
+
+    Ok(AggregationResult {
+        embeddings,
+        probabilities,
+        embedding_dim,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("locec_agg_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn aggregation_roundtrip_is_bit_identical() {
+        let agg = AggregationResult {
+            embeddings: vec![vec![0.25, -1.5e-7, 3.0], vec![f32::MIN_POSITIVE, 0.0, -0.0]],
+            probabilities: vec![vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8]],
+            embedding_dim: 3,
+        };
+        let path = tmp("roundtrip.lsnap");
+        save_aggregation(&path, &agg).unwrap();
+        let loaded = load_aggregation(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        for (a, b) in loaded.embeddings.iter().zip(&agg.embeddings) {
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(loaded.probabilities, agg.probabilities);
+        assert_eq!(loaded.embedding_dim, 3);
+    }
+
+    #[test]
+    fn empty_aggregation_roundtrips() {
+        let agg = AggregationResult {
+            embeddings: Vec::new(),
+            probabilities: Vec::new(),
+            embedding_dim: 0,
+        };
+        let path = tmp("empty.lsnap");
+        save_aggregation(&path, &agg).unwrap();
+        let loaded = load_aggregation(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(loaded.embeddings.is_empty());
+        assert!(loaded.probabilities.is_empty());
+    }
+}

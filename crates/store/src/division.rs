@@ -1,0 +1,460 @@
+//! Division snapshots: a full Phase I result, or one shard of a
+//! multi-process run, plus the merge that combines shards bit-identically.
+//!
+//! Communities are stored columnar — egos, member offsets, flat members,
+//! flat tightness — and a full division additionally persists the
+//! adjacency-slot membership table verbatim, so loading never recomputes
+//! anything and round-trips are bit-identical by construction.
+
+use crate::format::{Enc, Snapshot, SnapshotError, SnapshotKind, SnapshotWriter};
+use locec_core::phase1::{DivisionResult, LocalCommunity};
+use locec_graph::{CsrGraph, NodeId};
+use locec_runtime::WorkerPool;
+use std::path::Path;
+
+/// The partial Phase I output of one contiguous ego range, as produced by
+/// `locec divide --shard i/n` and consumed by `locec divide --merge`.
+pub struct DivisionShard {
+    /// First ego id covered (inclusive).
+    pub ego_start: u32,
+    /// One past the last ego id covered.
+    pub ego_end: u32,
+    /// Node count of the graph the shard was computed on.
+    pub num_nodes: u32,
+    /// This shard's index in `0..shard_count`.
+    pub shard_index: u32,
+    /// Total number of shards in the run.
+    pub shard_count: u32,
+    /// The range's local communities, in ego order.
+    pub communities: Vec<LocalCommunity>,
+}
+
+impl DivisionShard {
+    /// The canonical contiguous ego range of shard `index` of `count` over
+    /// `num_nodes` egos (balanced to within one ego, covering `0..n`).
+    pub fn ego_range(index: u32, count: u32, num_nodes: usize) -> std::ops::Range<u32> {
+        let n = num_nodes as u64;
+        let start = (index as u64 * n / count as u64) as u32;
+        let end = ((index as u64 + 1) * n / count as u64) as u32;
+        start..end
+    }
+}
+
+/// Encodes communities as four columnar sections.
+fn add_community_sections(w: &mut SnapshotWriter, communities: &[LocalCommunity]) {
+    let mut egos = Enc::new();
+    egos.u64(communities.len() as u64);
+    for c in communities {
+        egos.u32(c.ego.0);
+    }
+    w.add("egos", egos.finish());
+
+    let mut offsets = Enc::new();
+    let mut members = Enc::new();
+    let mut tightness = Enc::new();
+    let total: u64 = communities.iter().map(|c| c.members.len() as u64).sum();
+    offsets.u64(communities.len() as u64 + 1);
+    members.u64(total);
+    tightness.u64(total);
+    let mut acc = 0u64;
+    offsets.u64(0);
+    for c in communities {
+        acc += c.members.len() as u64;
+        offsets.u64(acc);
+        for &m in &c.members {
+            members.u32(m.0);
+        }
+        tightness.f32_slice(&c.tightness);
+    }
+    w.add("member_offsets", offsets.finish());
+    w.add("members", members.finish());
+    w.add("tightness", tightness.finish());
+}
+
+/// Decodes the columnar community sections, validating the structural
+/// invariants queries rely on (ascending members, parallel arrays,
+/// in-range egos).
+fn read_community_sections(
+    snap: &Snapshot,
+    num_nodes: u32,
+) -> Result<Vec<LocalCommunity>, SnapshotError> {
+    let mut dec = snap.section("egos")?;
+    let count = dec.count()?;
+    let egos = dec.u32_vec(count)?;
+    dec.done()?;
+    if egos.iter().any(|&e| e >= num_nodes) {
+        return Err(SnapshotError::Corrupt("community ego out of node range"));
+    }
+    if egos.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Corrupt("communities are not in ego order"));
+    }
+
+    let mut dec = snap.section("member_offsets")?;
+    if dec.count()? != count + 1 {
+        return Err(SnapshotError::Corrupt("member offset count mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(count + 1);
+    for _ in 0..=count {
+        offsets.push(dec.count()?);
+    }
+    dec.done()?;
+    if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Corrupt("member offsets are not monotonic"));
+    }
+    let total = offsets[count];
+
+    let mut dec = snap.section("members")?;
+    if dec.count()? != total {
+        return Err(SnapshotError::Corrupt("member count mismatch"));
+    }
+    let members = dec.u32_vec(total)?;
+    dec.done()?;
+    if members.iter().any(|&m| m >= num_nodes) {
+        return Err(SnapshotError::Corrupt("community member out of node range"));
+    }
+
+    let mut dec = snap.section("tightness")?;
+    if dec.count()? != total {
+        return Err(SnapshotError::Corrupt("tightness count mismatch"));
+    }
+    let tightness = dec.f32_vec(total)?;
+    dec.done()?;
+
+    (0..count)
+        .map(|i| {
+            let slice = offsets[i]..offsets[i + 1];
+            let ms: Vec<NodeId> = members[slice.clone()].iter().map(|&m| NodeId(m)).collect();
+            if ms.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(SnapshotError::Corrupt("community members not ascending"));
+            }
+            Ok(LocalCommunity {
+                ego: NodeId(egos[i]),
+                members: ms,
+                tightness: tightness[slice].to_vec(),
+            })
+        })
+        .collect()
+}
+
+/// Writes a complete division (communities + verbatim membership table).
+pub fn save_division(
+    path: &Path,
+    graph: &CsrGraph,
+    division: &DivisionResult,
+) -> Result<(), SnapshotError> {
+    let mut w = SnapshotWriter::new(SnapshotKind::Division);
+    let mut meta = Enc::new();
+    meta.u64(graph.num_nodes() as u64);
+    w.add("meta", meta.finish());
+    add_community_sections(&mut w, &division.communities);
+    let mut mem = Enc::new();
+    mem.u64(division.membership_table().len() as u64);
+    mem.u32_slice(division.membership_table());
+    w.add("membership", mem.finish());
+    w.write_to(path)
+}
+
+/// Reads a complete division back, bit-identically (the membership table
+/// is loaded, not rebuilt).
+pub fn load_division(path: &Path) -> Result<DivisionResult, SnapshotError> {
+    let snap = Snapshot::read_from(path)?;
+    snap.expect_kind(SnapshotKind::Division)?;
+    let mut dec = snap.section("meta")?;
+    let num_nodes = dec.count()?;
+    dec.done()?;
+    let num_nodes =
+        u32::try_from(num_nodes).map_err(|_| SnapshotError::Corrupt("node count exceeds u32"))?;
+    let communities = read_community_sections(&snap, num_nodes)?;
+    let mut dec = snap.section("membership")?;
+    let len = dec.count()?;
+    let membership = dec.u32_vec(len)?;
+    dec.done()?;
+    DivisionResult::from_raw_parts(communities, membership).map_err(SnapshotError::Corrupt)
+}
+
+/// Writes one shard of a sharded division run.
+pub fn save_shard(path: &Path, shard: &DivisionShard) -> Result<(), SnapshotError> {
+    let mut w = SnapshotWriter::new(SnapshotKind::DivisionShard);
+    let mut meta = Enc::new();
+    meta.u32(shard.ego_start);
+    meta.u32(shard.ego_end);
+    meta.u32(shard.num_nodes);
+    meta.u32(shard.shard_index);
+    meta.u32(shard.shard_count);
+    w.add("shard", meta.finish());
+    add_community_sections(&mut w, &shard.communities);
+    w.write_to(path)
+}
+
+/// Reads one shard back.
+pub fn load_shard(path: &Path) -> Result<DivisionShard, SnapshotError> {
+    let snap = Snapshot::read_from(path)?;
+    snap.expect_kind(SnapshotKind::DivisionShard)?;
+    let mut dec = snap.section("shard")?;
+    let ego_start = dec.u32()?;
+    let ego_end = dec.u32()?;
+    let num_nodes = dec.u32()?;
+    let shard_index = dec.u32()?;
+    let shard_count = dec.u32()?;
+    dec.done()?;
+    if ego_start > ego_end || ego_end > num_nodes || shard_index >= shard_count {
+        return Err(SnapshotError::Corrupt("inconsistent shard header"));
+    }
+    let communities = read_community_sections(&snap, num_nodes)?;
+    if communities
+        .iter()
+        .any(|c| c.ego.0 < ego_start || c.ego.0 >= ego_end)
+    {
+        return Err(SnapshotError::Corrupt("shard community outside ego range"));
+    }
+    Ok(DivisionShard {
+        ego_start,
+        ego_end,
+        num_nodes,
+        shard_index,
+        shard_count,
+        communities,
+    })
+}
+
+/// Merges the shards of one run into a full [`DivisionResult`]. The shards
+/// must partition `0..num_nodes` contiguously; community concatenation and
+/// the membership-table build both run on the worker pool, and the result
+/// is bit-identical to a single-process `divide` over the same graph.
+pub fn merge_shards(
+    graph: &CsrGraph,
+    mut shards: Vec<DivisionShard>,
+    threads: usize,
+) -> Result<DivisionResult, SnapshotError> {
+    if shards.is_empty() {
+        return Err(SnapshotError::Corrupt("no shards to merge"));
+    }
+    // Order by declared index, not ego_start: with more shards than egos,
+    // several (empty) shards share a start and ego_start ties would leave
+    // their relative order arbitrary.
+    shards.sort_by_key(|s| s.shard_index);
+    let n = graph.num_nodes() as u32;
+    let declared = shards[0].shard_count;
+    if shards.len() != declared as usize {
+        return Err(SnapshotError::Corrupt(
+            "shard set does not match the declared shard count",
+        ));
+    }
+    let mut expected_start = 0u32;
+    for (i, s) in shards.iter().enumerate() {
+        if s.num_nodes != n {
+            return Err(SnapshotError::Corrupt(
+                "shard computed on a different graph",
+            ));
+        }
+        if s.shard_count != declared || s.shard_index != i as u32 {
+            return Err(SnapshotError::Corrupt("duplicate or mismatched shard"));
+        }
+        if s.ego_start != expected_start {
+            return Err(SnapshotError::Corrupt("shards do not tile the ego range"));
+        }
+        expected_start = s.ego_end;
+    }
+    if expected_start != n {
+        return Err(SnapshotError::Corrupt("shards do not cover every ego"));
+    }
+    // Every member must be one of its ego's neighbors in *this* graph — a
+    // shard computed on a different graph of the same node count would
+    // otherwise crash (or corrupt) the membership-table walk, which
+    // assumes members ⊆ neighbors. Both lists are ascending, so one merge
+    // walk per community suffices.
+    for s in &shards {
+        for c in &s.communities {
+            let nbrs = graph.neighbors(c.ego);
+            let mut j = 0usize;
+            for &m in &c.members {
+                while j < nbrs.len() && nbrs[j] < m {
+                    j += 1;
+                }
+                if j >= nbrs.len() || nbrs[j] != m {
+                    return Err(SnapshotError::Corrupt(
+                        "shard community member is not a neighbor of its ego in this graph",
+                    ));
+                }
+                j += 1;
+            }
+        }
+    }
+    let parts: Vec<Vec<LocalCommunity>> = shards.into_iter().map(|s| s.communities).collect();
+    let communities = WorkerPool::global().concat(threads.max(1), parts);
+    Ok(DivisionResult::from_communities(
+        graph,
+        communities,
+        threads,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locec_core::phase1::{divide, divide_range};
+    use locec_core::LocecConfig;
+    use locec_synth::{Scenario, SynthConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("locec_div_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn division_roundtrip_is_bit_identical() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(21));
+        let config = LocecConfig::fast();
+        let division = divide(&scenario.graph, &config);
+        let path = tmp("full.lsnap");
+        save_division(&path, &scenario.graph, &division).unwrap();
+        let loaded = load_division(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.num_communities(), division.num_communities());
+        for (a, b) in loaded.communities.iter().zip(&division.communities) {
+            assert_eq!(a.ego, b.ego);
+            assert_eq!(a.members, b.members);
+            assert_eq!(
+                a.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+                b.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(loaded.membership_table(), division.membership_table());
+    }
+
+    #[test]
+    fn sharded_save_merge_equals_single_process() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(22));
+        let config = LocecConfig::fast();
+        let full = divide(&scenario.graph, &config);
+        let n = scenario.graph.num_nodes();
+
+        let shard_count = 3u32;
+        let mut shards = Vec::new();
+        for i in 0..shard_count {
+            let range = DivisionShard::ego_range(i, shard_count, n);
+            let shard = DivisionShard {
+                ego_start: range.start,
+                ego_end: range.end,
+                num_nodes: n as u32,
+                shard_index: i,
+                shard_count,
+                communities: divide_range(&scenario.graph, range, &config),
+            };
+            let path = tmp(&format!("shard{i}.lsnap"));
+            save_shard(&path, &shard).unwrap();
+            shards.push(load_shard(&path).unwrap());
+            std::fs::remove_file(&path).ok();
+        }
+        let merged = merge_shards(&scenario.graph, shards, config.threads).unwrap();
+        assert_eq!(merged.num_communities(), full.num_communities());
+        for (a, b) in merged.communities.iter().zip(&full.communities) {
+            assert_eq!(a.ego, b.ego);
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.tightness, b.tightness);
+        }
+        assert_eq!(merged.membership_table(), full.membership_table());
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_or_mismatched_shard_sets() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(23));
+        let config = LocecConfig::fast();
+        let n = scenario.graph.num_nodes();
+        let make = |i: u32, count: u32| {
+            let range = DivisionShard::ego_range(i, count, n);
+            DivisionShard {
+                ego_start: range.start,
+                ego_end: range.end,
+                num_nodes: n as u32,
+                shard_index: i,
+                shard_count: count,
+                communities: divide_range(&scenario.graph, range, &config),
+            }
+        };
+        // Missing shard.
+        assert!(merge_shards(&scenario.graph, vec![make(0, 2)], 2).is_err());
+        // Duplicate shard.
+        assert!(merge_shards(&scenario.graph, vec![make(0, 2), make(0, 2)], 2).is_err());
+        // Wrong graph size.
+        let mut wrong = make(1, 2);
+        wrong.num_nodes += 1;
+        assert!(merge_shards(&scenario.graph, vec![make(0, 2), wrong], 2).is_err());
+        // Empty set.
+        assert!(merge_shards(&scenario.graph, Vec::new(), 2).is_err());
+        // The valid set passes.
+        assert!(merge_shards(&scenario.graph, vec![make(0, 2), make(1, 2)], 2).is_ok());
+    }
+
+    #[test]
+    fn merge_handles_more_shards_than_egos_in_any_file_order() {
+        // 4 nodes, 8 shards: half the shards are empty and share ego_start
+        // values — merge must order by shard_index, not ego_start.
+        let mut b = locec_graph::GraphBuilder::new(4);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (0, 2)] {
+            b.add_edge(locec_graph::NodeId(u), locec_graph::NodeId(v));
+        }
+        let g = b.build();
+        let config = LocecConfig::fast();
+        let full = divide(&g, &config);
+        let mut shards: Vec<DivisionShard> = (0..8u32)
+            .map(|i| {
+                let range = DivisionShard::ego_range(i, 8, g.num_nodes());
+                DivisionShard {
+                    ego_start: range.start,
+                    ego_end: range.end,
+                    num_nodes: g.num_nodes() as u32,
+                    shard_index: i,
+                    shard_count: 8,
+                    communities: divide_range(&g, range, &config),
+                }
+            })
+            .collect();
+        shards.reverse(); // adversarial file order
+        let merged = merge_shards(&g, shards, config.threads).unwrap();
+        assert_eq!(merged.num_communities(), full.num_communities());
+        assert_eq!(merged.membership_table(), full.membership_table());
+    }
+
+    #[test]
+    fn merge_rejects_shards_from_a_different_graph_of_same_size() {
+        // Same node count, different edges: validation must return a typed
+        // error, not panic in the membership-table walk.
+        let a = Scenario::generate(&SynthConfig::tiny(24));
+        let b = Scenario::generate(&SynthConfig::tiny(25));
+        assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+        let config = LocecConfig::fast();
+        let n = b.graph.num_nodes();
+        let shards: Vec<DivisionShard> = (0..2u32)
+            .map(|i| {
+                let range = DivisionShard::ego_range(i, 2, n);
+                DivisionShard {
+                    ego_start: range.start,
+                    ego_end: range.end,
+                    num_nodes: n as u32,
+                    shard_index: i,
+                    shard_count: 2,
+                    communities: divide_range(&b.graph, range, &config),
+                }
+            })
+            .collect();
+        let err = match merge_shards(&a.graph, shards, config.threads) {
+            Err(e) => e,
+            Ok(_) => panic!("merged shards computed on a different graph"),
+        };
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn ego_ranges_tile_the_node_range() {
+        for (n, count) in [(9usize, 2u32), (300, 7), (5, 5), (4, 8)] {
+            let mut next = 0u32;
+            for i in 0..count {
+                let r = DivisionShard::ego_range(i, count, n);
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next as usize, n);
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! The snapshot container format: magic, version, section table, CRC32.
+//!
+//! A snapshot file is a sequence of named, checksummed binary sections:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"LOCECSNP"
+//! 8       4     format version (little-endian u32, currently 1)
+//! 12      4     snapshot kind  (u32, see [`SnapshotKind`])
+//! 16      4     section count  (u32)
+//! 20      …     section table: per section
+//!                 name length (u16), name bytes (UTF-8, ≤ 64),
+//!                 payload length (u64), CRC32 of the payload (u32)
+//! …       …     section payloads, concatenated in table order
+//! ```
+//!
+//! Every multi-byte value in the header *and* in section payloads is
+//! little-endian; payloads are columnar arrays (`u32`/`f32`/`u8` runs)
+//! written and read in bulk, with no per-element serializer dispatch.
+//! Readers are fully bounds-checked and return a typed [`SnapshotError`]
+//! on any malformation — truncation, bad magic, a future version, a kind
+//! mismatch, or a checksum failure — never a panic.
+
+use std::fmt;
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"LOCECSNP";
+
+/// The current (and only) format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Longest section name a reader accepts.
+const MAX_SECTION_NAME: usize = 64;
+
+/// What a snapshot file contains. Stored in the header so that pipeline
+/// stages fail fast (and with a useful message) when handed the wrong
+/// artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum SnapshotKind {
+    /// Graph + user features + interactions + labels + train/test split.
+    World = 1,
+    /// A complete Phase I division (communities + membership table).
+    Division = 2,
+    /// The communities of one contiguous ego range of a sharded division.
+    DivisionShard = 3,
+    /// Phase II outputs: per-community embeddings `r_C` and probabilities.
+    Aggregation = 4,
+    /// A trained Phase II community classifier (GBDT or CommCNN).
+    CommunityModel = 5,
+    /// A trained Phase III edge classifier (logistic regression).
+    EdgeModel = 6,
+    /// Final per-edge predicted relationship types.
+    Labels = 7,
+}
+
+impl SnapshotKind {
+    /// Parses the header field.
+    pub fn from_u32(v: u32) -> Option<Self> {
+        Some(match v {
+            1 => SnapshotKind::World,
+            2 => SnapshotKind::Division,
+            3 => SnapshotKind::DivisionShard,
+            4 => SnapshotKind::Aggregation,
+            5 => SnapshotKind::CommunityModel,
+            6 => SnapshotKind::EdgeModel,
+            7 => SnapshotKind::Labels,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name (CLI `inspect` output).
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotKind::World => "world",
+            SnapshotKind::Division => "division",
+            SnapshotKind::DivisionShard => "division-shard",
+            SnapshotKind::Aggregation => "aggregation",
+            SnapshotKind::CommunityModel => "community-model",
+            SnapshotKind::EdgeModel => "edge-model",
+            SnapshotKind::Labels => "labels",
+        }
+    }
+}
+
+/// Everything that can go wrong reading (or writing) a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file declares a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The header kind field is not a known [`SnapshotKind`].
+    UnknownKind(u32),
+    /// The file is a valid snapshot of the wrong kind.
+    WrongKind {
+        /// What the caller needed.
+        expected: SnapshotKind,
+        /// What the file actually is.
+        found: SnapshotKind,
+    },
+    /// The file ends before its declared content does.
+    Truncated,
+    /// A section's payload does not match its table checksum.
+    ChecksumMismatch {
+        /// Name of the failing section.
+        section: String,
+    },
+    /// A required section is absent.
+    MissingSection(&'static str),
+    /// A section decoded structurally but violates a content invariant.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a LoCEC snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "snapshot format version {v} is not supported (this build reads {FORMAT_VERSION})")
+            }
+            SnapshotError::UnknownKind(k) => write!(f, "unknown snapshot kind {k}"),
+            SnapshotError::WrongKind { expected, found } => write!(
+                f,
+                "expected a {} snapshot, found a {} snapshot",
+                expected.name(),
+                found.name()
+            ),
+            SnapshotError::Truncated => write!(f, "snapshot is truncated"),
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section '{section}'")
+            }
+            SnapshotError::MissingSection(name) => write!(f, "missing section '{name}'"),
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Little-endian section payload encoder.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty payload buffer.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Appends one `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends one little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends one little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends one little-endian `f32` (bit pattern preserved exactly).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` array (elements only — callers record the count).
+    pub fn u32_slice(&mut self, vs: &[u32]) {
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends an `f32` array, bit patterns preserved exactly.
+    pub fn f32_slice(&mut self, vs: &[f32]) {
+        self.buf.reserve(vs.len() * 4);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a raw byte array.
+    pub fn u8_slice(&mut self, vs: &[u8]) {
+        self.buf.extend_from_slice(vs);
+    }
+
+    /// The finished payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian payload decoder.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A cursor over one section payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one `u8`.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads one little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads one little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads one little-endian `f32`.
+    pub fn f32(&mut self) -> Result<f32, SnapshotError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn count(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?).map_err(|_| SnapshotError::Corrupt("count exceeds usize"))
+    }
+
+    /// Reads `count` little-endian `u32`s. The byte requirement is checked
+    /// against the remaining payload *before* allocating, so a corrupt
+    /// count cannot trigger an absurd allocation.
+    pub fn u32_vec(&mut self, count: usize) -> Result<Vec<u32>, SnapshotError> {
+        let bytes = self.take(count.checked_mul(4).ok_or(SnapshotError::Truncated)?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads `count` little-endian `f32`s (bit patterns preserved exactly).
+    pub fn f32_vec(&mut self, count: usize) -> Result<Vec<f32>, SnapshotError> {
+        let bytes = self.take(count.checked_mul(4).ok_or(SnapshotError::Truncated)?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads `count` raw bytes.
+    pub fn u8_vec(&mut self, count: usize) -> Result<Vec<u8>, SnapshotError> {
+        Ok(self.take(count)?.to_vec())
+    }
+
+    /// Asserts the whole payload was consumed.
+    pub fn done(&self) -> Result<(), SnapshotError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt("trailing bytes in section"))
+        }
+    }
+}
+
+/// Accumulates named sections and serializes the container.
+pub struct SnapshotWriter {
+    kind: SnapshotKind,
+    sections: Vec<(&'static str, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// An empty snapshot of the given kind.
+    pub fn new(kind: SnapshotKind) -> Self {
+        SnapshotWriter {
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section (order is preserved in the file).
+    pub fn add(&mut self, name: &'static str, payload: Vec<u8>) {
+        debug_assert!(name.len() <= MAX_SECTION_NAME);
+        self.sections.push((name, payload));
+    }
+
+    /// Serializes header + table + payloads.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload_total: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut out = Vec::with_capacity(20 + self.sections.len() * 32 + payload_total);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.kind as u32).to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (name, payload) in &self.sections {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+        }
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Writes the serialized snapshot to a file.
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+}
+
+/// A parsed, checksum-verified snapshot.
+pub struct Snapshot {
+    version: u32,
+    kind: SnapshotKind,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Snapshot {
+    /// Parses and verifies a serialized snapshot.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < 8 {
+            return Err(if bytes == &MAGIC[..bytes.len()] {
+                SnapshotError::Truncated
+            } else {
+                SnapshotError::BadMagic
+            });
+        }
+        if bytes[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut dec = Dec::new(&bytes[8..]);
+        let version = dec.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let kind_raw = dec.u32()?;
+        let kind = SnapshotKind::from_u32(kind_raw).ok_or(SnapshotError::UnknownKind(kind_raw))?;
+        let count = dec.u32()? as usize;
+        // Each table entry takes at least 14 bytes; reject absurd counts
+        // before allocating.
+        if count.saturating_mul(14) > bytes.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut table = Vec::with_capacity(count);
+        for _ in 0..count {
+            let name_len = u16::from_le_bytes(dec.take(2)?.try_into().unwrap()) as usize;
+            if name_len > MAX_SECTION_NAME {
+                return Err(SnapshotError::Corrupt("section name too long"));
+            }
+            let name = std::str::from_utf8(dec.take(name_len)?)
+                .map_err(|_| SnapshotError::Corrupt("section name is not UTF-8"))?
+                .to_owned();
+            let len = usize::try_from(dec.u64()?)
+                .map_err(|_| SnapshotError::Corrupt("section length exceeds usize"))?;
+            let crc = dec.u32()?;
+            table.push((name, len, crc));
+        }
+        let mut sections = Vec::with_capacity(count);
+        for (name, len, crc) in table {
+            let payload = dec.take(len)?.to_vec();
+            if crc32(&payload) != crc {
+                return Err(SnapshotError::ChecksumMismatch { section: name });
+            }
+            sections.push((name, payload));
+        }
+        dec.done()
+            .map_err(|_| SnapshotError::Corrupt("trailing bytes after last section"))?;
+        Ok(Snapshot {
+            version,
+            kind,
+            sections,
+        })
+    }
+
+    /// Reads and verifies a snapshot file.
+    pub fn read_from(path: &Path) -> Result<Self, SnapshotError> {
+        Snapshot::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// The file's format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The file's kind.
+    pub fn kind(&self) -> SnapshotKind {
+        self.kind
+    }
+
+    /// Fails unless the snapshot has the expected kind.
+    pub fn expect_kind(&self, expected: SnapshotKind) -> Result<(), SnapshotError> {
+        if self.kind == expected {
+            Ok(())
+        } else {
+            Err(SnapshotError::WrongKind {
+                expected,
+                found: self.kind,
+            })
+        }
+    }
+
+    /// A decoder over the named section's payload.
+    pub fn section(&self, name: &'static str) -> Result<Dec<'_>, SnapshotError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, payload)| Dec::new(payload))
+            .ok_or(SnapshotError::MissingSection(name))
+    }
+
+    /// `(name, payload length)` of every section, in file order.
+    pub fn section_summaries(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.sections.iter().map(|(n, p)| (n.as_str(), p.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotWriter {
+        let mut w = SnapshotWriter::new(SnapshotKind::Labels);
+        let mut enc = Enc::new();
+        enc.u32(7);
+        enc.f32(1.5);
+        enc.u32_slice(&[1, 2, 3]);
+        w.add("alpha", enc.finish());
+        w.add("beta", vec![9, 8, 7]);
+        w
+    }
+
+    #[test]
+    fn roundtrip_header_and_sections() {
+        let bytes = sample().to_bytes();
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap.kind(), SnapshotKind::Labels);
+        assert_eq!(snap.version(), FORMAT_VERSION);
+        let mut dec = snap.section("alpha").unwrap();
+        assert_eq!(dec.u32().unwrap(), 7);
+        assert_eq!(dec.f32().unwrap(), 1.5);
+        assert_eq!(dec.u32_vec(3).unwrap(), vec![1, 2, 3]);
+        dec.done().unwrap();
+        assert!(matches!(
+            snap.section("gamma"),
+            Err(SnapshotError::MissingSection("gamma"))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_yields_a_typed_error() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            match Snapshot::from_bytes(&bytes[..cut]) {
+                Err(
+                    SnapshotError::Truncated
+                    | SnapshotError::BadMagic
+                    | SnapshotError::ChecksumMismatch { .. }
+                    | SnapshotError::Corrupt(_),
+                ) => {}
+                Ok(_) => panic!("truncation at {cut} parsed successfully"),
+                Err(e) => panic!("unexpected error at {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_by_checksum() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1; // inside section "beta"
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch { section }) if section == "beta"
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(v)) if v == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_unknown_kind_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes[12..16].copy_from_slice(&999u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnknownKind(999))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn dec_guards_allocation_against_corrupt_counts() {
+        let mut dec = Dec::new(&[1, 2, 3, 4]);
+        assert!(matches!(
+            dec.u32_vec(usize::MAX / 2),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,70 @@
+//! Label snapshots: the pipeline's final artifact — one predicted
+//! relationship type per edge, indexed by `EdgeId`.
+
+use crate::format::{Enc, Snapshot, SnapshotError, SnapshotKind, SnapshotWriter};
+use locec_synth::types::RelationType;
+use std::path::Path;
+
+/// Writes the predicted type of every edge.
+pub fn save_labels(path: &Path, labels: &[RelationType]) -> Result<(), SnapshotError> {
+    let mut w = SnapshotWriter::new(SnapshotKind::Labels);
+    let mut enc = Enc::new();
+    enc.u64(labels.len() as u64);
+    for &t in labels {
+        enc.u8(t.label() as u8);
+    }
+    w.add("labels", enc.finish());
+    w.write_to(path)
+}
+
+/// Reads predicted edge labels back.
+pub fn load_labels(path: &Path) -> Result<Vec<RelationType>, SnapshotError> {
+    let snap = Snapshot::read_from(path)?;
+    snap.expect_kind(SnapshotKind::Labels)?;
+    let mut dec = snap.section("labels")?;
+    let count = dec.count()?;
+    let raw = dec.u8_vec(count)?;
+    dec.done()?;
+    raw.into_iter()
+        .map(|l| {
+            if (l as usize) < RelationType::COUNT {
+                Ok(RelationType::from_label(l as usize))
+            } else {
+                Err(SnapshotError::Corrupt("edge label out of range"))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        let labels: Vec<RelationType> = (0..1000)
+            .map(|i| RelationType::from_label(i % RelationType::COUNT))
+            .collect();
+        let path =
+            std::env::temp_dir().join(format!("locec_labels_{}_rt.lsnap", std::process::id()));
+        save_labels(&path, &labels).unwrap();
+        let loaded = load_labels(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, labels);
+    }
+
+    #[test]
+    fn out_of_range_label_is_corrupt() {
+        let mut w = SnapshotWriter::new(SnapshotKind::Labels);
+        let mut enc = Enc::new();
+        enc.u64(1);
+        enc.u8(9);
+        w.add("labels", enc.finish());
+        let path =
+            std::env::temp_dir().join(format!("locec_labels_{}_bad.lsnap", std::process::id()));
+        w.write_to(&path).unwrap();
+        let err = load_labels(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # locec_store — binary snapshot persistence for LoCEC pipelines
+//!
+//! The I/O layer that turns the in-process three-phase pipeline into a
+//! file-pipelined, shardable system: every stage artifact — the generated
+//! world, Phase I divisions (whole or per-shard), Phase II aggregations and
+//! trained models, and the final edge labels — has a versioned binary
+//! columnar snapshot with writers and readers.
+//!
+//! The container format ([`format`]) is a magic header, a format version, a
+//! snapshot kind, and a table of named CRC32-checksummed sections whose
+//! payloads are little-endian `u32`/`f32`/`u8` columns written and read in
+//! bulk. Readers are fully bounds-checked: truncation, checksum damage,
+//! foreign files and future versions all surface as a typed
+//! [`SnapshotError`], never a panic.
+//!
+//! Round-trips are bit-identical. Division snapshots persist the
+//! adjacency-slot membership table verbatim rather than rebuilding it, and
+//! [`merge_shards`] reassembles the partial divisions of `n` independent
+//! processes into exactly the result a single-process
+//! [`locec_core::phase1::divide`] produces — the property the `locec` CLI's
+//! `divide --shard i/n` / `divide --merge` workflow is built on.
+
+pub mod aggregation;
+pub mod division;
+pub mod format;
+pub mod labels;
+pub mod models;
+pub mod world;
+
+pub use aggregation::{load_aggregation, save_aggregation};
+pub use division::{
+    load_division, load_shard, merge_shards, save_division, save_shard, DivisionShard,
+};
+pub use format::{Snapshot, SnapshotError, SnapshotKind, SnapshotWriter, FORMAT_VERSION, MAGIC};
+pub use labels::{load_labels, save_labels};
+pub use models::{load_community_model, load_edge_model, save_community_model, save_edge_model};
+pub use world::StoredWorld;

@@ -1,0 +1,270 @@
+//! The world snapshot: everything a LoCEC run reads — graph, user
+//! features, interactions, survey labels and the train/test split.
+//!
+//! The graph is stored as its canonical edge list (strictly sorted
+//! `(min, max)` pairs), which [`CsrGraph::from_edge_list`] reconstructs
+//! bit-identically; features and interactions are flat `f32` columns; label
+//! sets are parallel `u32` edge-id / `u8` class columns. Persisting the
+//! split alongside the data is what keeps a multi-process CLI run and an
+//! in-process [`locec_core::pipeline::LocecPipeline::run`] on exactly the
+//! same held-out edges.
+
+use crate::format::{Dec, Enc, Snapshot, SnapshotError, SnapshotKind, SnapshotWriter};
+use locec_core::pipeline::split_edges;
+use locec_graph::{CsrGraph, EdgeId};
+use locec_synth::interactions::EdgeInteractions;
+use locec_synth::types::{RelationType, INTERACTION_DIMS, USER_FEATURE_DIMS};
+use locec_synth::{Scenario, SocialDataset};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// An owned world, loadable without the generator that produced it.
+pub struct StoredWorld {
+    /// The friendship graph `G`.
+    pub graph: CsrGraph,
+    /// User feature matrix `F` (row per user).
+    pub user_features: Vec<[f32; USER_FEATURE_DIMS]>,
+    /// Interaction matrices `I`, stored per edge.
+    pub interactions: EdgeInteractions,
+    /// The full visible labeled edge set `E_labeled`.
+    pub labeled_edges: HashMap<EdgeId, RelationType>,
+    /// Training portion of the split.
+    pub train_edges: Vec<(EdgeId, RelationType)>,
+    /// Held-out evaluation portion of the split.
+    pub test_edges: Vec<(EdgeId, RelationType)>,
+}
+
+impl StoredWorld {
+    /// Captures a generated scenario plus a seeded train/test split (the
+    /// same [`split_edges`] the in-process pipeline applies, so CLI runs
+    /// and `LocecPipeline::run` agree on the held-out edges).
+    pub fn from_scenario(scenario: &Scenario, train_fraction: f64, split_seed: u64) -> Self {
+        let labeled = scenario.dataset().labeled_edges_sorted();
+        let (train_edges, test_edges) = split_edges(&labeled, train_fraction, split_seed);
+        StoredWorld {
+            graph: scenario.graph.clone(),
+            user_features: scenario.user_features().to_vec(),
+            interactions: scenario.interactions.clone(),
+            labeled_edges: scenario.labeled_edges().clone(),
+            train_edges,
+            test_edges,
+        }
+    }
+
+    /// The read-only view LoCEC and the baselines consume.
+    pub fn dataset(&self) -> SocialDataset<'_> {
+        SocialDataset {
+            graph: &self.graph,
+            user_features: &self.user_features,
+            interactions: &self.interactions,
+            labeled_edges: &self.labeled_edges,
+        }
+    }
+
+    /// Writes the world snapshot.
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        let mut w = SnapshotWriter::new(SnapshotKind::World);
+
+        let mut enc = Enc::new();
+        enc.u64(self.graph.num_nodes() as u64);
+        enc.u64(self.graph.num_edges() as u64);
+        for (_, u, v) in self.graph.edges() {
+            enc.u32(u.0);
+            enc.u32(v.0);
+        }
+        w.add("graph", enc.finish());
+
+        let mut enc = Enc::new();
+        enc.u64(self.user_features.len() as u64);
+        enc.u64(USER_FEATURE_DIMS as u64);
+        for row in &self.user_features {
+            enc.f32_slice(row);
+        }
+        w.add("user_features", enc.finish());
+
+        let mut enc = Enc::new();
+        enc.u64(self.interactions.num_edges() as u64);
+        enc.u64(INTERACTION_DIMS as u64);
+        for row in self.interactions.rows() {
+            enc.f32_slice(row);
+        }
+        w.add("interactions", enc.finish());
+
+        let mut labeled = self
+            .labeled_edges
+            .iter()
+            .map(|(&e, &t)| (e, t))
+            .collect::<Vec<_>>();
+        labeled.sort_unstable_by_key(|(e, _)| *e);
+        w.add("labels", encode_label_set(&labeled));
+        w.add("train", encode_label_set(&self.train_edges));
+        w.add("test", encode_label_set(&self.test_edges));
+
+        w.write_to(path)
+    }
+
+    /// Reads only the graph out of a world snapshot — everything Phase I
+    /// (`locec divide`) needs. Skips decoding the feature, interaction and
+    /// label columns, which dominate the snapshot at scale.
+    pub fn load_graph(path: &Path) -> Result<CsrGraph, SnapshotError> {
+        let snap = Snapshot::read_from(path)?;
+        snap.expect_kind(SnapshotKind::World)?;
+        decode_graph(&snap)
+    }
+
+    /// Reads and validates a world snapshot.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        let snap = Snapshot::read_from(path)?;
+        snap.expect_kind(SnapshotKind::World)?;
+        let graph = decode_graph(&snap)?;
+
+        let mut dec = snap.section("user_features")?;
+        let rows = dec.count()?;
+        if rows != graph.num_nodes() || dec.count()? != USER_FEATURE_DIMS {
+            return Err(SnapshotError::Corrupt("user feature shape mismatch"));
+        }
+        let flat = dec.f32_vec(rows * USER_FEATURE_DIMS)?;
+        dec.done()?;
+        let user_features: Vec<[f32; USER_FEATURE_DIMS]> = flat
+            .chunks_exact(USER_FEATURE_DIMS)
+            .map(|c| c.try_into().unwrap())
+            .collect();
+
+        let mut dec = snap.section("interactions")?;
+        let rows = dec.count()?;
+        if rows != graph.num_edges() || dec.count()? != INTERACTION_DIMS {
+            return Err(SnapshotError::Corrupt("interaction shape mismatch"));
+        }
+        let flat = dec.f32_vec(rows * INTERACTION_DIMS)?;
+        dec.done()?;
+        let interactions = EdgeInteractions::from_rows(
+            flat.chunks_exact(INTERACTION_DIMS)
+                .map(|c| c.try_into().unwrap())
+                .collect(),
+        );
+
+        let labeled = decode_label_set(snap.section("labels")?, graph.num_edges())?;
+        let train_edges = decode_label_set(snap.section("train")?, graph.num_edges())?;
+        let test_edges = decode_label_set(snap.section("test")?, graph.num_edges())?;
+
+        Ok(StoredWorld {
+            graph,
+            user_features,
+            interactions,
+            labeled_edges: labeled.into_iter().collect(),
+            train_edges,
+            test_edges,
+        })
+    }
+}
+
+/// Decodes the `graph` section into a validated [`CsrGraph`].
+fn decode_graph(snap: &Snapshot) -> Result<CsrGraph, SnapshotError> {
+    let mut dec = snap.section("graph")?;
+    let num_nodes = dec.count()?;
+    let num_edges = dec.count()?;
+    let flat = dec.u32_vec(
+        num_edges
+            .checked_mul(2)
+            .ok_or(SnapshotError::Corrupt("edge count overflow"))?,
+    )?;
+    dec.done()?;
+    let edges: Vec<(u32, u32)> = flat.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+    CsrGraph::from_edge_list(num_nodes, edges).map_err(SnapshotError::Corrupt)
+}
+
+/// Columnar `(edge id, label)` set: count, `u32` edge ids, `u8` labels.
+fn encode_label_set(pairs: &[(EdgeId, RelationType)]) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u64(pairs.len() as u64);
+    for &(e, _) in pairs {
+        enc.u32(e.0);
+    }
+    for &(_, t) in pairs {
+        enc.u8(t.label() as u8);
+    }
+    enc.finish()
+}
+
+fn decode_label_set(
+    mut dec: Dec<'_>,
+    num_edges: usize,
+) -> Result<Vec<(EdgeId, RelationType)>, SnapshotError> {
+    let count = dec.count()?;
+    let edges = dec.u32_vec(count)?;
+    let labels = dec.u8_vec(count)?;
+    dec.done()?;
+    edges
+        .into_iter()
+        .zip(labels)
+        .map(|(e, l)| {
+            if e as usize >= num_edges {
+                return Err(SnapshotError::Corrupt("labeled edge id out of range"));
+            }
+            if (l as usize) >= RelationType::COUNT {
+                return Err(SnapshotError::Corrupt("edge label out of range"));
+            }
+            Ok((EdgeId(e), RelationType::from_label(l as usize)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locec_synth::SynthConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("locec_world_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn world_roundtrip_is_bit_identical() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(11));
+        let world = StoredWorld::from_scenario(&scenario, 0.8, 7);
+        let path = tmp("roundtrip.lsnap");
+        world.save(&path).unwrap();
+        let loaded = StoredWorld::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.graph.num_nodes(), world.graph.num_nodes());
+        assert_eq!(loaded.graph.num_edges(), world.graph.num_edges());
+        for v in world.graph.nodes() {
+            assert_eq!(loaded.graph.neighbors(v), world.graph.neighbors(v));
+            assert_eq!(
+                loaded.graph.neighbor_edge_ids(v),
+                world.graph.neighbor_edge_ids(v)
+            );
+        }
+        assert_eq!(loaded.user_features, world.user_features);
+        assert_eq!(loaded.interactions.rows(), world.interactions.rows());
+        assert_eq!(loaded.labeled_edges, world.labeled_edges);
+        assert_eq!(loaded.train_edges, world.train_edges);
+        assert_eq!(loaded.test_edges, world.test_edges);
+    }
+
+    #[test]
+    fn load_graph_matches_full_load() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(13));
+        let world = StoredWorld::from_scenario(&scenario, 0.8, 7);
+        let path = tmp("graph_only.lsnap");
+        world.save(&path).unwrap();
+        let graph = StoredWorld::load_graph(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(graph.num_nodes(), world.graph.num_nodes());
+        assert_eq!(graph.num_edges(), world.graph.num_edges());
+        for v in world.graph.nodes() {
+            assert_eq!(graph.neighbors(v), world.graph.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn split_matches_pipeline_split() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(12));
+        let world = StoredWorld::from_scenario(&scenario, 0.8, 7);
+        let labeled = scenario.dataset().labeled_edges_sorted();
+        let (train, test) = split_edges(&labeled, 0.8, 7);
+        assert_eq!(world.train_edges, train);
+        assert_eq!(world.test_edges, test);
+    }
+}

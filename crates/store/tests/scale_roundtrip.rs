@@ -1,0 +1,110 @@
+//! The acceptance-scale round-trip: the 50k-user world's graph and
+//! `DivisionResult` survive a snapshot round-trip bit-identically, and a
+//! 2-shard divide + merge reproduces the single-process division exactly.
+//!
+//! Debug builds scale the world down (and switch Phase I to label
+//! propagation) so `cargo test -q` stays fast; release builds run the full
+//! 50k-user world with the paper's Girvan–Newman configuration.
+
+use locec_core::phase1::{divide, divide_range};
+use locec_core::{CommunityDetector, LocecConfig};
+use locec_store::{
+    load_division, merge_shards, save_division, DivisionShard, SnapshotError, StoredWorld,
+};
+use locec_synth::{Scenario, SynthConfig};
+
+#[test]
+fn paper_scale_world_and_division_roundtrip_bit_identically() {
+    let (users, detector) = if cfg!(debug_assertions) {
+        (3_000, CommunityDetector::LabelPropagation)
+    } else {
+        (50_000, CommunityDetector::GirvanNewman)
+    };
+    let synth = SynthConfig {
+        num_users: users,
+        seed: 7,
+        surveyed_users: users / 25,
+        ..SynthConfig::default()
+    };
+    let scenario = Scenario::generate(&synth);
+    let world = StoredWorld::from_scenario(&scenario, 0.8, 7);
+    let dir = std::env::temp_dir();
+    let world_path = dir.join(format!("locec_scale_world_{}.lsnap", std::process::id()));
+    world.save(&world_path).unwrap();
+    let loaded_world = StoredWorld::load(&world_path).unwrap();
+    std::fs::remove_file(&world_path).ok();
+
+    assert_eq!(loaded_world.graph.num_nodes(), world.graph.num_nodes());
+    assert_eq!(loaded_world.graph.num_edges(), world.graph.num_edges());
+    for v in world.graph.nodes() {
+        assert_eq!(loaded_world.graph.neighbors(v), world.graph.neighbors(v));
+        assert_eq!(
+            loaded_world.graph.neighbor_edge_ids(v),
+            world.graph.neighbor_edge_ids(v)
+        );
+    }
+    assert_eq!(loaded_world.interactions.rows(), world.interactions.rows());
+    assert_eq!(loaded_world.train_edges, world.train_edges);
+
+    let config = LocecConfig {
+        detector,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        ..LocecConfig::fast()
+    };
+    let division = divide(&world.graph, &config);
+
+    // Round-trip of the full division, bit for bit.
+    let div_path = dir.join(format!("locec_scale_div_{}.lsnap", std::process::id()));
+    save_division(&div_path, &world.graph, &division).unwrap();
+    let loaded = load_division(&div_path).unwrap();
+    std::fs::remove_file(&div_path).ok();
+    assert_eq!(loaded.num_communities(), division.num_communities());
+    for (a, b) in loaded.communities.iter().zip(&division.communities) {
+        assert_eq!(a.ego, b.ego);
+        assert_eq!(a.members, b.members);
+        assert_eq!(
+            a.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            b.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+    }
+    assert_eq!(loaded.membership_table(), division.membership_table());
+
+    // 2-shard divide + merge reproduces the single-process division.
+    let n = world.graph.num_nodes();
+    let shards: Vec<DivisionShard> = (0..2u32)
+        .map(|i| {
+            let range = DivisionShard::ego_range(i, 2, n);
+            DivisionShard {
+                ego_start: range.start,
+                ego_end: range.end,
+                num_nodes: n as u32,
+                shard_index: i,
+                shard_count: 2,
+                communities: divide_range(&world.graph, range, &config),
+            }
+        })
+        .collect();
+    let merged = merge_shards(&world.graph, shards, config.threads).unwrap();
+    assert_eq!(merged.num_communities(), division.num_communities());
+    for (a, b) in merged.communities.iter().zip(&division.communities) {
+        assert_eq!(a.ego, b.ego);
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.tightness, b.tightness);
+    }
+    assert_eq!(merged.membership_table(), division.membership_table());
+
+    // A truncated copy of a large snapshot still fails typed, not loudly.
+    let bytes = {
+        save_division(&div_path, &world.graph, &division).unwrap();
+        let b = std::fs::read(&div_path).unwrap();
+        std::fs::remove_file(&div_path).ok();
+        b
+    };
+    let cut = bytes.len() / 2;
+    std::fs::write(&div_path, &bytes[..cut]).unwrap();
+    match load_division(&div_path) {
+        Err(SnapshotError::Truncated | SnapshotError::ChecksumMismatch { .. }) => {}
+        other => panic!("expected a truncation error, got {other:?}"),
+    }
+    std::fs::remove_file(&div_path).ok();
+}

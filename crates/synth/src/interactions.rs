@@ -71,6 +71,18 @@ impl EdgeInteractions {
         EdgeInteractions { counts }
     }
 
+    /// The raw per-edge count rows, indexed by `EdgeId` — public for
+    /// persistence (columnar snapshot writers stream this slice directly).
+    pub fn rows(&self) -> &[[f32; INTERACTION_DIMS]] {
+        &self.counts
+    }
+
+    /// Rebuilds interactions from raw rows (the inverse of
+    /// [`EdgeInteractions::rows`]).
+    pub fn from_rows(counts: Vec<[f32; INTERACTION_DIMS]>) -> Self {
+        EdgeInteractions { counts }
+    }
+
     /// All-zero interactions (for hand-built test graphs).
     pub fn zeros(num_edges: usize) -> Self {
         EdgeInteractions {

@@ -150,6 +150,18 @@ impl Scenario {
         }
     }
 
+    /// The materialized `|f|`-dim user feature rows (row per user), the
+    /// same slice [`Scenario::dataset`] exposes — public for persistence.
+    pub fn user_features(&self) -> &[[f32; USER_FEATURE_DIMS]] {
+        &self.user_features
+    }
+
+    /// The survey-derived labeled edge set restricted to the three major
+    /// classes — public for persistence.
+    pub fn labeled_edges(&self) -> &HashMap<EdgeId, RelationType> {
+        &self.labeled_edges
+    }
+
     /// Oracle relation type of an edge (None for category Other).
     pub fn true_relation(&self, e: EdgeId) -> Option<RelationType> {
         self.edge_categories[e.index()].relation_type()

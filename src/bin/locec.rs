@@ -1,0 +1,671 @@
+//! `locec` — the snapshot-pipelined LoCEC command line.
+//!
+//! Each subcommand is one pipeline stage; stages communicate exclusively
+//! through `locec_store` snapshot files, so any stage can run in its own
+//! process (or on its own machine, given a shared filesystem):
+//!
+//! ```text
+//! locec synth    --preset tiny --seed 51 --out world.lsnap
+//! locec divide   --world world.lsnap --shard 0/2 --out shard0.lsnap
+//! locec divide   --world world.lsnap --shard 1/2 --out shard1.lsnap
+//! locec divide   --world world.lsnap --merge --out division.lsnap shard0.lsnap shard1.lsnap
+//! locec aggregate --world world.lsnap --division division.lsnap \
+//!                 --out-agg agg.lsnap --out-model community.lsnap
+//! locec train    --world world.lsnap --division division.lsnap --agg agg.lsnap \
+//!                 --out edge.lsnap
+//! locec classify --world world.lsnap --division division.lsnap --agg agg.lsnap \
+//!                 --model edge.lsnap --out labels.lsnap --verify-pipeline
+//! locec inspect  division.lsnap
+//! ```
+//!
+//! `divide --shard i/n` processes the canonical contiguous ego range
+//! `[i·N/n, (i+1)·N/n)`, and `divide --merge` recombines the partial
+//! snapshots into exactly the division a single-process run produces.
+//! `classify --verify-pipeline` re-runs the whole in-process
+//! [`LocecPipeline`] on the same world and split and fails unless every
+//! predicted edge label matches — the end-to-end equivalence check CI runs.
+
+use locec::core::phase1::{divide_range, DivisionResult};
+use locec::core::phase2::CommunityClassifier;
+use locec::core::phase3::EdgeClassifier;
+use locec::core::pipeline::split_communities;
+use locec::core::{
+    community_ground_truth, CommunityDetector, CommunityModelKind, LocecConfig, LocecPipeline,
+};
+use locec::ml::metrics::Evaluation;
+use locec::store::{
+    load_aggregation, load_division, load_edge_model, load_labels, load_shard, merge_shards,
+    save_aggregation, save_community_model, save_division, save_edge_model, save_labels,
+    save_shard, DivisionShard, Snapshot, StoredWorld,
+};
+use locec::synth::types::RelationType;
+use locec::synth::{Scenario, SynthConfig};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "locec — snapshot-pipelined LoCEC stages
+
+USAGE:
+  locec synth     --out FILE [--preset tiny|small|paper|default] [--users N]
+                  [--seed N] [--train-fraction F] [--split-seed N]
+  locec divide    --world FILE --out FILE [--shard I/N] [config]
+  locec divide    --world FILE --out FILE --merge SHARD_FILE...
+  locec aggregate --world FILE --division FILE --out-agg FILE --out-model FILE [config]
+  locec train     --world FILE --division FILE --agg FILE --out FILE [config]
+  locec classify  --world FILE --division FILE --agg FILE --model FILE
+                  --out FILE [--verify-pipeline] [config]
+  locec inspect   FILE...
+
+config (all stages after synth; defaults in parentheses):
+  --preset fast|default   LocecConfig preset (fast)
+  --community-model xgb|cnn  Phase II community model (xgb)
+  --detector gn|louvain|lp  Phase I detector (gn)
+  --threads N             worker threads (preset value)
+  --seed N                pipeline seed for splits and model init (preset value)
+  --k N                   feature-matrix rows (preset value)";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&args) {
+        eprintln!("locec: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(format!("missing subcommand\n\n{USAGE}"));
+    };
+    let parsed = Parsed::parse(rest)?;
+    match cmd.as_str() {
+        "synth" => cmd_synth(&parsed),
+        "divide" => cmd_divide(&parsed),
+        "aggregate" => cmd_aggregate(&parsed),
+        "train" => cmd_train(&parsed),
+        "classify" => cmd_classify(&parsed),
+        "inspect" => cmd_inspect(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    }
+}
+
+/// Minimal `--flag value` / `--switch` / positional argument parser.
+struct Parsed {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["--merge", "--verify-pipeline"];
+
+impl Parsed {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if SWITCHES.contains(&a.as_str()) {
+                switches.push(a.clone());
+            } else if let Some(name) = a.strip_prefix("--") {
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_owned(), value.clone());
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Parsed {
+            flags,
+            switches,
+            positional,
+        })
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    /// Rejects options the subcommand does not understand — a typo'd
+    /// `--treads 16` or `--detector` on the wrong stage must fail loudly,
+    /// not silently fall back to a default that desyncs the pipeline.
+    fn check_args(
+        &self,
+        flags: &[&str],
+        switches: &[&str],
+        positional_ok: bool,
+    ) -> Result<(), String> {
+        for name in self.flags.keys() {
+            if !flags.contains(&name.as_str()) {
+                return Err(format!("unknown option --{name}\n\n{USAGE}"));
+            }
+        }
+        for s in &self.switches {
+            if !switches.contains(&s.as_str()) {
+                return Err(format!("{s} is not valid for this subcommand\n\n{USAGE}"));
+            }
+        }
+        if !positional_ok && !self.positional.is_empty() {
+            return Err(format!(
+                "unexpected argument '{}'\n\n{USAGE}",
+                self.positional[0]
+            ));
+        }
+        Ok(())
+    }
+
+    fn path(&self, name: &str) -> Result<PathBuf, String> {
+        self.flags
+            .get(name)
+            .map(PathBuf::from)
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        self.flags
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("invalid --{name} '{v}'")))
+            .transpose()
+    }
+
+    fn str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// The LoCEC pipeline configuration shared by every post-synth stage.
+    fn locec_config(&self) -> Result<LocecConfig, String> {
+        let mut config = match self.str("preset").unwrap_or("fast") {
+            "fast" => LocecConfig::fast(),
+            "default" => LocecConfig::default(),
+            other => return Err(format!("unknown --preset '{other}' (fast|default)")),
+        };
+        config.community_model = match self.str("community-model").unwrap_or("xgb") {
+            "xgb" => CommunityModelKind::Xgb,
+            "cnn" => CommunityModelKind::Cnn,
+            other => return Err(format!("unknown --community-model '{other}' (xgb|cnn)")),
+        };
+        config.detector = match self.str("detector").unwrap_or("gn") {
+            "gn" => CommunityDetector::GirvanNewman,
+            "louvain" => CommunityDetector::Louvain,
+            "lp" => CommunityDetector::LabelPropagation,
+            other => return Err(format!("unknown --detector '{other}' (gn|louvain|lp)")),
+        };
+        if let Some(threads) = self.num::<usize>("threads")? {
+            config.threads = threads.max(1);
+        }
+        if let Some(seed) = self.num::<u64>("seed")? {
+            config.seed = seed;
+        }
+        if let Some(k) = self.num::<usize>("k")? {
+            config.k = k;
+        }
+        Ok(config)
+    }
+}
+
+/// Flags understood by every post-synth stage via `locec_config`.
+const CONFIG_FLAGS: &[&str] = &[
+    "preset",
+    "community-model",
+    "detector",
+    "threads",
+    "seed",
+    "k",
+];
+
+fn with_config<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+    let mut v = extra.to_vec();
+    v.extend_from_slice(CONFIG_FLAGS);
+    v
+}
+
+fn store_err(e: locec::store::SnapshotError) -> String {
+    e.to_string()
+}
+
+fn cmd_synth(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &[
+            "out",
+            "preset",
+            "users",
+            "seed",
+            "train-fraction",
+            "split-seed",
+        ],
+        &[],
+        false,
+    )?;
+    let out = p.path("out")?;
+    let seed = p.num::<u64>("seed")?.unwrap_or(42);
+    let mut synth = match p.str("preset").unwrap_or("tiny") {
+        "tiny" => SynthConfig::tiny(seed),
+        "small" => SynthConfig::small(seed),
+        "paper" => SynthConfig::paper_subgraph(seed),
+        "default" => SynthConfig {
+            seed,
+            ..SynthConfig::default()
+        },
+        other => {
+            return Err(format!(
+                "unknown --preset '{other}' (tiny|small|paper|default)"
+            ))
+        }
+    };
+    if let Some(users) = p.num::<usize>("users")? {
+        synth.num_users = users;
+    }
+    let train_fraction = p.num::<f64>("train-fraction")?.unwrap_or(0.8);
+    if !(0.0..=1.0).contains(&train_fraction) {
+        return Err("--train-fraction must be in [0, 1]".into());
+    }
+    // The split seed defaults to the pipeline preset's seed so a later
+    // `classify --verify-pipeline` replays the exact same held-out edges.
+    let split_seed = p
+        .num::<u64>("split-seed")?
+        .unwrap_or(LocecConfig::fast().seed);
+
+    let scenario = Scenario::generate(&synth);
+    let world = StoredWorld::from_scenario(&scenario, train_fraction, split_seed);
+    world.save(&out).map_err(store_err)?;
+    println!(
+        "synth: {} users, {} edges, {} labeled ({} train / {} test) -> {}",
+        world.graph.num_nodes(),
+        world.graph.num_edges(),
+        world.labeled_edges.len(),
+        world.train_edges.len(),
+        world.test_edges.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn parse_shard(spec: &str) -> Result<(u32, u32), String> {
+    let (i, n) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("--shard '{spec}' must look like I/N"))?;
+    let i: u32 = i.parse().map_err(|_| format!("bad shard index '{i}'"))?;
+    let n: u32 = n.parse().map_err(|_| format!("bad shard count '{n}'"))?;
+    if n == 0 || i >= n {
+        return Err(format!("--shard {i}/{n} is out of range"));
+    }
+    Ok((i, n))
+}
+
+/// Division snapshots carry no graph, so a stale/mismatched `--division`
+/// would otherwise silently produce wrong labels: every membership lookup
+/// is keyed by the graph's adjacency slots. The membership-table length
+/// must equal the graph's volume (`2m`) — the same invariant the core
+/// asserts in debug builds.
+fn ensure_division_matches(world: &StoredWorld, division: &DivisionResult) -> Result<(), String> {
+    if division.membership_table().len() != world.graph.volume() {
+        return Err(format!(
+            "division does not match the world: membership table covers {} adjacency slots, \
+             the graph has {} — was the division computed on a different world?",
+            division.membership_table().len(),
+            world.graph.volume()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_divide(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &with_config(&["world", "out", "shard"]),
+        &["--merge"],
+        p.has("--merge"),
+    )?;
+    // Phase I only reads the graph; skip decoding the feature, interaction
+    // and label columns that dominate the world snapshot at scale.
+    let graph = StoredWorld::load_graph(&p.path("world")?).map_err(store_err)?;
+    let out = p.path("out")?;
+    let config = p.locec_config()?;
+
+    if p.has("--merge") {
+        if p.positional.is_empty() {
+            return Err("divide --merge needs shard files as positional arguments".into());
+        }
+        let shards: Vec<DivisionShard> = p
+            .positional
+            .iter()
+            .map(|f| load_shard(Path::new(f)).map_err(|e| format!("{f}: {e}")))
+            .collect::<Result<_, _>>()?;
+        let t0 = std::time::Instant::now();
+        let division = merge_shards(&graph, shards, config.threads).map_err(store_err)?;
+        let dt = t0.elapsed();
+        save_division(&out, &graph, &division).map_err(store_err)?;
+        println!(
+            "divide --merge: {} shards -> {} communities in {:.3}s -> {}",
+            p.positional.len(),
+            division.num_communities(),
+            dt.as_secs_f64(),
+            out.display()
+        );
+        return Ok(());
+    }
+
+    let n = graph.num_nodes();
+    match p.str("shard") {
+        Some(spec) => {
+            let (index, count) = parse_shard(spec)?;
+            let range = DivisionShard::ego_range(index, count, n);
+            let t0 = std::time::Instant::now();
+            let communities = divide_range(&graph, range.clone(), &config);
+            let dt = t0.elapsed();
+            let shard = DivisionShard {
+                ego_start: range.start,
+                ego_end: range.end,
+                num_nodes: n as u32,
+                shard_index: index,
+                shard_count: count,
+                communities,
+            };
+            save_shard(&out, &shard).map_err(store_err)?;
+            println!(
+                "divide --shard {index}/{count}: egos {}..{} -> {} communities in {:.3}s -> {}",
+                range.start,
+                range.end,
+                shard.communities.len(),
+                dt.as_secs_f64(),
+                out.display()
+            );
+        }
+        None => {
+            let t0 = std::time::Instant::now();
+            let communities = divide_range(&graph, 0..n as u32, &config);
+            let division = DivisionResult::from_communities(&graph, communities, config.threads);
+            let dt = t0.elapsed();
+            save_division(&out, &graph, &division).map_err(store_err)?;
+            println!(
+                "divide: {} egos -> {} communities in {:.3}s -> {}",
+                n,
+                division.num_communities(),
+                dt.as_secs_f64(),
+                out.display()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_aggregate(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &with_config(&["world", "division", "out-agg", "out-model"]),
+        &[],
+        false,
+    )?;
+    let world = StoredWorld::load(&p.path("world")?).map_err(store_err)?;
+    let division = load_division(&p.path("division")?).map_err(store_err)?;
+    ensure_division_matches(&world, &division)?;
+    let out_agg = p.path("out-agg")?;
+    let out_model = p.path("out-model")?;
+    let config = p.locec_config()?;
+    let data = world.dataset();
+
+    // Mirror `LocecPipeline::run_with_division` exactly: community ground
+    // truth from *training* labels only, the same seeded 80/20 community
+    // split, train, then classify every community.
+    let train_label_map: HashMap<_, _> = world.train_edges.iter().copied().collect();
+    let labeled = community_ground_truth(
+        &world.graph,
+        &division,
+        &train_label_map,
+        config.community_label_min_coverage,
+    );
+    if labeled.is_empty() {
+        return Err("no community got a ground-truth label; not enough training labels".into());
+    }
+    let (community_train, community_test) = split_communities(&labeled, 0.8, config.seed);
+    let t0 = std::time::Instant::now();
+    let mut model = CommunityClassifier::train(&data, &division, &community_train, &config);
+    let train_dt = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let agg = model.predict_all(&data, &division, &config);
+    let infer_dt = t1.elapsed();
+
+    save_aggregation(&out_agg, &agg).map_err(store_err)?;
+    save_community_model(&out_model, &mut model).map_err(store_err)?;
+    print!(
+        "aggregate: {} labeled communities ({} train), trained in {:.3}s, \
+         {} embeddings (dim {}) in {:.3}s -> {} + {}",
+        labeled.len(),
+        community_train.len(),
+        train_dt.as_secs_f64(),
+        agg.embeddings.len(),
+        agg.embedding_dim,
+        infer_dt.as_secs_f64(),
+        out_agg.display(),
+        out_model.display()
+    );
+    if community_test.is_empty() {
+        println!();
+    } else {
+        let eval = model.evaluate_on(&data, &division, &community_test, &config);
+        println!("; held-out community accuracy {:.3}", eval.accuracy);
+    }
+    Ok(())
+}
+
+fn cmd_train(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &with_config(&["world", "division", "agg", "out"]),
+        &[],
+        false,
+    )?;
+    let world = StoredWorld::load(&p.path("world")?).map_err(store_err)?;
+    let division = load_division(&p.path("division")?).map_err(store_err)?;
+    ensure_division_matches(&world, &division)?;
+    let agg = load_aggregation(&p.path("agg")?).map_err(store_err)?;
+    let out = p.path("out")?;
+    let config = p.locec_config()?;
+    if agg.embeddings.len() != division.num_communities() {
+        return Err("aggregation does not cover the division's communities".into());
+    }
+    if world.train_edges.is_empty() {
+        return Err("world snapshot has no training edges".into());
+    }
+    let t0 = std::time::Instant::now();
+    let clf = EdgeClassifier::train(
+        &world.graph,
+        &division,
+        &agg,
+        &world.train_edges,
+        &config.lr,
+    );
+    let dt = t0.elapsed();
+    save_edge_model(&out, &clf).map_err(store_err)?;
+    println!(
+        "train: logistic regression on {} edges ({} features) in {:.3}s -> {}",
+        world.train_edges.len(),
+        clf.model().num_features(),
+        dt.as_secs_f64(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn print_eval(stage: &str, eval: &Evaluation) {
+    println!(
+        "{stage}: accuracy {:.4}, macro F1 {:.4}, micro F1 {:.4} over {} test edges",
+        eval.accuracy,
+        eval.overall.f1,
+        eval.micro_f1,
+        eval.per_class.iter().map(|c| c.support).sum::<usize>()
+    );
+}
+
+fn cmd_classify(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &with_config(&["world", "division", "agg", "model", "out"]),
+        &["--verify-pipeline"],
+        false,
+    )?;
+    let world = StoredWorld::load(&p.path("world")?).map_err(store_err)?;
+    let division = load_division(&p.path("division")?).map_err(store_err)?;
+    ensure_division_matches(&world, &division)?;
+    let agg = load_aggregation(&p.path("agg")?).map_err(store_err)?;
+    let clf = load_edge_model(&p.path("model")?).map_err(store_err)?;
+    let out = p.path("out")?;
+    let config = p.locec_config()?;
+    if agg.embeddings.len() != division.num_communities() {
+        return Err("aggregation does not cover the division's communities".into());
+    }
+
+    let t0 = std::time::Instant::now();
+    let predictions = clf.predict_all(&world.graph, &division, &agg);
+    let dt = t0.elapsed();
+    let eval = clf.evaluate_on(&world.graph, &division, &agg, &world.test_edges);
+    save_labels(&out, &predictions).map_err(store_err)?;
+    println!(
+        "classify: {} edges labeled in {:.3}s -> {}",
+        predictions.len(),
+        dt.as_secs_f64(),
+        out.display()
+    );
+    print_eval("classify", &eval);
+
+    if p.has("--verify-pipeline") {
+        verify_against_pipeline(&world, &config, &predictions, &eval)?;
+        println!(
+            "verify-pipeline: OK — snapshot pipeline output is identical to LocecPipeline::run"
+        );
+    }
+    Ok(())
+}
+
+/// Re-runs the monolithic in-process pipeline on the stored world + split
+/// and demands bit-identical edge labels (and evaluation) from the
+/// snapshot-pipelined stages.
+fn verify_against_pipeline(
+    world: &StoredWorld,
+    config: &LocecConfig,
+    predictions: &[RelationType],
+    eval: &Evaluation,
+) -> Result<(), String> {
+    let mut pipeline = LocecPipeline::new(config.clone());
+    let outcome = pipeline.run_with_splits(&world.dataset(), &world.train_edges, &world.test_edges);
+    if outcome.edge_predictions.len() != predictions.len() {
+        return Err(format!(
+            "verify-pipeline: edge count mismatch ({} vs {})",
+            predictions.len(),
+            outcome.edge_predictions.len()
+        ));
+    }
+    let diff = predictions
+        .iter()
+        .zip(&outcome.edge_predictions)
+        .filter(|(a, b)| a != b)
+        .count();
+    if diff != 0 {
+        return Err(format!(
+            "verify-pipeline: {diff} of {} edge labels differ from the in-process pipeline",
+            predictions.len()
+        ));
+    }
+    if (eval.accuracy - outcome.edge_eval.accuracy).abs() > 1e-12 {
+        return Err(format!(
+            "verify-pipeline: test accuracy differs ({} vs {})",
+            eval.accuracy, outcome.edge_eval.accuracy
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_inspect(p: &Parsed) -> Result<(), String> {
+    p.check_args(&[], &[], true)?;
+    if p.positional.is_empty() {
+        return Err("inspect needs at least one snapshot file".into());
+    }
+    for file in &p.positional {
+        let path = Path::new(file);
+        let snap = Snapshot::read_from(path).map_err(|e| format!("{file}: {e}"))?;
+        let size = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "{file}: {} snapshot, format v{}, {} bytes",
+            snap.kind().name(),
+            snap.version(),
+            size
+        );
+        for (name, len) in snap.section_summaries() {
+            println!("  section {name:<16} {len:>12} bytes");
+        }
+        match snap.kind() {
+            locec::store::SnapshotKind::World => {
+                let world = StoredWorld::load(path).map_err(store_err)?;
+                println!(
+                    "  {} nodes, {} edges, {} labeled edges ({} train / {} test)",
+                    world.graph.num_nodes(),
+                    world.graph.num_edges(),
+                    world.labeled_edges.len(),
+                    world.train_edges.len(),
+                    world.test_edges.len()
+                );
+            }
+            locec::store::SnapshotKind::Division => {
+                let d = load_division(path).map_err(store_err)?;
+                println!(
+                    "  {} communities, membership table over {} adjacency slots",
+                    d.num_communities(),
+                    d.membership_table().len()
+                );
+            }
+            locec::store::SnapshotKind::DivisionShard => {
+                let s = load_shard(path).map_err(store_err)?;
+                println!(
+                    "  shard {}/{}: egos {}..{} of {}, {} communities",
+                    s.shard_index,
+                    s.shard_count,
+                    s.ego_start,
+                    s.ego_end,
+                    s.num_nodes,
+                    s.communities.len()
+                );
+            }
+            locec::store::SnapshotKind::Aggregation => {
+                let a = load_aggregation(path).map_err(store_err)?;
+                println!(
+                    "  {} communities, embedding dim {}",
+                    a.embeddings.len(),
+                    a.embedding_dim
+                );
+            }
+            locec::store::SnapshotKind::CommunityModel => match load_community_model_kind(path)? {
+                "gbdt" => println!("  GBDT community classifier"),
+                other => println!("  {other} community classifier"),
+            },
+            locec::store::SnapshotKind::EdgeModel => {
+                let m = load_edge_model(path).map_err(store_err)?;
+                println!(
+                    "  logistic regression: {} features, {} classes",
+                    m.model().num_features(),
+                    m.model().num_classes()
+                );
+            }
+            locec::store::SnapshotKind::Labels => {
+                let labels = load_labels(path).map_err(store_err)?;
+                let mut counts = [0usize; RelationType::COUNT];
+                for l in &labels {
+                    counts[l.label()] += 1;
+                }
+                println!(
+                    "  {} edge labels (family {}, colleague {}, schoolmate {})",
+                    labels.len(),
+                    counts[0],
+                    counts[1],
+                    counts[2]
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn load_community_model_kind(path: &Path) -> Result<&'static str, String> {
+    match locec::store::load_community_model(path).map_err(store_err)? {
+        CommunityClassifier::Xgb(_) => Ok("gbdt"),
+        CommunityClassifier::Cnn(_) => Ok("commcnn"),
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`synth`] — synthetic WeChat-like social world with planted
 //!   relationship types, interactions, chat groups and survey labels.
 //! * [`core`] — the LoCEC three-phase framework itself.
+//! * [`store`] — versioned binary columnar snapshots of every pipeline
+//!   artifact, powering the sharded `locec` CLI.
 //! * [`baselines`] — ProbWP, Economix and raw-XGBoost comparison methods.
 //!
 //! ## Quickstart
@@ -36,4 +38,5 @@ pub use locec_community as community;
 pub use locec_core as core;
 pub use locec_graph as graph;
 pub use locec_ml as ml;
+pub use locec_store as store;
 pub use locec_synth as synth;

@@ -1,0 +1,245 @@
+//! End-to-end test of the snapshot-pipelined CLI: a sharded multi-process
+//! `locec` run must reproduce the in-process `LocecPipeline::run` output
+//! exactly — the same division bit for bit, and the same label for every
+//! edge.
+
+use locec::core::phase1::divide;
+use locec::core::{CommunityModelKind, LocecConfig, LocecPipeline};
+use locec::store::{load_division, load_labels, StoredWorld};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_locec")
+}
+
+fn run(dir: &Path, args: &[&str]) -> String {
+    let out = Command::new(bin())
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn locec");
+    assert!(
+        out.status.success(),
+        "locec {args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn sharded_cli_pipeline_matches_in_process_run() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("locec_cli_pipeline_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The full sharded pipeline, stage by stage, each in its own process.
+    run(
+        &dir,
+        &[
+            "synth",
+            "--preset",
+            "tiny",
+            "--seed",
+            "51",
+            "--out",
+            "world.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &[
+            "divide",
+            "--world",
+            "world.lsnap",
+            "--shard",
+            "0/2",
+            "--out",
+            "s0.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &[
+            "divide",
+            "--world",
+            "world.lsnap",
+            "--shard",
+            "1/2",
+            "--out",
+            "s1.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &[
+            "divide",
+            "--world",
+            "world.lsnap",
+            "--merge",
+            "--out",
+            "division.lsnap",
+            "s0.lsnap",
+            "s1.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &[
+            "aggregate",
+            "--world",
+            "world.lsnap",
+            "--division",
+            "division.lsnap",
+            "--out-agg",
+            "agg.lsnap",
+            "--out-model",
+            "community.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &[
+            "train",
+            "--world",
+            "world.lsnap",
+            "--division",
+            "division.lsnap",
+            "--agg",
+            "agg.lsnap",
+            "--out",
+            "edge.lsnap",
+        ],
+    );
+    // `--verify-pipeline` makes the classify stage itself re-run the
+    // monolithic pipeline and fail on any label difference.
+    let classify_out = run(
+        &dir,
+        &[
+            "classify",
+            "--world",
+            "world.lsnap",
+            "--division",
+            "division.lsnap",
+            "--agg",
+            "agg.lsnap",
+            "--model",
+            "edge.lsnap",
+            "--out",
+            "labels.lsnap",
+            "--verify-pipeline",
+        ],
+    );
+    assert!(
+        classify_out.contains("verify-pipeline: OK"),
+        "missing verification line in: {classify_out}"
+    );
+    run(
+        &dir,
+        &["inspect", "world.lsnap", "division.lsnap", "labels.lsnap"],
+    );
+
+    // Independently re-check the equivalences in this process.
+    let world = StoredWorld::load(&dir.join("world.lsnap")).unwrap();
+    let config = LocecConfig {
+        community_model: CommunityModelKind::Xgb,
+        ..LocecConfig::fast()
+    };
+
+    // 1. The merged 2-shard division is bit-identical to a single-process
+    //    divide of the same graph.
+    let merged = load_division(&dir.join("division.lsnap")).unwrap();
+    let single = divide(&world.graph, &config);
+    assert_eq!(merged.num_communities(), single.num_communities());
+    for (a, b) in merged.communities.iter().zip(&single.communities) {
+        assert_eq!(a.ego, b.ego);
+        assert_eq!(a.members, b.members);
+        assert_eq!(
+            a.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            b.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+    }
+    assert_eq!(merged.membership_table(), single.membership_table());
+
+    // 2. The classified labels equal the in-process pipeline's output on
+    //    the same world and split.
+    let labels = load_labels(&dir.join("labels.lsnap")).unwrap();
+    let mut pipeline = LocecPipeline::new(config);
+    let outcome = pipeline.run_with_splits(&world.dataset(), &world.train_edges, &world.test_edges);
+    assert_eq!(labels.len(), outcome.edge_predictions.len());
+    assert_eq!(labels, outcome.edge_predictions);
+    assert!(outcome.edge_eval.overall.f1 > 0.5);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_reports_typed_errors_without_panicking() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("locec_cli_errors_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Missing file.
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args(["inspect", "nope.lsnap"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nope.lsnap"));
+
+    // A non-snapshot file is rejected with the magic error.
+    std::fs::write(dir.join("junk.lsnap"), b"definitely not a snapshot").unwrap();
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args(["inspect", "junk.lsnap"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad magic"));
+
+    // A typo'd option is rejected loudly, never silently defaulted.
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "divide", "--world", "w.lsnap", "--out", "d.lsnap", "--treads", "16",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option --treads"));
+
+    // Handing the wrong snapshot kind to a stage is a typed error.
+    run(
+        &dir,
+        &[
+            "synth",
+            "--preset",
+            "tiny",
+            "--seed",
+            "5",
+            "--out",
+            "world.lsnap",
+        ],
+    );
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "train",
+            "--world",
+            "world.lsnap",
+            "--division",
+            "world.lsnap",
+            "--agg",
+            "world.lsnap",
+            "--out",
+            "x.lsnap",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected a division snapshot"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
