@@ -1,0 +1,201 @@
+//! Incremental-vs-full Phase I benchmark: wall time and egos re-divided of
+//! `divide_update` under a given edge churn, against a full `divide` of the
+//! evolved graph.
+//!
+//! Run: `cargo run --release -p locec_bench --bin update_throughput`
+//!
+//! Environment knobs:
+//! * `LOCEC_SCALE` — `tiny` (CI smoke) | `small` | `medium` | `paper`;
+//!   overridden by
+//! * `LOCEC_UP_USERS` — explicit user count (default 50_000, the world the
+//!   committed `BENCH_update.json` is measured on);
+//! * `LOCEC_UP_CHURN` — comma-separated total-churn fractions of the edge
+//!   count, each split evenly between inserts and removes (default
+//!   `0.01,0.001,0.0001`: the ROADMAP's "1% edge churn" scenario plus two
+//!   lower rates that show where dirty-ego locality stops saturating);
+//! * `LOCEC_UP_THREADS` — thread count (default 8);
+//! * `LOCEC_UP_OUT` — output path (default `BENCH_update.json`).
+//!
+//! The run first asserts the incremental division is bit-identical to the
+//! full one (a benchmark of a wrong answer is meaningless), then reports
+//! both wall times, the dirty-ego count and the speedup as JSON.
+
+use locec_bench::Scale;
+use locec_core::phase1;
+use locec_core::LocecConfig;
+use locec_graph::{dirty_egos, GraphDelta};
+use locec_synth::evolve::EvolveConfig;
+use locec_synth::{Scenario, SynthConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let users: usize = std::env::var("LOCEC_UP_USERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            if std::env::var("LOCEC_SCALE").is_ok() {
+                Scale::from_env().config(7).num_users
+            } else {
+                50_000
+            }
+        });
+    let churns: Vec<f64> = std::env::var("LOCEC_UP_CHURN")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<f64>| !v.is_empty())
+        .unwrap_or_else(|| vec![0.01, 0.001, 0.0001]);
+    let threads: usize = std::env::var("LOCEC_UP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let out_path = std::env::var("LOCEC_UP_OUT").unwrap_or_else(|_| "BENCH_update.json".into());
+
+    eprintln!("generating synthetic world ({users} users)...");
+    let t_gen = Instant::now();
+    let scenario = Scenario::generate(&SynthConfig {
+        num_users: users,
+        surveyed_users: (users / 50).max(10),
+        seed: 7,
+        ..SynthConfig::default()
+    });
+    let graph = &scenario.graph;
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    eprintln!(
+        "world ready in {:.1}s: {n} nodes, {m} edges",
+        t_gen.elapsed().as_secs_f64()
+    );
+
+    let config = LocecConfig {
+        threads,
+        ..LocecConfig::default()
+    };
+
+    // Base division (not part of the measured comparison — in steady-state
+    // streaming it already exists).
+    let t = Instant::now();
+    let base = phase1::divide(graph, &config);
+    let base_secs = t.elapsed().as_secs_f64();
+    eprintln!("base divide: {base_secs:.3}s");
+
+    struct Row {
+        churn: f64,
+        events: usize,
+        inserts: usize,
+        removes: usize,
+        dirty: usize,
+        update_secs: f64,
+        full_secs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for &churn in &churns {
+        // Total churn split evenly between inserts and removes.
+        let delta_stream = scenario.evolve(&EvolveConfig {
+            seed: 13,
+            insert_fraction: churn / 2.0,
+            remove_fraction: churn / 2.0,
+            ..Default::default()
+        });
+        let (inserts, _, removes) = delta_stream.flatten();
+        let (num_ins, num_rem) = (inserts.len(), removes.len());
+        let delta = GraphDelta::new(n, inserts, removes).expect("evolve emits a valid delta");
+        let applied = graph
+            .apply_delta(&delta)
+            .expect("delta applies to its base");
+        let evolved = &applied.graph;
+
+        // Incremental path: dirty-ego computation + re-division + splice.
+        let t = Instant::now();
+        let dirty = dirty_egos(graph, &delta);
+        let updated = phase1::divide_update(evolved, &base, &dirty, &config);
+        let update_secs = t.elapsed().as_secs_f64();
+
+        // Full re-division of the evolved graph.
+        let t = Instant::now();
+        let full = phase1::divide(evolved, &config);
+        let full_secs = t.elapsed().as_secs_f64();
+
+        // Correctness gate: bit-identical or the numbers mean nothing.
+        assert_eq!(updated.num_communities(), full.num_communities());
+        for (a, b) in updated.communities.iter().zip(&full.communities) {
+            assert!(
+                a.ego == b.ego && a.members == b.members && a.tightness == b.tightness,
+                "divide_update diverged from full divide at ego {:?}",
+                a.ego
+            );
+        }
+        assert_eq!(
+            updated.membership_table(),
+            full.membership_table(),
+            "membership tables diverged"
+        );
+
+        eprintln!(
+            "churn {:>7.4}%: {:>6} events, {:>8} of {n} egos dirty ({:>6.2}%)  \
+             incremental {update_secs:>7.3}s  full {full_secs:>7.3}s  ({:.2}x)",
+            100.0 * churn,
+            num_ins + num_rem,
+            dirty.len(),
+            100.0 * dirty.len() as f64 / n as f64,
+            full_secs / update_secs,
+        );
+        rows.push(Row {
+            churn,
+            events: num_ins + num_rem,
+            inserts: num_ins,
+            removes: num_rem,
+            dirty: dirty.len(),
+            update_secs,
+            full_secs,
+        });
+    }
+    let head = &rows[0];
+    println!(
+        "update speedup at {threads} threads, {:.2}% churn: {:.2}x (incremental vs full)",
+        100.0 * head.churn,
+        head.full_secs / head.update_secs
+    );
+
+    // Hand-rolled JSON (the workspace's serde is a vendored no-op shim).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"update_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"world\": {{ \"users\": {users}, \"nodes\": {n}, \"edges\": {m}, \"seed\": 7 }},"
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(json, "  \"base_divide_seconds\": {base_secs:.4},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"churn\": {}, \"events\": {}, \"inserts\": {}, \"removes\": {}, \
+             \"dirty_egos\": {}, \"dirty_fraction\": {:.6}, \
+             \"incremental_seconds\": {:.4}, \"full_seconds\": {:.4}, \
+             \"speedup\": {:.3} }}{comma}",
+            r.churn,
+            r.events,
+            r.inserts,
+            r.removes,
+            r.dirty,
+            r.dirty as f64 / n as f64,
+            r.update_secs,
+            r.full_secs,
+            r.full_secs / r.update_secs
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

@@ -317,6 +317,88 @@ pub fn divide_range(
     pool.concat(threads, chunks)
 }
 
+/// Phase I over an explicit (ascending, deduplicated) ego list — the unit
+/// of work of an incremental update, where the dirty egos of a graph delta
+/// are scattered across the id range. Runs on the worker pool with the
+/// same chunk grain and deterministic chunk-order merge as [`divide_range`],
+/// so the result is bit-identical for every thread count.
+pub fn divide_egos(graph: &CsrGraph, egos: &[NodeId], config: &LocecConfig) -> Vec<LocalCommunity> {
+    assert!(
+        egos.windows(2).all(|w| w[0] < w[1]),
+        "ego list must be ascending and deduplicated"
+    );
+    if let Some(&last) = egos.last() {
+        assert!(
+            last.index() < graph.num_nodes(),
+            "ego {last:?} exceeds the graph's {} nodes",
+            graph.num_nodes()
+        );
+    }
+    let len = egos.len();
+    let threads = config.threads.clamp(1, len.max(1));
+    let pool = WorkerPool::global();
+    let chunks: Vec<Vec<LocalCommunity>> = pool.run_chunked(len, threads, DIVIDE_GRAIN, |range| {
+        SCRATCH.with(|scratch| {
+            let scratch = &mut scratch.borrow_mut();
+            let mut out = Vec::new();
+            for i in range {
+                divide_one_with(graph, egos[i], config, scratch, &mut out);
+            }
+            out
+        })
+    });
+    pool.concat(threads, chunks)
+}
+
+/// Incremental Phase I: re-divides only the `dirty` egos of an evolved
+/// graph and splices the fresh communities into `base` (the division of
+/// the pre-delta graph). Provided `dirty` is a superset of the egos whose
+/// ego networks changed — [`locec_graph::dirty_egos`] computes exactly
+/// that — the result is **bit-identical** to a full [`divide`] of
+/// `graph`: clean egos' communities depend only on their (unchanged) ego
+/// networks, and the membership table is rebuilt against the evolved
+/// graph's adjacency slots by [`DivisionResult::from_communities`].
+pub fn divide_update(
+    graph: &CsrGraph,
+    base: &DivisionResult,
+    dirty: &[NodeId],
+    config: &LocecConfig,
+) -> DivisionResult {
+    let fresh = divide_egos(graph, dirty, config);
+    splice_update(graph, base, dirty, fresh, config.threads)
+}
+
+/// The splice step of [`divide_update`], separated so callers that already
+/// hold re-divided communities (the `DivisionDelta` snapshot apply path)
+/// can reuse it: drops `base`'s communities of `dirty` egos, merges in
+/// `fresh` (which must be in ego order and cover only `dirty` egos), and
+/// rebuilds the membership table against `graph`.
+pub fn splice_update(
+    graph: &CsrGraph,
+    base: &DivisionResult,
+    dirty: &[NodeId],
+    fresh: Vec<LocalCommunity>,
+    threads: usize,
+) -> DivisionResult {
+    debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(fresh.windows(2).all(|w| w[0].ego <= w[1].ego));
+    debug_assert!(fresh.iter().all(|c| dirty.binary_search(&c.ego).is_ok()));
+    let is_dirty = |ego: NodeId| dirty.binary_search(&ego).is_ok();
+    let mut merged = Vec::with_capacity(base.communities.len() + fresh.len());
+    let mut fresh = fresh.into_iter().peekable();
+    for c in &base.communities {
+        if is_dirty(c.ego) {
+            continue;
+        }
+        while fresh.peek().is_some_and(|f| f.ego < c.ego) {
+            merged.push(fresh.next().unwrap());
+        }
+        merged.push(c.clone());
+    }
+    merged.extend(fresh);
+    DivisionResult::from_communities(graph, merged, threads)
+}
+
 /// Detects the local communities of one ego node (fresh scratch per call;
 /// the hot loop uses [`divide_one_with`]).
 pub fn divide_one(
@@ -617,6 +699,83 @@ mod tests {
         let mut torn = d.communities.clone();
         torn[0].tightness.pop();
         assert!(DivisionResult::from_raw_parts(torn, d.membership_table().to_vec()).is_err());
+    }
+
+    #[test]
+    fn divide_update_is_bit_identical_to_full_divide() {
+        use locec_graph::{dirty_egos, GraphDelta};
+        let g = fig7_graph();
+        let cfg = config();
+        let base = divide(&g, &cfg);
+        // Changes localized in the 5-6-7-8 tail so the dense cluster's
+        // egos (1, 2) stay clean and the splice path is actually exercised.
+        let delta = GraphDelta::new(9, vec![(5, 7)], vec![(6, 8)]).unwrap();
+        let applied = g.apply_delta(&delta).unwrap();
+        let dirty = dirty_egos(&g, &delta);
+        assert!(dirty.len() < g.num_nodes(), "some ego must stay clean");
+        for threads in [1usize, 2, 8] {
+            let cfg_t = LocecConfig {
+                threads,
+                ..cfg.clone()
+            };
+            let updated = divide_update(&applied.graph, &base, &dirty, &cfg_t);
+            let full = divide(&applied.graph, &cfg_t);
+            assert_eq!(updated.num_communities(), full.num_communities());
+            for (a, b) in updated.communities.iter().zip(&full.communities) {
+                assert_eq!(a.ego, b.ego);
+                assert_eq!(a.members, b.members);
+                assert_eq!(
+                    a.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+                    b.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            assert_eq!(updated.membership, full.membership, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn divide_update_with_empty_dirty_set_rekeys_the_base() {
+        let g = fig7_graph();
+        let cfg = config();
+        let base = divide(&g, &cfg);
+        let updated = divide_update(&g, &base, &[], &cfg);
+        assert_eq!(updated.num_communities(), base.num_communities());
+        assert_eq!(updated.membership, base.membership);
+    }
+
+    #[test]
+    fn divide_egos_matches_divide_range_on_contiguous_ids() {
+        let g = fig7_graph();
+        let cfg = config();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let by_list = divide_egos(&g, &all, &cfg);
+        let by_range = divide_range(&g, 0..g.num_nodes() as u32, &cfg);
+        assert_eq!(by_list.len(), by_range.len());
+        for (a, b) in by_list.iter().zip(&by_range) {
+            assert_eq!(a.ego, b.ego);
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.tightness, b.tightness);
+        }
+    }
+
+    #[test]
+    fn divide_update_handles_an_ego_losing_all_friends() {
+        use locec_graph::{dirty_egos, GraphDelta};
+        // Star: removing every spoke of node 3 empties its ego network.
+        let mut b = GraphBuilder::new(4);
+        for v in 1..4u32 {
+            b.add_edge(NodeId(0), NodeId(v));
+        }
+        let g = b.build();
+        let cfg = config();
+        let base = divide(&g, &cfg);
+        let delta = GraphDelta::new(4, vec![], vec![(0, 3)]).unwrap();
+        let applied = g.apply_delta(&delta).unwrap();
+        let dirty = dirty_egos(&g, &delta);
+        let updated = divide_update(&applied.graph, &base, &dirty, &cfg);
+        let full = divide(&applied.graph, &cfg);
+        assert_eq!(updated.num_communities(), full.num_communities());
+        assert_eq!(updated.membership, full.membership);
     }
 
     #[test]

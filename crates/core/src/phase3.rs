@@ -13,6 +13,7 @@ use locec_graph::{CsrGraph, EdgeId, NodeId};
 use locec_ml::linear::{LogisticRegression, LogisticRegressionConfig};
 use locec_ml::metrics::{evaluate, Evaluation};
 use locec_ml::Dataset;
+use locec_runtime::WorkerPool;
 use locec_synth::types::RelationType;
 
 /// Builds the Eq. 4 feature vector of an edge. Returns `None` only when the
@@ -135,19 +136,33 @@ impl EdgeClassifier {
     }
 
     /// Predicted type of every edge in the graph (Fig. 13b distribution).
+    ///
+    /// Embarrassingly parallel over edges (§V-D), so the per-edge feature
+    /// build + logistic-regression inference runs chunked on the
+    /// [`locec_runtime::WorkerPool`]. Chunk outputs are merged in edge
+    /// order, so the result is bit-identical for every thread count.
     pub fn predict_all(
         &self,
         graph: &CsrGraph,
         division: &DivisionResult,
         agg: &AggregationResult,
+        threads: usize,
     ) -> Vec<RelationType> {
-        graph
-            .edges()
-            .map(|(e, _, _)| {
-                self.predict(graph, division, agg, e)
-                    .expect("division covers every edge")
-            })
-            .collect()
+        /// Edges per pool chunk: one edge is a handful of array reads plus
+        /// a small matrix-vector product, so chunks are coarse.
+        const EDGE_GRAIN: usize = 1024;
+        let m = graph.num_edges();
+        let threads = threads.clamp(1, m.max(1));
+        let chunks: Vec<Vec<RelationType>> =
+            WorkerPool::global().run_chunked(m, threads, EDGE_GRAIN, |range| {
+                range
+                    .map(|i| {
+                        self.predict(graph, division, agg, EdgeId(i as u32))
+                            .expect("division covers every edge")
+                    })
+                    .collect()
+            });
+        chunks.into_iter().flatten().collect()
     }
 }
 
@@ -235,10 +250,23 @@ mod tests {
         let ds = f.scenario.dataset();
         let labeled = ds.labeled_edges_sorted();
         let clf = EdgeClassifier::train(ds.graph, &f.division, &f.agg, &labeled, &f.config.lr);
-        let preds = clf.predict_all(ds.graph, &f.division, &f.agg);
+        let preds = clf.predict_all(ds.graph, &f.division, &f.agg, f.config.threads);
         assert_eq!(preds.len(), ds.graph.num_edges());
         let dist = type_distribution(&preds);
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_all_is_thread_count_invariant() {
+        let f = fixture();
+        let ds = f.scenario.dataset();
+        let labeled = ds.labeled_edges_sorted();
+        let clf = EdgeClassifier::train(ds.graph, &f.division, &f.agg, &labeled, &f.config.lr);
+        let base = clf.predict_all(ds.graph, &f.division, &f.agg, 1);
+        for threads in [2usize, 4, 8] {
+            let preds = clf.predict_all(ds.graph, &f.division, &f.agg, threads);
+            assert_eq!(preds, base, "{threads} threads diverged");
+        }
     }
 
     #[test]

@@ -137,7 +137,7 @@ impl LocecPipeline {
         let edge_clf =
             EdgeClassifier::train(data.graph, division, &agg, train_edges, &self.config.lr);
         let edge_eval = edge_clf.evaluate_on(data.graph, division, &agg, test_edges);
-        let all_predictions = edge_clf.predict_all(data.graph, division, &agg);
+        let all_predictions = edge_clf.predict_all(data.graph, division, &agg, self.config.threads);
         let phase3_time = t3.elapsed();
 
         LocecOutcome {

@@ -1,0 +1,361 @@
+//! Graph deltas: batched edge insertions/removals and their application.
+//!
+//! Production social graphs evolve continuously — edges arrive and disappear
+//! while the pipeline is running. A [`GraphDelta`] captures one batch of
+//! changes against a base [`CsrGraph`]; [`CsrGraph::apply_delta`] produces
+//! the evolved graph (a fresh canonical CSR, since edge ids are positions in
+//! the sorted edge table) together with the provenance of every new edge,
+//! and [`dirty_egos`] computes the set of ego networks the delta can touch —
+//! the locality that makes incremental Phase I re-division
+//! (`locec_core::phase1::divide_update`) possible.
+//!
+//! Locality argument (why `dirty_egos` is a sound superset): the ego network
+//! of `v` is the subgraph induced on `N(v)` (ego excluded). It changes only
+//! if (a) `N(v)` itself changes — then some changed edge has `v` as an
+//! endpoint — or (b) a changed edge `{a, b}` has both endpoints inside
+//! `N(v)`. In case (b), `v` is adjacent to `a` in the evolved graph; either
+//! that adjacency pre-existed (so `v ∈ N_base(a)`) or the edge `{v, a}` is
+//! itself an insertion of this delta (so `v` is an endpoint). Hence
+//! *endpoints of changed edges ∪ their base-graph neighborhoods* covers
+//! every ego whose network can differ.
+
+use crate::csr::CsrGraph;
+use crate::ids::{EdgeId, NodeId};
+
+/// A validated batch of edge changes against a base graph: canonical
+/// `(min, max)` pairs, strictly sorted within each list, with insertions and
+/// removals disjoint. The node set is fixed — deltas change edges only.
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    num_nodes: usize,
+    inserts: Vec<(u32, u32)>,
+    removes: Vec<(u32, u32)>,
+}
+
+impl GraphDelta {
+    /// Builds a delta from untrusted pair lists. Pairs are canonicalized to
+    /// `(min, max)` and sorted; self-loops, out-of-range endpoints,
+    /// duplicates within a list and pairs appearing in both lists are
+    /// rejected. Duplicates are an error rather than silently deduplicated
+    /// so that indices into [`GraphDelta::inserts`] remain meaningful to
+    /// callers carrying per-insertion payloads (interaction rows).
+    pub fn new(
+        num_nodes: usize,
+        inserts: Vec<(u32, u32)>,
+        removes: Vec<(u32, u32)>,
+    ) -> Result<Self, &'static str> {
+        let canonicalize = |mut pairs: Vec<(u32, u32)>| -> Result<Vec<(u32, u32)>, &'static str> {
+            for p in pairs.iter_mut() {
+                if p.0 > p.1 {
+                    *p = (p.1, p.0);
+                }
+                if p.0 == p.1 {
+                    return Err("delta edge is a self-loop");
+                }
+                if p.1 as usize >= num_nodes {
+                    return Err("delta edge endpoint out of node range");
+                }
+            }
+            pairs.sort_unstable();
+            if pairs.windows(2).any(|w| w[0] == w[1]) {
+                return Err("duplicate edge in delta");
+            }
+            Ok(pairs)
+        };
+        let inserts = canonicalize(inserts)?;
+        let removes = canonicalize(removes)?;
+        // Both sorted: a linear merge detects overlap.
+        let (mut i, mut j) = (0, 0);
+        while i < inserts.len() && j < removes.len() {
+            match inserts[i].cmp(&removes[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return Err("edge appears as both insert and remove"),
+            }
+        }
+        Ok(GraphDelta {
+            num_nodes,
+            inserts,
+            removes,
+        })
+    }
+
+    /// Node count of the base (and evolved) graph.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Canonical sorted insertion pairs.
+    #[inline]
+    pub fn inserts(&self) -> &[(u32, u32)] {
+        &self.inserts
+    }
+
+    /// Canonical sorted removal pairs.
+    #[inline]
+    pub fn removes(&self) -> &[(u32, u32)] {
+        &self.removes
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.removes.is_empty()
+    }
+
+    /// Total number of edge events.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.removes.len()
+    }
+}
+
+/// Where an edge of the evolved graph came from.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EdgeOrigin {
+    /// The edge survived from the base graph under this base [`EdgeId`].
+    Kept(EdgeId),
+    /// The edge is `delta.inserts()[index]`.
+    Inserted(u32),
+}
+
+/// The result of [`CsrGraph::apply_delta`]: the evolved graph plus the
+/// origin of each of its edges, which is what per-edge payloads
+/// (interactions, labels) need to migrate across the id renumbering.
+pub struct DeltaApplication {
+    /// The evolved graph.
+    pub graph: CsrGraph,
+    /// `provenance[new_edge_id]` records where that edge's data lives.
+    pub provenance: Vec<EdgeOrigin>,
+}
+
+impl DeltaApplication {
+    /// Inverse view of the provenance: for every base edge id, its id in
+    /// the evolved graph (`None` if removed). `base_num_edges` is the base
+    /// graph's edge count.
+    pub fn base_edge_map(&self, base_num_edges: usize) -> Vec<Option<EdgeId>> {
+        let mut map = vec![None; base_num_edges];
+        for (new, origin) in self.provenance.iter().enumerate() {
+            if let EdgeOrigin::Kept(old) = origin {
+                map[old.index()] = Some(EdgeId(new as u32));
+            }
+        }
+        map
+    }
+}
+
+impl CsrGraph {
+    /// Applies a delta, producing the evolved graph and edge provenance.
+    /// Fails if the delta was built for a different node count, removes an
+    /// absent edge, or inserts an existing one — a delta that does not
+    /// match its base indicates pipeline artifacts out of sync, which must
+    /// surface as an error rather than a silently wrong graph.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<DeltaApplication, &'static str> {
+        if delta.num_nodes() != self.num_nodes() {
+            return Err("delta node count does not match the base graph");
+        }
+        let m_new = (self.num_edges() + delta.inserts.len())
+            .checked_sub(delta.removes.len())
+            .ok_or("delta removes more edges than the base graph has")?;
+        let mut edges = Vec::with_capacity(m_new);
+        let mut provenance = Vec::with_capacity(m_new);
+
+        // Three sorted streams — base edges, inserts, removes — merged in
+        // one pass. Removes annihilate matching base edges; inserts must
+        // fall strictly between surviving pairs.
+        let mut ins = delta.inserts.iter().copied().enumerate().peekable();
+        let mut rem = delta.removes.iter().copied().peekable();
+        for (e, u, v) in self.edges() {
+            let pair = (u.0, v.0);
+            // Flush inserts that precede this base edge.
+            while let Some(&(i, p)) = ins.peek() {
+                if p < pair {
+                    edges.push(p);
+                    provenance.push(EdgeOrigin::Inserted(i as u32));
+                    ins.next();
+                } else if p == pair {
+                    return Err("delta inserts an edge the base graph already has");
+                } else {
+                    break;
+                }
+            }
+            if rem.peek() == Some(&pair) {
+                rem.next();
+                continue;
+            }
+            edges.push(pair);
+            provenance.push(EdgeOrigin::Kept(e));
+        }
+        for (i, p) in ins {
+            edges.push(p);
+            provenance.push(EdgeOrigin::Inserted(i as u32));
+        }
+        if rem.next().is_some() {
+            return Err("delta removes an edge the base graph does not have");
+        }
+
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        debug_assert_eq!(edges.len(), m_new);
+        let graph = CsrGraph::from_canonical_edges(self.num_nodes(), edges);
+        Ok(DeltaApplication { graph, provenance })
+    }
+}
+
+/// The egos whose ego networks the delta can change: endpoints of every
+/// changed edge plus their base-graph neighborhoods, sorted and
+/// deduplicated. Re-dividing exactly this set (see the module docs for why
+/// it is a sound superset) and keeping every other ego's division is
+/// bit-identical to a full re-division of the evolved graph.
+pub fn dirty_egos(base: &CsrGraph, delta: &GraphDelta) -> Vec<NodeId> {
+    let mut dirty: Vec<NodeId> = Vec::new();
+    for &(a, b) in delta.inserts().iter().chain(delta.removes()) {
+        for u in [NodeId(a), NodeId(b)] {
+            dirty.push(u);
+            dirty.extend_from_slice(base.neighbors(u));
+        }
+    }
+    dirty.sort_unstable();
+    dirty.dedup();
+    dirty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn fig7_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(9);
+        for (u, v) in [
+            (0u32, 1u32),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (4, 5),
+            (3, 5),
+            (5, 6),
+            (6, 7),
+            (6, 8),
+            (7, 8),
+        ] {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn new_canonicalizes_and_validates() {
+        let d = GraphDelta::new(9, vec![(8, 1), (2, 6)], vec![(5, 0)]).unwrap();
+        assert_eq!(d.inserts(), &[(1, 8), (2, 6)]);
+        assert_eq!(d.removes(), &[(0, 5)]);
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+
+        assert!(GraphDelta::new(9, vec![(3, 3)], vec![]).is_err(), "loop");
+        assert!(GraphDelta::new(9, vec![(0, 9)], vec![]).is_err(), "range");
+        assert!(
+            GraphDelta::new(9, vec![(1, 2), (2, 1)], vec![]).is_err(),
+            "duplicate insert"
+        );
+        assert!(
+            GraphDelta::new(9, vec![(1, 2)], vec![(2, 1)]).is_err(),
+            "insert/remove overlap"
+        );
+    }
+
+    #[test]
+    fn apply_delta_matches_rebuilt_graph() {
+        let g = fig7_graph();
+        let delta = GraphDelta::new(9, vec![(1, 8), (2, 6)], vec![(0, 5), (6, 7)]).unwrap();
+        let applied = g.apply_delta(&delta).unwrap();
+        let evolved = &applied.graph;
+
+        // Expected edge set built independently.
+        let mut b = GraphBuilder::new(9);
+        for (_, u, v) in g.edges() {
+            if !delta.removes().contains(&(u.0, v.0)) {
+                b.add_edge(u, v);
+            }
+        }
+        for &(u, v) in delta.inserts() {
+            b.add_edge(NodeId(u), NodeId(v));
+        }
+        let expected = b.build();
+        assert_eq!(evolved.num_edges(), expected.num_edges());
+        for v in expected.nodes() {
+            assert_eq!(evolved.neighbors(v), expected.neighbors(v));
+            assert_eq!(evolved.neighbor_edge_ids(v), expected.neighbor_edge_ids(v));
+        }
+    }
+
+    #[test]
+    fn provenance_tracks_every_edge() {
+        let g = fig7_graph();
+        let delta = GraphDelta::new(9, vec![(1, 8), (2, 6)], vec![(0, 5), (6, 7)]).unwrap();
+        let applied = g.apply_delta(&delta).unwrap();
+        assert_eq!(applied.provenance.len(), applied.graph.num_edges());
+        for (e, u, v) in applied.graph.edges() {
+            match applied.provenance[e.index()] {
+                EdgeOrigin::Kept(old) => assert_eq!(g.endpoints(old), (u, v)),
+                EdgeOrigin::Inserted(i) => {
+                    assert_eq!(delta.inserts()[i as usize], (u.0, v.0))
+                }
+            }
+        }
+        // Every insert appears exactly once; every kept base edge maps.
+        let map = applied.base_edge_map(g.num_edges());
+        for (e, u, v) in g.edges() {
+            match map[e.index()] {
+                Some(ne) => assert_eq!(applied.graph.endpoints(ne), (u, v)),
+                None => assert!(delta.removes().contains(&(u.0, v.0))),
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_mismatches() {
+        let g = fig7_graph();
+        // Removing an absent edge.
+        let d = GraphDelta::new(9, vec![], vec![(1, 8)]).unwrap();
+        assert!(g.apply_delta(&d).is_err());
+        // Inserting an existing edge.
+        let d = GraphDelta::new(9, vec![(0, 1)], vec![]).unwrap();
+        assert!(g.apply_delta(&d).is_err());
+        // Node-count mismatch.
+        let d = GraphDelta::new(10, vec![(0, 9)], vec![]).unwrap();
+        assert!(g.apply_delta(&d).is_err());
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = fig7_graph();
+        let d = GraphDelta::new(9, vec![], vec![]).unwrap();
+        let applied = g.apply_delta(&d).unwrap();
+        assert_eq!(applied.graph.num_edges(), g.num_edges());
+        for (e, u, v) in applied.graph.edges() {
+            assert_eq!(applied.provenance[e.index()], EdgeOrigin::Kept(e));
+            assert_eq!(g.endpoints(e), (u, v));
+        }
+        assert!(dirty_egos(&g, &d).is_empty());
+    }
+
+    #[test]
+    fn dirty_egos_cover_endpoints_and_neighborhoods() {
+        let g = fig7_graph();
+        // Remove {6,7}: endpoints 6,7; N(6)={5,7,8}, N(7)={6,8}.
+        let d = GraphDelta::new(9, vec![], vec![(6, 7)]).unwrap();
+        let dirty = dirty_egos(&g, &d);
+        let expect: Vec<NodeId> = [5u32, 6, 7, 8].iter().map(|&v| NodeId(v)).collect();
+        assert_eq!(dirty, expect);
+        // Sorted and deduplicated even with overlapping neighborhoods.
+        let d2 = GraphDelta::new(9, vec![(1, 8)], vec![(6, 7)]).unwrap();
+        let dirty2 = dirty_egos(&g, &d2);
+        assert!(dirty2.windows(2).all(|w| w[0] < w[1]));
+        for v in [1u32, 6, 7, 8] {
+            assert!(dirty2.contains(&NodeId(v)));
+        }
+    }
+}

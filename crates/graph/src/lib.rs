@@ -11,6 +11,9 @@
 //!   by a node's neighbours, *excluding the ego node itself* (paper §IV-A).
 //! * [`MutableGraph`] — adjacency-list view supporting edge deletion, used by
 //!   Girvan–Newman community detection.
+//! * [`GraphDelta`] — batched edge insertions/removals, applied with
+//!   per-edge provenance plus the [`dirty_egos`] locality computation that
+//!   powers incremental Phase I re-division.
 //! * [`traversal`] — BFS, connected components and related utilities.
 //! * [`dot`] — Graphviz export used to regenerate Figure 5.
 //!
@@ -20,6 +23,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod dot;
 pub mod ego;
 pub mod ids;
@@ -28,6 +32,7 @@ pub mod traversal;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use delta::{dirty_egos, DeltaApplication, EdgeOrigin, GraphDelta};
 pub use ego::{EgoNetwork, EgoScratch};
 pub use ids::{EdgeId, NodeId};
 pub use mutable::MutableGraph;

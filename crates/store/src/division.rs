@@ -40,8 +40,9 @@ impl DivisionShard {
     }
 }
 
-/// Encodes communities as four columnar sections.
-fn add_community_sections(w: &mut SnapshotWriter, communities: &[LocalCommunity]) {
+/// Encodes communities as four columnar sections (shared with the
+/// division-delta writer in [`crate::delta`]).
+pub(crate) fn add_community_sections(w: &mut SnapshotWriter, communities: &[LocalCommunity]) {
     let mut egos = Enc::new();
     egos.u64(communities.len() as u64);
     for c in communities {
@@ -74,7 +75,7 @@ fn add_community_sections(w: &mut SnapshotWriter, communities: &[LocalCommunity]
 /// Decodes the columnar community sections, validating the structural
 /// invariants queries rely on (ascending members, parallel arrays,
 /// in-range egos).
-fn read_community_sections(
+pub(crate) fn read_community_sections(
     snap: &Snapshot,
     num_nodes: u32,
 ) -> Result<Vec<LocalCommunity>, SnapshotError> {
@@ -217,6 +218,33 @@ pub fn load_shard(path: &Path) -> Result<DivisionShard, SnapshotError> {
     })
 }
 
+/// Checks that every community member is a neighbor of its ego in `graph`
+/// — the invariant the membership-table walk assumes. Both lists are
+/// ascending, so one merge walk per community suffices. Shared by the
+/// shard merge and the division-delta apply, which both splice untrusted
+/// stored communities into a graph-keyed table.
+pub(crate) fn validate_members_are_neighbors(
+    graph: &CsrGraph,
+    communities: &[LocalCommunity],
+) -> Result<(), SnapshotError> {
+    for c in communities {
+        let nbrs = graph.neighbors(c.ego);
+        let mut j = 0usize;
+        for &m in &c.members {
+            while j < nbrs.len() && nbrs[j] < m {
+                j += 1;
+            }
+            if j >= nbrs.len() || nbrs[j] != m {
+                return Err(SnapshotError::Corrupt(
+                    "community member is not a neighbor of its ego in this graph",
+                ));
+            }
+            j += 1;
+        }
+    }
+    Ok(())
+}
+
 /// Merges the shards of one run into a full [`DivisionResult`]. The shards
 /// must partition `0..num_nodes` contiguously; community concatenation and
 /// the membership-table build both run on the worker pool, and the result
@@ -261,24 +289,9 @@ pub fn merge_shards(
     // Every member must be one of its ego's neighbors in *this* graph — a
     // shard computed on a different graph of the same node count would
     // otherwise crash (or corrupt) the membership-table walk, which
-    // assumes members ⊆ neighbors. Both lists are ascending, so one merge
-    // walk per community suffices.
+    // assumes members ⊆ neighbors.
     for s in &shards {
-        for c in &s.communities {
-            let nbrs = graph.neighbors(c.ego);
-            let mut j = 0usize;
-            for &m in &c.members {
-                while j < nbrs.len() && nbrs[j] < m {
-                    j += 1;
-                }
-                if j >= nbrs.len() || nbrs[j] != m {
-                    return Err(SnapshotError::Corrupt(
-                        "shard community member is not a neighbor of its ego in this graph",
-                    ));
-                }
-                j += 1;
-            }
-        }
+        validate_members_are_neighbors(graph, &s.communities)?;
     }
     let parts: Vec<Vec<LocalCommunity>> = shards.into_iter().map(|s| s.communities).collect();
     let communities = WorkerPool::global().concat(threads.max(1), parts);

@@ -22,6 +22,7 @@
 //! mismatch, or a checksum failure — never a panic.
 
 use std::fmt;
+use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 use std::sync::OnceLock;
 
@@ -54,6 +55,12 @@ pub enum SnapshotKind {
     EdgeModel = 6,
     /// Final per-edge predicted relationship types.
     Labels = 7,
+    /// A timestamped edge-event stream (insert/remove batches plus
+    /// interaction rows for inserted edges) against a world snapshot.
+    WorldDelta = 8,
+    /// The incremental complement of a division: the dirty egos of one
+    /// world delta and their re-divided communities only.
+    DivisionDelta = 9,
 }
 
 impl SnapshotKind {
@@ -67,6 +74,8 @@ impl SnapshotKind {
             5 => SnapshotKind::CommunityModel,
             6 => SnapshotKind::EdgeModel,
             7 => SnapshotKind::Labels,
+            8 => SnapshotKind::WorldDelta,
+            9 => SnapshotKind::DivisionDelta,
             _ => return None,
         })
     }
@@ -81,6 +90,8 @@ impl SnapshotKind {
             SnapshotKind::CommunityModel => "community-model",
             SnapshotKind::EdgeModel => "edge-model",
             SnapshotKind::Labels => "labels",
+            SnapshotKind::WorldDelta => "world-delta",
+            SnapshotKind::DivisionDelta => "division-delta",
         }
     }
 }
@@ -469,6 +480,189 @@ impl Snapshot {
     }
 }
 
+/// One entry of a [`LazySnapshot`]'s parsed section table.
+struct LazySection {
+    name: String,
+    /// Absolute file offset of the payload.
+    offset: u64,
+    len: usize,
+    crc: u32,
+}
+
+/// A snapshot opened lazily: the header and section table are parsed (and
+/// the declared total length checked against the file) up front, but
+/// payloads stay on disk until requested — [`LazySnapshot::section_bytes`]
+/// seeks to one section, reads only its bytes and verifies only its CRC.
+///
+/// At WeChat scale the world snapshot is dominated by feature and
+/// interaction columns a graph-only consumer (`locec divide`) never
+/// touches; the eager [`Snapshot`] reader slurps and checksums all of it,
+/// this reader none of it. The trade-off is detection time: damage inside
+/// an unread section goes unnoticed, which is exactly the contract — each
+/// section is validated at the moment its data is about to be used.
+pub struct LazySnapshot {
+    file: std::fs::File,
+    version: u32,
+    kind: SnapshotKind,
+    table: Vec<LazySection>,
+}
+
+impl LazySnapshot {
+    /// Opens a snapshot file, parsing header + section table only.
+    pub fn open(path: &Path) -> Result<Self, SnapshotError> {
+        let mut file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+
+        let mut head = [0u8; 20];
+        let mut got = 0usize;
+        while got < head.len() {
+            let k = file.read(&mut head[got..])?;
+            if k == 0 {
+                break;
+            }
+            got += k;
+        }
+        if got < 8 {
+            return Err(if head[..got] == MAGIC[..got] {
+                SnapshotError::Truncated
+            } else {
+                SnapshotError::BadMagic
+            });
+        }
+        if head[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if got < head.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let kind_raw = u32::from_le_bytes(head[12..16].try_into().unwrap());
+        let kind = SnapshotKind::from_u32(kind_raw).ok_or(SnapshotError::UnknownKind(kind_raw))?;
+        let count = u32::from_le_bytes(head[16..20].try_into().unwrap()) as usize;
+        if (count as u64).saturating_mul(14) > file_len {
+            return Err(SnapshotError::Truncated);
+        }
+
+        let mut table = Vec::with_capacity(count);
+        let mut cursor = 20u64;
+        let mut payload_total = 0u64;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut len_buf = [0u8; 2];
+            read_exact_or_typed(&mut file, &mut len_buf)?;
+            let name_len = u16::from_le_bytes(len_buf) as usize;
+            if name_len > MAX_SECTION_NAME {
+                return Err(SnapshotError::Corrupt("section name too long"));
+            }
+            let mut name_buf = vec![0u8; name_len];
+            read_exact_or_typed(&mut file, &mut name_buf)?;
+            let name = String::from_utf8(name_buf)
+                .map_err(|_| SnapshotError::Corrupt("section name is not UTF-8"))?;
+            let mut rest = [0u8; 12];
+            read_exact_or_typed(&mut file, &mut rest)?;
+            let len = usize::try_from(u64::from_le_bytes(rest[..8].try_into().unwrap()))
+                .map_err(|_| SnapshotError::Corrupt("section length exceeds usize"))?;
+            let crc = u32::from_le_bytes(rest[8..12].try_into().unwrap());
+            cursor += 2 + name_len as u64 + 12;
+            payload_total = payload_total
+                .checked_add(len as u64)
+                .ok_or(SnapshotError::Truncated)?;
+            entries.push((name, len, crc));
+        }
+        // Payload offsets follow the table contiguously; the whole file
+        // must be exactly header + table + payloads. Declared lengths are
+        // untrusted — accumulate with overflow checks so a crafted length
+        // cannot wrap the offset into a plausible-looking table.
+        let mut offset = cursor;
+        for (name, len, crc) in entries {
+            table.push(LazySection {
+                name,
+                offset,
+                len,
+                crc,
+            });
+            offset = offset
+                .checked_add(len as u64)
+                .ok_or(SnapshotError::Truncated)?;
+        }
+        match offset.cmp(&file_len) {
+            std::cmp::Ordering::Greater => return Err(SnapshotError::Truncated),
+            std::cmp::Ordering::Less => {
+                return Err(SnapshotError::Corrupt("trailing bytes after last section"))
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        Ok(LazySnapshot {
+            file,
+            version,
+            kind,
+            table,
+        })
+    }
+
+    /// The file's format version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The file's kind.
+    pub fn kind(&self) -> SnapshotKind {
+        self.kind
+    }
+
+    /// Fails unless the snapshot has the expected kind.
+    pub fn expect_kind(&self, expected: SnapshotKind) -> Result<(), SnapshotError> {
+        if self.kind == expected {
+            Ok(())
+        } else {
+            Err(SnapshotError::WrongKind {
+                expected,
+                found: self.kind,
+            })
+        }
+    }
+
+    /// `(name, payload length)` of every section, in file order — available
+    /// without reading any payload.
+    pub fn section_summaries(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.table.iter().map(|s| (s.name.as_str(), s.len))
+    }
+
+    /// Reads one section's payload from disk and verifies its checksum.
+    /// Other sections are neither read nor validated.
+    pub fn section_bytes(&mut self, name: &'static str) -> Result<Vec<u8>, SnapshotError> {
+        let entry = self
+            .table
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or(SnapshotError::MissingSection(name))?;
+        let (offset, len, crc) = (entry.offset, entry.len, entry.crc);
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut payload = vec![0u8; len];
+        read_exact_or_typed(&mut self.file, &mut payload)?;
+        if crc32(&payload) != crc {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: name.to_owned(),
+            });
+        }
+        Ok(payload)
+    }
+}
+
+/// `read_exact` with `UnexpectedEof` mapped to the typed truncation error.
+fn read_exact_or_typed(file: &mut std::fs::File, buf: &mut [u8]) -> Result<(), SnapshotError> {
+    file.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated
+        } else {
+            SnapshotError::Io(e)
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +764,102 @@ mod tests {
         // Standard IEEE CRC32 check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("locec_fmt_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn lazy_reader_matches_eager_reader() {
+        let bytes = sample().to_bytes();
+        let path = tmp("lazy_eq.lsnap");
+        std::fs::write(&path, &bytes).unwrap();
+        let eager = Snapshot::from_bytes(&bytes).unwrap();
+        let mut lazy = LazySnapshot::open(&path).unwrap();
+        assert_eq!(lazy.kind(), eager.kind());
+        assert_eq!(lazy.version(), eager.version());
+        let eager_summary: Vec<(String, usize)> = eager
+            .section_summaries()
+            .map(|(n, l)| (n.to_owned(), l))
+            .collect();
+        let lazy_summary: Vec<(String, usize)> = lazy
+            .section_summaries()
+            .map(|(n, l)| (n.to_owned(), l))
+            .collect();
+        assert_eq!(eager_summary, lazy_summary);
+        for name in ["alpha", "beta"] {
+            let payload = lazy.section_bytes(name).unwrap();
+            let mut dec = eager.section(name).unwrap();
+            let expected = dec.u8_vec(payload.len()).unwrap();
+            assert_eq!(payload, expected);
+        }
+        assert!(matches!(
+            lazy.section_bytes("gamma"),
+            Err(SnapshotError::MissingSection("gamma"))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_reader_validates_only_the_accessed_section() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1; // inside section "beta"
+        bytes[last] ^= 0xFF;
+        let path = tmp("lazy_crc.lsnap");
+        std::fs::write(&path, &bytes).unwrap();
+        // The eager reader rejects the whole file; the lazy reader opens it,
+        // serves the intact section, and fails only on the damaged one.
+        assert!(Snapshot::from_bytes(&bytes).is_err());
+        let mut lazy = LazySnapshot::open(&path).unwrap();
+        assert!(lazy.section_bytes("alpha").is_ok());
+        assert!(matches!(
+            lazy.section_bytes("beta"),
+            Err(SnapshotError::ChecksumMismatch { section }) if section == "beta"
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_open_rejects_every_truncation_with_a_typed_error() {
+        let bytes = sample().to_bytes();
+        let path = tmp("lazy_trunc.lsnap");
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            match LazySnapshot::open(&path) {
+                Err(SnapshotError::Truncated | SnapshotError::BadMagic) => {}
+                Ok(_) => panic!("truncation at {cut} opened successfully"),
+                Err(e) => panic!("unexpected error at {cut}: {e}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_open_rejects_header_damage_and_trailing_bytes() {
+        let path = tmp("lazy_header.lsnap");
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            LazySnapshot::open(&path),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            LazySnapshot::open(&path),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            LazySnapshot::open(&path),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //! The I/O layer that turns the in-process three-phase pipeline into a
 //! file-pipelined, shardable system: every stage artifact — the generated
 //! world, Phase I divisions (whole or per-shard), Phase II aggregations and
-//! trained models, and the final edge labels — has a versioned binary
-//! columnar snapshot with writers and readers.
+//! trained models, the final edge labels, and the incremental-update pair
+//! of edge-event streams ([`delta`]: world deltas) and re-divided-egos
+//! division deltas — has a versioned binary columnar snapshot with writers
+//! and readers.
 //!
 //! The container format ([`format`]) is a magic header, a format version, a
 //! snapshot kind, and a table of named CRC32-checksummed sections whose
@@ -21,6 +23,7 @@
 //! `divide --shard i/n` / `divide --merge` workflow is built on.
 
 pub mod aggregation;
+pub mod delta;
 pub mod division;
 pub mod format;
 pub mod labels;
@@ -28,10 +31,16 @@ pub mod models;
 pub mod world;
 
 pub use aggregation::{load_aggregation, save_aggregation};
+pub use delta::{
+    apply_division_delta, apply_world_delta, load_division_delta, load_world_delta,
+    save_division_delta, save_world_delta, DivisionDelta,
+};
 pub use division::{
     load_division, load_shard, merge_shards, save_division, save_shard, DivisionShard,
 };
-pub use format::{Snapshot, SnapshotError, SnapshotKind, SnapshotWriter, FORMAT_VERSION, MAGIC};
+pub use format::{
+    LazySnapshot, Snapshot, SnapshotError, SnapshotKind, SnapshotWriter, FORMAT_VERSION, MAGIC,
+};
 pub use labels::{load_labels, save_labels};
 pub use models::{load_community_model, load_edge_model, save_community_model, save_edge_model};
 pub use world::StoredWorld;

@@ -104,12 +104,14 @@ impl StoredWorld {
     }
 
     /// Reads only the graph out of a world snapshot — everything Phase I
-    /// (`locec divide`) needs. Skips decoding the feature, interaction and
-    /// label columns, which dominate the snapshot at scale.
+    /// (`locec divide`) needs. Goes through the lazy per-section reader, so
+    /// the feature, interaction and label columns that dominate the
+    /// snapshot at scale are never read off disk (let alone checksummed or
+    /// decoded).
     pub fn load_graph(path: &Path) -> Result<CsrGraph, SnapshotError> {
-        let snap = Snapshot::read_from(path)?;
+        let mut snap = crate::format::LazySnapshot::open(path)?;
         snap.expect_kind(SnapshotKind::World)?;
-        decode_graph(&snap)
+        decode_graph_payload(&snap.section_bytes("graph")?)
     }
 
     /// Reads and validates a world snapshot.
@@ -160,7 +162,15 @@ impl StoredWorld {
 
 /// Decodes the `graph` section into a validated [`CsrGraph`].
 fn decode_graph(snap: &Snapshot) -> Result<CsrGraph, SnapshotError> {
-    let mut dec = snap.section("graph")?;
+    decode_graph_dec(snap.section("graph")?)
+}
+
+/// [`decode_graph`] over a lazily read payload.
+fn decode_graph_payload(payload: &[u8]) -> Result<CsrGraph, SnapshotError> {
+    decode_graph_dec(Dec::new(payload))
+}
+
+fn decode_graph_dec(mut dec: Dec<'_>) -> Result<CsrGraph, SnapshotError> {
     let num_nodes = dec.count()?;
     let num_edges = dec.count()?;
     let flat = dec.u32_vec(

@@ -250,3 +250,82 @@ proptest! {
         prop_assert!(result.is_err(), "truncation to {cut} of {} parsed", bytes.len());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// World-delta snapshots round-trip bit-identically, single-byte
+    /// corruption anywhere yields a typed error, and applying a loaded
+    /// delta equals applying the in-memory one.
+    #[test]
+    fn world_delta_roundtrip_and_corruption(
+        seed in 0u64..1u64 << 32,
+        corrupt_at in 0usize..10_000,
+    ) {
+        let scenario = locec_synth::Scenario::generate(&{
+            let mut c = locec_synth::SynthConfig::tiny(seed % 97);
+            c.num_users = 80;
+            c.surveyed_users = 15;
+            c
+        });
+        let world = StoredWorld::from_scenario(&scenario, 0.8, 7);
+        let delta = scenario.evolve(&locec_synth::evolve::EvolveConfig {
+            seed,
+            insert_fraction: 0.05,
+            remove_fraction: 0.05,
+            batches: 3,
+            ..Default::default()
+        });
+        let path = tmp("world_delta");
+        locec_store::save_world_delta(&path, &delta).unwrap();
+        let loaded = locec_store::load_world_delta(&path).unwrap();
+        prop_assert_eq!(loaded.num_nodes, delta.num_nodes);
+        prop_assert_eq!(loaded.base_num_edges, delta.base_num_edges);
+        prop_assert_eq!(loaded.batches.len(), delta.batches.len());
+        for (a, b) in loaded.batches.iter().zip(&delta.batches) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(&a.inserts, &b.inserts);
+            prop_assert_eq!(&a.removes, &b.removes);
+            let bits = |rows: &[[f32; locec_synth::INTERACTION_DIMS]]| rows
+                .iter()
+                .flat_map(|r| r.iter().map(|v| v.to_bits()))
+                .collect::<Vec<_>>();
+            prop_assert_eq!(bits(&a.insert_interactions), bits(&b.insert_interactions));
+        }
+
+        // Applying loaded == applying in-memory, edge for edge.
+        let e1 = locec_store::apply_world_delta(&world, &delta).unwrap();
+        let e2 = locec_store::apply_world_delta(&world, &loaded).unwrap();
+        prop_assert_eq!(e1.graph.num_edges(), e2.graph.num_edges());
+        for v in e1.graph.nodes() {
+            prop_assert_eq!(e1.graph.neighbors(v), e2.graph.neighbors(v));
+        }
+        prop_assert_eq!(e1.interactions.rows(), e2.interactions.rows());
+        prop_assert_eq!(&e1.train_edges, &e2.train_edges);
+        prop_assert_eq!(&e1.test_edges, &e2.test_edges);
+
+        // Single-byte corruption is always detected (or, in the unreadable
+        // header region, surfaces as a different typed error) — never a
+        // panic, never silent acceptance of changed bytes.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = corrupt_at % bytes.len();
+        let original = bytes[at];
+        bytes[at] ^= 0x5A;
+        std::fs::write(&path, &bytes).unwrap();
+        match locec_store::load_world_delta(&path) {
+            Err(_) => {}
+            Ok(reloaded) => {
+                // The flip landed somewhere semantically inert only if the
+                // decoded value is unchanged — which cannot happen, since
+                // every byte is covered by a section CRC or the header.
+                prop_assert!(
+                    original == bytes[at],
+                    "corrupted world delta at byte {} parsed successfully",
+                    at
+                );
+                let _ = reloaded;
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

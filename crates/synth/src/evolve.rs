@@ -1,0 +1,349 @@
+//! Edge-event generation: streaming workloads against a generated world.
+//!
+//! Production networks never stand still — friendships form and dissolve
+//! continuously while the pipeline runs. [`WorldDelta`] is a timestamped
+//! stream of insert/remove edge batches against an existing world, with an
+//! interaction row for every inserted edge (new friendships come with
+//! Moments activity, drawn from the same Figure 3 propensity tables as the
+//! base generator). [`WorldDelta::generate`] produces a deterministic
+//! stream from a seed; `locec_store` persists it and applies it to stored
+//! worlds, and `locec_core::phase1::divide_update` consumes the resulting
+//! graph delta incrementally.
+
+use crate::interactions::DIM_PROPENSITY;
+use crate::types::{EdgeCategory, INTERACTION_DIMS};
+use locec_graph::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Knobs of the edge-event generator.
+#[derive(Clone, Debug)]
+pub struct EvolveConfig {
+    /// RNG seed; the stream is fully deterministic given the base graph.
+    pub seed: u64,
+    /// Fraction of the base edge count to insert as new edges.
+    pub insert_fraction: f64,
+    /// Fraction of the base edge count to remove.
+    pub remove_fraction: f64,
+    /// Number of timestamped batches the events are spread over.
+    pub batches: usize,
+    /// Probability an inserted edge has any interactions at all (the base
+    /// world's ≈60% silence regime applies to new edges too).
+    pub interaction_prob: f64,
+    /// Mean interaction count per active dimension.
+    pub interaction_mean: f64,
+}
+
+impl Default for EvolveConfig {
+    fn default() -> Self {
+        EvolveConfig {
+            seed: 1,
+            insert_fraction: 0.005,
+            remove_fraction: 0.005,
+            batches: 4,
+            interaction_prob: 0.35,
+            interaction_mean: 2.2,
+        }
+    }
+}
+
+/// One timestamped batch of edge events. Pair lists are canonical
+/// `(min, max)` but in arrival (generation) order, not sorted;
+/// `insert_interactions` is parallel to `inserts`.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeEventBatch {
+    /// Logical timestamp (batch index in the stream).
+    pub time: u32,
+    /// Edges that appear in this batch.
+    pub inserts: Vec<(u32, u32)>,
+    /// Interaction row of each inserted edge (parallel to `inserts`).
+    pub insert_interactions: Vec<[f32; INTERACTION_DIMS]>,
+    /// Edges that disappear in this batch.
+    pub removes: Vec<(u32, u32)>,
+}
+
+/// A stream of edge-event batches against a base world. Every changed pair
+/// is distinct across the whole stream (an edge is inserted or removed at
+/// most once), so the batches compose into a single well-defined
+/// [`locec_graph::GraphDelta`] regardless of how a consumer groups them.
+#[derive(Clone, Debug)]
+pub struct WorldDelta {
+    /// Node count of the base world (deltas never add users).
+    pub num_nodes: u32,
+    /// Edge count of the base graph, recorded so consumers can detect a
+    /// delta applied to the wrong world before any id arithmetic happens.
+    pub base_num_edges: u64,
+    /// The timestamped event batches.
+    pub batches: Vec<EdgeEventBatch>,
+}
+
+impl WorldDelta {
+    /// Generates a deterministic edge-event stream against `base`. Removed
+    /// edges are sampled uniformly from the base edge set; inserted edges
+    /// are uniform non-adjacent pairs. All sampled pairs are distinct
+    /// across the stream.
+    pub fn generate(base: &CsrGraph, config: &EvolveConfig) -> WorldDelta {
+        let m = base.num_edges();
+        let n = base.num_nodes() as u32;
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(11));
+
+        let num_removes = ((m as f64) * config.remove_fraction).round() as usize;
+        let num_inserts = ((m as f64) * config.insert_fraction).round() as usize;
+        assert!(
+            num_removes <= m,
+            "remove fraction asks for more edges than the graph has"
+        );
+
+        // Distinct removal pairs, uniform over edge ids.
+        let mut chosen_edges: HashSet<u32> = HashSet::with_capacity(num_removes);
+        let mut removes = Vec::with_capacity(num_removes);
+        while removes.len() < num_removes {
+            let e = rng.gen_range(0..m as u32);
+            if chosen_edges.insert(e) {
+                let (u, v) = base.endpoints(locec_graph::EdgeId(e));
+                removes.push((u.0, v.0));
+            }
+        }
+
+        // Distinct non-adjacent insertion pairs. Bounded attempts guard
+        // against (near-)complete graphs where free pairs run out.
+        let mut chosen_pairs: HashSet<(u32, u32)> = HashSet::with_capacity(num_inserts);
+        let mut inserts = Vec::with_capacity(num_inserts);
+        let mut attempts = 0usize;
+        let max_attempts = 100 * num_inserts + 1000;
+        while inserts.len() < num_inserts && attempts < max_attempts && n >= 2 {
+            attempts += 1;
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a == b {
+                continue;
+            }
+            let pair = (a.min(b), a.max(b));
+            if base.has_edge(NodeId(pair.0), NodeId(pair.1)) || !chosen_pairs.insert(pair) {
+                continue;
+            }
+            inserts.push(pair);
+        }
+
+        // New friendships arrive with interactions drawn from the Figure 3
+        // propensity tables, with the category mix of Table I.
+        let interactions: Vec<[f32; INTERACTION_DIMS]> = inserts
+            .iter()
+            .map(|_| sample_interaction_row(&mut rng, config))
+            .collect();
+
+        // Spread events over `batches` timestamped batches (contiguous
+        // slices, so event order within the stream is preserved).
+        let batches = config.batches.max(1);
+        let slice = |len: usize, b: usize| (b * len / batches)..((b + 1) * len / batches);
+        let batches: Vec<EdgeEventBatch> = (0..batches)
+            .map(|b| {
+                let ins = slice(inserts.len(), b);
+                let rem = slice(removes.len(), b);
+                EdgeEventBatch {
+                    time: b as u32,
+                    inserts: inserts[ins.clone()].to_vec(),
+                    insert_interactions: interactions[ins].to_vec(),
+                    removes: removes[rem].to_vec(),
+                }
+            })
+            .collect();
+
+        WorldDelta {
+            num_nodes: n,
+            base_num_edges: m as u64,
+            batches,
+        }
+    }
+
+    /// Total inserted edges across all batches.
+    pub fn num_inserts(&self) -> usize {
+        self.batches.iter().map(|b| b.inserts.len()).sum()
+    }
+
+    /// Total removed edges across all batches.
+    pub fn num_removes(&self) -> usize {
+        self.batches.iter().map(|b| b.removes.len()).sum()
+    }
+
+    /// Flattens the stream into sorted canonical event lists:
+    /// `(inserts, insert_interactions, removes)` with the interaction rows
+    /// permuted alongside their pairs. This is exactly the input shape of
+    /// [`locec_graph::GraphDelta::new`], whose insert indices then line up
+    /// with the returned rows.
+    #[allow(clippy::type_complexity)]
+    pub fn flatten(
+        &self,
+    ) -> (
+        Vec<(u32, u32)>,
+        Vec<[f32; INTERACTION_DIMS]>,
+        Vec<(u32, u32)>,
+    ) {
+        let mut inserts: Vec<((u32, u32), [f32; INTERACTION_DIMS])> = self
+            .batches
+            .iter()
+            .flat_map(|b| {
+                b.inserts
+                    .iter()
+                    .copied()
+                    .zip(b.insert_interactions.iter().copied())
+            })
+            .collect();
+        inserts.sort_unstable_by_key(|&(p, _)| p);
+        let mut removes: Vec<(u32, u32)> = self
+            .batches
+            .iter()
+            .flat_map(|b| b.removes.iter().copied())
+            .collect();
+        removes.sort_unstable();
+        let (pairs, rows) = inserts.into_iter().unzip();
+        (pairs, rows, removes)
+    }
+}
+
+impl crate::scenario::Scenario {
+    /// Emits a deterministic edge-event stream against this world's graph —
+    /// the streaming-workload entry point. (Generation depends only on the
+    /// graph; interaction rows for new edges are drawn from the same
+    /// propensity tables as the base generator.)
+    pub fn evolve(&self, config: &EvolveConfig) -> WorldDelta {
+        WorldDelta::generate(&self.graph, config)
+    }
+}
+
+/// Samples one inserted edge's interaction row: mostly silent, otherwise
+/// category-conditioned dimension activations (category mix per Table I).
+fn sample_interaction_row(rng: &mut StdRng, config: &EvolveConfig) -> [f32; INTERACTION_DIMS] {
+    let mut row = [0.0f32; INTERACTION_DIMS];
+    if !rng.gen_bool(config.interaction_prob.clamp(0.0, 1.0)) {
+        return row;
+    }
+    // Table I first-category mix: 28 / 41 / 15 / 16.
+    let cat = match rng.gen_range(0..100u32) {
+        0..=27 => EdgeCategory::Family,
+        28..=68 => EdgeCategory::Colleague,
+        69..=83 => EdgeCategory::Schoolmate,
+        _ => EdgeCategory::Other,
+    };
+    let propensity = &DIM_PROPENSITY[cat as usize];
+    for (d, &p_dim) in propensity.iter().enumerate() {
+        if rng.gen_bool(p_dim) {
+            let p = 1.0 / config.interaction_mean.max(1.0);
+            let mut count = 1u32;
+            while count < 50 && !rng.gen_bool(p) {
+                count += 1;
+            }
+            row[d] = count as f32;
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scenario, SynthConfig};
+    use locec_graph::GraphDelta;
+
+    fn base() -> Scenario {
+        Scenario::generate(&SynthConfig::tiny(17))
+    }
+
+    #[test]
+    fn generates_requested_churn() {
+        let s = base();
+        let m = s.graph.num_edges();
+        let cfg = EvolveConfig {
+            insert_fraction: 0.02,
+            remove_fraction: 0.01,
+            ..Default::default()
+        };
+        let delta = s.evolve(&cfg);
+        assert_eq!(delta.num_nodes as usize, s.graph.num_nodes());
+        assert_eq!(delta.base_num_edges as usize, m);
+        assert_eq!(delta.num_inserts(), ((m as f64) * 0.02).round() as usize);
+        assert_eq!(delta.num_removes(), ((m as f64) * 0.01).round() as usize);
+        assert_eq!(delta.batches.len(), cfg.batches);
+        for (i, b) in delta.batches.iter().enumerate() {
+            assert_eq!(b.time, i as u32);
+            assert_eq!(b.inserts.len(), b.insert_interactions.len());
+        }
+    }
+
+    #[test]
+    fn flattened_stream_forms_a_valid_graph_delta() {
+        let s = base();
+        let delta = s.evolve(&EvolveConfig {
+            insert_fraction: 0.03,
+            remove_fraction: 0.02,
+            ..Default::default()
+        });
+        let (inserts, rows, removes) = delta.flatten();
+        assert_eq!(inserts.len(), rows.len());
+        assert!(inserts.windows(2).all(|w| w[0] < w[1]), "sorted + distinct");
+        assert!(removes.windows(2).all(|w| w[0] < w[1]));
+        let gd = GraphDelta::new(s.graph.num_nodes(), inserts.clone(), removes).unwrap();
+        assert_eq!(gd.inserts(), &inserts[..], "GraphDelta preserves order");
+        let applied = s.graph.apply_delta(&gd).unwrap();
+        assert_eq!(
+            applied.graph.num_edges(),
+            s.graph.num_edges() + delta.num_inserts() - delta.num_removes()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed_and_sensitive_to_it() {
+        let s = base();
+        let cfg = EvolveConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        let d1 = s.evolve(&cfg);
+        let d2 = s.evolve(&cfg);
+        let d3 = s.evolve(&EvolveConfig {
+            seed: 10,
+            ..Default::default()
+        });
+        for (a, b) in d1.batches.iter().zip(&d2.batches) {
+            assert_eq!(a.inserts, b.inserts);
+            assert_eq!(a.removes, b.removes);
+            assert_eq!(a.insert_interactions, b.insert_interactions);
+        }
+        let flat1 = d1.flatten();
+        let flat3 = d3.flatten();
+        assert!(
+            flat1.0 != flat3.0 || flat1.2 != flat3.2,
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn inserted_edges_are_not_in_the_base_graph() {
+        let s = base();
+        let delta = s.evolve(&EvolveConfig::default());
+        for b in &delta.batches {
+            for &(u, v) in &b.inserts {
+                assert!(u < v);
+                assert!(!s.graph.has_edge(NodeId(u), NodeId(v)));
+            }
+            for &(u, v) in &b.removes {
+                assert!(s.graph.has_edge(NodeId(u), NodeId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn some_inserted_edges_interact() {
+        let s = base();
+        let delta = s.evolve(&EvolveConfig {
+            insert_fraction: 0.1,
+            ..Default::default()
+        });
+        let (_, rows, _) = delta.flatten();
+        let active = rows.iter().filter(|r| r.iter().any(|&v| v > 0.0)).count();
+        assert!(active > 0, "no inserted edge has interactions");
+        assert!(active < rows.len(), "silence regime must persist");
+    }
+}

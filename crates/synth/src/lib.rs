@@ -29,6 +29,7 @@
 pub mod affiliations;
 pub mod config;
 pub mod dataset;
+pub mod evolve;
 pub mod groups;
 pub mod interactions;
 pub mod scenario;
@@ -39,5 +40,6 @@ pub mod users;
 
 pub use config::SynthConfig;
 pub use dataset::SocialDataset;
+pub use evolve::{EdgeEventBatch, EvolveConfig, WorldDelta};
 pub use scenario::Scenario;
 pub use types::{EdgeCategory, RelationType, SecondCategory, INTERACTION_DIMS, USER_FEATURE_DIMS};

@@ -16,6 +16,11 @@
 //! locec classify --world world.lsnap --division division.lsnap --agg agg.lsnap \
 //!                 --model edge.lsnap --out labels.lsnap --verify-pipeline
 //! locec inspect  division.lsnap
+//!
+//! # streaming updates: evolve the world, re-divide only dirty egos
+//! locec evolve   --world world.lsnap --out delta.lsnap --out-world world2.lsnap
+//! locec divide   --world world.lsnap --update --base division.lsnap \
+//!                --delta delta.lsnap --out division2.lsnap
 //! ```
 //!
 //! `divide --shard i/n` processes the canonical contiguous ego range
@@ -25,21 +30,24 @@
 //! [`LocecPipeline`] on the same world and split and fails unless every
 //! predicted edge label matches — the end-to-end equivalence check CI runs.
 
-use locec::core::phase1::{divide_range, DivisionResult};
+use locec::core::phase1::{divide_egos, divide_range, splice_update, DivisionResult};
 use locec::core::phase2::CommunityClassifier;
 use locec::core::phase3::EdgeClassifier;
 use locec::core::pipeline::split_communities;
 use locec::core::{
     community_ground_truth, CommunityDetector, CommunityModelKind, LocecConfig, LocecPipeline,
 };
+use locec::graph::{dirty_egos, GraphDelta};
 use locec::ml::metrics::Evaluation;
 use locec::store::{
-    load_aggregation, load_division, load_edge_model, load_labels, load_shard, merge_shards,
-    save_aggregation, save_community_model, save_division, save_edge_model, save_labels,
-    save_shard, DivisionShard, Snapshot, StoredWorld,
+    apply_world_delta, load_aggregation, load_division, load_division_delta, load_edge_model,
+    load_labels, load_shard, load_world_delta, merge_shards, save_aggregation,
+    save_community_model, save_division, save_division_delta, save_edge_model, save_labels,
+    save_shard, save_world_delta, DivisionDelta, DivisionShard, Snapshot, StoredWorld,
 };
+use locec::synth::evolve::EvolveConfig;
 use locec::synth::types::RelationType;
-use locec::synth::{Scenario, SynthConfig};
+use locec::synth::{Scenario, SynthConfig, WorldDelta};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
@@ -50,11 +58,20 @@ USAGE:
                   [--seed N] [--train-fraction F] [--split-seed N]
   locec divide    --world FILE --out FILE [--shard I/N] [config]
   locec divide    --world FILE --out FILE --merge SHARD_FILE...
+  locec divide    --world FILE --out FILE --update --base DIVISION_FILE
+                  --delta DELTA_FILE [--out-delta FILE] [config]
+  locec evolve    --world FILE --out DELTA_FILE [--out-world FILE] [--seed N]
+                  [--insert-fraction F] [--remove-fraction F] [--batches N]
   locec aggregate --world FILE --division FILE --out-agg FILE --out-model FILE [config]
   locec train     --world FILE --division FILE --agg FILE --out FILE [config]
   locec classify  --world FILE --division FILE --agg FILE --model FILE
                   --out FILE [--verify-pipeline] [config]
   locec inspect   FILE...
+
+streaming updates: `evolve` records a timestamped edge-event stream against
+a world (and optionally writes the evolved world); `divide --update` applies
+the stream to the base world's graph, re-divides only the dirty egos and
+emits a division of the evolved graph byte-identical to a full `divide`.
 
 config (all stages after synth; defaults in parentheses):
   --preset fast|default   LocecConfig preset (fast)
@@ -79,6 +96,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let parsed = Parsed::parse(rest)?;
     match cmd.as_str() {
         "synth" => cmd_synth(&parsed),
+        "evolve" => cmd_evolve(&parsed),
         "divide" => cmd_divide(&parsed),
         "aggregate" => cmd_aggregate(&parsed),
         "train" => cmd_train(&parsed),
@@ -100,7 +118,7 @@ struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["--merge", "--verify-pipeline"];
+const SWITCHES: &[&str] = &["--merge", "--update", "--verify-pipeline"];
 
 impl Parsed {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -283,6 +301,73 @@ fn cmd_synth(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_evolve(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &[
+            "world",
+            "out",
+            "out-world",
+            "seed",
+            "insert-fraction",
+            "remove-fraction",
+            "batches",
+        ],
+        &[],
+        false,
+    )?;
+    let out = p.path("out")?;
+    let mut cfg = EvolveConfig {
+        seed: p.num::<u64>("seed")?.unwrap_or(1),
+        ..EvolveConfig::default()
+    };
+    if let Some(f) = p.num::<f64>("insert-fraction")? {
+        cfg.insert_fraction = f;
+    }
+    if let Some(f) = p.num::<f64>("remove-fraction")? {
+        cfg.remove_fraction = f;
+    }
+    if !(0.0..=1.0).contains(&cfg.insert_fraction) || !(0.0..=1.0).contains(&cfg.remove_fraction) {
+        return Err("--insert-fraction / --remove-fraction must be in [0, 1]".into());
+    }
+    if let Some(b) = p.num::<usize>("batches")? {
+        cfg.batches = b.max(1);
+    }
+
+    // Generation needs only the graph; applying (--out-world) needs the
+    // full world. Load lazily in the common case.
+    let world_path = p.path("world")?;
+    let out_world = p.flags.get("out-world").map(PathBuf::from);
+    let t0 = std::time::Instant::now();
+    let delta = if out_world.is_some() {
+        let world = StoredWorld::load(&world_path).map_err(store_err)?;
+        let delta = WorldDelta::generate(&world.graph, &cfg);
+        let evolved = apply_world_delta(&world, &delta).map_err(store_err)?;
+        let out_world = out_world.unwrap();
+        evolved.save(&out_world).map_err(store_err)?;
+        println!(
+            "evolve: evolved world ({} edges, {} labeled) -> {}",
+            evolved.graph.num_edges(),
+            evolved.labeled_edges.len(),
+            out_world.display()
+        );
+        delta
+    } else {
+        let graph = StoredWorld::load_graph(&world_path).map_err(store_err)?;
+        WorldDelta::generate(&graph, &cfg)
+    };
+    let dt = t0.elapsed();
+    save_world_delta(&out, &delta).map_err(store_err)?;
+    println!(
+        "evolve: {} inserts + {} removes over {} batches in {:.3}s -> {}",
+        delta.num_inserts(),
+        delta.num_removes(),
+        delta.batches.len(),
+        dt.as_secs_f64(),
+        out.display()
+    );
+    Ok(())
+}
+
 fn parse_shard(spec: &str) -> Result<(u32, u32), String> {
     let (i, n) = spec
         .split_once('/')
@@ -314,15 +399,34 @@ fn ensure_division_matches(world: &StoredWorld, division: &DivisionResult) -> Re
 
 fn cmd_divide(p: &Parsed) -> Result<(), String> {
     p.check_args(
-        &with_config(&["world", "out", "shard"]),
-        &["--merge"],
+        &with_config(&["world", "out", "shard", "base", "delta", "out-delta"]),
+        &["--merge", "--update"],
         p.has("--merge"),
     )?;
+    if p.has("--merge") && p.has("--update") {
+        return Err("divide --merge and --update are mutually exclusive".into());
+    }
+    // Mode-specific flags must not be silently ignored: --shard belongs to
+    // a plain sharded divide, --base/--delta/--out-delta to --update only.
+    if p.flags.contains_key("shard") && (p.has("--merge") || p.has("--update")) {
+        return Err("--shard cannot be combined with --merge or --update".into());
+    }
+    if !p.has("--update") {
+        for flag in ["base", "delta", "out-delta"] {
+            if p.flags.contains_key(flag) {
+                return Err(format!("--{flag} requires divide --update"));
+            }
+        }
+    }
     // Phase I only reads the graph; skip decoding the feature, interaction
     // and label columns that dominate the world snapshot at scale.
     let graph = StoredWorld::load_graph(&p.path("world")?).map_err(store_err)?;
     let out = p.path("out")?;
     let config = p.locec_config()?;
+
+    if p.has("--update") {
+        return cmd_divide_update(p, &graph, &out, &config);
+    }
 
     if p.has("--merge") {
         if p.positional.is_empty() {
@@ -388,6 +492,81 @@ fn cmd_divide(p: &Parsed) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// `divide --update`: apply an edge-delta to the base world's graph,
+/// re-divide only the dirty egos, splice into the base division, and write
+/// a division of the evolved graph that is byte-identical to what a full
+/// `divide` of the evolved world would produce.
+fn cmd_divide_update(
+    p: &Parsed,
+    base_graph: &locec::graph::CsrGraph,
+    out: &Path,
+    config: &LocecConfig,
+) -> Result<(), String> {
+    let base_division = load_division(&p.path("base")?).map_err(store_err)?;
+    if base_division.membership_table().len() != base_graph.volume() {
+        return Err(format!(
+            "base division does not match the base world: membership table covers {} adjacency \
+             slots, the graph has {}",
+            base_division.membership_table().len(),
+            base_graph.volume()
+        ));
+    }
+    let world_delta = load_world_delta(&p.path("delta")?).map_err(store_err)?;
+    if world_delta.num_nodes as usize != base_graph.num_nodes()
+        || world_delta.base_num_edges as usize != base_graph.num_edges()
+    {
+        return Err("delta was recorded against a different world".into());
+    }
+    let (inserts, _, removes) = world_delta.flatten();
+    let graph_delta =
+        GraphDelta::new(base_graph.num_nodes(), inserts, removes).map_err(|e| e.to_string())?;
+
+    let t0 = std::time::Instant::now();
+    let applied = base_graph
+        .apply_delta(&graph_delta)
+        .map_err(|e| e.to_string())?;
+    let dirty = dirty_egos(base_graph, &graph_delta);
+    let fresh = divide_egos(&applied.graph, &dirty, config);
+    let num_fresh = fresh.len();
+    let division = if let Some(out_delta) = p.flags.get("out-delta").map(PathBuf::from) {
+        let dd = DivisionDelta {
+            num_nodes: applied.graph.num_nodes() as u32,
+            dirty: dirty.clone(),
+            communities: fresh,
+        };
+        save_division_delta(&out_delta, &dd).map_err(store_err)?;
+        println!(
+            "divide --update: division delta ({} egos, {} communities) -> {}",
+            dd.dirty.len(),
+            dd.communities.len(),
+            out_delta.display()
+        );
+        locec::store::apply_division_delta(&applied.graph, &base_division, dd, config.threads)
+            .map_err(store_err)?
+    } else {
+        splice_update(
+            &applied.graph,
+            &base_division,
+            &dirty,
+            fresh,
+            config.threads,
+        )
+    };
+    let dt = t0.elapsed();
+    save_division(out, &applied.graph, &division).map_err(store_err)?;
+    println!(
+        "divide --update: re-divided {} of {} egos ({} fresh communities, {} total) \
+         in {:.3}s -> {}",
+        dirty.len(),
+        applied.graph.num_nodes(),
+        num_fresh,
+        division.num_communities(),
+        dt.as_secs_f64(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -515,7 +694,7 @@ fn cmd_classify(p: &Parsed) -> Result<(), String> {
     }
 
     let t0 = std::time::Instant::now();
-    let predictions = clf.predict_all(&world.graph, &division, &agg);
+    let predictions = clf.predict_all(&world.graph, &division, &agg, config.threads);
     let dt = t0.elapsed();
     let eval = clf.evaluate_on(&world.graph, &division, &agg, &world.test_edges);
     save_labels(&out, &predictions).map_err(store_err)?;
@@ -642,6 +821,26 @@ fn cmd_inspect(p: &Parsed) -> Result<(), String> {
                     "  logistic regression: {} features, {} classes",
                     m.model().num_features(),
                     m.model().num_classes()
+                );
+            }
+            locec::store::SnapshotKind::WorldDelta => {
+                let d = load_world_delta(path).map_err(store_err)?;
+                println!(
+                    "  {} batches against a {}-node / {}-edge world: {} inserts, {} removes",
+                    d.batches.len(),
+                    d.num_nodes,
+                    d.base_num_edges,
+                    d.num_inserts(),
+                    d.num_removes()
+                );
+            }
+            locec::store::SnapshotKind::DivisionDelta => {
+                let d = load_division_delta(path).map_err(store_err)?;
+                println!(
+                    "  {} dirty egos of {} nodes, {} re-divided communities",
+                    d.dirty.len(),
+                    d.num_nodes,
+                    d.communities.len()
                 );
             }
             locec::store::SnapshotKind::Labels => {

@@ -175,6 +175,177 @@ fn sharded_cli_pipeline_matches_in_process_run() {
 }
 
 #[test]
+fn incremental_update_cli_matches_full_divide_byte_for_byte() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("locec_cli_update_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Base pipeline: world + full division.
+    run(
+        &dir,
+        &[
+            "synth",
+            "--preset",
+            "tiny",
+            "--seed",
+            "61",
+            "--out",
+            "world.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &[
+            "divide",
+            "--world",
+            "world.lsnap",
+            "--out",
+            "division.lsnap",
+        ],
+    );
+
+    // Record an edge-event stream and materialize the evolved world.
+    let evolve_out = run(
+        &dir,
+        &[
+            "evolve",
+            "--world",
+            "world.lsnap",
+            "--seed",
+            "3",
+            "--insert-fraction",
+            "0.01",
+            "--remove-fraction",
+            "0.01",
+            "--out",
+            "delta.lsnap",
+            "--out-world",
+            "world2.lsnap",
+        ],
+    );
+    assert!(
+        evolve_out.contains("inserts"),
+        "evolve output: {evolve_out}"
+    );
+
+    // Incremental re-division of only the dirty egos...
+    let update_out = run(
+        &dir,
+        &[
+            "divide",
+            "--world",
+            "world.lsnap",
+            "--update",
+            "--base",
+            "division.lsnap",
+            "--delta",
+            "delta.lsnap",
+            "--out",
+            "division2.lsnap",
+            "--out-delta",
+            "ddelta.lsnap",
+        ],
+    );
+    assert!(
+        update_out.contains("re-divided"),
+        "update output: {update_out}"
+    );
+    // ... must genuinely be incremental: fewer egos re-divided than exist.
+    let world2 = StoredWorld::load(&dir.join("world2.lsnap")).unwrap();
+    let re_divided: usize = update_out
+        .split("re-divided ")
+        .nth(1)
+        .and_then(|s| s.split(" of ").next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("parse re-divided count");
+    assert!(
+        re_divided < world2.graph.num_nodes(),
+        "update re-divided every ego ({re_divided})"
+    );
+
+    // The acceptance criterion: the updated division snapshot is
+    // byte-identical to a full divide of the evolved world.
+    run(
+        &dir,
+        &[
+            "divide",
+            "--world",
+            "world2.lsnap",
+            "--out",
+            "division2_full.lsnap",
+        ],
+    );
+    let updated = std::fs::read(dir.join("division2.lsnap")).unwrap();
+    let full = std::fs::read(dir.join("division2_full.lsnap")).unwrap();
+    assert!(
+        updated == full,
+        "updated division snapshot differs from a full divide of the evolved world"
+    );
+
+    // The division delta splices to the same division in-process.
+    let base = load_division(&dir.join("division.lsnap")).unwrap();
+    let dd = locec::store::load_division_delta(&dir.join("ddelta.lsnap")).unwrap();
+    let spliced = locec::store::apply_division_delta(&world2.graph, &base, dd, 2).unwrap();
+    let loaded = load_division(&dir.join("division2.lsnap")).unwrap();
+    assert_eq!(spliced.membership_table(), loaded.membership_table());
+
+    // Downstream stages run unchanged on the evolved world, and the
+    // snapshot pipeline still matches the in-process pipeline exactly.
+    run(
+        &dir,
+        &[
+            "aggregate",
+            "--world",
+            "world2.lsnap",
+            "--division",
+            "division2.lsnap",
+            "--out-agg",
+            "agg2.lsnap",
+            "--out-model",
+            "community2.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &[
+            "train",
+            "--world",
+            "world2.lsnap",
+            "--division",
+            "division2.lsnap",
+            "--agg",
+            "agg2.lsnap",
+            "--out",
+            "edge2.lsnap",
+        ],
+    );
+    let classify_out = run(
+        &dir,
+        &[
+            "classify",
+            "--world",
+            "world2.lsnap",
+            "--division",
+            "division2.lsnap",
+            "--agg",
+            "agg2.lsnap",
+            "--model",
+            "edge2.lsnap",
+            "--out",
+            "labels2.lsnap",
+            "--verify-pipeline",
+        ],
+    );
+    assert!(
+        classify_out.contains("verify-pipeline: OK"),
+        "missing verification line in: {classify_out}"
+    );
+    run(&dir, &["inspect", "delta.lsnap", "ddelta.lsnap"]);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_reports_typed_errors_without_panicking() {
     let dir: PathBuf =
         std::env::temp_dir().join(format!("locec_cli_errors_{}", std::process::id()));
@@ -209,6 +380,27 @@ fn cli_reports_typed_errors_without_panicking() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option --treads"));
+
+    // Mode-specific divide flags are rejected, never silently ignored.
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "divide", "--world", "w.lsnap", "--out", "d.lsnap", "--base", "b.lsnap",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires divide --update"));
+    let out = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "divide", "--world", "w.lsnap", "--out", "d.lsnap", "--update", "--base", "b.lsnap",
+            "--delta", "x.lsnap", "--shard", "0/2",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot be combined"));
 
     // Handing the wrong snapshot kind to a stage is a typed error.
     run(

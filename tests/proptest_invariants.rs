@@ -233,3 +233,119 @@ proptest! {
         }
     }
 }
+
+/// Strategy helper: a deterministic random edge delta against `g` —
+/// `removes` sampled from the edge set, `inserts` from non-adjacent pairs —
+/// mimicking the shape of `locec_synth::evolve`'s event streams.
+fn random_delta(g: &CsrGraph, seed: u64, churn: usize) -> locec::graph::GraphDelta {
+    let mut state = seed | 1;
+    let mut next = move |bound: usize| {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % bound.max(1)
+    };
+    let m = g.num_edges();
+    let n = g.num_nodes() as u32;
+    let mut removes = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..churn.min(m / 2) {
+        let e = next(m) as u32;
+        if seen.insert(e) {
+            let (u, v) = g.endpoints(locec::graph::EdgeId(e));
+            removes.push((u.0, v.0));
+        }
+    }
+    let mut inserts = Vec::new();
+    let mut chosen = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while inserts.len() < churn && attempts < 50 * churn + 100 {
+        attempts += 1;
+        let a = next(n as usize) as u32;
+        let b = next(n as usize) as u32;
+        if a == b {
+            continue;
+        }
+        let pair = (a.min(b), a.max(b));
+        if g.has_edge(NodeId(pair.0), NodeId(pair.1)) || !chosen.insert(pair) {
+            continue;
+        }
+        inserts.push(pair);
+    }
+    locec::graph::GraphDelta::new(g.num_nodes(), inserts, removes).expect("constructed valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The incremental-update identity: on random power-law graphs under
+    /// random edge-event churn, `divide_update` over the dirty egos of the
+    /// delta is bit-identical to a full `divide` of the evolved graph — for
+    /// every pool size, including the membership table.
+    #[test]
+    fn divide_update_equals_full_divide_of_the_evolved_graph(
+        g in random_power_law_graph(),
+        seed in 0u64..1u64 << 32,
+        churn in 1usize..8,
+    ) {
+        let delta = random_delta(&g, seed, churn);
+        // `random_delta` removes real edges and inserts real non-edges, so
+        // application cannot fail.
+        let applied = g.apply_delta(&delta).expect("valid delta applies");
+        let dirty = locec::graph::dirty_egos(&g, &delta);
+        let base = phase1::divide(&g, &LocecConfig { threads: 2, ..LocecConfig::fast() });
+        let full = phase1::divide(&applied.graph, &LocecConfig { threads: 2, ..LocecConfig::fast() });
+        for threads in [1usize, 2, 8] {
+            let config = LocecConfig { threads, ..LocecConfig::fast() };
+            let updated = phase1::divide_update(&applied.graph, &base, &dirty, &config);
+            prop_assert_eq!(updated.num_communities(), full.num_communities());
+            for (a, b) in updated.communities.iter().zip(&full.communities) {
+                prop_assert_eq!(a.ego, b.ego);
+                prop_assert_eq!(&a.members, &b.members);
+                prop_assert_eq!(
+                    a.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+                    b.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            prop_assert_eq!(
+                updated.membership_table(),
+                full.membership_table(),
+                "membership diverged at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// Applying a world delta through the synth event-stream layer keeps
+    /// every surviving edge's payload and is idempotent on re-application
+    /// of the same base (determinism of the whole evolve path).
+    #[test]
+    fn evolve_streams_compose_into_consistent_graph_deltas(
+        n_users in 40usize..80,
+        seed in 0u64..1u64 << 16,
+    ) {
+        let mut sc = SynthConfig::tiny(seed);
+        sc.num_users = n_users;
+        sc.surveyed_users = 10;
+        let s = Scenario::generate(&sc);
+        let delta = s.evolve(&locec::synth::evolve::EvolveConfig {
+            seed: seed ^ 0xBEEF,
+            insert_fraction: 0.05,
+            remove_fraction: 0.05,
+            batches: 3,
+            ..Default::default()
+        });
+        let (inserts, rows, removes) = delta.flatten();
+        prop_assert_eq!(inserts.len(), rows.len());
+        let gd = locec::graph::GraphDelta::new(s.graph.num_nodes(), inserts, removes).unwrap();
+        let applied = s.graph.apply_delta(&gd).unwrap();
+        prop_assert_eq!(
+            applied.graph.num_edges(),
+            s.graph.num_edges() + delta.num_inserts() - delta.num_removes()
+        );
+        // Dirty egos are sorted, deduplicated and within range.
+        let dirty = locec::graph::dirty_egos(&s.graph, &gd);
+        prop_assert!(dirty.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(dirty.iter().all(|d| d.index() < s.graph.num_nodes()));
+    }
+}
