@@ -1,0 +1,184 @@
+//! Cluster scaling benchmark: `locec_cluster` coordinate/worker runs at
+//! 1/2/4 workers against a single-process `divide`, on the same synthetic
+//! world `BENCH_phase1.json` uses.
+//!
+//! Workers run in-process (one thread each, `threads = 1`, which makes the
+//! per-worker divide run inline rather than on the shared pool — so N
+//! workers really are N concurrent divides) against a real TCP
+//! coordinator, world shipped over the wire. That measures everything the
+//! subsystem adds — framing, leasing, heartbeats, streaming merge — while
+//! staying runnable in CI. The single-process baseline uses one thread,
+//! so `speedup` is work-distribution speedup per added worker.
+//!
+//! Run: `cargo run --release -p locec_bench --bin cluster_scaling`
+//!
+//! Environment knobs:
+//! * `LOCEC_SCALE` — `tiny` | `small` | `medium` | `paper`; overridden by
+//! * `LOCEC_CL_USERS` — explicit user count (default 50_000);
+//! * `LOCEC_CL_WORKERS` — comma-separated worker counts (default `1,2,4`);
+//! * `LOCEC_CL_OUT` — output path (default `BENCH_cluster.json`).
+
+use locec_bench::Scale;
+use locec_cluster::{run_worker, CoordinateConfig, Coordinator, WorkerOptions};
+use locec_core::{phase1, LocecConfig};
+use locec_synth::{Scenario, SynthConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Sample {
+    workers: usize,
+    seconds: f64,
+    requeues: u64,
+    tasks: u32,
+}
+
+fn main() {
+    let users: usize = std::env::var("LOCEC_CL_USERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            if std::env::var("LOCEC_SCALE").is_ok() {
+                Scale::from_env().config(7).num_users
+            } else {
+                50_000
+            }
+        });
+    let worker_counts: Vec<usize> = std::env::var("LOCEC_CL_WORKERS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let out_path = std::env::var("LOCEC_CL_OUT").unwrap_or_else(|_| "BENCH_cluster.json".into());
+
+    eprintln!("generating synthetic world ({users} users)...");
+    let t_gen = Instant::now();
+    let scenario = Scenario::generate(&SynthConfig {
+        num_users: users,
+        surveyed_users: (users / 50).max(10),
+        seed: 7,
+        ..SynthConfig::default()
+    });
+    let graph = &scenario.graph;
+    let n = graph.num_nodes();
+    let m = graph.num_edges();
+    eprintln!(
+        "world ready in {:.1}s: {n} nodes, {m} edges",
+        t_gen.elapsed().as_secs_f64()
+    );
+
+    // One thread per worker keeps the comparison honest: the baseline is a
+    // one-thread divide, each cluster worker divides on one thread.
+    let config = LocecConfig {
+        threads: 1,
+        ..LocecConfig::default()
+    };
+
+    let t = Instant::now();
+    let single = phase1::divide(graph, &config);
+    let single_secs = t.elapsed().as_secs_f64();
+    eprintln!(
+        "single-process divide (1 thread): {single_secs:.3}s  ({:.0} egos/s)",
+        n as f64 / single_secs
+    );
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &workers in &worker_counts {
+        let mut cfg = CoordinateConfig::new(config.clone(), 0);
+        cfg.ship_world_bytes = true;
+        cfg.explicit_tasks = Some((workers as u32 * 4).clamp(1, n.max(1) as u32));
+        cfg.lease_timeout = Duration::from_secs(60);
+        let mut coordinator =
+            Coordinator::bind(None, graph.clone(), cfg).expect("bind coordinator");
+        let addr = coordinator.local_addr().to_string();
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    run_worker(
+                        &addr,
+                        &WorkerOptions {
+                            threads: Some(1),
+                            ..WorkerOptions::default()
+                        },
+                    )
+                })
+            })
+            .collect();
+        let t = Instant::now();
+        let outcome = coordinator.run().expect("coordination completes");
+        let secs = t.elapsed().as_secs_f64();
+        for h in handles {
+            h.join().expect("worker thread").expect("worker completes");
+        }
+
+        // Correctness gate: bit-identical to the single-process division,
+        // or the numbers mean nothing.
+        assert_eq!(
+            outcome.division.num_communities(),
+            single.num_communities(),
+            "cluster division diverged"
+        );
+        for (a, b) in outcome.division.communities.iter().zip(&single.communities) {
+            assert!(
+                a.ego == b.ego && a.members == b.members && a.tightness == b.tightness,
+                "cluster division diverged at ego {:?}",
+                a.ego
+            );
+        }
+        assert_eq!(
+            outcome.division.membership_table(),
+            single.membership_table(),
+            "membership tables diverged"
+        );
+
+        eprintln!(
+            "cluster w={workers}: {secs:>8.3}s  ({:.0} egos/s, {} tasks, {} requeues)  \
+             speedup {:.2}x",
+            n as f64 / secs,
+            outcome.stats.tasks,
+            outcome.stats.requeues,
+            single_secs / secs
+        );
+        samples.push(Sample {
+            workers,
+            seconds: secs,
+            requeues: outcome.stats.requeues,
+            tasks: outcome.stats.tasks,
+        });
+    }
+
+    // Hand-rolled JSON (the workspace's serde is a vendored no-op shim).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"cluster_scaling\",");
+    let _ = writeln!(
+        json,
+        "  \"world\": {{ \"users\": {users}, \"nodes\": {n}, \"edges\": {m}, \"seed\": 7 }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(json, "  \"single_process_seconds\": {single_secs:.4},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"workers\": {}, \"seconds\": {:.4}, \"speedup_vs_single\": {:.3}, \
+             \"tasks\": {}, \"requeues\": {} }}{comma}",
+            s.workers,
+            s.seconds,
+            single_secs / s.seconds,
+            s.tasks,
+            s.requeues
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,680 @@
+//! The coordinator: accepts workers, hands out leases, merges shard
+//! results as they stream in, and survives worker failure.
+//!
+//! ## Threads
+//!
+//! One accept thread (nonblocking listener polled against a stop flag) and
+//! one reader thread per connection feed a single `mpsc` event channel;
+//! the coordinator's own thread is the only writer to worker sockets and
+//! the only mutator of queue/merge state, so there is no shared-state
+//! locking beyond the channel and the shard gate.
+//!
+//! ## Streaming merge and the shard gate
+//!
+//! Shard results are spliced into the growing division the moment they
+//! arrive ([`locec_store::IncrementalMerge`]), never collected. To make the
+//! "one unmerged shard in memory" bound real rather than probabilistic,
+//! reader threads must acquire a single-permit [`Gate`] *before* reading a
+//! shard payload off the wire; the permit is returned only after the
+//! coordinator has absorbed (or deduped) that shard. Readers announce the
+//! incoming result first, so the lease deadline of a worker queued at the
+//! gate is suspended rather than expiring mid-transfer.
+//!
+//! ## Failure semantics
+//!
+//! A worker that disconnects or misses its lease deadline (heartbeats
+//! refresh it) has its leases re-queued at the front of the work queue and
+//! its socket shut down. Re-queues can race a slow delivery, so absorption
+//! is idempotent: results are deduped by task, then by ego range inside
+//! the merge. If the coordinator spawned local workers, dead ones are
+//! respawned from a bounded budget; when the budget is exhausted and no
+//! worker remains, coordination fails with a typed error instead of
+//! hanging.
+
+use crate::frame::{frame_bytes, read_header, read_payload, write_frame, FrameType};
+use crate::protocol::{
+    decode_hello, decode_shard_result, encode_lease, encode_welcome, DivideParams, Lease, Welcome,
+    WorldPayload, PROTOCOL_VERSION,
+};
+use crate::queue::WorkQueue;
+use crate::ClusterError;
+use locec_core::phase1::DivisionResult;
+use locec_core::LocecConfig;
+use locec_graph::CsrGraph;
+use locec_store::{shard_from_bytes, IncrementalMerge, StoredWorld};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How to launch a local worker process: `program [args…] worker
+/// --connect ADDR`.
+#[derive(Clone, Debug)]
+pub struct WorkerSpawn {
+    /// The binary to execute (normally `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Arguments inserted before the `worker` subcommand.
+    pub args: Vec<String>,
+}
+
+/// Coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct CoordinateConfig {
+    /// Listen address; port 0 picks an ephemeral port (see
+    /// [`Coordinator::local_addr`]).
+    pub listen: String,
+    /// Local worker processes to spawn (0 = wait for external workers).
+    pub local_workers: usize,
+    /// How to spawn local workers; `None` disables spawning (and
+    /// respawning) regardless of `local_workers`.
+    pub spawn: Option<WorkerSpawn>,
+    /// Work-queue granularity: tasks per (expected) worker. Tasks are
+    /// deliberately smaller than `1/workers` of the ego range so fast
+    /// workers dynamically steal more of the skew.
+    pub tasks_per_worker: u32,
+    /// Explicit total task count, overriding `tasks_per_worker`.
+    pub explicit_tasks: Option<u32>,
+    /// A lease with no heartbeat for this long is re-queued and its worker
+    /// declared dead.
+    pub lease_timeout: Duration,
+    /// Ship the (graph-only) world inline in the Welcome instead of a
+    /// snapshot path — for workers that share no filesystem.
+    pub ship_world_bytes: bool,
+    /// Replacement spawns allowed after local workers die.
+    pub max_respawns: u32,
+    /// Give up when no worker is connected and nothing has happened for
+    /// this long.
+    pub stall_timeout: Duration,
+    /// Progress lines on stderr.
+    pub verbose: bool,
+    /// The divide configuration (Phase-I-relevant fields are shipped to
+    /// workers; `threads` also sizes the final membership-table build).
+    pub divide: LocecConfig,
+}
+
+impl CoordinateConfig {
+    /// Defaults for a local run of `workers` processes.
+    pub fn new(divide: LocecConfig, workers: usize) -> Self {
+        CoordinateConfig {
+            listen: "127.0.0.1:0".into(),
+            local_workers: workers,
+            spawn: None,
+            tasks_per_worker: 4,
+            explicit_tasks: None,
+            lease_timeout: Duration::from_secs(10),
+            ship_world_bytes: false,
+            max_respawns: 8,
+            stall_timeout: Duration::from_secs(300),
+            verbose: false,
+            divide,
+        }
+    }
+}
+
+/// Counters describing one coordination run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoordinateStats {
+    /// Total tasks in the queue.
+    pub tasks: u32,
+    /// Workers that completed the handshake.
+    pub workers_seen: u64,
+    /// Tasks re-queued after lease loss.
+    pub requeues: u64,
+    /// Duplicate shard deliveries dropped.
+    pub duplicates_dropped: u64,
+    /// Replacement local workers spawned.
+    pub respawns: u32,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+}
+
+/// What a successful coordination returns.
+pub struct CoordinateOutcome {
+    /// The merged division — bit-identical to a single-process
+    /// [`locec_core::phase1::divide`] of the same graph.
+    pub division: DivisionResult,
+    /// Run counters.
+    pub stats: CoordinateStats,
+}
+
+/// Events the accept/reader threads feed the coordinator.
+enum Event {
+    Connected { id: u64, stream: TcpStream },
+    Heartbeat { id: u64 },
+    ResultIncoming { id: u64 },
+    Result { id: u64, payload: Vec<u8> },
+    Disconnected { id: u64 },
+}
+
+/// A single-permit gate bounding how many unmerged shard payloads exist in
+/// coordinator memory at once. `close` releases all waiters (they abandon
+/// their reads) so shutdown never strands a reader thread.
+struct Gate {
+    state: Mutex<(usize, bool)>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Self {
+        Gate {
+            state: Mutex::new((permits, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks for a permit; `false` means the gate closed instead.
+    fn acquire(&self) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.1 {
+                return false;
+            }
+            if st.0 > 0 {
+                st.0 -= 1;
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.0 += 1;
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.1 = true;
+        self.cv.notify_all();
+    }
+}
+
+struct WorkerConn {
+    stream: TcpStream,
+}
+
+/// A bound coordinator: the listener is live (so workers can already
+/// connect) but no lease has been handed out until [`Coordinator::run`].
+pub struct Coordinator {
+    cfg: CoordinateConfig,
+    graph: CsrGraph,
+    world_path: Option<PathBuf>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Coordinator {
+    /// Binds the listen socket. `world_path` is what path-mode workers are
+    /// told to load; it may be `None` only with
+    /// [`CoordinateConfig::ship_world_bytes`] set.
+    pub fn bind(
+        world_path: Option<PathBuf>,
+        graph: CsrGraph,
+        cfg: CoordinateConfig,
+    ) -> Result<Self, ClusterError> {
+        if world_path.is_none() && !cfg.ship_world_bytes {
+            return Err(ClusterError::Protocol(
+                "no world path and ship_world_bytes disabled",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        Ok(Coordinator {
+            cfg,
+            graph,
+            world_path,
+            listener,
+            addr,
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The graph the division is computed on.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Runs the coordination to completion: spawn/accept workers, drain the
+    /// work queue through leases, merge shards as they stream in, shut
+    /// everything down, and return the division.
+    pub fn run(&mut self) -> Result<CoordinateOutcome, ClusterError> {
+        let started = Instant::now();
+        let n = self.graph.num_nodes();
+        let task_count = self.cfg.explicit_tasks.unwrap_or_else(|| {
+            (self.cfg.local_workers.max(1) as u32).saturating_mul(self.cfg.tasks_per_worker)
+        });
+        let mut queue = WorkQueue::new(n, task_count.max(1));
+        let mut merge = IncrementalMerge::new(&self.graph);
+        let welcome = frame_bytes(
+            FrameType::Welcome,
+            &encode_welcome(&Welcome {
+                protocol_version: PROTOCOL_VERSION,
+                num_nodes: n as u64,
+                heartbeat_interval_ms: (self.cfg.lease_timeout / 4).as_millis().max(10) as u64,
+                params: DivideParams::from_config(&self.cfg.divide),
+                world: if self.cfg.ship_world_bytes {
+                    WorldPayload::Bytes(StoredWorld::graph_only_bytes(&self.graph))
+                } else {
+                    let p = self.world_path.as_ref().expect("checked in bind");
+                    WorldPayload::Path(p.to_string_lossy().into_owned())
+                },
+            }),
+        )?;
+        let shutdown_frame = frame_bytes(FrameType::Shutdown, &[])?;
+        let ping_frame = frame_bytes(FrameType::Heartbeat, &[])?;
+
+        let (tx, rx) = std::sync::mpsc::channel::<Event>();
+        let gate = Arc::new(Gate::new(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = spawn_accept_thread(
+            self.listener.try_clone()?,
+            tx.clone(),
+            Arc::clone(&gate),
+            Arc::clone(&stop),
+            self.cfg.lease_timeout,
+        );
+
+        let spawner = self.cfg.spawn.clone();
+        let mut children: Vec<Child> = Vec::new();
+
+        let mut stats = CoordinateStats {
+            tasks: queue.task_count(),
+            ..CoordinateStats::default()
+        };
+        let mut workers: HashMap<u64, WorkerConn> = HashMap::new();
+        let mut last_progress = Instant::now();
+        let mut last_ping = Instant::now();
+        let verbose = self.cfg.verbose;
+        let lease_timeout = self.cfg.lease_timeout;
+
+        let run_result = (|| -> Result<(), ClusterError> {
+            // Spawning inside the guarded closure means a failed exec still
+            // flows through the teardown below (accept thread stopped, gate
+            // closed) instead of leaking them on early return.
+            if let Some(spawn) = &spawner {
+                for _ in 0..self.cfg.local_workers {
+                    children.push(spawn_local_worker(spawn, self.addr)?);
+                }
+            }
+            while !merge.is_complete() {
+                // Block for one event, then drain the backlog before any
+                // deadline work: a burst of deliveries (or one slow Welcome
+                // write) must never leave heartbeats sitting unread in the
+                // channel while the expiry scan declares their senders dead.
+                let mut next = match rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(ev) => Some(ev),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(ClusterError::Protocol("event channel closed"));
+                    }
+                };
+                while let Some(ev) = next {
+                    match ev {
+                        Event::Connected { id, stream } => {
+                            let mut s = stream;
+                            if s.write_all(&welcome).and_then(|()| s.flush()).is_ok() {
+                                workers.insert(id, WorkerConn { stream: s });
+                                stats.workers_seen += 1;
+                                last_progress = Instant::now();
+                                if verbose {
+                                    eprintln!("coordinate: worker #{id} joined");
+                                }
+                            }
+                        }
+                        Event::Heartbeat { id } => {
+                            queue.heartbeat(id, Instant::now(), lease_timeout);
+                        }
+                        Event::ResultIncoming { id } => {
+                            queue.result_incoming(id, Instant::now(), lease_timeout);
+                        }
+                        Event::Result { id, payload } => {
+                            let outcome =
+                                process_result(&payload, &mut queue, &mut merge, &mut stats);
+                            gate.release();
+                            match outcome {
+                                Ok(()) => last_progress = Instant::now(),
+                                Err(e) => {
+                                    if verbose {
+                                        eprintln!("coordinate: dropping worker #{id}: {e}");
+                                    }
+                                    fail_worker(id, &mut workers, &mut queue);
+                                }
+                            }
+                        }
+                        Event::Disconnected { id } => {
+                            if workers.remove(&id).is_some() {
+                                let requeued = queue.requeue_worker(id);
+                                if verbose && requeued > 0 {
+                                    eprintln!(
+                                        "coordinate: worker #{id} disconnected, \
+                                         re-queued {requeued} lease(s)"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if merge.is_complete() {
+                        return Ok(());
+                    }
+                    next = rx.try_recv().ok();
+                }
+
+                // Expire silent leases and declare their workers dead.
+                for id in queue.expired_workers(Instant::now()) {
+                    if verbose {
+                        eprintln!("coordinate: worker #{id} missed its lease deadline");
+                    }
+                    fail_worker(id, &mut workers, &mut queue);
+                }
+
+                // Keep the local fleet at strength (bounded respawn budget).
+                if let Some(spawn) = &spawner {
+                    children.retain_mut(|c| matches!(c.try_wait(), Ok(None)));
+                    if children.len() < self.cfg.local_workers
+                        && stats.respawns < self.cfg.max_respawns
+                    {
+                        children.push(spawn_local_worker(spawn, self.addr)?);
+                        stats.respawns += 1;
+                        if verbose {
+                            eprintln!("coordinate: respawned a local worker");
+                        }
+                    }
+                    if children.is_empty() && workers.is_empty() {
+                        return Err(ClusterError::Stalled(
+                            "every local worker died and the respawn budget is spent".into(),
+                        ));
+                    }
+                }
+                if workers.is_empty() && last_progress.elapsed() > self.cfg.stall_timeout {
+                    return Err(ClusterError::Stalled(format!(
+                        "no worker connected for {:?}",
+                        self.cfg.stall_timeout
+                    )));
+                }
+
+                // Ping every worker on the heartbeat cadence. Workers bound
+                // their reads by this (a coordinator host that vanishes
+                // without FIN would otherwise strand remote workers in a
+                // timeout-less read forever); a failed ping write is the
+                // usual sign of a dead peer.
+                if last_ping.elapsed() >= lease_timeout / 4 {
+                    last_ping = Instant::now();
+                    let ids: Vec<u64> = workers.keys().copied().collect();
+                    for id in ids {
+                        let conn = workers.get_mut(&id).expect("collected above");
+                        if conn
+                            .stream
+                            .write_all(&ping_frame)
+                            .and_then(|()| conn.stream.flush())
+                            .is_err()
+                        {
+                            fail_worker(id, &mut workers, &mut queue);
+                        }
+                    }
+                }
+
+                // Hand pending work to idle workers; a failed send means the
+                // worker is gone.
+                let idle: Vec<u64> = workers
+                    .keys()
+                    .copied()
+                    .filter(|&id| !queue.worker_is_busy(id))
+                    .collect();
+                for id in idle {
+                    if !queue.has_pending() {
+                        break;
+                    }
+                    let (lease_id, task) = queue
+                        .lease_next(id, Instant::now(), lease_timeout)
+                        .expect("has_pending checked");
+                    let lease = Lease {
+                        lease_id,
+                        task_index: task.index,
+                        task_count: queue.task_count(),
+                        ego_start: task.start,
+                        ego_end: task.end,
+                    };
+                    let conn = workers.get_mut(&id).expect("idle workers are connected");
+                    if write_frame(&mut conn.stream, FrameType::Lease, &encode_lease(&lease))
+                        .is_err()
+                    {
+                        fail_worker(id, &mut workers, &mut queue);
+                    }
+                }
+            }
+            Ok(())
+        })();
+
+        // Teardown (always): stop accepting, free gate waiters, tell every
+        // worker to exit, unstick reader threads, reap children.
+        stop.store(true, Ordering::SeqCst);
+        gate.close();
+        for (_, conn) in workers.iter_mut() {
+            let _ = conn.stream.write_all(&shutdown_frame);
+            let _ = conn.stream.flush();
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        let _ = accept_handle.join();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for child in &mut children {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20))
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+        drop(rx);
+
+        run_result?;
+        stats.requeues = queue.requeues();
+        stats.duplicates_dropped += merge.duplicates_dropped();
+        stats.wall = started.elapsed();
+        let division = merge.finish(self.cfg.divide.threads)?;
+        Ok(CoordinateOutcome { division, stats })
+    }
+}
+
+/// Validates and absorbs one delivered shard. Any error means the sending
+/// worker is misbehaving and should be dropped (its work is re-queued).
+fn process_result(
+    payload: &[u8],
+    queue: &mut WorkQueue,
+    merge: &mut IncrementalMerge<'_>,
+    stats: &mut CoordinateStats,
+) -> Result<(), ClusterError> {
+    let msg = decode_shard_result(payload)?;
+    let lease_task = queue.remove_lease(msg.lease_id);
+    let shard = match shard_from_bytes(&msg.shard_bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            // The worker's lease is gone; put the work back first.
+            if let Some(task) = lease_task {
+                queue.requeue_task(task);
+            }
+            return Err(e.into());
+        }
+    };
+    let task = shard.shard_index;
+    if shard.shard_count != queue.task_count()
+        || task >= queue.task_count()
+        || queue.task(task).start != shard.ego_start
+        || queue.task(task).end != shard.ego_end
+    {
+        if let Some(t) = lease_task {
+            queue.requeue_task(t);
+        }
+        return Err(ClusterError::Protocol(
+            "shard result does not match any task of this run",
+        ));
+    }
+    if queue.is_done(task) {
+        // A re-queued lease already delivered this range.
+        stats.duplicates_dropped += 1;
+        return Ok(());
+    }
+    match merge.absorb(shard) {
+        Ok(_) => {
+            queue.mark_done(task);
+            Ok(())
+        }
+        Err(e) => {
+            queue.requeue_task(task);
+            Err(e.into())
+        }
+    }
+}
+
+fn fail_worker(id: u64, workers: &mut HashMap<u64, WorkerConn>, queue: &mut WorkQueue) {
+    if let Some(conn) = workers.remove(&id) {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+    queue.requeue_worker(id);
+}
+
+fn spawn_local_worker(spawn: &WorkerSpawn, addr: SocketAddr) -> Result<Child, ClusterError> {
+    Ok(Command::new(&spawn.program)
+        .args(&spawn.args)
+        .arg("worker")
+        .arg("--connect")
+        .arg(addr.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()?)
+}
+
+/// Accepts connections until the stop flag flips, spawning one reader
+/// thread per worker. The listener is polled nonblocking so shutdown never
+/// hangs in `accept`.
+fn spawn_accept_thread(
+    listener: TcpListener,
+    tx: Sender<Event>,
+    gate: Arc<Gate>,
+    stop: Arc<AtomicBool>,
+    lease_timeout: Duration,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("locec-cluster-accept".into())
+        .spawn(move || {
+            static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(1);
+            listener
+                .set_nonblocking(true)
+                .expect("set listener nonblocking");
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let id = NEXT_WORKER_ID.fetch_add(1, Ordering::Relaxed);
+                        let tx = tx.clone();
+                        let gate = Arc::clone(&gate);
+                        let _ = std::thread::Builder::new()
+                            .name(format!("locec-cluster-reader-{id}"))
+                            .spawn(move || reader_thread(stream, id, tx, gate, lease_timeout));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            }
+        })
+        .expect("spawn accept thread")
+}
+
+/// Per-connection reader: handshake, then decode frames into events until
+/// the peer goes away. Shard payloads pass through the gate (see module
+/// docs) so at most one unmerged shard is ever in coordinator memory.
+fn reader_thread(
+    mut stream: TcpStream,
+    id: u64,
+    tx: Sender<Event>,
+    gate: Arc<Gate>,
+    lease_timeout: Duration,
+) {
+    let _ = stream.set_nodelay(true);
+    // Heartbeats arrive at lease_timeout/4; a read this patient only
+    // triggers for a peer that is wedged outright.
+    let _ = stream.set_read_timeout(Some(lease_timeout.max(Duration::from_secs(1)) * 4));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+
+    let hello = match read_header(&mut stream)
+        .and_then(|h| {
+            if h.frame_type != FrameType::Hello {
+                return Err(ClusterError::Protocol("expected Hello"));
+            }
+            read_payload(&mut stream, &h)
+        })
+        .and_then(|p| decode_hello(&p))
+    {
+        Ok(h) => h,
+        Err(_) => return,
+    };
+    if hello.protocol_version != PROTOCOL_VERSION {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    if tx.send(Event::Connected { id, stream: writer }).is_err() {
+        return;
+    }
+
+    loop {
+        let header = match read_header(&mut stream) {
+            Ok(h) => h,
+            Err(_) => break,
+        };
+        match header.frame_type {
+            FrameType::Heartbeat => {
+                if read_payload(&mut stream, &header).is_err()
+                    || tx.send(Event::Heartbeat { id }).is_err()
+                {
+                    break;
+                }
+            }
+            FrameType::ShardResult => {
+                if tx.send(Event::ResultIncoming { id }).is_err() {
+                    break;
+                }
+                if !gate.acquire() {
+                    break; // coordinator is done; abandon the read
+                }
+                match read_payload(&mut stream, &header) {
+                    Ok(payload) => {
+                        if tx.send(Event::Result { id, payload }).is_err() {
+                            gate.release();
+                            break;
+                        }
+                    }
+                    Err(_) => {
+                        gate.release();
+                        break;
+                    }
+                }
+            }
+            _ => break, // workers send nothing else
+        }
+    }
+    let _ = tx.send(Event::Disconnected { id });
+}

@@ -1,0 +1,231 @@
+//! The wire frame: a fixed header plus a CRC32-checked payload.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"LCF1"
+//! 4       1     frame type (see [`FrameType`])
+//! 5       4     payload length (little-endian u32, ≤ 1 GiB)
+//! 9       4     CRC32 of the payload (little-endian u32)
+//! 13      …     payload bytes
+//! ```
+//!
+//! The header is read separately from the payload on purpose: the
+//! coordinator's reader threads peek at the type of an incoming frame and
+//! wait for the merge gate *before* pulling a (potentially large) shard
+//! payload into memory — see [`crate::coordinator`]. The CRC uses the same
+//! IEEE polynomial as snapshot sections ([`locec_store::format::crc32`]),
+//! so a shard payload's integrity is checked twice with one code path:
+//! once per frame, once per snapshot section when it is decoded.
+
+use crate::ClusterError;
+use locec_store::format::crc32;
+use std::io::{Read, Write};
+
+/// The 4-byte frame magic (protocol revision 1).
+pub const FRAME_MAGIC: [u8; 4] = *b"LCF1";
+
+/// Largest payload a reader accepts — bounds allocation against a corrupt
+/// or hostile length field.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 30;
+
+/// What a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Worker → coordinator: handshake (protocol version).
+    Hello = 1,
+    /// Coordinator → worker: world + divide parameters.
+    Welcome = 2,
+    /// Coordinator → worker: one leased ego range.
+    Lease = 3,
+    /// Worker → coordinator: the divided shard of one lease.
+    ShardResult = 4,
+    /// Worker → coordinator: liveness signal (refreshes lease deadlines).
+    Heartbeat = 5,
+    /// Coordinator → worker: no more work; exit cleanly.
+    Shutdown = 6,
+}
+
+impl FrameType {
+    /// Parses the header field.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => FrameType::Hello,
+            2 => FrameType::Welcome,
+            3 => FrameType::Lease,
+            4 => FrameType::ShardResult,
+            5 => FrameType::Heartbeat,
+            6 => FrameType::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed frame header; the payload is still on the wire.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameHeader {
+    /// What the payload is.
+    pub frame_type: FrameType,
+    /// Payload byte count.
+    pub len: u32,
+    /// Declared CRC32 of the payload.
+    pub crc: u32,
+}
+
+/// Serializes one frame (header + payload) into a byte vector — useful for
+/// prebuilding a frame that is written to many peers. Payloads past the
+/// size cap are a typed error (a `u32` length field cannot represent them,
+/// and receivers reject them anyway).
+pub fn frame_bytes(frame_type: FrameType, payload: &[u8]) -> Result<Vec<u8>, ClusterError> {
+    if payload.len() > MAX_FRAME_PAYLOAD as usize {
+        return Err(ClusterError::Protocol("frame payload exceeds the size cap"));
+    }
+    let mut out = Vec::with_capacity(13 + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.push(frame_type as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Writes one frame.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    frame_type: FrameType,
+    payload: &[u8],
+) -> Result<(), ClusterError> {
+    w.write_all(&frame_bytes(frame_type, payload)?)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a frame header. A clean EOF *before the first header byte* is the
+/// peer hanging up between frames and surfaces as
+/// [`ClusterError::ConnectionClosed`]; an EOF inside the header is a
+/// protocol error.
+pub fn read_header<R: Read>(r: &mut R) -> Result<FrameHeader, ClusterError> {
+    let mut buf = [0u8; 13];
+    let mut got = 0usize;
+    while got < buf.len() {
+        let k = r.read(&mut buf[got..])?;
+        if k == 0 {
+            return Err(if got == 0 {
+                ClusterError::ConnectionClosed
+            } else {
+                ClusterError::Protocol("connection closed inside a frame header")
+            });
+        }
+        got += k;
+    }
+    if buf[..4] != FRAME_MAGIC {
+        return Err(ClusterError::Protocol("bad frame magic"));
+    }
+    let frame_type =
+        FrameType::from_u8(buf[4]).ok_or(ClusterError::Protocol("unknown frame type"))?;
+    let len = u32::from_le_bytes(buf[5..9].try_into().unwrap());
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(ClusterError::Protocol("frame payload exceeds the size cap"));
+    }
+    let crc = u32::from_le_bytes(buf[9..13].try_into().unwrap());
+    Ok(FrameHeader {
+        frame_type,
+        len,
+        crc,
+    })
+}
+
+/// Reads and checksum-verifies the payload a header announced.
+pub fn read_payload<R: Read>(r: &mut R, header: &FrameHeader) -> Result<Vec<u8>, ClusterError> {
+    let mut payload = vec![0u8; header.len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ClusterError::Protocol("connection closed inside a frame payload")
+        } else {
+            ClusterError::Io(e)
+        }
+    })?;
+    if crc32(&payload) != header.crc {
+        return Err(ClusterError::Protocol("frame payload checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+/// Convenience header-plus-payload read.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameType, Vec<u8>), ClusterError> {
+    let header = read_header(r)?;
+    let payload = read_payload(r, &header)?;
+    Ok((header.frame_type, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Lease, b"abc").unwrap();
+        write_frame(&mut wire, FrameType::Heartbeat, b"").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            (FrameType::Lease, b"abc".to_vec())
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            (FrameType::Heartbeat, Vec::new())
+        );
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(ClusterError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_typed_errors() {
+        let wire = frame_bytes(FrameType::ShardResult, b"payload").unwrap();
+        // Flip a payload byte: checksum failure.
+        let mut bad = wire.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(ClusterError::Protocol("frame payload checksum mismatch"))
+        ));
+        // Bad magic.
+        let mut bad = wire.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(ClusterError::Protocol("bad frame magic"))
+        ));
+        // Unknown type.
+        let mut bad = wire.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(ClusterError::Protocol("unknown frame type"))
+        ));
+        // Truncation inside the header and inside the payload.
+        assert!(matches!(
+            read_frame(&mut &wire[..7]),
+            Err(ClusterError::Protocol(
+                "connection closed inside a frame header"
+            ))
+        ));
+        assert!(matches!(
+            read_frame(&mut &wire[..wire.len() - 2]),
+            Err(ClusterError::Protocol(
+                "connection closed inside a frame payload"
+            ))
+        ));
+        // Oversize length field is rejected before allocating.
+        let mut bad = wire;
+        bad[5..9].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(ClusterError::Protocol("frame payload exceeds the size cap"))
+        ));
+    }
+}

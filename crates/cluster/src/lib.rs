@@ -1,0 +1,95 @@
+//! # locec_cluster — coordinator/worker distributed divide
+//!
+//! The orchestration layer that turns the sharded Phase I CLI
+//! (`divide --shard i/n` + `--merge`, PR 3) into a self-driving cluster
+//! run: one **coordinator** owns a dynamic work queue of ego ranges and a
+//! streaming shard merge, and any number of **workers** (local processes
+//! it spawns, or remote ones that connect) lease ranges, divide them and
+//! ship the resulting [`locec_store::DivisionShard`]s back over TCP.
+//!
+//! Everything is `std`-only. The wire format ([`frame`]) is a
+//! length-prefixed, CRC32-checked frame protocol whose payloads reuse the
+//! `locec_store` section encoding ([`protocol`]); shard results travel as
+//! the exact bytes `locec divide --shard` would have written to disk.
+//!
+//! Fault tolerance is lease-based ([`queue`]): every handed-out ego range
+//! carries a heartbeat-refreshed deadline, and a worker that disconnects
+//! or stops heartbeating has its ranges re-queued for the surviving
+//! workers. Because re-queues can race a slow delivery, shard absorption
+//! is idempotent — duplicate results are deduped by ego range
+//! ([`locec_store::IncrementalMerge`]). Shards are merged the moment they
+//! arrive (a single-permit gate keeps at most one unmerged shard in
+//! coordinator memory), and the final division snapshot is byte-identical
+//! to a single-process `locec divide` of the same world.
+
+pub mod coordinator;
+pub mod frame;
+pub mod protocol;
+pub mod queue;
+pub mod worker;
+
+pub use coordinator::{
+    CoordinateConfig, CoordinateOutcome, CoordinateStats, Coordinator, WorkerSpawn,
+};
+pub use worker::{run_worker, WorkerOptions, WorkerReport};
+
+use locec_store::SnapshotError;
+use std::fmt;
+
+/// Everything that can go wrong on either side of the cluster protocol.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Socket or filesystem failure.
+    Io(std::io::Error),
+    /// The peer sent bytes that are not a valid frame or message.
+    Protocol(&'static str),
+    /// The peer closed the connection at a frame boundary.
+    ConnectionClosed,
+    /// A snapshot payload (world or shard) failed to decode.
+    Snapshot(SnapshotError),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// The version this build speaks.
+        ours: u32,
+        /// The version the peer announced.
+        theirs: u32,
+    },
+    /// The coordinator ran out of workers (and respawn budget) with work
+    /// still pending.
+    Stalled(String),
+    /// A worker's injected failure fired (`--fail-after-leases`); the
+    /// connection was dropped abruptly, mid-lease, without a result.
+    InjectedFailure,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "i/o error: {e}"),
+            ClusterError::Protocol(what) => write!(f, "protocol error: {what}"),
+            ClusterError::ConnectionClosed => write!(f, "peer closed the connection"),
+            ClusterError::Snapshot(e) => write!(f, "snapshot payload error: {e}"),
+            ClusterError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch (ours {ours}, peer {theirs})")
+            }
+            ClusterError::Stalled(why) => write!(f, "coordination stalled: {why}"),
+            ClusterError::InjectedFailure => {
+                write!(f, "injected worker failure fired (test instrumentation)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for ClusterError {
+    fn from(e: SnapshotError) -> Self {
+        ClusterError::Snapshot(e)
+    }
+}

@@ -1,0 +1,371 @@
+//! Message payloads, encoded with the `locec_store` section codec
+//! ([`Enc`]/[`Dec`]): little-endian scalars and bulk byte runs, fully
+//! bounds-checked on decode.
+//!
+//! The conversation is deliberately small:
+//!
+//! ```text
+//! worker                      coordinator
+//!   Hello{version}      ──▶
+//!                       ◀──  Welcome{version, n, params, world path|bytes}
+//!                       ◀──  Lease{lease_id, task i/T, egos [s, e)}
+//!   Heartbeat           ──▶        (periodic, from a side thread)
+//!   ShardResult{id, …}  ──▶
+//!                       ◀──  Lease … (repeat until the queue drains)
+//!                       ◀──  Shutdown
+//! ```
+
+use crate::ClusterError;
+use locec_core::{CommunityDetector, LocecConfig};
+use locec_store::format::{Dec, Enc};
+
+/// The protocol revision both sides must agree on.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Worker → coordinator handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// The protocol revision the worker speaks.
+    pub protocol_version: u32,
+}
+
+/// The Phase-I-relevant slice of [`LocecConfig`] a worker needs to
+/// reproduce the coordinator's divide bit-identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DivideParams {
+    /// Community detector (0 = Girvan–Newman, 1 = Louvain, 2 = label
+    /// propagation).
+    pub detector: u8,
+    /// Seed for the seeded detectors.
+    pub seed: u64,
+    /// Girvan–Newman ego-size cap (larger ego networks fall back to
+    /// Louvain).
+    pub gn_max_friends: u64,
+    /// Worker threads per worker process (results are thread-count
+    /// invariant; workers may override locally).
+    pub threads: u32,
+}
+
+impl DivideParams {
+    /// Captures the divide-relevant fields of a pipeline config.
+    pub fn from_config(config: &LocecConfig) -> Self {
+        DivideParams {
+            detector: match config.detector {
+                CommunityDetector::GirvanNewman => 0,
+                CommunityDetector::Louvain => 1,
+                CommunityDetector::LabelPropagation => 2,
+            },
+            seed: config.seed,
+            gn_max_friends: config.gn_max_friends as u64,
+            threads: config.threads as u32,
+        }
+    }
+
+    /// Rebuilds a config whose Phase I output matches the coordinator's.
+    /// (Fields Phase I never reads keep their defaults.)
+    pub fn to_config(self) -> Result<LocecConfig, ClusterError> {
+        let detector = match self.detector {
+            0 => CommunityDetector::GirvanNewman,
+            1 => CommunityDetector::Louvain,
+            2 => CommunityDetector::LabelPropagation,
+            _ => return Err(ClusterError::Protocol("unknown detector id")),
+        };
+        Ok(LocecConfig {
+            detector,
+            seed: self.seed,
+            gn_max_friends: self.gn_max_friends as usize,
+            threads: (self.threads as usize).max(1),
+            ..LocecConfig::default()
+        })
+    }
+}
+
+/// How the coordinator hands the worker its input graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorldPayload {
+    /// Path to a world snapshot on a filesystem the worker shares.
+    Path(String),
+    /// Inline world snapshot bytes (graph-only; see
+    /// [`locec_store::StoredWorld::graph_only_bytes`]) for workers with no
+    /// shared filesystem.
+    Bytes(Vec<u8>),
+}
+
+/// Coordinator → worker handshake reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Welcome {
+    /// The protocol revision the coordinator speaks.
+    pub protocol_version: u32,
+    /// Node count of the world — a cheap cross-check that both sides are
+    /// dividing the same graph.
+    pub num_nodes: u64,
+    /// How often the worker must heartbeat.
+    pub heartbeat_interval_ms: u64,
+    /// Divide parameters.
+    pub params: DivideParams,
+    /// The input world.
+    pub world: WorldPayload,
+}
+
+/// One leased unit of work: the task's canonical contiguous ego range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lease {
+    /// Unique per handed-out lease (re-queues mint a fresh id).
+    pub lease_id: u64,
+    /// The task's index in `0..task_count` — doubles as the shard index of
+    /// the result.
+    pub task_index: u32,
+    /// Total task count of the run (the result's shard count).
+    pub task_count: u32,
+    /// First ego (inclusive).
+    pub ego_start: u32,
+    /// One past the last ego.
+    pub ego_end: u32,
+}
+
+/// Worker → coordinator: a completed lease's shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardResult {
+    /// The lease this result answers.
+    pub lease_id: u64,
+    /// A serialized [`locec_store::DivisionShard`] snapshot — the exact
+    /// bytes `locec divide --shard` would write to disk.
+    pub shard_bytes: Vec<u8>,
+}
+
+/// Encodes [`Hello`].
+pub fn encode_hello(h: &Hello) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u32(h.protocol_version);
+    enc.finish()
+}
+
+/// Decodes [`Hello`].
+pub fn decode_hello(payload: &[u8]) -> Result<Hello, ClusterError> {
+    let mut dec = Dec::new(payload);
+    let protocol_version = dec.u32()?;
+    dec.done()?;
+    Ok(Hello { protocol_version })
+}
+
+/// Encodes [`Welcome`].
+pub fn encode_welcome(w: &Welcome) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u32(w.protocol_version);
+    enc.u64(w.num_nodes);
+    enc.u64(w.heartbeat_interval_ms);
+    enc.u8(w.params.detector);
+    enc.u64(w.params.seed);
+    enc.u64(w.params.gn_max_friends);
+    enc.u32(w.params.threads);
+    match &w.world {
+        WorldPayload::Path(p) => {
+            enc.u8(0);
+            enc.u64(p.len() as u64);
+            enc.u8_slice(p.as_bytes());
+        }
+        WorldPayload::Bytes(b) => {
+            enc.u8(1);
+            enc.u64(b.len() as u64);
+            enc.u8_slice(b);
+        }
+    }
+    enc.finish()
+}
+
+/// Decodes [`Welcome`].
+pub fn decode_welcome(payload: &[u8]) -> Result<Welcome, ClusterError> {
+    let mut dec = Dec::new(payload);
+    let protocol_version = dec.u32()?;
+    let num_nodes = dec.u64()?;
+    let heartbeat_interval_ms = dec.u64()?;
+    let params = DivideParams {
+        detector: dec.u8()?,
+        seed: dec.u64()?,
+        gn_max_friends: dec.u64()?,
+        threads: dec.u32()?,
+    };
+    let mode = dec.u8()?;
+    let len = dec.count()?;
+    let bytes = dec.u8_vec(len)?;
+    dec.done()?;
+    let world = match mode {
+        0 => WorldPayload::Path(
+            String::from_utf8(bytes)
+                .map_err(|_| ClusterError::Protocol("world path is not UTF-8"))?,
+        ),
+        1 => WorldPayload::Bytes(bytes),
+        _ => return Err(ClusterError::Protocol("unknown world payload mode")),
+    };
+    Ok(Welcome {
+        protocol_version,
+        num_nodes,
+        heartbeat_interval_ms,
+        params,
+        world,
+    })
+}
+
+/// Encodes [`Lease`].
+pub fn encode_lease(l: &Lease) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u64(l.lease_id);
+    enc.u32(l.task_index);
+    enc.u32(l.task_count);
+    enc.u32(l.ego_start);
+    enc.u32(l.ego_end);
+    enc.finish()
+}
+
+/// Decodes [`Lease`].
+pub fn decode_lease(payload: &[u8]) -> Result<Lease, ClusterError> {
+    let mut dec = Dec::new(payload);
+    let lease = Lease {
+        lease_id: dec.u64()?,
+        task_index: dec.u32()?,
+        task_count: dec.u32()?,
+        ego_start: dec.u32()?,
+        ego_end: dec.u32()?,
+    };
+    dec.done()?;
+    if lease.ego_start > lease.ego_end || lease.task_index >= lease.task_count {
+        return Err(ClusterError::Protocol("inconsistent lease"));
+    }
+    Ok(lease)
+}
+
+/// Encodes [`ShardResult`].
+pub fn encode_shard_result(r: &ShardResult) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u64(r.lease_id);
+    enc.u64(r.shard_bytes.len() as u64);
+    enc.u8_slice(&r.shard_bytes);
+    enc.finish()
+}
+
+/// Decodes [`ShardResult`].
+pub fn decode_shard_result(payload: &[u8]) -> Result<ShardResult, ClusterError> {
+    let mut dec = Dec::new(payload);
+    let lease_id = dec.u64()?;
+    let len = dec.count()?;
+    let shard_bytes = dec.u8_vec(len)?;
+    dec.done()?;
+    Ok(ShardResult {
+        lease_id,
+        shard_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_roundtrip() {
+        let h = Hello {
+            protocol_version: PROTOCOL_VERSION,
+        };
+        assert_eq!(decode_hello(&encode_hello(&h)).unwrap(), h);
+
+        let params = DivideParams {
+            detector: 0,
+            seed: 7,
+            gn_max_friends: 120,
+            threads: 3,
+        };
+        for world in [
+            WorldPayload::Path("/tmp/world.lsnap".into()),
+            WorldPayload::Bytes(vec![1, 2, 3, 4, 5]),
+        ] {
+            let w = Welcome {
+                protocol_version: PROTOCOL_VERSION,
+                num_nodes: 300,
+                heartbeat_interval_ms: 500,
+                params,
+                world,
+            };
+            assert_eq!(decode_welcome(&encode_welcome(&w)).unwrap(), w);
+        }
+
+        let l = Lease {
+            lease_id: 9,
+            task_index: 2,
+            task_count: 8,
+            ego_start: 75,
+            ego_end: 112,
+        };
+        assert_eq!(decode_lease(&encode_lease(&l)).unwrap(), l);
+
+        let r = ShardResult {
+            lease_id: 9,
+            shard_bytes: vec![0xAB; 64],
+        };
+        assert_eq!(decode_shard_result(&encode_shard_result(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_messages_are_rejected() {
+        assert!(decode_hello(&[1, 2]).is_err());
+        let mut bad = encode_lease(&Lease {
+            lease_id: 1,
+            task_index: 5,
+            task_count: 8,
+            ego_start: 10,
+            ego_end: 20,
+        });
+        bad.truncate(bad.len() - 1);
+        assert!(decode_lease(&bad).is_err());
+        // Inverted ego range.
+        let bad = encode_lease(&Lease {
+            lease_id: 1,
+            task_index: 0,
+            task_count: 1,
+            ego_start: 20,
+            ego_end: 10,
+        });
+        assert!(matches!(
+            decode_lease(&bad),
+            Err(ClusterError::Protocol("inconsistent lease"))
+        ));
+        // Unknown world mode.
+        let mut w = encode_welcome(&Welcome {
+            protocol_version: 1,
+            num_nodes: 1,
+            heartbeat_interval_ms: 1,
+            params: DivideParams {
+                detector: 0,
+                seed: 0,
+                gn_max_friends: 0,
+                threads: 1,
+            },
+            world: WorldPayload::Path(String::new()),
+        });
+        let mode_at = w.len() - 8 - 1; // mode byte precedes the empty-path length
+        w[mode_at] = 7;
+        assert!(decode_welcome(&w).is_err());
+        // Unknown detector id surfaces at config rebuild.
+        let params = DivideParams {
+            detector: 9,
+            seed: 0,
+            gn_max_friends: 0,
+            threads: 1,
+        };
+        assert!(params.to_config().is_err());
+    }
+
+    #[test]
+    fn params_reproduce_the_divide_config() {
+        let config = LocecConfig {
+            detector: CommunityDetector::Louvain,
+            seed: 99,
+            gn_max_friends: 64,
+            threads: 5,
+            ..LocecConfig::fast()
+        };
+        let rebuilt = DivideParams::from_config(&config).to_config().unwrap();
+        assert_eq!(rebuilt.detector, config.detector);
+        assert_eq!(rebuilt.seed, config.seed);
+        assert_eq!(rebuilt.gn_max_friends, config.gn_max_friends);
+        assert_eq!(rebuilt.threads, config.threads);
+    }
+}

@@ -1,0 +1,195 @@
+//! The worker: connect, receive the world, loop over leased ego ranges.
+//!
+//! Workers are deliberately thin. All policy (task sizing, retries,
+//! dedup) lives in the coordinator; a worker just runs
+//! [`locec_core::phase1::divide_range`] over whatever contiguous range it
+//! is leased — on the process-wide [`locec_runtime::WorkerPool`] via the
+//! shipped `threads` parameter — and ships the result back as the exact
+//! shard snapshot bytes `locec divide --shard` would write. A side thread
+//! heartbeats on the interval the coordinator dictated, so a long divide
+//! never looks like a dead worker.
+//!
+//! The failure-injection options exist for the fault-tolerance tests:
+//! `fail_after_leases` drops the connection abruptly mid-lease (the
+//! observable behavior of a killed process), `hang_after_leases` keeps the
+//! connection open but stops heartbeating and working (a wedged
+//! straggler). Both exercise the coordinator's re-queue paths.
+
+use crate::frame::{read_frame, write_frame, FrameType};
+use crate::protocol::{
+    decode_lease, decode_welcome, encode_hello, encode_shard_result, Hello, ShardResult,
+    WorldPayload, PROTOCOL_VERSION,
+};
+use crate::ClusterError;
+use locec_core::phase1::divide_range;
+use locec_store::{shard_to_bytes, DivisionShard, StoredWorld};
+use std::net::{Shutdown, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Worker-side knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerOptions {
+    /// Override the coordinator-shipped thread count (results are
+    /// thread-count invariant, so this is purely a throughput knob).
+    pub threads: Option<usize>,
+    /// Failure injection: on receiving the Nth lease, drop the connection
+    /// abruptly and return [`ClusterError::InjectedFailure`] — the wire
+    /// behavior of a worker killed mid-lease.
+    pub fail_after_leases: Option<u32>,
+    /// Failure injection: on receiving the Nth lease, stop heartbeating
+    /// and stop working while keeping the connection open — a wedged
+    /// straggler that must be timed out.
+    pub hang_after_leases: Option<u32>,
+}
+
+/// What a worker did before shutting down.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerReport {
+    /// Leases completed (result delivered).
+    pub leases_completed: u64,
+    /// Total egos divided across those leases.
+    pub egos_divided: u64,
+}
+
+/// Connects to a coordinator and serves leases until it says Shutdown.
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, ClusterError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    // Provisional handshake timeout; replaced below once the coordinator
+    // announces its ping cadence.
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    write_frame(
+        &mut stream,
+        FrameType::Hello,
+        &encode_hello(&Hello {
+            protocol_version: PROTOCOL_VERSION,
+        }),
+    )?;
+    let (ftype, payload) = read_frame(&mut stream)?;
+    if ftype != FrameType::Welcome {
+        return Err(ClusterError::Protocol("expected Welcome"));
+    }
+    let welcome = decode_welcome(&payload)?;
+    if welcome.protocol_version != PROTOCOL_VERSION {
+        return Err(ClusterError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs: welcome.protocol_version,
+        });
+    }
+    // The coordinator pings on the heartbeat cadence even when no lease is
+    // ready, so a read this patient only fires when the coordinator's
+    // process or host is actually gone (a vanished host sends no FIN — a
+    // timeout-less read would hang this worker forever).
+    let interval = Duration::from_millis(welcome.heartbeat_interval_ms.max(10));
+    stream.set_read_timeout(Some((interval * 16).max(Duration::from_secs(30))))?;
+
+    // Heartbeats run on a side thread from the moment the handshake
+    // completes, so even the world load below cannot starve them. The
+    // writer mutex keeps heartbeat and result frames from interleaving.
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb_handle = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&hb_stop);
+        let interval = Duration::from_millis(welcome.heartbeat_interval_ms.max(10));
+        std::thread::Builder::new()
+            .name("locec-worker-heartbeat".into())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                if write_frame(&mut *w, FrameType::Heartbeat, &[]).is_err() {
+                    return;
+                }
+            })
+            .expect("spawn heartbeat thread")
+    };
+
+    let result = serve_leases(&mut stream, &writer, &welcome, opts, &hb_stop);
+
+    hb_stop.store(true, Ordering::SeqCst);
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = hb_handle.join();
+    result
+}
+
+fn serve_leases(
+    stream: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    welcome: &crate::protocol::Welcome,
+    opts: &WorkerOptions,
+    hb_stop: &Arc<AtomicBool>,
+) -> Result<WorkerReport, ClusterError> {
+    let graph = match &welcome.world {
+        WorldPayload::Path(p) => StoredWorld::load_graph(Path::new(p))?,
+        WorldPayload::Bytes(b) => StoredWorld::graph_from_bytes(b)?,
+    };
+    if graph.num_nodes() as u64 != welcome.num_nodes {
+        return Err(ClusterError::Protocol(
+            "world node count differs from the coordinator's",
+        ));
+    }
+    let mut config = welcome.params.to_config()?;
+    if let Some(t) = opts.threads {
+        config.threads = t.max(1);
+    }
+
+    let mut report = WorkerReport::default();
+    let mut leases_seen = 0u32;
+    let mut hanging = false;
+    loop {
+        let (ftype, payload) = read_frame(stream)?;
+        match ftype {
+            FrameType::Lease => {
+                let lease = decode_lease(&payload)?;
+                if lease.ego_end as usize > graph.num_nodes() {
+                    return Err(ClusterError::Protocol("lease exceeds the graph"));
+                }
+                leases_seen += 1;
+                if opts.fail_after_leases == Some(leases_seen) {
+                    // Simulate a kill: vanish mid-lease, no result, no
+                    // goodbye (the caller shuts the socket down).
+                    return Err(ClusterError::InjectedFailure);
+                }
+                if opts.hang_after_leases == Some(leases_seen) {
+                    // Wedge: stop heartbeating, ignore the lease, but keep
+                    // the connection open until the coordinator cuts it.
+                    hb_stop.store(true, Ordering::SeqCst);
+                    hanging = true;
+                }
+                if hanging {
+                    continue;
+                }
+                let communities = divide_range(&graph, lease.ego_start..lease.ego_end, &config);
+                let shard = DivisionShard {
+                    ego_start: lease.ego_start,
+                    ego_end: lease.ego_end,
+                    num_nodes: graph.num_nodes() as u32,
+                    shard_index: lease.task_index,
+                    shard_count: lease.task_count,
+                    communities,
+                };
+                let msg = ShardResult {
+                    lease_id: lease.lease_id,
+                    shard_bytes: shard_to_bytes(&shard),
+                };
+                {
+                    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                    write_frame(&mut *w, FrameType::ShardResult, &encode_shard_result(&msg))?;
+                }
+                report.leases_completed += 1;
+                report.egos_divided += (lease.ego_end - lease.ego_start) as u64;
+            }
+            // Coordinator liveness ping: its only job was resetting the
+            // read timeout above.
+            FrameType::Heartbeat => {}
+            FrameType::Shutdown => return Ok(report),
+            _ => return Err(ClusterError::Protocol("unexpected frame from coordinator")),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end coordinator/worker runs with in-process workers (threads
+//! running `run_worker` against a real TCP coordinator). Process-level
+//! runs — including killing a worker process mid-lease — live in the
+//! facade's `tests/cluster.rs`, which can spawn the `locec` binary.
+
+use locec_cluster::{run_worker, ClusterError, CoordinateConfig, Coordinator, WorkerOptions};
+use locec_core::phase1::divide;
+use locec_core::LocecConfig;
+use locec_synth::{Scenario, SynthConfig};
+use std::time::Duration;
+
+fn assert_division_eq(
+    a: &locec_core::phase1::DivisionResult,
+    b: &locec_core::phase1::DivisionResult,
+) {
+    assert_eq!(a.num_communities(), b.num_communities());
+    for (x, y) in a.communities.iter().zip(&b.communities) {
+        assert_eq!(x.ego, y.ego);
+        assert_eq!(x.members, y.members);
+        assert_eq!(
+            x.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+            y.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+        );
+    }
+    assert_eq!(a.membership_table(), b.membership_table());
+}
+
+/// Runs a coordination with `healthy` plain workers plus the given faulty
+/// ones, all in-process, shipping the world inline.
+fn coordinate_with(
+    seed: u64,
+    healthy: usize,
+    faulty: Vec<WorkerOptions>,
+    lease_timeout: Duration,
+    explicit_tasks: Option<u32>,
+) -> (
+    locec_core::phase1::DivisionResult,
+    locec_cluster::CoordinateStats,
+    locec_core::phase1::DivisionResult,
+) {
+    let scenario = Scenario::generate(&SynthConfig::tiny(seed));
+    let config = LocecConfig {
+        threads: 1,
+        ..LocecConfig::fast()
+    };
+    let expected = divide(&scenario.graph, &config);
+
+    let mut cfg = CoordinateConfig::new(config, 0);
+    cfg.ship_world_bytes = true;
+    cfg.lease_timeout = lease_timeout;
+    cfg.explicit_tasks = explicit_tasks;
+    cfg.stall_timeout = Duration::from_secs(60);
+    let mut coordinator = Coordinator::bind(None, scenario.graph.clone(), cfg).unwrap();
+    let addr = coordinator.local_addr().to_string();
+
+    let mut handles = Vec::new();
+    for opts in faulty {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || run_worker(&addr, &opts)));
+    }
+    for _ in 0..healthy {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            run_worker(&addr, &WorkerOptions::default())
+        }));
+    }
+
+    let outcome = coordinator.run().expect("coordination completes");
+    for h in handles {
+        // Worker threads end when the coordinator shuts their sockets down;
+        // faulty ones return errors by design.
+        let _ = h.join().expect("worker thread not poisoned");
+    }
+    (outcome.division, outcome.stats, expected)
+}
+
+#[test]
+fn cluster_divide_matches_single_process_bit_for_bit() {
+    let (division, stats, expected) =
+        coordinate_with(41, 3, Vec::new(), Duration::from_secs(10), Some(11));
+    assert_division_eq(&division, &expected);
+    assert_eq!(stats.tasks, 11);
+    assert_eq!(stats.workers_seen, 3);
+    assert_eq!(stats.requeues, 0);
+    assert_eq!(stats.duplicates_dropped, 0);
+}
+
+#[test]
+fn single_worker_cluster_still_completes() {
+    let (division, stats, expected) =
+        coordinate_with(42, 1, Vec::new(), Duration::from_secs(10), None);
+    assert_division_eq(&division, &expected);
+    assert!(stats.tasks >= 1);
+}
+
+#[test]
+fn abrupt_worker_death_mid_lease_is_requeued_and_result_is_identical() {
+    // One worker vanishes the moment it receives its first lease (the wire
+    // behavior of a killed process); the healthy worker absorbs the
+    // re-queued range.
+    let faulty = vec![WorkerOptions {
+        fail_after_leases: Some(1),
+        ..WorkerOptions::default()
+    }];
+    let (division, stats, expected) =
+        coordinate_with(43, 1, faulty, Duration::from_secs(10), Some(6));
+    assert_division_eq(&division, &expected);
+    assert!(
+        stats.requeues >= 1,
+        "the dead worker's lease must be re-queued (stats: {stats:?})"
+    );
+}
+
+#[test]
+fn hung_worker_lease_times_out_and_is_requeued() {
+    // One worker wedges on its first lease — connection open, heartbeats
+    // stopped. The coordinator must expire the lease, cut the worker off
+    // and re-queue the range.
+    let faulty = vec![WorkerOptions {
+        hang_after_leases: Some(1),
+        ..WorkerOptions::default()
+    }];
+    let (division, stats, expected) =
+        coordinate_with(44, 1, faulty, Duration::from_millis(400), Some(6));
+    assert_division_eq(&division, &expected);
+    assert!(
+        stats.requeues >= 1,
+        "the hung worker's lease must time out and re-queue (stats: {stats:?})"
+    );
+}
+
+#[test]
+fn version_mismatch_is_rejected_by_the_worker() {
+    // A worker pointed at something that is not a coordinator fails with a
+    // typed error instead of hanging: here, a socket that closes without a
+    // Welcome.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        drop(stream);
+    });
+    let err = run_worker(&addr, &WorkerOptions::default()).unwrap_err();
+    server.join().unwrap();
+    assert!(
+        matches!(
+            err,
+            ClusterError::ConnectionClosed | ClusterError::Protocol(_) | ClusterError::Io(_)
+        ),
+        "unexpected error: {err}"
+    );
+}

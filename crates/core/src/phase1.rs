@@ -152,6 +152,25 @@ impl DivisionResult {
         &self.membership
     }
 
+    /// Assembles a division from an iterator of community chunks, where
+    /// each chunk holds the communities of one contiguous ego range (in ego
+    /// order) and the chunks' ranges are disjoint and tile the graph — but
+    /// may arrive in **any order**. This is the merge entry point of a
+    /// streaming multi-process run: shard results are spliced into the
+    /// growing list as they land, so peak memory is the growing division
+    /// plus one unmerged chunk, and the result is bit-identical to a
+    /// single-process [`divide`].
+    pub fn from_community_chunks<I>(graph: &CsrGraph, chunks: I, threads: usize) -> Self
+    where
+        I: IntoIterator<Item = Vec<LocalCommunity>>,
+    {
+        let mut communities = Vec::new();
+        for chunk in chunks {
+            splice_ordered_chunk(&mut communities, chunk);
+        }
+        Self::from_communities(graph, communities, threads)
+    }
+
     /// Reassembles a division from untrusted stored parts without
     /// recomputing the membership table (the snapshot load path — loading
     /// the stored table verbatim is what makes round-trips bit-identical).
@@ -368,11 +387,47 @@ pub fn divide_update(
     splice_update(graph, base, dirty, fresh, config.threads)
 }
 
+/// Owned-base variant of [`divide_update`] for callers that never reuse the
+/// base afterwards (the `divide --update` CLI stage): clean communities are
+/// **moved** out of `base` into the updated division instead of cloned, so
+/// the incremental path's memory traffic scales with the dirty set rather
+/// than the whole division.
+pub fn divide_update_owned(
+    graph: &CsrGraph,
+    base: DivisionResult,
+    dirty: &[NodeId],
+    config: &LocecConfig,
+) -> DivisionResult {
+    let fresh = divide_egos(graph, dirty, config);
+    splice_update_owned(graph, base, dirty, fresh, config.threads)
+}
+
+/// Dirty-ego fraction above which the incremental path stops paying off
+/// and an update should fall back to a plain full [`divide`].
+///
+/// `BENCH_update.json` (50k users, avg degree ≈ 25): the incremental path
+/// wins 11.3× at 0.01% churn and 2.1× at 0.1%, but once the dirty set
+/// saturates (99.5% of egos at 1% churn) it *loses* at 0.83× — it re-runs
+/// nearly every ego and pays the splice on top. The crossover sits near
+/// `dirty/n ≈ 0.8` (incremental ≈ full·fraction + splice overhead); 0.75
+/// leaves margin. Outputs are bit-identical either way — only wall time
+/// differs, so callers can switch freely.
+pub const UPDATE_FULL_DIVIDE_FRACTION: f64 = 0.75;
+
+/// Whether an incremental update over `dirty_len` of `num_nodes` egos is
+/// expected to be slower than a plain full [`divide`] (see
+/// [`UPDATE_FULL_DIVIDE_FRACTION`]).
+pub fn update_prefers_full_divide(dirty_len: usize, num_nodes: usize) -> bool {
+    num_nodes > 0 && dirty_len as f64 >= UPDATE_FULL_DIVIDE_FRACTION * num_nodes as f64
+}
+
 /// The splice step of [`divide_update`], separated so callers that already
 /// hold re-divided communities (the `DivisionDelta` snapshot apply path)
 /// can reuse it: drops `base`'s communities of `dirty` egos, merges in
 /// `fresh` (which must be in ego order and cover only `dirty` egos), and
-/// rebuilds the membership table against `graph`.
+/// rebuilds the membership table against `graph`. Clean communities are
+/// cloned out of the borrowed base; use [`splice_update_owned`] when the
+/// base is disposable.
 pub fn splice_update(
     graph: &CsrGraph,
     base: &DivisionResult,
@@ -380,23 +435,82 @@ pub fn splice_update(
     fresh: Vec<LocalCommunity>,
     threads: usize,
 ) -> DivisionResult {
+    check_splice_inputs(dirty, &fresh);
+    let clean = base
+        .communities
+        .iter()
+        .filter(|c| dirty.binary_search(&c.ego).is_err())
+        .cloned();
+    let capacity = base.communities.len() + fresh.len();
+    let merged = splice_merge(clean, fresh, capacity);
+    DivisionResult::from_communities(graph, merged, threads)
+}
+
+/// Owned-base [`splice_update`]: identical output, but clean communities
+/// are moved (and the dirty egos' stale communities dropped) instead of
+/// cloned — ROADMAP item (c).
+pub fn splice_update_owned(
+    graph: &CsrGraph,
+    base: DivisionResult,
+    dirty: &[NodeId],
+    fresh: Vec<LocalCommunity>,
+    threads: usize,
+) -> DivisionResult {
+    check_splice_inputs(dirty, &fresh);
+    let capacity = base.communities.len() + fresh.len();
+    let clean = base
+        .communities
+        .into_iter()
+        .filter(|c| dirty.binary_search(&c.ego).is_err());
+    let merged = splice_merge(clean, fresh, capacity);
+    DivisionResult::from_communities(graph, merged, threads)
+}
+
+fn check_splice_inputs(dirty: &[NodeId], fresh: &[LocalCommunity]) {
     debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]));
     debug_assert!(fresh.windows(2).all(|w| w[0].ego <= w[1].ego));
     debug_assert!(fresh.iter().all(|c| dirty.binary_search(&c.ego).is_ok()));
-    let is_dirty = |ego: NodeId| dirty.binary_search(&ego).is_ok();
-    let mut merged = Vec::with_capacity(base.communities.len() + fresh.len());
+}
+
+/// Two-way merge by ego of the surviving base communities (already
+/// filtered to clean egos) and the re-divided `fresh` communities. The two
+/// streams' ego sets are disjoint, so the interleave is unambiguous.
+fn splice_merge(
+    clean: impl Iterator<Item = LocalCommunity>,
+    fresh: Vec<LocalCommunity>,
+    capacity: usize,
+) -> Vec<LocalCommunity> {
+    let mut merged = Vec::with_capacity(capacity);
     let mut fresh = fresh.into_iter().peekable();
-    for c in &base.communities {
-        if is_dirty(c.ego) {
-            continue;
-        }
+    for c in clean {
         while fresh.peek().is_some_and(|f| f.ego < c.ego) {
             merged.push(fresh.next().unwrap());
         }
-        merged.push(c.clone());
+        merged.push(c);
     }
     merged.extend(fresh);
-    DivisionResult::from_communities(graph, merged, threads)
+    merged
+}
+
+/// Splices `chunk` — the communities of one contiguous ego range, in ego
+/// order — into `communities` (also in ego order) at the position that
+/// keeps the whole list ordered. The chunk's ego range must be disjoint
+/// from every ego already present; ranges may otherwise arrive in any
+/// order. This is the per-shard step behind
+/// [`DivisionResult::from_community_chunks`] and the coordinator's
+/// streaming merge.
+pub fn splice_ordered_chunk(communities: &mut Vec<LocalCommunity>, chunk: Vec<LocalCommunity>) {
+    let Some(first) = chunk.first() else {
+        return;
+    };
+    let pos = communities.partition_point(|c| c.ego < first.ego);
+    debug_assert!(
+        communities
+            .get(pos)
+            .is_none_or(|next| chunk.last().unwrap().ego < next.ego),
+        "chunk ego range overlaps already-merged communities"
+    );
+    communities.splice(pos..pos, chunk);
 }
 
 /// Detects the local communities of one ego node (fresh scratch per call;
@@ -776,6 +890,75 @@ mod tests {
         let full = divide(&applied.graph, &cfg);
         assert_eq!(updated.num_communities(), full.num_communities());
         assert_eq!(updated.membership, full.membership);
+    }
+
+    #[test]
+    fn owned_splice_matches_borrowed_splice() {
+        use locec_graph::{dirty_egos, GraphDelta};
+        let g = fig7_graph();
+        let cfg = config();
+        let base = divide(&g, &cfg);
+        let delta = GraphDelta::new(9, vec![(5, 7)], vec![(6, 8)]).unwrap();
+        let applied = g.apply_delta(&delta).unwrap();
+        let dirty = dirty_egos(&g, &delta);
+        let fresh = divide_egos(&applied.graph, &dirty, &cfg);
+        let borrowed = splice_update(&applied.graph, &base, &dirty, fresh.clone(), cfg.threads);
+        let owned = splice_update_owned(&applied.graph, base.clone(), &dirty, fresh, cfg.threads);
+        assert_eq!(borrowed.num_communities(), owned.num_communities());
+        for (a, b) in borrowed.communities.iter().zip(&owned.communities) {
+            assert_eq!(a.ego, b.ego);
+            assert_eq!(a.members, b.members);
+            assert_eq!(
+                a.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+                b.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(borrowed.membership, owned.membership);
+        // And both equal the owned divide_update entry point.
+        let via_update = divide_update_owned(&applied.graph, base, &dirty, &cfg);
+        assert_eq!(owned.membership, via_update.membership);
+    }
+
+    #[test]
+    fn chunks_merge_to_the_full_division_in_any_arrival_order() {
+        let g = fig7_graph();
+        let cfg = config();
+        let full = divide(&g, &cfg);
+        let n = g.num_nodes() as u32;
+        // 4 contiguous ranges (one empty when 9 % 4 != 0 splits unevenly),
+        // delivered out of order — exactly what a streaming coordinator
+        // sees when fast workers finish late ranges first.
+        let mut chunks: Vec<Vec<LocalCommunity>> = (0..4u32)
+            .map(|i| divide_range(&g, (i * n / 4)..((i + 1) * n / 4), &cfg))
+            .collect();
+        chunks.reverse();
+        chunks.swap(0, 2);
+        let merged = DivisionResult::from_community_chunks(&g, chunks, cfg.threads);
+        assert_eq!(merged.num_communities(), full.num_communities());
+        for (a, b) in merged.communities.iter().zip(&full.communities) {
+            assert_eq!(a.ego, b.ego);
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.tightness, b.tightness);
+        }
+        assert_eq!(merged.membership, full.membership);
+    }
+
+    #[test]
+    fn splice_ordered_chunk_handles_empty_and_boundary_chunks() {
+        let g = fig7_graph();
+        let cfg = config();
+        let all = divide_range(&g, 0..9, &cfg);
+        let mut acc: Vec<LocalCommunity> = Vec::new();
+        splice_ordered_chunk(&mut acc, Vec::new()); // empty chunk is a no-op
+        assert!(acc.is_empty());
+        splice_ordered_chunk(&mut acc, divide_range(&g, 3..6, &cfg));
+        splice_ordered_chunk(&mut acc, divide_range(&g, 6..9, &cfg));
+        splice_ordered_chunk(&mut acc, divide_range(&g, 0..3, &cfg));
+        assert_eq!(acc.len(), all.len());
+        for (a, b) in acc.iter().zip(&all) {
+            assert_eq!(a.ego, b.ego);
+            assert_eq!(a.members, b.members);
+        }
     }
 
     #[test]

@@ -173,8 +173,10 @@ pub fn load_division(path: &Path) -> Result<DivisionResult, SnapshotError> {
     DivisionResult::from_raw_parts(communities, membership).map_err(SnapshotError::Corrupt)
 }
 
-/// Writes one shard of a sharded division run.
-pub fn save_shard(path: &Path, shard: &DivisionShard) -> Result<(), SnapshotError> {
+/// Serializes one shard to an in-memory snapshot — the same bytes
+/// [`save_shard`] writes to disk, reusable as a wire payload (the cluster
+/// protocol frames exactly these bytes, CRC discipline included).
+pub fn shard_to_bytes(shard: &DivisionShard) -> Vec<u8> {
     let mut w = SnapshotWriter::new(SnapshotKind::DivisionShard);
     let mut meta = Enc::new();
     meta.u32(shard.ego_start);
@@ -184,12 +186,27 @@ pub fn save_shard(path: &Path, shard: &DivisionShard) -> Result<(), SnapshotErro
     meta.u32(shard.shard_count);
     w.add("shard", meta.finish());
     add_community_sections(&mut w, &shard.communities);
-    w.write_to(path)
+    w.to_bytes()
+}
+
+/// Parses a shard from in-memory snapshot bytes (the inverse of
+/// [`shard_to_bytes`]), with the same validation as [`load_shard`].
+pub fn shard_from_bytes(bytes: &[u8]) -> Result<DivisionShard, SnapshotError> {
+    decode_shard(Snapshot::from_bytes(bytes)?)
+}
+
+/// Writes one shard of a sharded division run.
+pub fn save_shard(path: &Path, shard: &DivisionShard) -> Result<(), SnapshotError> {
+    std::fs::write(path, shard_to_bytes(shard))?;
+    Ok(())
 }
 
 /// Reads one shard back.
 pub fn load_shard(path: &Path) -> Result<DivisionShard, SnapshotError> {
-    let snap = Snapshot::read_from(path)?;
+    decode_shard(Snapshot::read_from(path)?)
+}
+
+fn decode_shard(snap: Snapshot) -> Result<DivisionShard, SnapshotError> {
     snap.expect_kind(SnapshotKind::DivisionShard)?;
     let mut dec = snap.section("shard")?;
     let ego_start = dec.u32()?;
@@ -243,6 +260,136 @@ pub(crate) fn validate_members_are_neighbors(
         }
     }
     Ok(())
+}
+
+/// Streaming shard merge: absorbs [`DivisionShard`]s one at a time, in any
+/// arrival order, splicing each into a growing ego-ordered community list
+/// the moment it lands. Peak memory is therefore the growing division plus
+/// the single shard currently being absorbed — never the whole shard set —
+/// which is what lets a coordinator merge results as workers stream them
+/// in instead of collecting every shard first.
+///
+/// Absorption is **idempotent by ego range**: a shard whose range was
+/// already merged (a duplicate delivery after a lease was re-queued and
+/// recomputed) is dropped with `Ok(false)`; a shard that *partially*
+/// overlaps merged work indicates an inconsistent task tiling and is a
+/// typed error. Every absorbed shard is validated against the graph the
+/// merge was opened with, exactly like [`merge_shards`].
+pub struct IncrementalMerge<'g> {
+    graph: &'g CsrGraph,
+    communities: Vec<LocalCommunity>,
+    /// Disjoint, sorted, coalesced merged ego ranges.
+    merged: Vec<(u32, u32)>,
+    /// Egos covered so far (empty ranges contribute nothing).
+    covered: u64,
+    /// Duplicate deliveries dropped.
+    duplicates: u64,
+}
+
+impl<'g> IncrementalMerge<'g> {
+    /// An empty merge over `graph`'s ego range.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        IncrementalMerge {
+            graph,
+            communities: Vec::new(),
+            merged: Vec::new(),
+            covered: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Splices one shard into the growing division. Returns `Ok(true)` if
+    /// the shard contributed new work, `Ok(false)` if its range was already
+    /// merged (duplicate delivery, dropped), and an error if the shard is
+    /// inconsistent with the graph or with previously merged ranges.
+    pub fn absorb(&mut self, shard: DivisionShard) -> Result<bool, SnapshotError> {
+        if shard.num_nodes as usize != self.graph.num_nodes() {
+            return Err(SnapshotError::Corrupt(
+                "shard computed on a different graph",
+            ));
+        }
+        if shard.ego_start > shard.ego_end || shard.ego_end as usize > self.graph.num_nodes() {
+            return Err(SnapshotError::Corrupt("shard ego range exceeds the graph"));
+        }
+        let (start, end) = (shard.ego_start, shard.ego_end);
+        if start == end {
+            // Empty range (more tasks than egos): nothing to merge, nothing
+            // to record.
+            return Ok(true);
+        }
+        // Position among the merged ranges, then classify: fully contained
+        // in merged work → duplicate; touching any merged ego → corrupt
+        // tiling; disjoint → absorb.
+        let i = self.merged.partition_point(|&(_, e)| e <= start);
+        if let Some(&(s, e)) = self.merged.get(i) {
+            if s <= start && end <= e {
+                self.duplicates += 1;
+                return Ok(false);
+            }
+            if s < end {
+                return Err(SnapshotError::Corrupt(
+                    "shard ego range partially overlaps merged work",
+                ));
+            }
+        }
+        validate_members_are_neighbors(self.graph, &shard.communities)?;
+        if shard
+            .communities
+            .iter()
+            .any(|c| c.ego.0 < start || c.ego.0 >= end)
+        {
+            return Err(SnapshotError::Corrupt("shard community outside ego range"));
+        }
+        locec_core::phase1::splice_ordered_chunk(&mut self.communities, shard.communities);
+        self.covered += (end - start) as u64;
+        // Record the range, coalescing with adjacent neighbors to keep the
+        // bookkeeping list at O(holes), not O(shards).
+        let mut s = start;
+        let mut e = end;
+        let mut i = i;
+        if i > 0 && self.merged[i - 1].1 == s {
+            s = self.merged[i - 1].0;
+            i -= 1;
+            self.merged.remove(i);
+        }
+        if i < self.merged.len() && self.merged[i].0 == e {
+            e = self.merged[i].1;
+            self.merged.remove(i);
+        }
+        self.merged.insert(i, (s, e));
+        Ok(true)
+    }
+
+    /// Egos covered by absorbed shards so far.
+    pub fn covered_egos(&self) -> u64 {
+        self.covered
+    }
+
+    /// Duplicate shard deliveries dropped so far.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Whether every ego of the graph has been merged.
+    pub fn is_complete(&self) -> bool {
+        self.covered as usize == self.graph.num_nodes()
+    }
+
+    /// Builds the final [`DivisionResult`] (membership table included) —
+    /// bit-identical to a single-process `divide` over the same graph.
+    /// Fails unless the absorbed ranges tile the whole ego range.
+    pub fn finish(self, threads: usize) -> Result<DivisionResult, SnapshotError> {
+        if !self.is_complete() {
+            return Err(SnapshotError::Corrupt(
+                "shards do not cover every ego of the graph",
+            ));
+        }
+        Ok(DivisionResult::from_communities(
+            self.graph,
+            self.communities,
+            threads,
+        ))
+    }
 }
 
 /// Merges the shards of one run into a full [`DivisionResult`]. The shards
@@ -456,6 +603,144 @@ mod tests {
             Ok(_) => panic!("merged shards computed on a different graph"),
         };
         assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn shard_bytes_roundtrip_matches_file_roundtrip() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(26));
+        let config = LocecConfig::fast();
+        let n = scenario.graph.num_nodes();
+        let range = DivisionShard::ego_range(0, 2, n);
+        let shard = DivisionShard {
+            ego_start: range.start,
+            ego_end: range.end,
+            num_nodes: n as u32,
+            shard_index: 0,
+            shard_count: 2,
+            communities: divide_range(&scenario.graph, range, &config),
+        };
+        let bytes = shard_to_bytes(&shard);
+        let path = tmp("bytes.lsnap");
+        save_shard(&path, &shard).unwrap();
+        assert_eq!(bytes, std::fs::read(&path).unwrap());
+        std::fs::remove_file(&path).ok();
+        let back = shard_from_bytes(&bytes).unwrap();
+        assert_eq!(back.ego_start, shard.ego_start);
+        assert_eq!(back.ego_end, shard.ego_end);
+        assert_eq!(back.communities.len(), shard.communities.len());
+        for (a, b) in back.communities.iter().zip(&shard.communities) {
+            assert_eq!(a.ego, b.ego);
+            assert_eq!(a.members, b.members);
+            assert_eq!(
+                a.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+                b.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert!(shard_from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    fn make_shard(
+        graph: &locec_graph::CsrGraph,
+        i: u32,
+        count: u32,
+        config: &LocecConfig,
+    ) -> DivisionShard {
+        let range = DivisionShard::ego_range(i, count, graph.num_nodes());
+        DivisionShard {
+            ego_start: range.start,
+            ego_end: range.end,
+            num_nodes: graph.num_nodes() as u32,
+            shard_index: i,
+            shard_count: count,
+            communities: divide_range(graph, range, config),
+        }
+    }
+
+    #[test]
+    fn incremental_merge_any_order_equals_single_process() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(27));
+        let config = LocecConfig::fast();
+        let full = divide(&scenario.graph, &config);
+        // Adversarial arrival order over 5 tasks.
+        for order in [
+            vec![4u32, 1, 3, 0, 2],
+            vec![0, 1, 2, 3, 4],
+            vec![4, 3, 2, 1, 0],
+        ] {
+            let mut merge = IncrementalMerge::new(&scenario.graph);
+            for &i in &order {
+                assert!(!merge.is_complete());
+                assert!(merge
+                    .absorb(make_shard(&scenario.graph, i, 5, &config))
+                    .unwrap());
+            }
+            assert!(merge.is_complete());
+            let merged = merge.finish(config.threads).unwrap();
+            assert_eq!(merged.num_communities(), full.num_communities());
+            for (a, b) in merged.communities.iter().zip(&full.communities) {
+                assert_eq!(a.ego, b.ego);
+                assert_eq!(a.members, b.members);
+                assert_eq!(
+                    a.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>(),
+                    b.tightness.iter().map(|t| t.to_bits()).collect::<Vec<_>>()
+                );
+            }
+            assert_eq!(merged.membership_table(), full.membership_table());
+        }
+    }
+
+    #[test]
+    fn incremental_merge_drops_duplicates_and_rejects_overlap() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(28));
+        let config = LocecConfig::fast();
+        let mut merge = IncrementalMerge::new(&scenario.graph);
+        assert!(merge
+            .absorb(make_shard(&scenario.graph, 0, 3, &config))
+            .unwrap());
+        // Exact duplicate of an absorbed range: dropped, not an error.
+        assert!(!merge
+            .absorb(make_shard(&scenario.graph, 0, 3, &config))
+            .unwrap());
+        assert_eq!(merge.duplicates_dropped(), 1);
+        assert!(merge
+            .absorb(make_shard(&scenario.graph, 1, 3, &config))
+            .unwrap());
+        // Duplicate of a range now *inside* a coalesced merged span.
+        assert!(!merge
+            .absorb(make_shard(&scenario.graph, 1, 3, &config))
+            .unwrap());
+        // A shard from a different tiling that partially overlaps merged
+        // work is a typed error, not silent corruption.
+        let straddling = make_shard(&scenario.graph, 1, 2, &config);
+        assert!(matches!(
+            merge.absorb(straddling),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // Incomplete merges refuse to finish.
+        assert!(!merge.is_complete());
+        assert!(merge.finish(config.threads).is_err());
+    }
+
+    #[test]
+    fn incremental_merge_rejects_foreign_graph_shards() {
+        let a = Scenario::generate(&SynthConfig::tiny(24));
+        let b = Scenario::generate(&SynthConfig::tiny(25));
+        let config = LocecConfig::fast();
+        let mut merge = IncrementalMerge::new(&a.graph);
+        let foreign = make_shard(&b.graph, 0, 2, &config);
+        assert!(matches!(
+            merge.absorb(foreign),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_merge_of_empty_graph_is_instantly_complete() {
+        let g = locec_graph::GraphBuilder::new(0).build();
+        let merge = IncrementalMerge::new(&g);
+        assert!(merge.is_complete());
+        let d = merge.finish(1).unwrap();
+        assert_eq!(d.num_communities(), 0);
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub use delta::{
     save_division_delta, save_world_delta, DivisionDelta,
 };
 pub use division::{
-    load_division, load_shard, merge_shards, save_division, save_shard, DivisionShard,
+    load_division, load_shard, merge_shards, save_division, save_shard, shard_from_bytes,
+    shard_to_bytes, DivisionShard, IncrementalMerge,
 };
 pub use format::{
     LazySnapshot, Snapshot, SnapshotError, SnapshotKind, SnapshotWriter, FORMAT_VERSION, MAGIC,

@@ -64,15 +64,7 @@ impl StoredWorld {
     /// Writes the world snapshot.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
         let mut w = SnapshotWriter::new(SnapshotKind::World);
-
-        let mut enc = Enc::new();
-        enc.u64(self.graph.num_nodes() as u64);
-        enc.u64(self.graph.num_edges() as u64);
-        for (_, u, v) in self.graph.edges() {
-            enc.u32(u.0);
-            enc.u32(v.0);
-        }
-        w.add("graph", enc.finish());
+        w.add("graph", encode_graph_section(&self.graph));
 
         let mut enc = Enc::new();
         enc.u64(self.user_features.len() as u64);
@@ -112,6 +104,27 @@ impl StoredWorld {
         let mut snap = crate::format::LazySnapshot::open(path)?;
         snap.expect_kind(SnapshotKind::World)?;
         decode_graph_payload(&snap.section_bytes("graph")?)
+    }
+
+    /// Serializes a **graph-only** world snapshot to memory: a valid
+    /// world-kind container holding just the `graph` section. This is what
+    /// a coordinator ships to workers that share no filesystem — Phase I
+    /// never touches the feature/interaction/label columns, so they stay
+    /// off the wire. Readable by [`StoredWorld::graph_from_bytes`] and by
+    /// [`StoredWorld::load_graph`] (written to a file), but not by the
+    /// full [`StoredWorld::load`].
+    pub fn graph_only_bytes(graph: &CsrGraph) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(SnapshotKind::World);
+        w.add("graph", encode_graph_section(graph));
+        w.to_bytes()
+    }
+
+    /// Decodes the graph out of in-memory world snapshot bytes (full or
+    /// graph-only), with the usual checksum and structural validation.
+    pub fn graph_from_bytes(bytes: &[u8]) -> Result<CsrGraph, SnapshotError> {
+        let snap = Snapshot::from_bytes(bytes)?;
+        snap.expect_kind(SnapshotKind::World)?;
+        decode_graph(&snap)
     }
 
     /// Reads and validates a world snapshot.
@@ -158,6 +171,18 @@ impl StoredWorld {
             test_edges,
         })
     }
+}
+
+/// Encodes the `graph` section payload (canonical sorted edge list).
+fn encode_graph_section(graph: &CsrGraph) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u64(graph.num_nodes() as u64);
+    enc.u64(graph.num_edges() as u64);
+    for (_, u, v) in graph.edges() {
+        enc.u32(u.0);
+        enc.u32(v.0);
+    }
+    enc.finish()
 }
 
 /// Decodes the `graph` section into a validated [`CsrGraph`].
@@ -266,6 +291,39 @@ mod tests {
         for v in world.graph.nodes() {
             assert_eq!(graph.neighbors(v), world.graph.neighbors(v));
         }
+    }
+
+    #[test]
+    fn graph_only_bytes_roundtrip_and_file_compatibility() {
+        let scenario = Scenario::generate(&SynthConfig::tiny(14));
+        let bytes = StoredWorld::graph_only_bytes(&scenario.graph);
+        // In-memory decode reproduces the graph exactly.
+        let graph = StoredWorld::graph_from_bytes(&bytes).unwrap();
+        assert_eq!(graph.num_nodes(), scenario.graph.num_nodes());
+        assert_eq!(graph.num_edges(), scenario.graph.num_edges());
+        for v in scenario.graph.nodes() {
+            assert_eq!(graph.neighbors(v), scenario.graph.neighbors(v));
+        }
+        // Written to a file, the graph-only snapshot satisfies the lazy
+        // graph loader a worker on a shared filesystem would use.
+        let path = tmp("graph_bytes.lsnap");
+        std::fs::write(&path, &bytes).unwrap();
+        let lazy = StoredWorld::load_graph(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(lazy.num_edges(), scenario.graph.num_edges());
+        // graph_from_bytes also reads a *full* world snapshot's graph.
+        let world = StoredWorld::from_scenario(&scenario, 0.8, 7);
+        let path = tmp("graph_bytes_full.lsnap");
+        world.save(&path).unwrap();
+        let full_bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let from_full = StoredWorld::graph_from_bytes(&full_bytes).unwrap();
+        assert_eq!(from_full.num_edges(), scenario.graph.num_edges());
+        // Corruption surfaces as a typed error.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(StoredWorld::graph_from_bytes(&bad).is_err());
     }
 
     #[test]

@@ -30,7 +30,10 @@
 //! [`LocecPipeline`] on the same world and split and fails unless every
 //! predicted edge label matches — the end-to-end equivalence check CI runs.
 
-use locec::core::phase1::{divide_egos, divide_range, splice_update, DivisionResult};
+use locec::cluster::{run_worker, CoordinateConfig, Coordinator, WorkerOptions, WorkerSpawn};
+use locec::core::phase1::{
+    divide_egos, divide_range, splice_update_owned, update_prefers_full_divide, DivisionResult,
+};
 use locec::core::phase2::CommunityClassifier;
 use locec::core::phase3::EdgeClassifier;
 use locec::core::pipeline::split_communities;
@@ -60,6 +63,10 @@ USAGE:
   locec divide    --world FILE --out FILE --merge SHARD_FILE...
   locec divide    --world FILE --out FILE --update --base DIVISION_FILE
                   --delta DELTA_FILE [--out-delta FILE] [config]
+  locec coordinate --world FILE --out FILE [--workers N] [--listen ADDR]
+                  [--tasks T] [--lease-timeout-ms MS] [--ship-world] [config]
+  locec worker    --connect ADDR [--threads N]
+                  [--fail-after-leases K] [--hang-after-leases K]
   locec evolve    --world FILE --out DELTA_FILE [--out-world FILE] [--seed N]
                   [--insert-fraction F] [--remove-fraction F] [--batches N]
   locec aggregate --world FILE --division FILE --out-agg FILE --out-model FILE [config]
@@ -71,7 +78,18 @@ USAGE:
 streaming updates: `evolve` records a timestamped edge-event stream against
 a world (and optionally writes the evolved world); `divide --update` applies
 the stream to the base world's graph, re-divides only the dirty egos and
-emits a division of the evolved graph byte-identical to a full `divide`.
+emits a division of the evolved graph byte-identical to a full `divide`
+(falling back to a plain full divide when most egos are dirty — the output
+is identical either way, only wall time differs).
+
+cluster: `coordinate` runs Phase I across worker processes — it spawns
+--workers local ones and accepts remote `locec worker --connect` peers on
+--listen, leases small ego ranges dynamically, re-queues the leases of dead
+or silent workers, merges shard results as they stream in, and writes a
+division snapshot byte-identical to a single-process `divide`. --ship-world
+sends workers the (graph-only) world over the wire instead of a snapshot
+path. The worker's --fail-after-leases/--hang-after-leases flags are
+failure-injection instrumentation for the fault-tolerance tests.
 
 config (all stages after synth; defaults in parentheses):
   --preset fast|default   LocecConfig preset (fast)
@@ -98,6 +116,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "synth" => cmd_synth(&parsed),
         "evolve" => cmd_evolve(&parsed),
         "divide" => cmd_divide(&parsed),
+        "coordinate" => cmd_coordinate(&parsed),
+        "worker" => cmd_worker(&parsed),
         "aggregate" => cmd_aggregate(&parsed),
         "train" => cmd_train(&parsed),
         "classify" => cmd_classify(&parsed),
@@ -118,7 +138,7 @@ struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["--merge", "--update", "--verify-pipeline"];
+const SWITCHES: &[&str] = &["--merge", "--update", "--verify-pipeline", "--ship-world"];
 
 impl Parsed {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -505,15 +525,10 @@ fn cmd_divide_update(
     out: &Path,
     config: &LocecConfig,
 ) -> Result<(), String> {
-    let base_division = load_division(&p.path("base")?).map_err(store_err)?;
-    if base_division.membership_table().len() != base_graph.volume() {
-        return Err(format!(
-            "base division does not match the base world: membership table covers {} adjacency \
-             slots, the graph has {}",
-            base_division.membership_table().len(),
-            base_graph.volume()
-        ));
-    }
+    // The base division — the largest artifact here — is loaded only once
+    // the incremental path is chosen below; the full-divide fallback never
+    // reads it.
+    let base_path = p.path("base")?;
     let world_delta = load_world_delta(&p.path("delta")?).map_err(store_err)?;
     if world_delta.num_nodes as usize != base_graph.num_nodes()
         || world_delta.base_num_edges as usize != base_graph.num_edges()
@@ -529,6 +544,42 @@ fn cmd_divide_update(
         .apply_delta(&graph_delta)
         .map_err(|e| e.to_string())?;
     let dirty = dirty_egos(base_graph, &graph_delta);
+
+    // Dirty-ego saturation: past the crossover fraction the incremental
+    // path re-divides nearly everything *and* pays the splice, so a plain
+    // full divide of the evolved graph is cheaper. Outputs are
+    // byte-identical either way — this only picks the faster route. The
+    // incremental path is kept whenever --out-delta is requested, since a
+    // division delta is exactly the fresh communities.
+    let n = applied.graph.num_nodes();
+    if !p.flags.contains_key("out-delta") && update_prefers_full_divide(dirty.len(), n) {
+        let communities = divide_range(&applied.graph, 0..n as u32, config);
+        let division =
+            DivisionResult::from_communities(&applied.graph, communities, config.threads);
+        let dt = t0.elapsed();
+        save_division(out, &applied.graph, &division).map_err(store_err)?;
+        println!(
+            "divide --update: {} of {} egos dirty ({:.1}%) — took the full-divide path \
+             ({} communities) in {:.3}s -> {}",
+            dirty.len(),
+            n,
+            100.0 * dirty.len() as f64 / n.max(1) as f64,
+            division.num_communities(),
+            dt.as_secs_f64(),
+            out.display()
+        );
+        return Ok(());
+    }
+
+    let base_division = load_division(&base_path).map_err(store_err)?;
+    if base_division.membership_table().len() != base_graph.volume() {
+        return Err(format!(
+            "base division does not match the base world: membership table covers {} adjacency \
+             slots, the graph has {}",
+            base_division.membership_table().len(),
+            base_graph.volume()
+        ));
+    }
     let fresh = divide_egos(&applied.graph, &dirty, config);
     let num_fresh = fresh.len();
     let division = if let Some(out_delta) = p.flags.get("out-delta").map(PathBuf::from) {
@@ -547,25 +598,130 @@ fn cmd_divide_update(
         locec::store::apply_division_delta(&applied.graph, &base_division, dd, config.threads)
             .map_err(store_err)?
     } else {
-        splice_update(
-            &applied.graph,
-            &base_division,
-            &dirty,
-            fresh,
-            config.threads,
-        )
+        // The base division is never reused: the owned splice moves clean
+        // communities instead of cloning them.
+        splice_update_owned(&applied.graph, base_division, &dirty, fresh, config.threads)
     };
     let dt = t0.elapsed();
     save_division(out, &applied.graph, &division).map_err(store_err)?;
     println!(
-        "divide --update: re-divided {} of {} egos ({} fresh communities, {} total) \
-         in {:.3}s -> {}",
+        "divide --update: took the incremental path — re-divided {} of {} egos \
+         ({} fresh communities, {} total) in {:.3}s -> {}",
         dirty.len(),
         applied.graph.num_nodes(),
         num_fresh,
         division.num_communities(),
         dt.as_secs_f64(),
         out.display()
+    );
+    Ok(())
+}
+
+/// `locec coordinate`: distributed Phase I. Spawns local worker processes
+/// (re-running this same binary with the `worker` subcommand), accepts any
+/// remote workers that connect, leases ego ranges dynamically, merges
+/// shard results as they stream in, and writes a division snapshot
+/// byte-identical to a single-process `locec divide`.
+fn cmd_coordinate(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &with_config(&[
+            "world",
+            "out",
+            "workers",
+            "listen",
+            "tasks",
+            "lease-timeout-ms",
+        ]),
+        &["--ship-world"],
+        false,
+    )?;
+    let world = p.path("world")?;
+    let out = p.path("out")?;
+    let config = p.locec_config()?;
+    let workers = p.num::<usize>("workers")?.unwrap_or(2);
+    let graph = StoredWorld::load_graph(&world).map_err(store_err)?;
+
+    let mut cfg = CoordinateConfig::new(config, workers);
+    if let Some(listen) = p.str("listen") {
+        cfg.listen = listen.to_owned();
+    }
+    if workers > 0 {
+        let program =
+            std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+        cfg.spawn = Some(WorkerSpawn {
+            program,
+            args: Vec::new(),
+        });
+    }
+    cfg.explicit_tasks = p.num::<u32>("tasks")?;
+    if let Some(ms) = p.num::<u64>("lease-timeout-ms")? {
+        cfg.lease_timeout = std::time::Duration::from_millis(ms.max(100));
+    }
+    cfg.ship_world_bytes = p.has("--ship-world");
+    cfg.verbose = true;
+
+    // Local workers load the world by path; shipping bytes supports
+    // remote-only setups with no shared filesystem.
+    let world_path = if cfg.ship_world_bytes {
+        None
+    } else {
+        // Workers may run in another working directory: hand them an
+        // absolute path.
+        Some(
+            world
+                .canonicalize()
+                .map_err(|e| format!("{}: {e}", world.display()))?,
+        )
+    };
+    let mut coordinator = Coordinator::bind(world_path, graph, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "coordinate: listening on {} ({} local workers)",
+        coordinator.local_addr(),
+        workers
+    );
+    let outcome = coordinator.run().map_err(|e| e.to_string())?;
+    save_division(&out, coordinator.graph(), &outcome.division).map_err(store_err)?;
+    let s = &outcome.stats;
+    println!(
+        "coordinate: {} tasks over {} workers ({} requeued, {} duplicate shards, \
+         {} respawns) -> {} communities in {:.3}s -> {}",
+        s.tasks,
+        s.workers_seen,
+        s.requeues,
+        s.duplicates_dropped,
+        s.respawns,
+        outcome.division.num_communities(),
+        s.wall.as_secs_f64(),
+        out.display()
+    );
+    Ok(())
+}
+
+/// `locec worker`: one cluster worker. Normally spawned by `coordinate`,
+/// but equally happy connecting across machines.
+fn cmd_worker(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &[
+            "connect",
+            "threads",
+            "fail-after-leases",
+            "hang-after-leases",
+        ],
+        &[],
+        false,
+    )?;
+    let addr = p
+        .str("connect")
+        .ok_or_else(|| "missing required --connect".to_owned())?;
+    let opts = WorkerOptions {
+        threads: p.num::<usize>("threads")?,
+        fail_after_leases: p.num::<u32>("fail-after-leases")?,
+        hang_after_leases: p.num::<u32>("hang-after-leases")?,
+    };
+    let report = run_worker(addr, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "worker: completed {} leases ({} egos divided)",
+        report.leases_completed, report.egos_divided
     );
     Ok(())
 }

@@ -14,6 +14,9 @@
 //! * [`core`] — the LoCEC three-phase framework itself.
 //! * [`store`] — versioned binary columnar snapshots of every pipeline
 //!   artifact, powering the sharded `locec` CLI.
+//! * [`cluster`] — the coordinator/worker subsystem that distributes
+//!   Phase I across processes or machines with streaming shard merge and
+//!   lease-based fault tolerance (`locec coordinate` / `locec worker`).
 //! * [`baselines`] — ProbWP, Economix and raw-XGBoost comparison methods.
 //!
 //! ## Quickstart
@@ -34,6 +37,7 @@
 //! ```
 
 pub use locec_baselines as baselines;
+pub use locec_cluster as cluster;
 pub use locec_community as community;
 pub use locec_core as core;
 pub use locec_graph as graph;

@@ -346,6 +346,95 @@ fn incremental_update_cli_matches_full_divide_byte_for_byte() {
 }
 
 #[test]
+fn saturated_update_falls_back_to_full_divide_byte_identically() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("locec_cli_saturated_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    run(
+        &dir,
+        &[
+            "synth",
+            "--preset",
+            "tiny",
+            "--seed",
+            "62",
+            "--out",
+            "world.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &[
+            "divide",
+            "--world",
+            "world.lsnap",
+            "--out",
+            "division.lsnap",
+        ],
+    );
+    // A churn heavy enough that the dirty-ego set saturates the graph: the
+    // update stage must notice and take the plain full-divide path.
+    run(
+        &dir,
+        &[
+            "evolve",
+            "--world",
+            "world.lsnap",
+            "--seed",
+            "9",
+            "--insert-fraction",
+            "0.4",
+            "--remove-fraction",
+            "0.4",
+            "--out",
+            "delta.lsnap",
+            "--out-world",
+            "world2.lsnap",
+        ],
+    );
+    let update_out = run(
+        &dir,
+        &[
+            "divide",
+            "--world",
+            "world.lsnap",
+            "--update",
+            "--base",
+            "division.lsnap",
+            "--delta",
+            "delta.lsnap",
+            "--out",
+            "division2.lsnap",
+        ],
+    );
+    assert!(
+        update_out.contains("full-divide path"),
+        "saturated update must log the fallback: {update_out}"
+    );
+    // The fallback's output is still byte-identical to a full divide of
+    // the evolved world.
+    run(
+        &dir,
+        &[
+            "divide",
+            "--world",
+            "world2.lsnap",
+            "--out",
+            "division2_full.lsnap",
+        ],
+    );
+    let updated = std::fs::read(dir.join("division2.lsnap")).unwrap();
+    let full = std::fs::read(dir.join("division2_full.lsnap")).unwrap();
+    assert!(
+        updated == full,
+        "fallback division snapshot differs from a full divide of the evolved world"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn cli_reports_typed_errors_without_panicking() {
     let dir: PathBuf =
         std::env::temp_dir().join(format!("locec_cli_errors_{}", std::process::id()));

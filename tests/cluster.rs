@@ -1,0 +1,184 @@
+//! Process-level tests of the cluster subsystem: `locec coordinate` must
+//! produce a division snapshot byte-identical to single-process
+//! `locec divide`, including when a worker process is killed mid-lease.
+
+use locec::cluster::{CoordinateConfig, Coordinator};
+use locec::core::LocecConfig;
+use locec::store::{save_division, StoredWorld};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_locec")
+}
+
+fn run(dir: &Path, args: &[&str]) -> String {
+    let out = Command::new(bin())
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn locec");
+    assert!(
+        out.status.success(),
+        "locec {args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("locec_cluster_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn coordinate_cli_is_byte_identical_to_single_process_divide() {
+    let dir = tmp_dir("cli");
+    run(
+        &dir,
+        &[
+            "synth",
+            "--preset",
+            "tiny",
+            "--seed",
+            "51",
+            "--out",
+            "world.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &["divide", "--world", "world.lsnap", "--out", "single.lsnap"],
+    );
+    // Two spawned local worker processes, path-mode world.
+    let out = run(
+        &dir,
+        &[
+            "coordinate",
+            "--world",
+            "world.lsnap",
+            "--out",
+            "clustered.lsnap",
+            "--workers",
+            "2",
+        ],
+    );
+    assert!(out.contains("coordinate:"), "output: {out}");
+    let single = std::fs::read(dir.join("single.lsnap")).unwrap();
+    let clustered = std::fs::read(dir.join("clustered.lsnap")).unwrap();
+    assert!(
+        single == clustered,
+        "clustered division snapshot differs from single-process divide"
+    );
+
+    // Same again with the world shipped over the wire instead of by path.
+    run(
+        &dir,
+        &[
+            "coordinate",
+            "--world",
+            "world.lsnap",
+            "--out",
+            "shipped.lsnap",
+            "--workers",
+            "2",
+            "--ship-world",
+        ],
+    );
+    let shipped = std::fs::read(dir.join("shipped.lsnap")).unwrap();
+    assert!(single == shipped, "ship-world run diverged");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn spawn_worker(addr: &str, extra: &[&str]) -> Child {
+    Command::new(bin())
+        .arg("worker")
+        .arg("--connect")
+        .arg(addr)
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker process")
+}
+
+#[test]
+fn killed_worker_process_mid_lease_is_survived_byte_identically() {
+    let dir = tmp_dir("kill");
+    run(
+        &dir,
+        &[
+            "synth",
+            "--preset",
+            "tiny",
+            "--seed",
+            "77",
+            "--out",
+            "world.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &["divide", "--world", "world.lsnap", "--out", "single.lsnap"],
+    );
+
+    // Coordinator in-process (so we can read its stats), workers as real
+    // OS processes. No local spawning: the test owns the fleet.
+    let world_path = dir.join("world.lsnap");
+    let graph = StoredWorld::load_graph(&world_path).unwrap();
+    let mut cfg = CoordinateConfig::new(LocecConfig::fast(), 0);
+    cfg.explicit_tasks = Some(8);
+    cfg.lease_timeout = Duration::from_secs(10);
+    cfg.stall_timeout = Duration::from_secs(120);
+    let mut coordinator = Coordinator::bind(Some(world_path), graph, cfg).unwrap();
+    let addr = coordinator.local_addr().to_string();
+
+    // The first worker dies the instant it receives a lease — the process
+    // exits abruptly, mid-lease, without a result (its exit code is the
+    // InjectedFailure error path). The second is healthy.
+    let mut doomed = spawn_worker(&addr, &["--fail-after-leases", "1"]);
+    let mut healthy = spawn_worker(&addr, &[]);
+
+    let outcome = coordinator.run().expect("coordination survives the kill");
+    assert!(
+        outcome.stats.requeues >= 1,
+        "the killed worker's lease must be re-queued (stats: {:?})",
+        outcome.stats
+    );
+    assert!(outcome.stats.workers_seen >= 2);
+
+    let doomed_status = doomed.wait().unwrap();
+    assert!(
+        !doomed_status.success(),
+        "the doomed worker must exit with an error"
+    );
+    healthy.wait().unwrap();
+
+    // The division assembled across the failure is byte-identical to the
+    // single-process snapshot.
+    let out_path = dir.join("clustered.lsnap");
+    save_division(&out_path, coordinator.graph(), &outcome.division).unwrap();
+    let single = std::fs::read(dir.join("single.lsnap")).unwrap();
+    let clustered = std::fs::read(&out_path).unwrap();
+    assert!(
+        single == clustered,
+        "division after worker kill differs from single-process divide"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_without_coordinator_fails_cleanly() {
+    let out = Command::new(bin())
+        .args(["worker", "--connect", "127.0.0.1:1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("locec:"));
+}
