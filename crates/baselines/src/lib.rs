@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Comparison methods from the LoCEC evaluation (paper §V).
 //!
 //! * [`probwp`] — the label-propagation edge classifier of Aggarwal, He &

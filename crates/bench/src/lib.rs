@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness code for the experiment binaries.
 //!
 //! Every table and figure of the paper has a binary in `src/bin/` that

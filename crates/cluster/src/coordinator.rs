@@ -265,7 +265,9 @@ impl Coordinator {
                 world: if self.cfg.ship_world_bytes {
                     WorldPayload::Bytes(StoredWorld::graph_only_bytes(&self.graph))
                 } else {
-                    let p = self.world_path.as_ref().expect("checked in bind");
+                    let p = self.world_path.as_ref().ok_or(ClusterError::Protocol(
+                        "coordinator built without a world path or --ship-world",
+                    ))?;
                     WorldPayload::Path(p.to_string_lossy().into_owned())
                 },
             }),
@@ -282,7 +284,7 @@ impl Coordinator {
             Arc::clone(&gate),
             Arc::clone(&stop),
             self.cfg.lease_timeout,
-        );
+        )?;
 
         let spawner = self.cfg.spawn.clone();
         let mut children: Vec<Child> = Vec::new();
@@ -411,7 +413,9 @@ impl Coordinator {
                     last_ping = Instant::now();
                     let ids: Vec<u64> = workers.keys().copied().collect();
                     for id in ids {
-                        let conn = workers.get_mut(&id).expect("collected above");
+                        let Some(conn) = workers.get_mut(&id) else {
+                            continue;
+                        };
                         if conn
                             .stream
                             .write_all(&ping_frame)
@@ -434,9 +438,11 @@ impl Coordinator {
                     if !queue.has_pending() {
                         break;
                     }
-                    let (lease_id, task) = queue
-                        .lease_next(id, Instant::now(), lease_timeout)
-                        .expect("has_pending checked");
+                    let Some((lease_id, task)) =
+                        queue.lease_next(id, Instant::now(), lease_timeout)
+                    else {
+                        break;
+                    };
                     let lease = Lease {
                         lease_id,
                         task_index: task.index,
@@ -444,7 +450,13 @@ impl Coordinator {
                         ego_start: task.start,
                         ego_end: task.end,
                     };
-                    let conn = workers.get_mut(&id).expect("idle workers are connected");
+                    let Some(conn) = workers.get_mut(&id) else {
+                        // Can't happen (idle ids come from the map), but if
+                        // it ever did, give the lease back instead of letting
+                        // it dangle until the timeout sweep.
+                        queue.requeue_worker(id);
+                        continue;
+                    };
                     if write_frame(&mut conn.stream, FrameType::Lease, &encode_lease(&lease))
                         .is_err()
                     {
@@ -570,14 +582,15 @@ fn spawn_accept_thread(
     gate: Arc<Gate>,
     stop: Arc<AtomicBool>,
     lease_timeout: Duration,
-) -> std::thread::JoinHandle<()> {
-    std::thread::Builder::new()
+) -> Result<std::thread::JoinHandle<()>, ClusterError> {
+    // Flip to nonblocking before the thread exists so a failure surfaces
+    // as a typed error at the call site instead of a panic in a thread
+    // nobody joins until teardown.
+    listener.set_nonblocking(true)?;
+    let handle = std::thread::Builder::new()
         .name("locec-cluster-accept".into())
         .spawn(move || {
             static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(1);
-            listener
-                .set_nonblocking(true)
-                .expect("set listener nonblocking");
             loop {
                 if stop.load(Ordering::SeqCst) {
                     return;
@@ -597,8 +610,8 @@ fn spawn_accept_thread(
                     Err(_) => std::thread::sleep(Duration::from_millis(25)),
                 }
             }
-        })
-        .expect("spawn accept thread")
+        })?;
+    Ok(handle)
 }
 
 /// Per-connection reader: handshake, then decode frames into events until

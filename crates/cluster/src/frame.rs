@@ -123,11 +123,11 @@ pub fn read_header<R: Read>(r: &mut R) -> Result<FrameHeader, ClusterError> {
     }
     let frame_type =
         FrameType::from_u8(buf[4]).ok_or(ClusterError::Protocol("unknown frame type"))?;
-    let len = u32::from_le_bytes(buf[5..9].try_into().unwrap());
+    let len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]);
     if len > MAX_FRAME_PAYLOAD {
         return Err(ClusterError::Protocol("frame payload exceeds the size cap"));
     }
-    let crc = u32::from_le_bytes(buf[9..13].try_into().unwrap());
+    let crc = u32::from_le_bytes([buf[9], buf[10], buf[11], buf[12]]);
     Ok(FrameHeader {
         frame_type,
         len,
@@ -180,6 +180,32 @@ mod tests {
             read_frame(&mut r),
             Err(ClusterError::ConnectionClosed)
         ));
+    }
+
+    #[test]
+    fn every_frame_type_roundtrips_through_the_wire() {
+        let all = [
+            FrameType::Hello,
+            FrameType::Welcome,
+            FrameType::Lease,
+            FrameType::ShardResult,
+            FrameType::Heartbeat,
+            FrameType::Shutdown,
+        ];
+        for (i, &ft) in all.iter().enumerate() {
+            // Distinct payloads per type, including the empty one.
+            let payload = vec![i as u8; i];
+            let wire = frame_bytes(ft, &payload).unwrap();
+            assert_eq!(FrameType::from_u8(wire[4]), Some(ft), "{ft:?}");
+            assert_eq!(
+                read_frame(&mut wire.as_slice()).unwrap(),
+                (ft, payload),
+                "{ft:?}"
+            );
+        }
+        // The registry ends at Shutdown: the next discriminant is unknown.
+        assert_eq!(FrameType::from_u8(0), None);
+        assert_eq!(FrameType::from_u8(FrameType::Shutdown as u8 + 1), None);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # locec_cluster — coordinator/worker distributed divide
 //!
 //! The orchestration layer that turns the sharded Phase I CLI

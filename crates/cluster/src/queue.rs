@@ -165,7 +165,7 @@ impl WorkQueue {
             .map(|(&id, _)| id)
             .collect();
         ids.into_iter()
-            .map(|id| self.leases.remove(&id).expect("collected above").worker)
+            .filter_map(|id| self.leases.remove(&id).map(|l| l.worker))
             .collect()
     }
 
@@ -189,7 +189,9 @@ impl WorkQueue {
             .collect();
         let mut requeued = 0;
         for id in ids {
-            let l = self.leases.remove(&id).expect("collected above");
+            let Some(l) = self.leases.remove(&id) else {
+                continue;
+            };
             if !self.done[l.task as usize] {
                 self.pending.push_front(l.task);
                 self.requeues += 1;

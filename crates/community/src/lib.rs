@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Community detection substrate for LoCEC.
 //!
 //! LoCEC Phase I runs the Girvan–Newman algorithm inside every ego network

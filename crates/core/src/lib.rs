@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # LoCEC — Local Community-based Edge Classification
 //!
 //! The three-phase framework of Song et al. (ICDE 2020) for classifying

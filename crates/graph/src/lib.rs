@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Graph substrate for the LoCEC reproduction.
 //!
 //! The LoCEC paper (Song et al., ICDE 2020) operates on the WeChat friendship

@@ -1,0 +1,167 @@
+//! The violation baseline: a committed ratchet for legacy debt.
+//!
+//! The baseline file maps `(rule, file)` to an allowed violation count.
+//! A lint run marks up to that many findings per `(rule, file)` as
+//! baselined — they are reported in the JSON artifact but do not fail the
+//! run — while the first finding *beyond* the allowance (a new violation,
+//! or one in a file with no entry) fails as usual. Counts only ratchet
+//! down: fixing a violation and re-running `locec lint --write-baseline`
+//! shrinks the file, and a later regression in the same file fails again.
+//!
+//! File format (line-oriented, `#` comments):
+//!
+//! ```text
+//! # rule  file  allowed-count
+//! R2 crates/store/src/format.rs 11
+//! ```
+
+use crate::diagnostics::{Finding, RuleId};
+use std::collections::HashMap;
+
+/// Parsed baseline: allowed violation counts keyed by `(rule, file)`.
+#[derive(Default)]
+pub struct Baseline {
+    counts: HashMap<(RuleId, String), usize>,
+}
+
+impl Baseline {
+    /// An empty baseline (every violation fails).
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Parses the baseline file format.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts = HashMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule_name), Some(file), Some(count)) =
+                (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `rule file count`, got '{line}'",
+                    lineno + 1
+                ));
+            };
+            let Some(rule) = RuleId::all()
+                .into_iter()
+                .find(|r| r.matches_name(rule_name))
+            else {
+                return Err(format!(
+                    "baseline line {}: unknown rule '{rule_name}'",
+                    lineno + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: invalid count '{count}'", lineno + 1))?;
+            *counts.entry((rule, file.to_owned())).or_insert(0) += count;
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Total allowed violations across all entries.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Marks up to the allowed count of findings per `(rule, file)` as
+    /// baselined, earliest findings first. Returns how many were marked.
+    pub fn apply(&self, findings: &mut [Finding]) -> usize {
+        let mut remaining = self.counts.clone();
+        let mut marked = 0usize;
+        for f in findings.iter_mut() {
+            let key = (f.rule, f.file.clone());
+            if let Some(n) = remaining.get_mut(&key) {
+                if *n > 0 {
+                    *n -= 1;
+                    f.baselined = true;
+                    marked += 1;
+                }
+            }
+        }
+        marked
+    }
+
+    /// Renders a baseline file covering the given findings.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut counts: HashMap<(RuleId, &str), usize> = HashMap::new();
+        for f in findings {
+            *counts.entry((f.rule, f.file.as_str())).or_insert(0) += 1;
+        }
+        let mut entries: Vec<((RuleId, &str), usize)> = counts.into_iter().collect();
+        entries.sort();
+        let mut out = String::from(
+            "# locec lint baseline — legacy violations allowed per (rule, file).\n\
+             # Regenerate with `locec lint --write-baseline` after a burn-down;\n\
+             # counts must only ever shrink. New violations fail regardless.\n",
+        );
+        for ((rule, file), count) in entries {
+            out.push_str(&format!("{} {} {}\n", rule.id(), file, count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            col: 1,
+            message: "m".into(),
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn baseline_absorbs_up_to_count_then_fails() {
+        let b = Baseline::parse("# comment\nR2 a.rs 2\n").unwrap();
+        let mut fs = vec![
+            finding(RuleId::R2, "a.rs", 1),
+            finding(RuleId::R2, "a.rs", 2),
+            finding(RuleId::R2, "a.rs", 3),
+            finding(RuleId::R2, "b.rs", 1),
+            finding(RuleId::R1, "a.rs", 1),
+        ];
+        assert_eq!(b.apply(&mut fs), 2);
+        let failing: Vec<u32> = fs.iter().filter(|f| !f.baselined).map(|f| f.line).collect();
+        assert_eq!(failing.len(), 3);
+        assert!(fs[0].baselined && fs[1].baselined);
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let fs = vec![
+            finding(RuleId::R2, "a.rs", 1),
+            finding(RuleId::R2, "a.rs", 2),
+            finding(RuleId::R5, "b.rs", 9),
+        ];
+        let text = Baseline::render(&fs);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.total(), 3);
+        let mut fs2 = fs.clone();
+        assert_eq!(b.apply(&mut fs2), 3);
+    }
+
+    #[test]
+    fn bad_lines_are_errors() {
+        assert!(Baseline::parse("R9 a.rs 1").is_err());
+        assert!(Baseline::parse("R2 a.rs many").is_err());
+        assert!(Baseline::parse("R2").is_err());
+    }
+
+    #[test]
+    fn slugs_are_accepted_as_rule_names() {
+        let b = Baseline::parse("panic-freedom a.rs 1").unwrap();
+        assert_eq!(b.total(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! R1 — unsafe-containment: `unsafe` tokens are permitted only inside the
+//! configured runtime prefix. Everywhere else — library code, tests,
+//! benches — an `unsafe` keyword is a containment breach, because the
+//! workspace's soundness argument ("all unsafe lives in `crates/runtime`
+//! and is reviewed there") stops being checkable the moment a second
+//! crate acquires any.
+//!
+//! The containment is also locked in at the source: every crate root
+//! (`src/lib.rs`) outside the runtime prefix must carry
+//! `#![forbid(unsafe_code)]`, so a breach fails `rustc` itself, not just
+//! this lint.
+
+use super::{in_scope, LintConfig};
+use crate::diagnostics::{Finding, RuleId};
+use crate::workspace::Workspace;
+
+pub(super) fn run(ws: &Workspace, cfg: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if in_scope(&file.rel, &cfg.unsafe_allowed_prefixes) {
+            continue;
+        }
+        let tokens = file.tokens();
+        for tok in tokens {
+            if tok.is_ident("unsafe") {
+                out.push(Finding {
+                    rule: RuleId::R1,
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "`unsafe` outside the runtime crate (allowed prefixes: {}) — move the \
+                         unsafe code behind a safe runtime API instead",
+                        cfg.unsafe_allowed_prefixes.join(", ")
+                    ),
+                    baselined: false,
+                });
+            }
+        }
+        if is_crate_root(&file.rel) && !has_forbid_unsafe(tokens) {
+            out.push(Finding {
+                rule: RuleId::R1,
+                file: file.rel.clone(),
+                line: 1,
+                col: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]` — every crate \
+                          outside the runtime prefix must lock unsafe out at the compiler level"
+                    .to_owned(),
+                baselined: false,
+            });
+        }
+    }
+    out
+}
+
+/// Whether `rel` is a library crate root (`src/lib.rs` of the facade or of
+/// any workspace crate).
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"))
+}
+
+/// Whether the token stream contains the inner attribute
+/// `#![forbid(unsafe_code)]`.
+fn has_forbid_unsafe(tokens: &[crate::scanner::Token]) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}

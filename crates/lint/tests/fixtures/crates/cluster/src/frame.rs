@@ -1,0 +1,39 @@
+//! Known-bad fixture for R4: a miniature `FrameType` registry at the real
+//! declaring path, where `Hello` has all three legs (decode arm, encode
+//! use, test mention) and `Rogue` has none — so exactly one finding fires,
+//! on `Rogue`'s declaration line.
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Fully wired variant: decoded, encoded, tested.
+    Hello = 1,
+    /// Added without finishing the job — the R4 target.
+    Rogue = 2,
+}
+
+impl FrameType {
+    /// Parses the header field; `Rogue` is deliberately absent.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => FrameType::Hello,
+            _ => return None,
+        })
+    }
+}
+
+/// The encode use of `Hello` (non-test code, outside the decoder).
+pub fn handshake_type() -> FrameType {
+    FrameType::Hello
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_is_wired() {
+        assert_eq!(FrameType::from_u8(1), Some(FrameType::Hello));
+        assert_eq!(handshake_type() as u8, 1);
+    }
+}

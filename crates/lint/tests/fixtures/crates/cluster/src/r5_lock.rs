@@ -1,0 +1,13 @@
+//! Known-bad fixture for R5: a writer-mutex guard held across a blocking
+//! socket write, with no `drop` and no justifying pragma. The lock is
+//! taken with the poisoned-lock idiom, so R2 stays silent and the only
+//! finding is the `write_all` under the live guard.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub fn send(shared: &Mutex<TcpStream>, bytes: &[u8]) -> std::io::Result<()> {
+    let mut sock = shared.lock().unwrap_or_else(|e| e.into_inner());
+    sock.write_all(bytes)
+}

@@ -1,0 +1,16 @@
+//! Known-bad fixture for R2: an `.unwrap()` on the non-test side of a
+//! panic-scoped crate. The comment mentioning unwrap here must NOT count —
+//! only the real call below may fire, and exactly once.
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse::<u16>().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_code_is_fine() {
+        // Test code may unwrap freely; this must not be flagged.
+        assert_eq!(super::parse_port("80"), "80".parse::<u16>().unwrap());
+    }
+}

@@ -1,0 +1,8 @@
+//! Known-bad fixture for R3: the snapshot magic re-spelled as a byte
+//! literal outside its declaring module. The string "LOCECSNP" in this
+//! doc comment must not count — the scanner never tokenizes comments —
+//! so the literal below is the only finding.
+
+pub fn looks_like_snapshot(head: &[u8]) -> bool {
+    head.starts_with(b"LOCECSNP")
+}

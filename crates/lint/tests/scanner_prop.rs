@@ -1,0 +1,99 @@
+//! Property test: hazard words (`unsafe`, `unwrap`, magic bytes, pragma
+//! text…) placed inside strings, raw strings, byte strings, char literals
+//! and nested block comments must never leak out as identifier tokens —
+//! and real identifiers around the containers must always survive. A
+//! misclassification in either direction would make every rule built on
+//! the scanner wrong.
+
+use locec_lint::scanner::{scan, TokenKind};
+use proptest::prelude::*;
+
+/// Words that would trip a rule if the scanner ever saw them as idents.
+// locec-lint: allow(R3) — hazard corpus for the scanner property test; the magic is test input, not a format declaration.
+const HAZARDS: &[&str] = &["unsafe", "unwrap", "panic", "LOCECSNP", "write_frame"];
+
+/// Renders hazard `w` inside container `c`, returning the snippet. Every
+/// container hides its contents from the token stream (strings produce a
+/// single literal token whose text is checked separately).
+fn container(c: usize, w: &str) -> String {
+    match c {
+        0 => format!("// {w} in a line comment\n"),
+        1 => format!("/* {w} /* nested {w} */ still comment {w} */\n"),
+        2 => format!("let s = \"{w} \\\"escaped\\\" {w}\";\n"),
+        3 => format!("let r = r#\"{w} \"quoted\" {w}\"#;\n"),
+        4 => format!("let b = b\"{w}\";\n"),
+        5 => {
+            // Char literal of the word's first byte; must scan as Char,
+            // not as a lifetime or the start of a string.
+            let ch = w.as_bytes()[0] as char;
+            format!("let c = '{ch}';\n")
+        }
+        _ => format!("// locec-lint: allow(R2) — {w} inside a string below\nlet p = \"locec-lint: allow(R1) — {w}\";\n"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hazards_inside_containers_never_become_idents(
+        picks in proptest::collection::vec((0usize..7, 0usize..HAZARDS.len()), 1..24)
+    ) {
+        let mut src = String::new();
+        for (i, &(c, wi)) in picks.iter().enumerate() {
+            // A real function between containers: these idents MUST survive.
+            src.push_str(&format!("fn keep_{i}() {{\n"));
+            src.push_str(&container(c, HAZARDS[wi]));
+            src.push_str("}\n");
+        }
+        let scanned = scan(&src);
+
+        // 1. No hazard ever surfaces as an identifier.
+        for t in &scanned.tokens {
+            if t.kind == TokenKind::Ident {
+                prop_assert!(
+                    !HAZARDS.contains(&t.text.as_str()),
+                    "hazard `{}` leaked out of its container at line {}",
+                    t.text,
+                    t.line
+                );
+            }
+        }
+
+        // 2. Every surrounding function survives: one `fn` + `keep_i` pair
+        //    per snippet, in order.
+        let keeps: Vec<&str> = scanned
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text.starts_with("keep_"))
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(keeps.len(), picks.len());
+        for (i, k) in keeps.iter().enumerate() {
+            prop_assert_eq!(*k, format!("keep_{i}"));
+        }
+
+        // 3. Pragmas only register from real comments (container 6 emits
+        //    exactly one comment pragma; the string copy must not parse).
+        let comment_pragmas = picks.iter().filter(|&&(c, _)| c == 6).count();
+        prop_assert_eq!(scanned.pragmas.len(), comment_pragmas);
+        for p in &scanned.pragmas {
+            prop_assert_eq!(p.rules.as_slice(), ["R2".to_owned()].as_slice());
+            prop_assert!(p.has_reason());
+        }
+
+        // 4. Char-literal containers scan as Char, never as Lifetime.
+        let chars = scanned
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        let lifetimes = scanned
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        prop_assert_eq!(chars, picks.iter().filter(|&&(c, _)| c == 5).count());
+        prop_assert_eq!(lifetimes, 0);
+    }
+}

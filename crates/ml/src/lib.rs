@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Machine-learning substrate for the LoCEC reproduction, written from
 //! scratch on `std` + `rand`.
 //!

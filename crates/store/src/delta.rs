@@ -137,10 +137,7 @@ pub fn load_world_delta(path: &Path) -> Result<WorldDelta, SnapshotError> {
             .ok_or(SnapshotError::Corrupt("interaction row overflow"))?,
     )?;
     dec.done()?;
-    let rows: Vec<[f32; INTERACTION_DIMS]> = flat
-        .chunks_exact(INTERACTION_DIMS)
-        .map(|c| c.try_into().unwrap())
-        .collect();
+    let rows: Vec<[f32; INTERACTION_DIMS]> = crate::format::rows_of(&flat);
 
     let mut batches = Vec::with_capacity(num_batches);
     let (mut ins_at, mut rem_at) = (0usize, 0usize);

@@ -244,6 +244,32 @@ impl Enc {
     }
 }
 
+/// Copies an already-bounds-checked slice into a fixed-size array without
+/// a panicking `try_into().unwrap()`. Every caller passes exactly `N`
+/// bytes (from `take(N)` or `chunks_exact(N)`); a shorter slice — which
+/// would indicate a decoder bug, not corrupt input — zero-pads instead of
+/// panicking, keeping the decode path free of panic branches.
+fn array<const N: usize>(slice: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    let n = slice.len().min(N);
+    out[..n].copy_from_slice(&slice[..n]);
+    out
+}
+
+/// Groups a flat decoded `f32` vector into fixed-width rows.
+/// `chunks_exact` yields slices of exactly `N`, so the per-row copy
+/// cannot fail; a trailing partial chunk (a decoder-shape bug) is
+/// dropped by `chunks_exact` rather than panicking.
+pub(crate) fn rows_of<const N: usize>(flat: &[f32]) -> Vec<[f32; N]> {
+    flat.chunks_exact(N)
+        .map(|c| {
+            let mut row = [0f32; N];
+            row.copy_from_slice(c);
+            row
+        })
+        .collect()
+}
+
 /// Bounds-checked little-endian payload decoder.
 pub struct Dec<'a> {
     buf: &'a [u8],
@@ -273,17 +299,17 @@ impl<'a> Dec<'a> {
 
     /// Reads one little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(array(self.take(4)?)))
     }
 
     /// Reads one little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(array(self.take(8)?)))
     }
 
     /// Reads one little-endian `f32`.
     pub fn f32(&mut self) -> Result<f32, SnapshotError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(array(self.take(4)?)))
     }
 
     /// Reads a `u64` and narrows it to `usize`.
@@ -298,7 +324,7 @@ impl<'a> Dec<'a> {
         let bytes = self.take(count.checked_mul(4).ok_or(SnapshotError::Truncated)?)?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| u32::from_le_bytes(array(c)))
             .collect())
     }
 
@@ -307,7 +333,7 @@ impl<'a> Dec<'a> {
         let bytes = self.take(count.checked_mul(4).ok_or(SnapshotError::Truncated)?)?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f32::from_le_bytes(array(c)))
             .collect())
     }
 
@@ -409,7 +435,7 @@ impl Snapshot {
         }
         let mut table = Vec::with_capacity(count);
         for _ in 0..count {
-            let name_len = u16::from_le_bytes(dec.take(2)?.try_into().unwrap()) as usize;
+            let name_len = u16::from_le_bytes(array(dec.take(2)?)) as usize;
             if name_len > MAX_SECTION_NAME {
                 return Err(SnapshotError::Corrupt("section name too long"));
             }
@@ -535,13 +561,13 @@ impl LazySnapshot {
         if got < head.len() {
             return Err(SnapshotError::Truncated);
         }
-        let version = u32::from_le_bytes(head[8..12].try_into().unwrap());
+        let version = u32::from_le_bytes(array(&head[8..12]));
         if version != FORMAT_VERSION {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
-        let kind_raw = u32::from_le_bytes(head[12..16].try_into().unwrap());
+        let kind_raw = u32::from_le_bytes(array(&head[12..16]));
         let kind = SnapshotKind::from_u32(kind_raw).ok_or(SnapshotError::UnknownKind(kind_raw))?;
-        let count = u32::from_le_bytes(head[16..20].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(array(&head[16..20])) as usize;
         if (count as u64).saturating_mul(14) > file_len {
             return Err(SnapshotError::Truncated);
         }
@@ -563,9 +589,9 @@ impl LazySnapshot {
                 .map_err(|_| SnapshotError::Corrupt("section name is not UTF-8"))?;
             let mut rest = [0u8; 12];
             read_exact_or_typed(&mut file, &mut rest)?;
-            let len = usize::try_from(u64::from_le_bytes(rest[..8].try_into().unwrap()))
+            let len = usize::try_from(u64::from_le_bytes(array(&rest[..8])))
                 .map_err(|_| SnapshotError::Corrupt("section length exceeds usize"))?;
-            let crc = u32::from_le_bytes(rest[8..12].try_into().unwrap());
+            let crc = u32::from_le_bytes(array(&rest[8..12]));
             cursor += 2 + name_len as u64 + 12;
             payload_total = payload_total
                 .checked_add(len as u64)
@@ -693,6 +719,34 @@ mod tests {
             snap.section("gamma"),
             Err(SnapshotError::MissingSection("gamma"))
         ));
+    }
+
+    #[test]
+    fn every_snapshot_kind_roundtrips_through_the_header() {
+        let all = [
+            SnapshotKind::World,
+            SnapshotKind::Division,
+            SnapshotKind::DivisionShard,
+            SnapshotKind::Aggregation,
+            SnapshotKind::CommunityModel,
+            SnapshotKind::EdgeModel,
+            SnapshotKind::Labels,
+            SnapshotKind::WorldDelta,
+            SnapshotKind::DivisionDelta,
+        ];
+        for &kind in &all {
+            let bytes = SnapshotWriter::new(kind).to_bytes();
+            let snap = Snapshot::from_bytes(&bytes).unwrap();
+            assert_eq!(snap.kind(), kind, "{kind:?}");
+            assert_eq!(SnapshotKind::from_u32(kind as u32), Some(kind), "{kind:?}");
+            assert!(!kind.name().is_empty(), "{kind:?}");
+        }
+        // The registry is dense and ends at DivisionDelta.
+        assert_eq!(SnapshotKind::from_u32(0), None);
+        assert_eq!(
+            SnapshotKind::from_u32(SnapshotKind::DivisionDelta as u32 + 1),
+            None
+        );
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # locec_store — binary snapshot persistence for LoCEC pipelines
 //!
 //! The I/O layer that turns the in-process three-phase pipeline into a

@@ -140,10 +140,7 @@ impl StoredWorld {
         }
         let flat = dec.f32_vec(rows * USER_FEATURE_DIMS)?;
         dec.done()?;
-        let user_features: Vec<[f32; USER_FEATURE_DIMS]> = flat
-            .chunks_exact(USER_FEATURE_DIMS)
-            .map(|c| c.try_into().unwrap())
-            .collect();
+        let user_features: Vec<[f32; USER_FEATURE_DIMS]> = crate::format::rows_of(&flat);
 
         let mut dec = snap.section("interactions")?;
         let rows = dec.count()?;
@@ -152,11 +149,7 @@ impl StoredWorld {
         }
         let flat = dec.f32_vec(rows * INTERACTION_DIMS)?;
         dec.done()?;
-        let interactions = EdgeInteractions::from_rows(
-            flat.chunks_exact(INTERACTION_DIMS)
-                .map(|c| c.try_into().unwrap())
-                .collect(),
-        );
+        let interactions = EdgeInteractions::from_rows(crate::format::rows_of(&flat));
 
         let labeled = decode_label_set(snap.section("labels")?, graph.num_edges())?;
         let train_edges = decode_label_set(snap.section("train")?, graph.num_edges())?;

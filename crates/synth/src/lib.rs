@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic WeChat-like social world.
 //!
 //! The paper evaluates on Tencent's production WeChat graph, its Moments

@@ -74,6 +74,7 @@ USAGE:
   locec classify  --world FILE --division FILE --agg FILE --model FILE
                   --out FILE [--verify-pipeline] [config]
   locec inspect   FILE...
+  locec lint      [--root DIR] [--baseline FILE] [--json] [--write-baseline]
 
 streaming updates: `evolve` records a timestamped edge-event stream against
 a world (and optionally writes the evolved world); `divide --update` applies
@@ -90,6 +91,14 @@ division snapshot byte-identical to a single-process `divide`. --ship-world
 sends workers the (graph-only) world over the wire instead of a snapshot
 path. The worker's --fail-after-leases/--hang-after-leases flags are
 failure-injection instrumentation for the fault-tolerance tests.
+
+lint: `lint` runs the workspace static-analysis pass (unsafe-containment,
+panic-freedom, wire-constant single-declaration, registry exhaustiveness,
+lock-hygiene) over --root (default `.`) and exits non-zero on any finding
+not absorbed by --baseline (default `ROOT/lint-baseline.txt`, missing file
+= empty). --json emits the machine-readable report for CI;
+--write-baseline rewrites the baseline to the current findings instead of
+failing.
 
 config (all stages after synth; defaults in parentheses):
   --preset fast|default   LocecConfig preset (fast)
@@ -122,6 +131,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "train" => cmd_train(&parsed),
         "classify" => cmd_classify(&parsed),
         "inspect" => cmd_inspect(&parsed),
+        "lint" => cmd_lint(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -138,7 +148,14 @@ struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["--merge", "--update", "--verify-pipeline", "--ship-world"];
+const SWITCHES: &[&str] = &[
+    "--merge",
+    "--update",
+    "--verify-pipeline",
+    "--ship-world",
+    "--json",
+    "--write-baseline",
+];
 
 impl Parsed {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -1016,6 +1033,72 @@ fn cmd_inspect(p: &Parsed) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_lint(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &["root", "baseline"],
+        &["--json", "--write-baseline"],
+        false,
+    )?;
+    let root = p
+        .str("root")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let baseline_path = p
+        .str("baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("lint-baseline.txt"));
+    let baseline = if p.has("--write-baseline") || !baseline_path.exists() {
+        locec::lint::Baseline::empty()
+    } else {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        locec::lint::Baseline::parse(&text)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?
+    };
+    let cfg = locec::lint::LintConfig::locec_defaults();
+    let outcome = locec::lint::lint(&root, &cfg, &baseline)
+        .map_err(|e| format!("lint: scanning {}: {e}", root.display()))?;
+
+    if p.has("--write-baseline") {
+        let rendered = locec::lint::Baseline::render(&outcome.findings);
+        std::fs::write(&baseline_path, rendered)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "lint: wrote baseline {} ({} finding(s) over {} file(s))",
+            baseline_path.display(),
+            outcome.findings.len(),
+            outcome.files_scanned
+        );
+        return Ok(());
+    }
+
+    if p.has("--json") {
+        println!("{}", outcome.to_json());
+    } else {
+        for f in &outcome.findings {
+            if f.baselined {
+                println!("{f} [baselined]");
+            } else {
+                println!("{f}");
+            }
+        }
+        let new = outcome.new_violations().count();
+        let baselined = outcome.findings.len() - new;
+        println!(
+            "lint: {} file(s) scanned, {} new violation(s), {} baselined, {} pragma-suppressed",
+            outcome.files_scanned, new, baselined, outcome.pragma_suppressed
+        );
+    }
+    if outcome.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint: {} new violation(s) not covered by the baseline",
+            outcome.new_violations().count()
+        ))
+    }
 }
 
 fn load_community_model_kind(path: &Path) -> Result<&'static str, String> {

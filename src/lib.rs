@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # LoCEC — Local Community-based Edge Classification
 //!
 //! A full Rust reproduction of *"LoCEC: Local Community-based Edge
@@ -18,6 +19,8 @@
 //!   Phase I across processes or machines with streaming shard merge and
 //!   lease-based fault tolerance (`locec coordinate` / `locec worker`).
 //! * [`baselines`] — ProbWP, Economix and raw-XGBoost comparison methods.
+//! * [`lint`] — the workspace's own static-analysis pass (`locec lint`):
+//!   panic-safety, unsafe-containment and wire-format invariants.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@ pub use locec_cluster as cluster;
 pub use locec_community as community;
 pub use locec_core as core;
 pub use locec_graph as graph;
+pub use locec_lint as lint;
 pub use locec_ml as ml;
 pub use locec_store as store;
 pub use locec_synth as synth;
