@@ -1,5 +1,6 @@
 //! The coordinator: accepts workers, hands out leases, merges shard
-//! results as they stream in, and survives worker failure.
+//! results as they stream in, and survives worker failure — including its
+//! own, via checkpoint-resume.
 //!
 //! ## Threads
 //!
@@ -24,28 +25,48 @@
 //!
 //! A worker that disconnects or misses its lease deadline (heartbeats
 //! refresh it) has its leases re-queued at the front of the work queue and
-//! its socket shut down. Re-queues can race a slow delivery, so absorption
-//! is idempotent: results are deduped by task, then by ego range inside
-//! the merge. If the coordinator spawned local workers, dead ones are
-//! respawned from a bounded budget; when the budget is exhausted and no
-//! worker remains, coordination fails with a typed error instead of
+//! its socket shut down; a worker whose heartbeats report it *idle* while
+//! it nominally holds a lease lost that lease (or its result) in transit,
+//! and the task is re-queued without waiting out the deadline. A
+//! reconnecting worker presents its prior worker id and this run's nonce,
+//! so its dead incarnation's leases are re-queued immediately. Re-queues
+//! can race a slow delivery, so absorption is idempotent: results are
+//! deduped by task, then by ego range inside the merge. If the coordinator
+//! spawned local workers, dead ones are respawned from a bounded budget;
+//! when the budget is exhausted and no worker remains, coordination fails
+//! with a typed error carrying each worker's last-known state instead of
 //! hanging.
+//!
+//! ## Checkpoint-resume
+//!
+//! With [`CoordinateConfig::checkpoint`] set, the absorbed merge state is
+//! persisted after absorptions (throttled by
+//! [`CoordinateConfig::checkpoint_every`]) as an atomic
+//! [`locec_store::DivisionCheckpoint`] snapshot. A restarted coordinator
+//! pointed at that file via [`CoordinateConfig::resume_from`] re-queues
+//! only the tasks whose ranges the checkpoint does not cover — the divide
+//! parameters are cross-checked so a resume under a different
+//! configuration is a typed error, never a silently mixed division.
 
-use crate::frame::{frame_bytes, read_header, read_payload, write_frame, FrameType};
+use crate::fault::{splitmix64, FaultPlan, FaultyTransport};
+use crate::frame::{read_header, read_payload, write_frame, FrameType};
 use crate::protocol::{
-    decode_hello, decode_shard_result, encode_lease, encode_welcome, DivideParams, Lease, Welcome,
-    WorldPayload, PROTOCOL_VERSION,
+    decode_heartbeat, decode_hello, decode_shard_result, encode_lease, encode_reject,
+    encode_welcome, handshake_mac, DivideParams, Hello, Lease, RejectReason, Welcome, WorldPayload,
+    AUTH_KEYED, PROTOCOL_VERSION,
 };
 use crate::queue::WorkQueue;
 use crate::ClusterError;
 use locec_core::phase1::DivisionResult;
 use locec_core::LocecConfig;
 use locec_graph::CsrGraph;
-use locec_store::{shard_from_bytes, IncrementalMerge, StoredWorld};
+use locec_store::{
+    load_division_checkpoint, save_division_checkpoint, shard_from_bytes, DivisionCheckpoint,
+    IncrementalMerge, StoredWorld,
+};
 use std::collections::HashMap;
-use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, Sender};
@@ -53,13 +74,16 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// How to launch a local worker process: `program [args…] worker
-/// --connect ADDR`.
+/// --connect ADDR [worker_args…]`.
 #[derive(Clone, Debug)]
 pub struct WorkerSpawn {
     /// The binary to execute (normally `std::env::current_exe()`).
     pub program: PathBuf,
     /// Arguments inserted before the `worker` subcommand.
     pub args: Vec<String>,
+    /// Arguments appended after `worker --connect ADDR` — how spawned
+    /// workers get their own `--fault-plan`, `--secret` or retry flags.
+    pub worker_args: Vec<String>,
 }
 
 /// Coordinator configuration.
@@ -82,6 +106,9 @@ pub struct CoordinateConfig {
     /// A lease with no heartbeat for this long is re-queued and its worker
     /// declared dead.
     pub lease_timeout: Duration,
+    /// Cadence of both directions' liveness pings; `None` derives
+    /// `lease_timeout / 4`.
+    pub heartbeat_interval: Option<Duration>,
     /// Ship the (graph-only) world inline in the Welcome instead of a
     /// snapshot path — for workers that share no filesystem.
     pub ship_world_bytes: bool,
@@ -90,6 +117,20 @@ pub struct CoordinateConfig {
     /// Give up when no worker is connected and nothing has happened for
     /// this long.
     pub stall_timeout: Duration,
+    /// Persist the merge state here after absorptions (atomic
+    /// write-then-rename), making the run resumable after a crash.
+    pub checkpoint: Option<PathBuf>,
+    /// Minimum time between checkpoint writes; zero (the default)
+    /// checkpoints after every absorbed shard.
+    pub checkpoint_every: Duration,
+    /// Resume from a checkpoint written by an earlier run over the same
+    /// world and divide parameters: only uncovered tasks are re-queued.
+    pub resume_from: Option<PathBuf>,
+    /// Shared secret for the authenticated handshake; workers that do not
+    /// prove it are rejected with a typed reason.
+    pub secret: Option<String>,
+    /// Deterministic fault injection on the coordinator's outgoing frames.
+    pub fault_plan: Option<FaultPlan>,
     /// Progress lines on stderr.
     pub verbose: bool,
     /// The divide configuration (Phase-I-relevant fields are shipped to
@@ -107,9 +148,15 @@ impl CoordinateConfig {
             tasks_per_worker: 4,
             explicit_tasks: None,
             lease_timeout: Duration::from_secs(10),
+            heartbeat_interval: None,
             ship_world_bytes: false,
             max_respawns: 8,
             stall_timeout: Duration::from_secs(300),
+            checkpoint: None,
+            checkpoint_every: Duration::ZERO,
+            resume_from: None,
+            secret: None,
+            fault_plan: None,
             verbose: false,
             divide,
         }
@@ -121,7 +168,7 @@ impl CoordinateConfig {
 pub struct CoordinateStats {
     /// Total tasks in the queue.
     pub tasks: u32,
-    /// Workers that completed the handshake.
+    /// Workers that completed a *first* handshake (reconnects excluded).
     pub workers_seen: u64,
     /// Tasks re-queued after lease loss.
     pub requeues: u64,
@@ -129,6 +176,10 @@ pub struct CoordinateStats {
     pub duplicates_dropped: u64,
     /// Replacement local workers spawned.
     pub respawns: u32,
+    /// Handshakes that resumed a prior worker identity of this run.
+    pub reconnects: u64,
+    /// Checkpoint snapshots written.
+    pub checkpoints_written: u64,
     /// Wall-clock time of the run.
     pub wall: Duration,
 }
@@ -144,11 +195,35 @@ pub struct CoordinateOutcome {
 
 /// Events the accept/reader threads feed the coordinator.
 enum Event {
-    Connected { id: u64, stream: TcpStream },
-    Heartbeat { id: u64 },
-    ResultIncoming { id: u64 },
-    Result { id: u64, payload: Vec<u8> },
-    Disconnected { id: u64 },
+    Connected {
+        id: u64,
+        hello: Hello,
+        stream: TcpStream,
+    },
+    Heartbeat {
+        id: u64,
+        busy: bool,
+        completed: u64,
+    },
+    ResultIncoming {
+        id: u64,
+    },
+    Result {
+        id: u64,
+        payload: Vec<u8>,
+    },
+    Disconnected {
+        id: u64,
+    },
+}
+
+/// Last-known state of a worker, kept for stall diagnostics: when a run
+/// dies with [`ClusterError::Stalled`], the error says what each worker
+/// was last seen doing instead of just "no progress".
+struct WorkerDiag {
+    last_heartbeat: Instant,
+    leases_completed: u64,
+    connected: bool,
 }
 
 /// A single-permit gate bounding how many unmerged shard payloads exist in
@@ -250,30 +325,93 @@ impl Coordinator {
     pub fn run(&mut self) -> Result<CoordinateOutcome, ClusterError> {
         let started = Instant::now();
         let n = self.graph.num_nodes();
-        let task_count = self.cfg.explicit_tasks.unwrap_or_else(|| {
-            (self.cfg.local_workers.max(1) as u32).saturating_mul(self.cfg.tasks_per_worker)
-        });
-        let mut queue = WorkQueue::new(n, task_count.max(1));
-        let mut merge = IncrementalMerge::new(&self.graph);
-        let welcome = frame_bytes(
-            FrameType::Welcome,
-            &encode_welcome(&Welcome {
-                protocol_version: PROTOCOL_VERSION,
-                num_nodes: n as u64,
-                heartbeat_interval_ms: (self.cfg.lease_timeout / 4).as_millis().max(10) as u64,
-                params: DivideParams::from_config(&self.cfg.divide),
-                world: if self.cfg.ship_world_bytes {
-                    WorldPayload::Bytes(StoredWorld::graph_only_bytes(&self.graph))
-                } else {
-                    let p = self.world_path.as_ref().ok_or(ClusterError::Protocol(
-                        "coordinator built without a world path or --ship-world",
-                    ))?;
-                    WorldPayload::Path(p.to_string_lossy().into_owned())
-                },
-            }),
-        )?;
-        let shutdown_frame = frame_bytes(FrameType::Shutdown, &[])?;
-        let ping_frame = frame_bytes(FrameType::Heartbeat, &[])?;
+        let params = DivideParams::from_config(&self.cfg.divide);
+        // A restart identifies itself with a fresh nonce so worker ids
+        // minted by a previous run are never honored by this one.
+        let run_nonce = splitmix64(
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x6E6F_6E63)
+                ^ (u64::from(std::process::id()) << 32),
+        );
+
+        let resumed = match &self.cfg.resume_from {
+            Some(path) => {
+                let ckpt = load_division_checkpoint(path)?;
+                if ckpt.num_nodes as usize != n {
+                    return Err(ClusterError::Protocol(
+                        "resume checkpoint was written for a different world",
+                    ));
+                }
+                if ckpt.detector != params.detector
+                    || ckpt.seed != params.seed
+                    || ckpt.gn_max_friends != params.gn_max_friends
+                {
+                    return Err(ClusterError::Protocol(
+                        "resume checkpoint was written with different divide parameters",
+                    ));
+                }
+                Some(ckpt)
+            }
+            None => None,
+        };
+        let task_count = match &resumed {
+            // The checkpoint's tiling wins: covered ranges must align with
+            // task boundaries for the mark-done scan below.
+            Some(ckpt) => ckpt.task_count,
+            None => self
+                .cfg
+                .explicit_tasks
+                .unwrap_or_else(|| {
+                    (self.cfg.local_workers.max(1) as u32).saturating_mul(self.cfg.tasks_per_worker)
+                })
+                .max(1),
+        };
+        let mut queue = WorkQueue::new(n, task_count);
+        let mut merge = match resumed {
+            Some(ckpt) => {
+                let merge = IncrementalMerge::resume(&self.graph, ckpt.communities, ckpt.merged)?;
+                for t in 0..queue.task_count() {
+                    let task = queue.task(t);
+                    if merge.range_is_covered(task.start, task.end) {
+                        queue.mark_done(t);
+                    }
+                }
+                merge
+            }
+            None => IncrementalMerge::new(&self.graph),
+        };
+
+        let hb_interval = self
+            .cfg
+            .heartbeat_interval
+            .unwrap_or(self.cfg.lease_timeout / 4)
+            .max(Duration::from_millis(10));
+        // Per-connection Welcomes share this template; only the worker id
+        // and the challenge answer differ, so the (possibly large) world
+        // payload is encoded from one copy.
+        let mut welcome = Welcome {
+            protocol_version: PROTOCOL_VERSION,
+            worker_id: 0,
+            run_nonce,
+            server_mac: 0,
+            num_nodes: n as u64,
+            heartbeat_interval_ms: hb_interval.as_millis() as u64,
+            params,
+            world: if self.cfg.ship_world_bytes {
+                WorldPayload::Bytes(StoredWorld::graph_only_bytes(&self.graph))
+            } else {
+                let p = self.world_path.as_ref().ok_or(ClusterError::Protocol(
+                    "coordinator built without a world path or --ship-world",
+                ))?;
+                WorldPayload::Path(p.to_string_lossy().into_owned())
+            },
+        };
+        let transport = FaultyTransport::from_plan(self.cfg.fault_plan.clone());
+        let checkpoint_path = self.cfg.checkpoint.clone();
+        let checkpoint_every = self.cfg.checkpoint_every;
+        let mut last_checkpoint: Option<Instant> = None;
 
         let (tx, rx) = std::sync::mpsc::channel::<Event>();
         let gate = Arc::new(Gate::new(1));
@@ -283,7 +421,8 @@ impl Coordinator {
             tx.clone(),
             Arc::clone(&gate),
             Arc::clone(&stop),
-            self.cfg.lease_timeout,
+            hb_interval,
+            Arc::new(self.cfg.secret.clone()),
         )?;
 
         let spawner = self.cfg.spawn.clone();
@@ -294,6 +433,7 @@ impl Coordinator {
             ..CoordinateStats::default()
         };
         let mut workers: HashMap<u64, WorkerConn> = HashMap::new();
+        let mut diag: HashMap<u64, WorkerDiag> = HashMap::new();
         let mut last_progress = Instant::now();
         let mut last_ping = Instant::now();
         let verbose = self.cfg.verbose;
@@ -322,19 +462,74 @@ impl Coordinator {
                 };
                 while let Some(ev) = next {
                     match ev {
-                        Event::Connected { id, stream } => {
+                        Event::Connected { id, hello, stream } => {
+                            // A reconnect presents the id (and run nonce) of
+                            // its previous incarnation: cut that connection
+                            // and requeue its leases right now rather than
+                            // waiting for its deadline. Ids minted by some
+                            // other (crashed, restarted) run are ignored.
+                            if hello.prior_worker_id != 0
+                                && hello.prior_worker_id != id
+                                && hello.run_nonce == run_nonce
+                            {
+                                fail_worker(
+                                    hello.prior_worker_id,
+                                    &mut workers,
+                                    &mut queue,
+                                    &mut diag,
+                                );
+                                stats.reconnects += 1;
+                                if verbose {
+                                    eprintln!(
+                                        "coordinate: worker #{id} reconnected (was #{})",
+                                        hello.prior_worker_id
+                                    );
+                                }
+                            }
+                            welcome.worker_id = id;
+                            welcome.server_mac = match &self.cfg.secret {
+                                Some(s) => handshake_mac(s, "welcome", hello.client_nonce),
+                                None => 0,
+                            };
                             let mut s = stream;
-                            if s.write_all(&welcome).and_then(|()| s.flush()).is_ok() {
+                            if transport
+                                .write_frame(&mut s, FrameType::Welcome, &encode_welcome(&welcome))
+                                .is_ok()
+                            {
                                 workers.insert(id, WorkerConn { stream: s });
-                                stats.workers_seen += 1;
+                                diag.insert(
+                                    id,
+                                    WorkerDiag {
+                                        last_heartbeat: Instant::now(),
+                                        leases_completed: 0,
+                                        connected: true,
+                                    },
+                                );
+                                if hello.prior_worker_id == 0 {
+                                    stats.workers_seen += 1;
+                                }
                                 last_progress = Instant::now();
                                 if verbose {
                                     eprintln!("coordinate: worker #{id} joined");
                                 }
                             }
                         }
-                        Event::Heartbeat { id } => {
-                            queue.heartbeat(id, Instant::now(), lease_timeout);
+                        Event::Heartbeat {
+                            id,
+                            busy,
+                            completed,
+                        } => {
+                            let lost = queue.heartbeat(id, busy, Instant::now(), lease_timeout);
+                            if let Some(d) = diag.get_mut(&id) {
+                                d.last_heartbeat = Instant::now();
+                                d.leases_completed = completed;
+                            }
+                            if verbose && lost > 0 {
+                                eprintln!(
+                                    "coordinate: worker #{id} reported idle under a lease; \
+                                     re-queued {lost} lost lease(s)"
+                                );
+                            }
                         }
                         Event::ResultIncoming { id } => {
                             queue.result_incoming(id, Instant::now(), lease_timeout);
@@ -344,17 +539,31 @@ impl Coordinator {
                                 process_result(&payload, &mut queue, &mut merge, &mut stats);
                             gate.release();
                             match outcome {
-                                Ok(()) => last_progress = Instant::now(),
+                                Ok(()) => {
+                                    last_progress = Instant::now();
+                                    if let Some(path) = &checkpoint_path {
+                                        let due = last_checkpoint
+                                            .is_none_or(|t| t.elapsed() >= checkpoint_every);
+                                        if due {
+                                            write_checkpoint(path, &queue, &merge, &params, n)?;
+                                            stats.checkpoints_written += 1;
+                                            last_checkpoint = Some(Instant::now());
+                                        }
+                                    }
+                                }
                                 Err(e) => {
                                     if verbose {
                                         eprintln!("coordinate: dropping worker #{id}: {e}");
                                     }
-                                    fail_worker(id, &mut workers, &mut queue);
+                                    fail_worker(id, &mut workers, &mut queue, &mut diag);
                                 }
                             }
                         }
                         Event::Disconnected { id } => {
                             if workers.remove(&id).is_some() {
+                                if let Some(d) = diag.get_mut(&id) {
+                                    d.connected = false;
+                                }
                                 let requeued = queue.requeue_worker(id);
                                 if verbose && requeued > 0 {
                                     eprintln!(
@@ -376,7 +585,7 @@ impl Coordinator {
                     if verbose {
                         eprintln!("coordinate: worker #{id} missed its lease deadline");
                     }
-                    fail_worker(id, &mut workers, &mut queue);
+                    fail_worker(id, &mut workers, &mut queue, &mut diag);
                 }
 
                 // Keep the local fleet at strength (bounded respawn budget).
@@ -392,15 +601,18 @@ impl Coordinator {
                         }
                     }
                     if children.is_empty() && workers.is_empty() {
-                        return Err(ClusterError::Stalled(
-                            "every local worker died and the respawn budget is spent".into(),
-                        ));
+                        return Err(ClusterError::Stalled(stall_report(
+                            "every local worker died and the respawn budget is spent",
+                            &diag,
+                            &queue,
+                        )));
                     }
                 }
                 if workers.is_empty() && last_progress.elapsed() > self.cfg.stall_timeout {
-                    return Err(ClusterError::Stalled(format!(
-                        "no worker connected for {:?}",
-                        self.cfg.stall_timeout
+                    return Err(ClusterError::Stalled(stall_report(
+                        &format!("no worker connected for {:?}", self.cfg.stall_timeout),
+                        &diag,
+                        &queue,
                     )));
                 }
 
@@ -409,20 +621,18 @@ impl Coordinator {
                 // without FIN would otherwise strand remote workers in a
                 // timeout-less read forever); a failed ping write is the
                 // usual sign of a dead peer.
-                if last_ping.elapsed() >= lease_timeout / 4 {
+                if last_ping.elapsed() >= hb_interval {
                     last_ping = Instant::now();
                     let ids: Vec<u64> = workers.keys().copied().collect();
                     for id in ids {
                         let Some(conn) = workers.get_mut(&id) else {
                             continue;
                         };
-                        if conn
-                            .stream
-                            .write_all(&ping_frame)
-                            .and_then(|()| conn.stream.flush())
+                        if transport
+                            .write_frame(&mut conn.stream, FrameType::Heartbeat, &[])
                             .is_err()
                         {
-                            fail_worker(id, &mut workers, &mut queue);
+                            fail_worker(id, &mut workers, &mut queue, &mut diag);
                         }
                     }
                 }
@@ -457,10 +667,11 @@ impl Coordinator {
                         queue.requeue_worker(id);
                         continue;
                     };
-                    if write_frame(&mut conn.stream, FrameType::Lease, &encode_lease(&lease))
+                    if transport
+                        .write_frame(&mut conn.stream, FrameType::Lease, &encode_lease(&lease))
                         .is_err()
                     {
-                        fail_worker(id, &mut workers, &mut queue);
+                        fail_worker(id, &mut workers, &mut queue, &mut diag);
                     }
                 }
             }
@@ -472,8 +683,7 @@ impl Coordinator {
         stop.store(true, Ordering::SeqCst);
         gate.close();
         for (_, conn) in workers.iter_mut() {
-            let _ = conn.stream.write_all(&shutdown_frame);
-            let _ = conn.stream.flush();
+            let _ = transport.write_frame(&mut conn.stream, FrameType::Shutdown, &[]);
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
         let _ = accept_handle.join();
@@ -502,6 +712,63 @@ impl Coordinator {
         let division = merge.finish(self.cfg.divide.threads)?;
         Ok(CoordinateOutcome { division, stats })
     }
+}
+
+/// Renders a stall into a diagnosis: overall task progress plus each
+/// worker's last-known state (heartbeat age, completed leases, outstanding
+/// ranges) — the difference between "it hung" and "worker #2 went silent
+/// holding [250, 500)".
+fn stall_report(reason: &str, diag: &HashMap<u64, WorkerDiag>, queue: &WorkQueue) -> String {
+    use std::fmt::Write as _;
+    let done = (0..queue.task_count())
+        .filter(|&t| queue.is_done(t))
+        .count();
+    let mut s = format!("{reason}; tasks {done}/{} absorbed", queue.task_count());
+    let mut ids: Vec<u64> = diag.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let Some(d) = diag.get(&id) else { continue };
+        let _ = write!(s, "; worker #{id}: ");
+        if d.connected {
+            let _ = write!(
+                s,
+                "last heartbeat {:.1}s ago",
+                d.last_heartbeat.elapsed().as_secs_f64()
+            );
+        } else {
+            s.push_str("disconnected");
+        }
+        let _ = write!(s, ", {} lease(s) completed", d.leases_completed);
+        let held = queue.worker_leases(id);
+        if !held.is_empty() {
+            s.push_str(", outstanding");
+            for t in held {
+                let _ = write!(s, " [{}, {})", t.start, t.end);
+            }
+        }
+    }
+    s
+}
+
+/// Persists the current merge state atomically (see
+/// [`locec_store::save_division_checkpoint`]).
+fn write_checkpoint(
+    path: &Path,
+    queue: &WorkQueue,
+    merge: &IncrementalMerge<'_>,
+    params: &DivideParams,
+    num_nodes: usize,
+) -> Result<(), ClusterError> {
+    let ckpt = DivisionCheckpoint {
+        num_nodes: num_nodes as u32,
+        task_count: queue.task_count(),
+        detector: params.detector,
+        seed: params.seed,
+        gn_max_friends: params.gn_max_friends,
+        merged: merge.merged_ranges().to_vec(),
+        communities: merge.communities().to_vec(),
+    };
+    Ok(save_division_checkpoint(path, &ckpt)?)
 }
 
 /// Validates and absorbs one delivered shard. Any error means the sending
@@ -554,9 +821,17 @@ fn process_result(
     }
 }
 
-fn fail_worker(id: u64, workers: &mut HashMap<u64, WorkerConn>, queue: &mut WorkQueue) {
+fn fail_worker(
+    id: u64,
+    workers: &mut HashMap<u64, WorkerConn>,
+    queue: &mut WorkQueue,
+    diag: &mut HashMap<u64, WorkerDiag>,
+) {
     if let Some(conn) = workers.remove(&id) {
         let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+    if let Some(d) = diag.get_mut(&id) {
+        d.connected = false;
     }
     queue.requeue_worker(id);
 }
@@ -567,6 +842,7 @@ fn spawn_local_worker(spawn: &WorkerSpawn, addr: SocketAddr) -> Result<Child, Cl
         .arg("worker")
         .arg("--connect")
         .arg(addr.to_string())
+        .args(&spawn.worker_args)
         .stdin(Stdio::null())
         .stdout(Stdio::null())
         .stderr(Stdio::inherit())
@@ -581,7 +857,8 @@ fn spawn_accept_thread(
     tx: Sender<Event>,
     gate: Arc<Gate>,
     stop: Arc<AtomicBool>,
-    lease_timeout: Duration,
+    hb_interval: Duration,
+    secret: Arc<Option<String>>,
 ) -> Result<std::thread::JoinHandle<()>, ClusterError> {
     // Flip to nonblocking before the thread exists so a failure surfaces
     // as a typed error at the call site instead of a panic in a thread
@@ -600,9 +877,12 @@ fn spawn_accept_thread(
                         let id = NEXT_WORKER_ID.fetch_add(1, Ordering::Relaxed);
                         let tx = tx.clone();
                         let gate = Arc::clone(&gate);
+                        let secret = Arc::clone(&secret);
                         let _ = std::thread::Builder::new()
                             .name(format!("locec-cluster-reader-{id}"))
-                            .spawn(move || reader_thread(stream, id, tx, gate, lease_timeout));
+                            .spawn(move || {
+                                reader_thread(stream, id, tx, gate, hb_interval, secret)
+                            });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(25));
@@ -614,42 +894,84 @@ fn spawn_accept_thread(
     Ok(handle)
 }
 
-/// Per-connection reader: handshake, then decode frames into events until
-/// the peer goes away. Shard payloads pass through the gate (see module
-/// docs) so at most one unmerged shard is ever in coordinator memory.
+/// Per-connection reader: handshake (with typed rejection of version and
+/// auth failures), then decode frames into events until the peer goes
+/// away. Shard payloads pass through the gate (see module docs) so at most
+/// one unmerged shard is ever in coordinator memory.
 fn reader_thread(
     mut stream: TcpStream,
     id: u64,
     tx: Sender<Event>,
     gate: Arc<Gate>,
-    lease_timeout: Duration,
+    hb_interval: Duration,
+    secret: Arc<Option<String>>,
 ) {
     let _ = stream.set_nodelay(true);
-    // Heartbeats arrive at lease_timeout/4; a read this patient only
+    // Heartbeats arrive every hb_interval; a read this patient only
     // triggers for a peer that is wedged outright.
-    let _ = stream.set_read_timeout(Some(lease_timeout.max(Duration::from_secs(1)) * 4));
+    let _ = stream.set_read_timeout(Some((hb_interval * 16).max(Duration::from_secs(4))));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
 
-    let hello = match read_header(&mut stream)
-        .and_then(|h| {
-            if h.frame_type != FrameType::Hello {
-                return Err(ClusterError::Protocol("expected Hello"));
-            }
-            read_payload(&mut stream, &h)
-        })
-        .and_then(|p| decode_hello(&p))
-    {
+    let Ok(header) = read_header(&mut stream) else {
+        return;
+    };
+    if header.frame_type != FrameType::Hello {
+        return;
+    }
+    let Ok(payload) = read_payload(&mut stream, &header) else {
+        return;
+    };
+    let hello = match decode_hello(&payload) {
         Ok(h) => h,
-        Err(_) => return,
+        Err(_) => {
+            // A Hello that does not decode is either a foreign protocol
+            // revision (tell it which) or garbage.
+            let reason = if payload.len() >= 4
+                && u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]])
+                    != PROTOCOL_VERSION
+            {
+                RejectReason::Version
+            } else {
+                RejectReason::Malformed
+            };
+            // Rejects bypass fault injection: a refused peer always learns
+            // why (write_frame, not the coordinator's FaultyTransport).
+            let _ = write_frame(&mut stream, FrameType::Reject, &encode_reject(reason));
+            return;
+        }
     };
     if hello.protocol_version != PROTOCOL_VERSION {
+        let _ = write_frame(
+            &mut stream,
+            FrameType::Reject,
+            &encode_reject(RejectReason::Version),
+        );
         return;
+    }
+    if let Some(secret) = secret.as_ref() {
+        let proven = hello.auth == AUTH_KEYED
+            && hello.client_mac == handshake_mac(secret, "hello", hello.client_nonce);
+        if !proven {
+            let _ = write_frame(
+                &mut stream,
+                FrameType::Reject,
+                &encode_reject(RejectReason::Auth),
+            );
+            return;
+        }
     }
     let writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    if tx.send(Event::Connected { id, stream: writer }).is_err() {
+    if tx
+        .send(Event::Connected {
+            id,
+            hello,
+            stream: writer,
+        })
+        .is_err()
+    {
         return;
     }
 
@@ -660,8 +982,19 @@ fn reader_thread(
         };
         match header.frame_type {
             FrameType::Heartbeat => {
-                if read_payload(&mut stream, &header).is_err()
-                    || tx.send(Event::Heartbeat { id }).is_err()
+                let Ok(payload) = read_payload(&mut stream, &header) else {
+                    break;
+                };
+                let Ok(info) = decode_heartbeat(&payload) else {
+                    break;
+                };
+                if tx
+                    .send(Event::Heartbeat {
+                        id,
+                        busy: info.busy,
+                        completed: info.leases_completed,
+                    })
+                    .is_err()
                 {
                     break;
                 }

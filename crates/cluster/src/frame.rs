@@ -16,9 +16,14 @@
 //! IEEE polynomial as snapshot sections ([`locec_store::format::crc32`]),
 //! so a shard payload's integrity is checked twice with one code path:
 //! once per frame, once per snapshot section when it is decoded.
+//!
+//! Every way a frame can go wrong on the wire is a distinct
+//! [`FrameError`] variant, so callers can tell "the peer hung up cleanly"
+//! from "the peer sent garbage" — the worker's reconnect loop treats both
+//! as transient, but diagnostics and tests pin the exact failure.
 
-use crate::ClusterError;
 use locec_store::format::crc32;
+use std::fmt;
 use std::io::{Read, Write};
 
 /// The 4-byte frame magic (protocol revision 1).
@@ -32,7 +37,7 @@ pub const MAX_FRAME_PAYLOAD: u32 = 1 << 30;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
 pub enum FrameType {
-    /// Worker → coordinator: handshake (protocol version).
+    /// Worker → coordinator: handshake (protocol version, identity, auth).
     Hello = 1,
     /// Coordinator → worker: world + divide parameters.
     Welcome = 2,
@@ -44,6 +49,9 @@ pub enum FrameType {
     Heartbeat = 5,
     /// Coordinator → worker: no more work; exit cleanly.
     Shutdown = 6,
+    /// Coordinator → worker: handshake refused (version or auth); the
+    /// payload carries a typed [`crate::protocol::RejectReason`].
+    Reject = 7,
 }
 
 impl FrameType {
@@ -56,8 +64,22 @@ impl FrameType {
             4 => FrameType::ShardResult,
             5 => FrameType::Heartbeat,
             6 => FrameType::Shutdown,
+            7 => FrameType::Reject,
             _ => return None,
         })
+    }
+
+    /// The spelling used by `--fault-plan` specs and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameType::Hello => "hello",
+            FrameType::Welcome => "welcome",
+            FrameType::Lease => "lease",
+            FrameType::ShardResult => "shard-result",
+            FrameType::Heartbeat => "heartbeat",
+            FrameType::Shutdown => "shutdown",
+            FrameType::Reject => "reject",
+        }
     }
 }
 
@@ -72,13 +94,61 @@ pub struct FrameHeader {
     pub crc: u32,
 }
 
+/// Everything that can go wrong between "bytes on a socket" and "one
+/// verified frame". Each variant is a distinct, testable failure mode;
+/// none of them panic.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying read or write failed.
+    Io(std::io::Error),
+    /// Clean EOF *between* frames — the peer hung up at a frame boundary.
+    Closed,
+    /// EOF after some but not all of the 13 header bytes.
+    TruncatedHeader,
+    /// EOF inside the payload a header announced.
+    TruncatedPayload,
+    /// The first four bytes were not `LCF1`.
+    BadMagic,
+    /// The type byte is outside the [`FrameType`] registry.
+    UnknownType(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_PAYLOAD`].
+    Oversize(u32),
+    /// The payload arrived but its CRC32 does not match the header.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Closed => write!(f, "connection closed between frames"),
+            FrameError::TruncatedHeader => write!(f, "connection closed inside a frame header"),
+            FrameError::TruncatedPayload => write!(f, "connection closed inside a frame payload"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::UnknownType(v) => write!(f, "unknown frame type {v}"),
+            FrameError::Oversize(len) => {
+                write!(f, "frame payload of {len} bytes exceeds the size cap")
+            }
+            FrameError::ChecksumMismatch => write!(f, "frame payload checksum mismatch"),
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
 /// Serializes one frame (header + payload) into a byte vector — useful for
 /// prebuilding a frame that is written to many peers. Payloads past the
 /// size cap are a typed error (a `u32` length field cannot represent them,
 /// and receivers reject them anyway).
-pub fn frame_bytes(frame_type: FrameType, payload: &[u8]) -> Result<Vec<u8>, ClusterError> {
+pub fn frame_bytes(frame_type: FrameType, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
     if payload.len() > MAX_FRAME_PAYLOAD as usize {
-        return Err(ClusterError::Protocol("frame payload exceeds the size cap"));
+        return Err(FrameError::Oversize(
+            payload.len().min(u32::MAX as usize) as u32
+        ));
     }
     let mut out = Vec::with_capacity(13 + payload.len());
     out.extend_from_slice(&FRAME_MAGIC);
@@ -94,38 +164,36 @@ pub fn write_frame<W: Write>(
     w: &mut W,
     frame_type: FrameType,
     payload: &[u8],
-) -> Result<(), ClusterError> {
+) -> Result<(), FrameError> {
     w.write_all(&frame_bytes(frame_type, payload)?)?;
     w.flush()?;
     Ok(())
 }
 
 /// Reads a frame header. A clean EOF *before the first header byte* is the
-/// peer hanging up between frames and surfaces as
-/// [`ClusterError::ConnectionClosed`]; an EOF inside the header is a
-/// protocol error.
-pub fn read_header<R: Read>(r: &mut R) -> Result<FrameHeader, ClusterError> {
+/// peer hanging up between frames and surfaces as [`FrameError::Closed`];
+/// an EOF inside the header is [`FrameError::TruncatedHeader`].
+pub fn read_header<R: Read>(r: &mut R) -> Result<FrameHeader, FrameError> {
     let mut buf = [0u8; 13];
     let mut got = 0usize;
     while got < buf.len() {
         let k = r.read(&mut buf[got..])?;
         if k == 0 {
             return Err(if got == 0 {
-                ClusterError::ConnectionClosed
+                FrameError::Closed
             } else {
-                ClusterError::Protocol("connection closed inside a frame header")
+                FrameError::TruncatedHeader
             });
         }
         got += k;
     }
     if buf[..4] != FRAME_MAGIC {
-        return Err(ClusterError::Protocol("bad frame magic"));
+        return Err(FrameError::BadMagic);
     }
-    let frame_type =
-        FrameType::from_u8(buf[4]).ok_or(ClusterError::Protocol("unknown frame type"))?;
+    let frame_type = FrameType::from_u8(buf[4]).ok_or(FrameError::UnknownType(buf[4]))?;
     let len = u32::from_le_bytes([buf[5], buf[6], buf[7], buf[8]]);
     if len > MAX_FRAME_PAYLOAD {
-        return Err(ClusterError::Protocol("frame payload exceeds the size cap"));
+        return Err(FrameError::Oversize(len));
     }
     let crc = u32::from_le_bytes([buf[9], buf[10], buf[11], buf[12]]);
     Ok(FrameHeader {
@@ -136,23 +204,23 @@ pub fn read_header<R: Read>(r: &mut R) -> Result<FrameHeader, ClusterError> {
 }
 
 /// Reads and checksum-verifies the payload a header announced.
-pub fn read_payload<R: Read>(r: &mut R, header: &FrameHeader) -> Result<Vec<u8>, ClusterError> {
+pub fn read_payload<R: Read>(r: &mut R, header: &FrameHeader) -> Result<Vec<u8>, FrameError> {
     let mut payload = vec![0u8; header.len as usize];
     r.read_exact(&mut payload).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            ClusterError::Protocol("connection closed inside a frame payload")
+            FrameError::TruncatedPayload
         } else {
-            ClusterError::Io(e)
+            FrameError::Io(e)
         }
     })?;
     if crc32(&payload) != header.crc {
-        return Err(ClusterError::Protocol("frame payload checksum mismatch"));
+        return Err(FrameError::ChecksumMismatch);
     }
     Ok(payload)
 }
 
 /// Convenience header-plus-payload read.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameType, Vec<u8>), ClusterError> {
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(FrameType, Vec<u8>), FrameError> {
     let header = read_header(r)?;
     let payload = read_payload(r, &header)?;
     Ok((header.frame_type, payload))
@@ -176,10 +244,7 @@ mod tests {
             read_frame(&mut r).unwrap(),
             (FrameType::Heartbeat, Vec::new())
         );
-        assert!(matches!(
-            read_frame(&mut r),
-            Err(ClusterError::ConnectionClosed)
-        ));
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
     }
 
     #[test]
@@ -191,23 +256,27 @@ mod tests {
             FrameType::ShardResult,
             FrameType::Heartbeat,
             FrameType::Shutdown,
+            FrameType::Reject,
         ];
         for (i, &ft) in all.iter().enumerate() {
             // Distinct payloads per type, including the empty one.
             let payload = vec![i as u8; i];
             let wire = frame_bytes(ft, &payload).unwrap();
             assert_eq!(FrameType::from_u8(wire[4]), Some(ft), "{ft:?}");
+            assert!(!ft.name().is_empty());
             assert_eq!(
                 read_frame(&mut wire.as_slice()).unwrap(),
                 (ft, payload),
                 "{ft:?}"
             );
         }
-        // The registry ends at Shutdown: the next discriminant is unknown.
+        // The registry ends at Reject: the next discriminant is unknown.
         assert_eq!(FrameType::from_u8(0), None);
-        assert_eq!(FrameType::from_u8(FrameType::Shutdown as u8 + 1), None);
+        assert_eq!(FrameType::from_u8(FrameType::Reject as u8 + 1), None);
     }
 
+    /// Every corruption mode yields its own [`FrameError`] variant on the
+    /// one-shot `read_frame` path.
     #[test]
     fn corruption_and_truncation_are_typed_errors() {
         let wire = frame_bytes(FrameType::ShardResult, b"payload").unwrap();
@@ -217,41 +286,104 @@ mod tests {
         bad[last] ^= 0xFF;
         assert!(matches!(
             read_frame(&mut bad.as_slice()),
-            Err(ClusterError::Protocol("frame payload checksum mismatch"))
+            Err(FrameError::ChecksumMismatch)
+        ));
+        // Flip a CRC byte instead of a payload byte: same typed failure.
+        let mut bad = wire.clone();
+        bad[9] ^= 0xFF;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(FrameError::ChecksumMismatch)
         ));
         // Bad magic.
         let mut bad = wire.clone();
         bad[0] = b'X';
         assert!(matches!(
             read_frame(&mut bad.as_slice()),
-            Err(ClusterError::Protocol("bad frame magic"))
+            Err(FrameError::BadMagic)
         ));
         // Unknown type.
         let mut bad = wire.clone();
         bad[4] = 99;
         assert!(matches!(
             read_frame(&mut bad.as_slice()),
-            Err(ClusterError::Protocol("unknown frame type"))
+            Err(FrameError::UnknownType(99))
         ));
         // Truncation inside the header and inside the payload.
         assert!(matches!(
             read_frame(&mut &wire[..7]),
-            Err(ClusterError::Protocol(
-                "connection closed inside a frame header"
-            ))
+            Err(FrameError::TruncatedHeader)
         ));
         assert!(matches!(
             read_frame(&mut &wire[..wire.len() - 2]),
-            Err(ClusterError::Protocol(
-                "connection closed inside a frame payload"
-            ))
+            Err(FrameError::TruncatedPayload)
         ));
         // Oversize length field is rejected before allocating.
         let mut bad = wire;
         bad[5..9].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
         assert!(matches!(
             read_frame(&mut bad.as_slice()),
-            Err(ClusterError::Protocol("frame payload exceeds the size cap"))
+            Err(FrameError::Oversize(_))
+        ));
+    }
+
+    /// The same corruption modes through the split `read_header` +
+    /// `read_payload` path the coordinator's reader threads use.
+    #[test]
+    fn split_read_path_reports_the_same_typed_errors() {
+        let wire = frame_bytes(FrameType::ShardResult, b"split-path").unwrap();
+
+        // Happy path first, so the split readers are known-good.
+        let mut r = wire.as_slice();
+        let header = read_header(&mut r).unwrap();
+        assert_eq!(header.frame_type, FrameType::ShardResult);
+        assert_eq!(read_payload(&mut r, &header).unwrap(), b"split-path");
+
+        // Clean EOF at a frame boundary vs. truncated mid-header.
+        assert!(matches!(
+            read_header(&mut &wire[..0]),
+            Err(FrameError::Closed)
+        ));
+        assert!(matches!(
+            read_header(&mut &wire[..5]),
+            Err(FrameError::TruncatedHeader)
+        ));
+
+        // Header-level corruption never reaches read_payload.
+        let mut bad = wire.clone();
+        bad[0] = b'Y';
+        assert!(matches!(
+            read_header(&mut bad.as_slice()),
+            Err(FrameError::BadMagic)
+        ));
+        let mut bad = wire.clone();
+        bad[4] = 200;
+        assert!(matches!(
+            read_header(&mut bad.as_slice()),
+            Err(FrameError::UnknownType(200))
+        ));
+        let mut bad = wire.clone();
+        bad[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_header(&mut bad.as_slice()),
+            Err(FrameError::Oversize(_))
+        ));
+
+        // Payload truncation and corruption after a good header.
+        let mut r = &wire[..wire.len() - 3];
+        let header = read_header(&mut r).unwrap();
+        assert!(matches!(
+            read_payload(&mut r, &header),
+            Err(FrameError::TruncatedPayload)
+        ));
+        let mut bad = wire.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x55;
+        let mut r = bad.as_slice();
+        let header = read_header(&mut r).unwrap();
+        assert!(matches!(
+            read_payload(&mut r, &header),
+            Err(FrameError::ChecksumMismatch)
         ));
     }
 }

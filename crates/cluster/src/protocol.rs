@@ -6,27 +6,118 @@
 //!
 //! ```text
 //! worker                      coordinator
-//!   Hello{version}      ──▶
-//!                       ◀──  Welcome{version, n, params, world path|bytes}
+//!   Hello{version, prior id,
+//!         run nonce, auth}  ──▶
+//!                       ◀──  Welcome{version, worker id, run nonce,
+//!                            server mac, n, params, world path|bytes}
+//!                       ◀──  (or Reject{reason} and hang up)
 //!                       ◀──  Lease{lease_id, task i/T, egos [s, e)}
-//!   Heartbeat           ──▶        (periodic, from a side thread)
+//!   Heartbeat{busy, done} ──▶      (periodic, from a side thread)
 //!   ShardResult{id, …}  ──▶
 //!                       ◀──  Lease … (repeat until the queue drains)
 //!                       ◀──  Shutdown
 //! ```
+//!
+//! Protocol revision 2 adds reconnect identity and an optional
+//! authenticated handshake. A worker reconnecting after a connection loss
+//! re-Hellos with its **prior worker id** and the coordinator's **run
+//! nonce** from its last `Welcome`, so the coordinator can requeue the old
+//! incarnation's leases immediately instead of waiting for a timeout (and
+//! can tell a reconnect to *this* run from a stale id minted by a
+//! restarted coordinator). When both sides share a `--secret`, the worker
+//! sends a keyed MAC over a fresh nonce and the coordinator answers with
+//! its own MAC over the same nonce — a mutual challenge-response.
+//! Unauthenticated or mismatched peers get a typed [`RejectReason`]
+//! instead of a silent hang-up. The MAC is a keyed splitmix64 absorption
+//! ([`handshake_mac`]): honest-peer mutual proof of a shared key, **not**
+//! a defense against an active adversary (the LAN trust caveat in the
+//! README still applies — there is no transport encryption).
 
+use crate::fault::splitmix64;
 use crate::ClusterError;
 use locec_core::{CommunityDetector, LocecConfig};
 use locec_store::format::{Dec, Enc};
+use std::fmt;
 
 /// The protocol revision both sides must agree on.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// `Hello.auth`: no shared secret; the MAC fields are zero.
+pub const AUTH_NONE: u8 = 0;
+
+/// `Hello.auth`: the worker proves a shared secret and expects the
+/// coordinator to prove it back in `Welcome.server_mac`.
+pub const AUTH_KEYED: u8 = 1;
 
 /// Worker → coordinator handshake.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Hello {
     /// The protocol revision the worker speaks.
     pub protocol_version: u32,
+    /// The worker id a previous connection to this coordinator run
+    /// assigned (0 = first connection): lets the coordinator requeue the
+    /// dead incarnation's leases at once.
+    pub prior_worker_id: u64,
+    /// The run nonce from the previous `Welcome` (0 = first connection);
+    /// a coordinator ignores `prior_worker_id` minted by a different run.
+    pub run_nonce: u64,
+    /// [`AUTH_NONE`] or [`AUTH_KEYED`].
+    pub auth: u8,
+    /// Fresh challenge nonce; also the input to the coordinator's reply
+    /// MAC.
+    pub client_nonce: u64,
+    /// `handshake_mac(secret, "hello", client_nonce)` when keyed, else 0.
+    pub client_mac: u64,
+}
+
+/// Why a coordinator refused a handshake.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The worker speaks a different [`PROTOCOL_VERSION`].
+    Version = 1,
+    /// The coordinator requires a shared secret the worker did not prove.
+    Auth = 2,
+    /// The Hello payload did not decode.
+    Malformed = 3,
+}
+
+impl RejectReason {
+    /// Parses the wire byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => RejectReason::Version,
+            2 => RejectReason::Auth,
+            3 => RejectReason::Malformed,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Version => write!(f, "protocol version mismatch"),
+            RejectReason::Auth => write!(f, "shared-secret authentication failed"),
+            RejectReason::Malformed => write!(f, "malformed handshake"),
+        }
+    }
+}
+
+/// The keyed handshake MAC: absorbs the secret, a direction label and the
+/// challenge nonce through splitmix64. Deterministic, dependency-free,
+/// and collision-resistant enough to prove "I know the same secret" to an
+/// honest peer — not hardened against an active attacker (see the module
+/// docs).
+pub fn handshake_mac(secret: &str, label: &str, nonce: u64) -> u64 {
+    let mut h = splitmix64(0x6C6F_6365_635F_6D61 ^ nonce); // "locec_ma"
+    for &b in secret.as_bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h = splitmix64(h ^ (secret.len() as u64) << 32);
+    for &b in label.as_bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    splitmix64(h ^ nonce)
 }
 
 /// The Phase-I-relevant slice of [`LocecConfig`] a worker needs to
@@ -96,6 +187,17 @@ pub enum WorldPayload {
 pub struct Welcome {
     /// The protocol revision the coordinator speaks.
     pub protocol_version: u32,
+    /// The id this coordinator run assigned to the worker; echoed as
+    /// `Hello.prior_worker_id` on reconnect.
+    pub worker_id: u64,
+    /// Identifies this coordinator run; echoed as `Hello.run_nonce` on
+    /// reconnect so stale worker ids from a restarted coordinator are
+    /// ignored.
+    pub run_nonce: u64,
+    /// `handshake_mac(secret, "welcome", Hello.client_nonce)` when the
+    /// coordinator holds a secret, else 0 — the coordinator's half of the
+    /// mutual challenge-response.
+    pub server_mac: u64,
     /// Node count of the world — a cheap cross-check that both sides are
     /// dividing the same graph.
     pub num_nodes: u64,
@@ -105,6 +207,19 @@ pub struct Welcome {
     pub params: DivideParams,
     /// The input world.
     pub world: WorldPayload,
+}
+
+/// Worker → coordinator liveness signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatInfo {
+    /// Whether the worker is currently computing a lease. A worker that
+    /// reports idle while the coordinator believes it holds a lease lost
+    /// that lease in transit (a dropped frame on either side); the
+    /// coordinator requeues it without waiting for the lease deadline.
+    pub busy: bool,
+    /// Leases the worker has completed this process — last-known-state
+    /// for stall diagnostics.
+    pub leases_completed: u64,
 }
 
 /// One leased unit of work: the task's canonical contiguous ego range.
@@ -137,21 +252,54 @@ pub struct ShardResult {
 pub fn encode_hello(h: &Hello) -> Vec<u8> {
     let mut enc = Enc::new();
     enc.u32(h.protocol_version);
+    enc.u64(h.prior_worker_id);
+    enc.u64(h.run_nonce);
+    enc.u8(h.auth);
+    enc.u64(h.client_nonce);
+    enc.u64(h.client_mac);
     enc.finish()
 }
 
 /// Decodes [`Hello`].
 pub fn decode_hello(payload: &[u8]) -> Result<Hello, ClusterError> {
     let mut dec = Dec::new(payload);
-    let protocol_version = dec.u32()?;
+    let hello = Hello {
+        protocol_version: dec.u32()?,
+        prior_worker_id: dec.u64()?,
+        run_nonce: dec.u64()?,
+        auth: dec.u8()?,
+        client_nonce: dec.u64()?,
+        client_mac: dec.u64()?,
+    };
     dec.done()?;
-    Ok(Hello { protocol_version })
+    if hello.auth != AUTH_NONE && hello.auth != AUTH_KEYED {
+        return Err(ClusterError::Protocol("unknown auth mode"));
+    }
+    Ok(hello)
+}
+
+/// Encodes a [`FrameType::Reject`](crate::frame::FrameType) payload.
+pub fn encode_reject(reason: RejectReason) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u8(reason as u8);
+    enc.finish()
+}
+
+/// Decodes a reject payload.
+pub fn decode_reject(payload: &[u8]) -> Result<RejectReason, ClusterError> {
+    let mut dec = Dec::new(payload);
+    let reason = dec.u8()?;
+    dec.done()?;
+    RejectReason::from_u8(reason).ok_or(ClusterError::Protocol("unknown reject reason"))
 }
 
 /// Encodes [`Welcome`].
 pub fn encode_welcome(w: &Welcome) -> Vec<u8> {
     let mut enc = Enc::new();
     enc.u32(w.protocol_version);
+    enc.u64(w.worker_id);
+    enc.u64(w.run_nonce);
+    enc.u64(w.server_mac);
     enc.u64(w.num_nodes);
     enc.u64(w.heartbeat_interval_ms);
     enc.u8(w.params.detector);
@@ -177,6 +325,9 @@ pub fn encode_welcome(w: &Welcome) -> Vec<u8> {
 pub fn decode_welcome(payload: &[u8]) -> Result<Welcome, ClusterError> {
     let mut dec = Dec::new(payload);
     let protocol_version = dec.u32()?;
+    let worker_id = dec.u64()?;
+    let run_nonce = dec.u64()?;
+    let server_mac = dec.u64()?;
     let num_nodes = dec.u64()?;
     let heartbeat_interval_ms = dec.u64()?;
     let params = DivideParams {
@@ -199,10 +350,33 @@ pub fn decode_welcome(payload: &[u8]) -> Result<Welcome, ClusterError> {
     };
     Ok(Welcome {
         protocol_version,
+        worker_id,
+        run_nonce,
+        server_mac,
         num_nodes,
         heartbeat_interval_ms,
         params,
         world,
+    })
+}
+
+/// Encodes [`HeartbeatInfo`].
+pub fn encode_heartbeat(h: &HeartbeatInfo) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u8(u8::from(h.busy));
+    enc.u64(h.leases_completed);
+    enc.finish()
+}
+
+/// Decodes [`HeartbeatInfo`].
+pub fn decode_heartbeat(payload: &[u8]) -> Result<HeartbeatInfo, ClusterError> {
+    let mut dec = Dec::new(payload);
+    let busy = dec.u8()? != 0;
+    let leases_completed = dec.u64()?;
+    dec.done()?;
+    Ok(HeartbeatInfo {
+        busy,
+        leases_completed,
     })
 }
 
@@ -264,6 +438,11 @@ mod tests {
     fn messages_roundtrip() {
         let h = Hello {
             protocol_version: PROTOCOL_VERSION,
+            prior_worker_id: 4,
+            run_nonce: 0xFEED,
+            auth: AUTH_KEYED,
+            client_nonce: 0xD00D,
+            client_mac: handshake_mac("swordfish", "hello", 0xD00D),
         };
         assert_eq!(decode_hello(&encode_hello(&h)).unwrap(), h);
 
@@ -279,6 +458,9 @@ mod tests {
         ] {
             let w = Welcome {
                 protocol_version: PROTOCOL_VERSION,
+                worker_id: 17,
+                run_nonce: 0xFEED,
+                server_mac: handshake_mac("swordfish", "welcome", 0xD00D),
                 num_nodes: 300,
                 heartbeat_interval_ms: 500,
                 params,
@@ -301,11 +483,53 @@ mod tests {
             shard_bytes: vec![0xAB; 64],
         };
         assert_eq!(decode_shard_result(&encode_shard_result(&r)).unwrap(), r);
+
+        for hb in [
+            HeartbeatInfo {
+                busy: true,
+                leases_completed: 0,
+            },
+            HeartbeatInfo {
+                busy: false,
+                leases_completed: 12,
+            },
+        ] {
+            assert_eq!(decode_heartbeat(&encode_heartbeat(&hb)).unwrap(), hb);
+        }
+
+        for reason in [
+            RejectReason::Version,
+            RejectReason::Auth,
+            RejectReason::Malformed,
+        ] {
+            assert_eq!(decode_reject(&encode_reject(reason)).unwrap(), reason);
+        }
+        assert_eq!(RejectReason::from_u8(0), None);
+        assert_eq!(
+            RejectReason::from_u8(RejectReason::Malformed as u8 + 1),
+            None
+        );
     }
 
     #[test]
     fn malformed_messages_are_rejected() {
         assert!(decode_hello(&[1, 2]).is_err());
+        // Unknown auth mode.
+        let mut h = encode_hello(&Hello {
+            protocol_version: PROTOCOL_VERSION,
+            prior_worker_id: 0,
+            run_nonce: 0,
+            auth: AUTH_NONE,
+            client_nonce: 0,
+            client_mac: 0,
+        });
+        h[4 + 8 + 8] = 9; // the auth byte follows version + prior id + run nonce
+        assert!(matches!(
+            decode_hello(&h),
+            Err(ClusterError::Protocol("unknown auth mode"))
+        ));
+        assert!(decode_reject(&[9]).is_err());
+        assert!(decode_heartbeat(&[1]).is_err());
         let mut bad = encode_lease(&Lease {
             lease_id: 1,
             task_index: 5,
@@ -329,7 +553,10 @@ mod tests {
         ));
         // Unknown world mode.
         let mut w = encode_welcome(&Welcome {
-            protocol_version: 1,
+            protocol_version: PROTOCOL_VERSION,
+            worker_id: 1,
+            run_nonce: 0,
+            server_mac: 0,
             num_nodes: 1,
             heartbeat_interval_ms: 1,
             params: DivideParams {
@@ -351,6 +578,19 @@ mod tests {
             threads: 1,
         };
         assert!(params.to_config().is_err());
+    }
+
+    #[test]
+    fn handshake_mac_separates_secrets_labels_and_nonces() {
+        let m = handshake_mac("secret", "hello", 42);
+        assert_eq!(m, handshake_mac("secret", "hello", 42), "deterministic");
+        assert_ne!(m, handshake_mac("Secret", "hello", 42), "keyed");
+        assert_ne!(m, handshake_mac("secret", "welcome", 42), "direction-bound");
+        assert_ne!(m, handshake_mac("secret", "hello", 43), "nonce-bound");
+        assert_ne!(
+            handshake_mac("", "hello", 42),
+            handshake_mac("", "welcome", 42)
+        );
     }
 
     #[test]

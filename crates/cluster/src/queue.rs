@@ -33,7 +33,17 @@ struct LeaseState {
     /// A result frame for this lease is mid-transfer; suspend expiry so a
     /// slow merge gate cannot re-queue work that is already arriving.
     result_in_flight: bool,
+    /// Consecutive heartbeats in which the holder reported itself *idle*.
+    /// One idle beat can race the lease frame still in flight; two in a
+    /// row (a full heartbeat interval after the grant) means the lease or
+    /// its result was lost on the wire, and the task is re-queued without
+    /// waiting for the deadline.
+    idle_beats: u32,
 }
+
+/// How many consecutive idle heartbeats from a lease's holder mark the
+/// lease as lost in transit (see [`LeaseState::idle_beats`]).
+const IDLE_BEATS_LOST: u32 = 2;
 
 /// The queue itself. Time is passed in by the caller so expiry is
 /// deterministic under test.
@@ -118,16 +128,56 @@ impl WorkQueue {
                 worker,
                 deadline: now + timeout,
                 result_in_flight: false,
+                idle_beats: 0,
             },
         );
         Some((id, self.tasks[task as usize]))
     }
 
-    /// Refreshes the deadlines of every lease `worker` holds.
-    pub fn heartbeat(&mut self, worker: u64, now: Instant, timeout: Duration) {
-        for l in self.leases.values_mut().filter(|l| l.worker == worker) {
+    /// Refreshes the deadlines of every lease `worker` holds. `busy` is
+    /// the worker's self-reported state: a holder that reports idle
+    /// [`IDLE_BEATS_LOST`] beats in a row lost its lease (or the result)
+    /// in transit — a dropped frame on either side — and the task is
+    /// re-queued immediately instead of waiting out the deadline. Returns
+    /// the number of re-queued tasks. (A false positive is harmless:
+    /// absorption dedupes by ego range.)
+    pub fn heartbeat(&mut self, worker: u64, busy: bool, now: Instant, timeout: Duration) -> usize {
+        let mut lost = Vec::new();
+        for (&id, l) in self.leases.iter_mut().filter(|(_, l)| l.worker == worker) {
             l.deadline = now + timeout;
+            if busy || l.result_in_flight {
+                l.idle_beats = 0;
+            } else {
+                l.idle_beats += 1;
+                if l.idle_beats >= IDLE_BEATS_LOST {
+                    lost.push(id);
+                }
+            }
         }
+        let mut requeued = 0;
+        for id in lost {
+            if let Some(l) = self.leases.remove(&id) {
+                if !self.done[l.task as usize] && !self.pending.contains(&l.task) {
+                    self.pending.push_front(l.task);
+                    self.requeues += 1;
+                    requeued += 1;
+                }
+            }
+        }
+        requeued
+    }
+
+    /// The tasks `worker` currently holds leases on — last-known-state
+    /// material for stall diagnostics.
+    pub fn worker_leases(&self, worker: u64) -> Vec<TaskRange> {
+        let mut held: Vec<TaskRange> = self
+            .leases
+            .values()
+            .filter(|l| l.worker == worker)
+            .map(|l| self.tasks[l.task as usize])
+            .collect();
+        held.sort_unstable_by_key(|t| t.index);
+        held
     }
 
     /// Marks `worker`'s leases as having a result in flight (and refreshes
@@ -137,6 +187,7 @@ impl WorkQueue {
         for l in self.leases.values_mut().filter(|l| l.worker == worker) {
             l.deadline = now + timeout;
             l.result_in_flight = true;
+            l.idle_beats = 0;
         }
     }
 
@@ -272,7 +323,7 @@ mod tests {
         let (_id, _) = q.lease_next(1, now, T).unwrap();
         q.lease_next(2, now, T).unwrap();
         // Worker 2 heartbeats; worker 1 goes silent.
-        q.heartbeat(2, now + T, T);
+        assert_eq!(q.heartbeat(2, true, now + T, T), 0);
         let expired = q.expired_workers(now + T);
         assert_eq!(expired, vec![1]);
         assert_eq!(q.requeue_worker(1), 1);
@@ -283,6 +334,34 @@ mod tests {
         let (_id3, _) = q.lease_next(3, now + T, T).unwrap();
         q.result_incoming(3, now + T, T);
         assert_eq!(q.expired_workers(now + 10 * T), vec![2]);
+    }
+
+    #[test]
+    fn idle_heartbeats_detect_a_lost_lease() {
+        let now = Instant::now();
+        let mut q = WorkQueue::new(100, 4);
+        let (id, task) = q.lease_next(1, now, T).unwrap();
+        assert_eq!(q.worker_leases(1), vec![task]);
+        // One idle beat could race the lease frame: nothing happens.
+        assert_eq!(q.heartbeat(1, false, now, T), 0);
+        assert!(q.worker_is_busy(1));
+        // A busy beat resets the counter...
+        assert_eq!(q.heartbeat(1, true, now, T), 0);
+        assert_eq!(q.heartbeat(1, false, now, T), 0);
+        // ...and the second consecutive idle beat re-queues the task.
+        assert_eq!(q.heartbeat(1, false, now, T), 1);
+        assert!(!q.worker_is_busy(1));
+        assert!(q.worker_leases(1).is_empty());
+        assert_eq!(q.requeues(), 1);
+        assert!(q.remove_lease(id).is_none());
+        // The task went to the *front* of the queue.
+        let (_id2, task2) = q.lease_next(2, now, T).unwrap();
+        assert_eq!(task2.index, task.index);
+        // An in-flight result suppresses the idle counter entirely.
+        q.result_incoming(2, now, T);
+        assert_eq!(q.heartbeat(2, false, now, T), 0);
+        assert_eq!(q.heartbeat(2, false, now, T), 0);
+        assert!(q.worker_is_busy(2));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The worker: connect, receive the world, loop over leased ego ranges.
+//! The worker: connect, receive the world, loop over leased ego ranges —
+//! and reconnect when the wire fails.
 //!
 //! Workers are deliberately thin. All policy (task sizing, retries,
 //! dedup) lives in the coordinator; a worker just runs
@@ -6,43 +7,98 @@
 //! is leased — on the process-wide [`locec_runtime::WorkerPool`] via the
 //! shipped `threads` parameter — and ships the result back as the exact
 //! shard snapshot bytes `locec divide --shard` would write. A side thread
-//! heartbeats on the interval the coordinator dictated, so a long divide
-//! never looks like a dead worker.
+//! heartbeats on the interval the coordinator dictated (reporting whether
+//! the worker is busy and how many leases it has completed), so a long
+//! divide never looks like a dead worker — and a lease lost on the wire
+//! shows up as an idle worker the coordinator can re-queue around.
 //!
-//! The failure-injection options exist for the fault-tolerance tests:
-//! `fail_after_leases` drops the connection abruptly mid-lease (the
-//! observable behavior of a killed process), `hang_after_leases` keeps the
-//! connection open but stops heartbeating and working (a wedged
-//! straggler). Both exercise the coordinator's re-queue paths.
+//! **Reconnect**: transient failures — a dropped connection, a corrupt or
+//! truncated frame, a coordinator restart — do not kill the process.
+//! [`run_worker`] retries the connection with capped exponential backoff
+//! plus deterministic jitter ([`RetryPolicy`]), re-Hellos with the worker
+//! id and run nonce from its previous `Welcome` (so the coordinator
+//! requeues the dead incarnation's leases immediately), and keeps the
+//! parsed graph cached across reconnects. Only *permanent* refusals —
+//! protocol version mismatch, a typed [`RejectReason`] from the
+//! coordinator, a failed shared-secret challenge — abort without retry.
+//!
+//! **Fault injection**: a seeded [`FaultPlan`] in
+//! [`WorkerOptions::fault_plan`] wraps this worker's transport, firing
+//! drop/delay/corrupt/truncate/disconnect/stall faults on exact frame
+//! occurrences (the general replacement for the old
+//! `--fail-after-leases`/`--hang-after-leases` flags).
 
-use crate::frame::{read_frame, write_frame, FrameType};
+use crate::fault::{splitmix64, FaultPlan, FaultyTransport};
 use crate::protocol::{
-    decode_lease, decode_welcome, encode_hello, encode_shard_result, Hello, ShardResult,
-    WorldPayload, PROTOCOL_VERSION,
+    decode_lease, decode_reject, decode_welcome, encode_heartbeat, encode_hello,
+    encode_shard_result, handshake_mac, HeartbeatInfo, Hello, ShardResult, Welcome, WorldPayload,
+    AUTH_KEYED, AUTH_NONE, PROTOCOL_VERSION,
 };
-use crate::ClusterError;
+use crate::{frame::FrameType, ClusterError, RejectReason};
 use locec_core::phase1::divide_range;
+use locec_graph::CsrGraph;
 use locec_store::{shard_to_bytes, DivisionShard, StoredWorld};
 use std::net::{Shutdown, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// How a worker retries lost coordinator connections.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Consecutive failed connection attempts tolerated before giving up
+    /// (0 = fail on the first loss, the pre-reconnect behavior). The
+    /// counter resets after every completed handshake.
+    pub max_reconnects: u32,
+    /// First backoff delay; doubles per consecutive failure.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter added to each delay.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_reconnects: 4,
+            base: Duration::from_millis(200),
+            cap: Duration::from_secs(2),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before attempt `attempt` (1-based): capped exponential
+    /// backoff plus a deterministic jitter of up to half the base delay,
+    /// so a fleet sharing a policy but not a seed does not reconnect in
+    /// lockstep — and the same seed replays the same schedule.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let jitter_range = (self.base.as_millis() as u64 / 2).max(1);
+        let jitter = splitmix64(self.seed ^ u64::from(attempt)) % jitter_range;
+        exp.min(self.cap) + Duration::from_millis(jitter)
+    }
+}
+
 /// Worker-side knobs.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct WorkerOptions {
     /// Override the coordinator-shipped thread count (results are
     /// thread-count invariant, so this is purely a throughput knob).
     pub threads: Option<usize>,
-    /// Failure injection: on receiving the Nth lease, drop the connection
-    /// abruptly and return [`ClusterError::InjectedFailure`] — the wire
-    /// behavior of a worker killed mid-lease.
-    pub fail_after_leases: Option<u32>,
-    /// Failure injection: on receiving the Nth lease, stop heartbeating
-    /// and stop working while keeping the connection open — a wedged
-    /// straggler that must be timed out.
-    pub hang_after_leases: Option<u32>,
+    /// Deterministic fault injection over this worker's transport (both
+    /// read and write sides share one occurrence clock).
+    pub fault_plan: Option<FaultPlan>,
+    /// Shared secret for the authenticated handshake; must match the
+    /// coordinator's `--secret` (or both must be absent).
+    pub secret: Option<String>,
+    /// Reconnect/backoff behavior on transient failures.
+    pub retry: RetryPolicy,
 }
 
 /// What a worker did before shutting down.
@@ -52,33 +108,153 @@ pub struct WorkerReport {
     pub leases_completed: u64,
     /// Total egos divided across those leases.
     pub egos_divided: u64,
+    /// Connections re-established after a transient failure.
+    pub reconnects: u64,
+    /// Fault-plan rules that fired on this worker's transport.
+    pub faults_fired: u64,
 }
 
-/// Connects to a coordinator and serves leases until it says Shutdown.
+/// Identity carried across reconnects: who the coordinator said we are,
+/// and which coordinator run said it.
+#[derive(Clone, Copy, Debug, Default)]
+struct PriorIdentity {
+    worker_id: u64,
+    run_nonce: u64,
+}
+
+/// Failures no reconnect can fix: the peer deliberately refused us.
+fn is_permanent(e: &ClusterError) -> bool {
+    matches!(
+        e,
+        ClusterError::VersionMismatch { .. }
+            | ClusterError::Rejected(_)
+            | ClusterError::AuthFailed(_)
+    )
+}
+
+/// A per-connection challenge nonce. Uniqueness across processes and
+/// attempts is all that is required of it (the MAC it feeds is not a
+/// defense against replay by an active adversary — see
+/// [`crate::protocol`]).
+fn fresh_nonce(salt: u64) -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    splitmix64(nanos ^ (u64::from(std::process::id()) << 32) ^ salt)
+}
+
+/// Connects to a coordinator and serves leases until it says Shutdown,
+/// reconnecting through transient failures per [`WorkerOptions::retry`].
 pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, ClusterError> {
+    let transport = FaultyTransport::from_plan(opts.fault_plan.clone());
+    let mut report = WorkerReport::default();
+    let mut identity = PriorIdentity::default();
+    let mut cached_graph: Option<CsrGraph> = None;
+    let mut attempts = 0u32;
+    loop {
+        // A replaced connection un-wedges a stalled transport; the stall
+        // rule has already fired and will not re-fire.
+        transport.clear_stall();
+        let mut progressed = false;
+        let result = run_connection(
+            addr,
+            opts,
+            &transport,
+            &mut report,
+            &mut identity,
+            &mut cached_graph,
+            &mut progressed,
+        );
+        report.faults_fired = transport.faults_fired();
+        let err = match result {
+            Ok(()) => return Ok(report),
+            Err(e) => e,
+        };
+        if is_permanent(&err) {
+            return Err(err);
+        }
+        if progressed {
+            // The handshake completed this cycle: the coordinator is (or
+            // was) reachable, so the failure budget starts over.
+            attempts = 0;
+        }
+        attempts += 1;
+        if attempts > opts.retry.max_reconnects {
+            return Err(if opts.retry.max_reconnects == 0 {
+                err
+            } else {
+                ClusterError::RetriesExhausted {
+                    attempts,
+                    last: Box::new(err),
+                }
+            });
+        }
+        report.reconnects += 1;
+        std::thread::sleep(opts.retry.backoff(attempts));
+    }
+}
+
+/// One connection lifetime: handshake, heartbeat thread, lease loop.
+/// `progressed` is set once the handshake completes, so the caller can
+/// reset the consecutive-failure budget.
+fn run_connection(
+    addr: &str,
+    opts: &WorkerOptions,
+    transport: &FaultyTransport,
+    report: &mut WorkerReport,
+    identity: &mut PriorIdentity,
+    cached_graph: &mut Option<CsrGraph>,
+    progressed: &mut bool,
+) -> Result<(), ClusterError> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     // Provisional handshake timeout; replaced below once the coordinator
     // announces its ping cadence.
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    write_frame(
+
+    let client_nonce = fresh_nonce(identity.worker_id ^ report.reconnects);
+    let (auth, client_mac) = match &opts.secret {
+        Some(secret) => (AUTH_KEYED, handshake_mac(secret, "hello", client_nonce)),
+        None => (AUTH_NONE, 0),
+    };
+    transport.write_frame(
         &mut stream,
         FrameType::Hello,
         &encode_hello(&Hello {
             protocol_version: PROTOCOL_VERSION,
+            prior_worker_id: identity.worker_id,
+            run_nonce: identity.run_nonce,
+            auth,
+            client_nonce,
+            client_mac,
         }),
     )?;
-    let (ftype, payload) = read_frame(&mut stream)?;
-    if ftype != FrameType::Welcome {
-        return Err(ClusterError::Protocol("expected Welcome"));
-    }
-    let welcome = decode_welcome(&payload)?;
+    let (ftype, payload) = transport.read_frame(&mut stream)?;
+    let welcome = match ftype {
+        FrameType::Welcome => decode_welcome(&payload)?,
+        FrameType::Reject => return Err(ClusterError::Rejected(decode_reject(&payload)?)),
+        _ => return Err(ClusterError::Protocol("expected Welcome")),
+    };
     if welcome.protocol_version != PROTOCOL_VERSION {
         return Err(ClusterError::VersionMismatch {
             ours: PROTOCOL_VERSION,
             theirs: welcome.protocol_version,
         });
     }
+    if let Some(secret) = &opts.secret {
+        // The coordinator's half of the mutual challenge-response: it must
+        // prove the same secret over our nonce before we trust its work.
+        if welcome.server_mac != handshake_mac(secret, "welcome", client_nonce) {
+            return Err(ClusterError::AuthFailed(
+                "coordinator failed the shared-secret challenge",
+            ));
+        }
+    }
+    identity.worker_id = welcome.worker_id;
+    identity.run_nonce = welcome.run_nonce;
+    *progressed = true;
+
     // The coordinator pings on the heartbeat cadence even when no lease is
     // ready, so a read this patient only fires when the coordinator's
     // process or host is actually gone (a vanished host sends no FIN — a
@@ -88,13 +264,18 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, Clus
 
     // Heartbeats run on a side thread from the moment the handshake
     // completes, so even the world load below cannot starve them. The
-    // writer mutex keeps heartbeat and result frames from interleaving.
+    // writer mutex keeps heartbeat and result frames from interleaving;
+    // the busy flag and completed counter ride along as last-known state.
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let hb_stop = Arc::new(AtomicBool::new(false));
+    let busy = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(report.leases_completed));
     let hb_handle = {
         let writer = Arc::clone(&writer);
         let stop = Arc::clone(&hb_stop);
-        let interval = Duration::from_millis(welcome.heartbeat_interval_ms.max(10));
+        let busy = Arc::clone(&busy);
+        let completed = Arc::clone(&completed);
+        let transport = transport.clone();
         std::thread::Builder::new()
             .name("locec-worker-heartbeat".into())
             .spawn(move || loop {
@@ -102,15 +283,31 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, Clus
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
+                let info = HeartbeatInfo {
+                    busy: busy.load(Ordering::SeqCst),
+                    leases_completed: completed.load(Ordering::SeqCst),
+                };
+                let payload = encode_heartbeat(&info);
                 let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-                // locec-lint: allow(R5) — the writer mutex exists precisely to serialize whole frames onto the shared socket; heartbeats are 13-byte frames, so the hold is bounded.
-                if write_frame(&mut *w, FrameType::Heartbeat, &[]).is_err() {
+                // locec-lint: allow(R5) — the writer mutex exists precisely to serialize whole frames onto the shared socket; heartbeats are tiny frames, so the hold is bounded.
+                let sent = transport.write_frame(&mut *w, FrameType::Heartbeat, &payload);
+                if sent.is_err() {
                     return;
                 }
             })?
     };
 
-    let result = serve_leases(&mut stream, &writer, &welcome, opts, &hb_stop);
+    let result = serve_leases(
+        &mut stream,
+        &writer,
+        transport,
+        &welcome,
+        opts,
+        report,
+        cached_graph,
+        &busy,
+        &completed,
+    );
 
     hb_stop.store(true, Ordering::SeqCst);
     let _ = stream.shutdown(Shutdown::Both);
@@ -118,16 +315,33 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, Clus
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_leases(
     stream: &mut TcpStream,
     writer: &Arc<Mutex<TcpStream>>,
-    welcome: &crate::protocol::Welcome,
+    transport: &FaultyTransport,
+    welcome: &Welcome,
     opts: &WorkerOptions,
-    hb_stop: &Arc<AtomicBool>,
-) -> Result<WorkerReport, ClusterError> {
-    let graph = match &welcome.world {
-        WorldPayload::Path(p) => StoredWorld::load_graph(Path::new(p))?,
-        WorldPayload::Bytes(b) => StoredWorld::graph_from_bytes(b)?,
+    report: &mut WorkerReport,
+    cached_graph: &mut Option<CsrGraph>,
+    busy: &Arc<AtomicBool>,
+    completed: &Arc<AtomicU64>,
+) -> Result<(), ClusterError> {
+    // Reuse the graph a previous connection to this coordinator already
+    // parsed — a reconnect re-ships the world payload, but re-decoding it
+    // is pure waste when the node count matches.
+    let reusable = cached_graph
+        .as_ref()
+        .is_some_and(|g| g.num_nodes() as u64 == welcome.num_nodes);
+    if !reusable {
+        let graph = match &welcome.world {
+            WorldPayload::Path(p) => StoredWorld::load_graph(Path::new(p))?,
+            WorldPayload::Bytes(b) => StoredWorld::graph_from_bytes(b)?,
+        };
+        *cached_graph = Some(graph);
+    }
+    let Some(graph) = cached_graph.as_ref() else {
+        return Err(ClusterError::Protocol("world graph failed to load"));
     };
     if graph.num_nodes() as u64 != welcome.num_nodes {
         return Err(ClusterError::Protocol(
@@ -139,33 +353,21 @@ fn serve_leases(
         config.threads = t.max(1);
     }
 
-    let mut report = WorkerReport::default();
-    let mut leases_seen = 0u32;
-    let mut hanging = false;
     loop {
-        let (ftype, payload) = read_frame(stream)?;
+        let (ftype, payload) = transport.read_frame(stream)?;
         match ftype {
             FrameType::Lease => {
                 let lease = decode_lease(&payload)?;
                 if lease.ego_end as usize > graph.num_nodes() {
                     return Err(ClusterError::Protocol("lease exceeds the graph"));
                 }
-                leases_seen += 1;
-                if opts.fail_after_leases == Some(leases_seen) {
-                    // Simulate a kill: vanish mid-lease, no result, no
-                    // goodbye (the caller shuts the socket down).
-                    return Err(ClusterError::InjectedFailure);
-                }
-                if opts.hang_after_leases == Some(leases_seen) {
-                    // Wedge: stop heartbeating, ignore the lease, but keep
-                    // the connection open until the coordinator cuts it.
-                    hb_stop.store(true, Ordering::SeqCst);
-                    hanging = true;
-                }
-                if hanging {
+                if transport.stalled() {
+                    // A fired stall rule wedged this worker: stay connected,
+                    // ignore the work, let the coordinator time us out.
                     continue;
                 }
-                let communities = divide_range(&graph, lease.ego_start..lease.ego_end, &config);
+                busy.store(true, Ordering::SeqCst);
+                let communities = divide_range(graph, lease.ego_start..lease.ego_end, &config);
                 let shard = DivisionShard {
                     ego_start: lease.ego_start,
                     ego_end: lease.ego_end,
@@ -178,19 +380,74 @@ fn serve_leases(
                     lease_id: lease.lease_id,
                     shard_bytes: shard_to_bytes(&shard),
                 };
-                {
+                let write_result = {
                     let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
                     // locec-lint: allow(R5) — a shard result must be written as one atomic frame; the heartbeat thread shares this socket and would interleave bytes mid-frame without the lock.
-                    write_frame(&mut *w, FrameType::ShardResult, &encode_shard_result(&msg))?;
-                }
+                    transport.write_frame(
+                        &mut *w,
+                        FrameType::ShardResult,
+                        &encode_shard_result(&msg),
+                    )
+                };
+                busy.store(false, Ordering::SeqCst);
+                write_result?;
                 report.leases_completed += 1;
-                report.egos_divided += (lease.ego_end - lease.ego_start) as u64;
+                report.egos_divided += u64::from(lease.ego_end - lease.ego_start);
+                completed.store(report.leases_completed, Ordering::SeqCst);
             }
             // Coordinator liveness ping: its only job was resetting the
             // read timeout above.
             FrameType::Heartbeat => {}
-            FrameType::Shutdown => return Ok(report),
+            FrameType::Shutdown => return Ok(()),
+            FrameType::Reject => {
+                return Err(ClusterError::Rejected(
+                    decode_reject(&payload).unwrap_or(RejectReason::Malformed),
+                ))
+            }
             _ => return Err(ClusterError::Protocol("unexpected frame from coordinator")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential_with_deterministic_jitter() {
+        let policy = RetryPolicy {
+            max_reconnects: 8,
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(1),
+            seed: 7,
+        };
+        let delays: Vec<Duration> = (1..=8).map(|a| policy.backoff(a)).collect();
+        // Deterministic: the same policy replays the same schedule.
+        assert_eq!(
+            delays,
+            (1..=8).map(|a| policy.backoff(a)).collect::<Vec<_>>()
+        );
+        // Exponential up to the cap (jitter < base/2 cannot mask doubling).
+        assert!(delays[1] > delays[0]);
+        assert!(delays[2] > delays[1]);
+        for d in &delays {
+            assert!(*d <= Duration::from_secs(1) + Duration::from_millis(50));
+        }
+        // A different seed moves the jitter.
+        let other = RetryPolicy { seed: 8, ..policy };
+        assert!((1..=8).any(|a| other.backoff(a) != policy.backoff(a)));
+    }
+
+    #[test]
+    fn permanence_classification_covers_the_refusals() {
+        assert!(is_permanent(&ClusterError::VersionMismatch {
+            ours: 2,
+            theirs: 1
+        }));
+        assert!(is_permanent(&ClusterError::Rejected(RejectReason::Auth)));
+        assert!(is_permanent(&ClusterError::AuthFailed("x")));
+        assert!(!is_permanent(&ClusterError::ConnectionClosed));
+        assert!(!is_permanent(&ClusterError::FaultInjected("x")));
+        assert!(!is_permanent(&ClusterError::Protocol("x")));
     }
 }

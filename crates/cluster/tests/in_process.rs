@@ -1,11 +1,17 @@
 //! End-to-end coordinator/worker runs with in-process workers (threads
 //! running `run_worker` against a real TCP coordinator). Process-level
-//! runs — including killing a worker process mid-lease — live in the
-//! facade's `tests/cluster.rs`, which can spawn the `locec` binary.
+//! runs — including killing a worker process mid-lease and the full chaos
+//! soak — live in the facade's `tests/cluster.rs` and `tests/chaos.rs`,
+//! which can spawn the `locec` binary.
 
-use locec_cluster::{run_worker, ClusterError, CoordinateConfig, Coordinator, WorkerOptions};
+use locec_cluster::protocol::DivideParams;
+use locec_cluster::{
+    run_worker, ClusterError, CoordinateConfig, Coordinator, FaultPlan, RejectReason, RetryPolicy,
+    WorkerOptions,
+};
 use locec_core::phase1::divide;
 use locec_core::LocecConfig;
+use locec_store::{save_division_checkpoint, DivisionCheckpoint, DivisionShard};
 use locec_synth::{Scenario, SynthConfig};
 use std::time::Duration;
 
@@ -23,6 +29,19 @@ fn assert_division_eq(
         );
     }
     assert_eq!(a.membership_table(), b.membership_table());
+}
+
+/// A worker that gives up on the first connection loss (the
+/// pre-reconnect behavior) running the given fault plan.
+fn doomed(plan: &str) -> WorkerOptions {
+    WorkerOptions {
+        fault_plan: Some(FaultPlan::parse(plan, 7).unwrap()),
+        retry: RetryPolicy {
+            max_reconnects: 0,
+            ..RetryPolicy::default()
+        },
+        ..WorkerOptions::default()
+    }
 }
 
 /// Runs a coordination with `healthy` plain workers plus the given faulty
@@ -74,6 +93,12 @@ fn coordinate_with(
     (outcome.division, outcome.stats, expected)
 }
 
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("locec_inproc_{}_{name}", std::process::id()));
+    p
+}
+
 #[test]
 fn cluster_divide_matches_single_process_bit_for_bit() {
     let (division, stats, expected) =
@@ -95,13 +120,10 @@ fn single_worker_cluster_still_completes() {
 
 #[test]
 fn abrupt_worker_death_mid_lease_is_requeued_and_result_is_identical() {
-    // One worker vanishes the moment it receives its first lease (the wire
-    // behavior of a killed process); the healthy worker absorbs the
-    // re-queued range.
-    let faulty = vec![WorkerOptions {
-        fail_after_leases: Some(1),
-        ..WorkerOptions::default()
-    }];
+    // One worker's connection dies the moment it receives its first lease
+    // (the wire behavior of a killed process); with no retry budget it
+    // stays dead, and the healthy worker absorbs the re-queued range.
+    let faulty = vec![doomed("lease:1:disconnect")];
     let (division, stats, expected) =
         coordinate_with(43, 1, faulty, Duration::from_secs(10), Some(6));
     assert_division_eq(&division, &expected);
@@ -114,12 +136,9 @@ fn abrupt_worker_death_mid_lease_is_requeued_and_result_is_identical() {
 #[test]
 fn hung_worker_lease_times_out_and_is_requeued() {
     // One worker wedges on its first lease — connection open, heartbeats
-    // stopped. The coordinator must expire the lease, cut the worker off
-    // and re-queue the range.
-    let faulty = vec![WorkerOptions {
-        hang_after_leases: Some(1),
-        ..WorkerOptions::default()
-    }];
+    // swallowed by the stall. The coordinator must expire the lease, cut
+    // the worker off and re-queue the range.
+    let faulty = vec![doomed("lease:1:stall")];
     let (division, stats, expected) =
         coordinate_with(44, 1, faulty, Duration::from_millis(400), Some(6));
     assert_division_eq(&division, &expected);
@@ -130,17 +149,236 @@ fn hung_worker_lease_times_out_and_is_requeued() {
 }
 
 #[test]
+fn worker_reconnects_after_a_truncated_result_and_the_run_completes() {
+    // The only worker truncates its first shard-result mid-frame (a torn
+    // TCP stream), reconnects with its prior identity, and re-delivers.
+    // The division must still match single-process output bit for bit.
+    let faulty = vec![WorkerOptions {
+        fault_plan: Some(FaultPlan::parse("shard-result:1:truncate", 11).unwrap()),
+        retry: RetryPolicy {
+            max_reconnects: 5,
+            base: Duration::from_millis(50),
+            cap: Duration::from_millis(200),
+            seed: 1,
+        },
+        ..WorkerOptions::default()
+    }];
+    let (division, stats, expected) =
+        coordinate_with(45, 0, faulty, Duration::from_secs(10), Some(6));
+    assert_division_eq(&division, &expected);
+    assert!(
+        stats.reconnects >= 1,
+        "the worker must resume its prior identity (stats: {stats:?})"
+    );
+    assert!(
+        stats.requeues >= 1,
+        "the torn result's lease must be re-queued (stats: {stats:?})"
+    );
+}
+
+#[test]
+fn authenticated_handshake_accepts_the_secret_and_rejects_the_rest() {
+    let scenario = Scenario::generate(&SynthConfig::tiny(46));
+    let config = LocecConfig {
+        threads: 1,
+        ..LocecConfig::fast()
+    };
+    let expected = divide(&scenario.graph, &config);
+
+    let mut cfg = CoordinateConfig::new(config.clone(), 0);
+    cfg.ship_world_bytes = true;
+    cfg.explicit_tasks = Some(4);
+    cfg.stall_timeout = Duration::from_secs(60);
+    cfg.secret = Some("open sesame".into());
+    let mut coordinator = Coordinator::bind(None, scenario.graph.clone(), cfg).unwrap();
+    let addr = coordinator.local_addr().to_string();
+
+    let no_retry = RetryPolicy {
+        max_reconnects: 0,
+        ..RetryPolicy::default()
+    };
+    let spawn_with = |opts: WorkerOptions| {
+        let addr = addr.clone();
+        std::thread::spawn(move || run_worker(&addr, &opts))
+    };
+    let good = spawn_with(WorkerOptions {
+        secret: Some("open sesame".into()),
+        ..WorkerOptions::default()
+    });
+    let wrong = spawn_with(WorkerOptions {
+        secret: Some("swordfish".into()),
+        retry: no_retry,
+        ..WorkerOptions::default()
+    });
+    let unauthenticated = spawn_with(WorkerOptions {
+        retry: no_retry,
+        ..WorkerOptions::default()
+    });
+
+    let outcome = coordinator.run().expect("coordination completes");
+    assert_division_eq(&outcome.division, &expected);
+    assert_eq!(
+        outcome.stats.workers_seen, 1,
+        "rejected peers must never count as workers"
+    );
+    good.join().unwrap().expect("authenticated worker succeeds");
+    for handle in [wrong, unauthenticated] {
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(
+            matches!(err, ClusterError::Rejected(RejectReason::Auth)),
+            "expected a typed auth rejection, got: {err}"
+        );
+    }
+
+    // The mirror failure: a worker demanding a secret from a coordinator
+    // that has none must refuse the unproven Welcome.
+    let mut cfg = CoordinateConfig::new(config, 0);
+    cfg.ship_world_bytes = true;
+    cfg.explicit_tasks = Some(4);
+    cfg.stall_timeout = Duration::from_secs(60);
+    let mut coordinator = Coordinator::bind(None, scenario.graph.clone(), cfg).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let addr2 = addr.clone();
+    let suspicious = std::thread::spawn(move || {
+        run_worker(
+            &addr2,
+            &WorkerOptions {
+                secret: Some("open sesame".into()),
+                retry: RetryPolicy {
+                    max_reconnects: 0,
+                    ..RetryPolicy::default()
+                },
+                ..WorkerOptions::default()
+            },
+        )
+    });
+    let plain = std::thread::spawn(move || run_worker(&addr, &WorkerOptions::default()));
+    coordinator.run().expect("coordination completes");
+    let err = suspicious.join().unwrap().unwrap_err();
+    assert!(
+        matches!(err, ClusterError::AuthFailed(_)),
+        "expected AuthFailed, got: {err}"
+    );
+    let _ = plain.join().unwrap();
+}
+
+#[test]
+fn checkpoint_resume_completes_without_workers() {
+    let scenario = Scenario::generate(&SynthConfig::tiny(47));
+    let config = LocecConfig {
+        threads: 1,
+        ..LocecConfig::fast()
+    };
+    let expected = divide(&scenario.graph, &config);
+    let ckpt = tmp("complete.lsnap");
+
+    let mut cfg = CoordinateConfig::new(config.clone(), 0);
+    cfg.ship_world_bytes = true;
+    cfg.explicit_tasks = Some(5);
+    cfg.stall_timeout = Duration::from_secs(60);
+    cfg.checkpoint = Some(ckpt.clone());
+    let mut coordinator = Coordinator::bind(None, scenario.graph.clone(), cfg).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let worker = std::thread::spawn(move || run_worker(&addr, &WorkerOptions::default()));
+    let outcome = coordinator.run().expect("coordination completes");
+    worker.join().unwrap().expect("worker succeeds");
+    assert!(
+        outcome.stats.checkpoints_written >= 1,
+        "default cadence checkpoints every absorption (stats: {:?})",
+        outcome.stats
+    );
+
+    // The final checkpoint covers every range: a resume needs no workers
+    // at all and must reproduce the division bit for bit.
+    let mut cfg = CoordinateConfig::new(config, 0);
+    cfg.ship_world_bytes = true;
+    cfg.explicit_tasks = Some(99); // ignored: the checkpoint's tiling wins
+    cfg.stall_timeout = Duration::from_secs(5);
+    cfg.resume_from = Some(ckpt.clone());
+    let mut coordinator = Coordinator::bind(None, scenario.graph.clone(), cfg).unwrap();
+    let outcome = coordinator.run().expect("resume completes with no workers");
+    assert_division_eq(&outcome.division, &expected);
+    assert_eq!(
+        outcome.stats.tasks, 5,
+        "task tiling comes from the checkpoint"
+    );
+    assert_eq!(outcome.stats.workers_seen, 0);
+    std::fs::remove_file(&ckpt).ok();
+}
+
+#[test]
+fn partial_checkpoint_resume_requeues_only_uncovered_tasks() {
+    let scenario = Scenario::generate(&SynthConfig::tiny(48));
+    let config = LocecConfig {
+        threads: 1,
+        ..LocecConfig::fast()
+    };
+    let expected = divide(&scenario.graph, &config);
+    let n = scenario.graph.num_nodes();
+    let params = DivideParams::from_config(&config);
+
+    // Hand-build the checkpoint of a run that died after absorbing tasks
+    // 0..3 of 6: merged coverage [0, b), communities spliced up to b.
+    let covered_end = DivisionShard::ego_range(2, 6, n).end;
+    let ckpt_path = tmp("partial.lsnap");
+    save_division_checkpoint(
+        &ckpt_path,
+        &DivisionCheckpoint {
+            num_nodes: n as u32,
+            task_count: 6,
+            detector: params.detector,
+            seed: params.seed,
+            gn_max_friends: params.gn_max_friends,
+            merged: vec![(0, covered_end)],
+            communities: expected
+                .communities
+                .iter()
+                .take_while(|c| c.ego.0 < covered_end)
+                .cloned()
+                .collect(),
+        },
+    )
+    .unwrap();
+
+    let mut cfg = CoordinateConfig::new(config, 0);
+    cfg.ship_world_bytes = true;
+    cfg.stall_timeout = Duration::from_secs(60);
+    cfg.resume_from = Some(ckpt_path.clone());
+    let mut coordinator = Coordinator::bind(None, scenario.graph.clone(), cfg).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let worker = std::thread::spawn(move || run_worker(&addr, &WorkerOptions::default()));
+    let outcome = coordinator.run().expect("resume completes");
+    let report = worker.join().unwrap().expect("worker succeeds");
+
+    assert_division_eq(&outcome.division, &expected);
+    assert_eq!(outcome.stats.tasks, 6);
+    assert_eq!(
+        report.egos_divided,
+        u64::from(n as u32 - covered_end),
+        "only the uncovered tail may be re-divided"
+    );
+    std::fs::remove_file(&ckpt_path).ok();
+}
+
+#[test]
 fn version_mismatch_is_rejected_by_the_worker() {
     // A worker pointed at something that is not a coordinator fails with a
     // typed error instead of hanging: here, a socket that closes without a
-    // Welcome.
+    // Welcome (no retry budget, as a real deployment's first probe).
     let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap().to_string();
     let server = std::thread::spawn(move || {
         let (stream, _) = listener.accept().unwrap();
         drop(stream);
     });
-    let err = run_worker(&addr, &WorkerOptions::default()).unwrap_err();
+    let opts = WorkerOptions {
+        retry: RetryPolicy {
+            max_reconnects: 0,
+            ..RetryPolicy::default()
+        },
+        ..WorkerOptions::default()
+    };
+    let err = run_worker(&addr, &opts).unwrap_err();
     server.join().unwrap();
     assert!(
         matches!(
@@ -149,4 +387,41 @@ fn version_mismatch_is_rejected_by_the_worker() {
         ),
         "unexpected error: {err}"
     );
+}
+
+#[test]
+fn coordination_with_no_workers_stalls_with_a_typed_error() {
+    // One worker joins, dies on its first lease, and nobody replaces it:
+    // the coordinator must fail with a Stalled diagnosis naming the dead
+    // worker's last-known state instead of hanging forever.
+    let scenario = Scenario::generate(&SynthConfig::tiny(44));
+    let config = LocecConfig {
+        threads: 1,
+        ..LocecConfig::fast()
+    };
+    let mut cfg = CoordinateConfig::new(config, 0);
+    cfg.ship_world_bytes = true;
+    cfg.explicit_tasks = Some(4);
+    cfg.lease_timeout = Duration::from_millis(300);
+    cfg.stall_timeout = Duration::from_millis(700);
+    let mut coordinator = Coordinator::bind(None, scenario.graph.clone(), cfg).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let h = std::thread::spawn(move || run_worker(&addr, &doomed("lease:1:disconnect")));
+    let err = match coordinator.run() {
+        Ok(_) => panic!("must stall, not complete"),
+        Err(e) => e,
+    };
+    let _ = h.join().expect("worker thread not poisoned");
+    match err {
+        ClusterError::Stalled(msg) => {
+            assert!(msg.contains("absorbed"), "no task progress in: {msg}");
+            assert!(msg.contains("worker #1"), "no per-worker state in: {msg}");
+            assert!(msg.contains("disconnected"), "no liveness in: {msg}");
+            assert!(
+                msg.contains("lease(s) completed"),
+                "no lease count in: {msg}"
+            );
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
 }

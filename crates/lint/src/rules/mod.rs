@@ -104,6 +104,14 @@ impl LintConfig {
                     name: "PROTOCOL_VERSION".into(),
                     declaring_file: "crates/cluster/src/protocol.rs".into(),
                 },
+                WireConst {
+                    name: "AUTH_NONE".into(),
+                    declaring_file: "crates/cluster/src/protocol.rs".into(),
+                },
+                WireConst {
+                    name: "AUTH_KEYED".into(),
+                    declaring_file: "crates/cluster/src/protocol.rs".into(),
+                },
             ],
             registries: vec![
                 Registry {

@@ -1,0 +1,234 @@
+//! Coordinator checkpoints: the durable half of a mid-run streaming merge.
+//!
+//! A [`DivisionCheckpoint`] persists everything a crashed `locec
+//! coordinate` run needs to restart without losing absorbed shard work:
+//! the merged ego ranges, the spliced ego-ordered communities, the task
+//! tiling, and the divide parameters the result depends on (so a resume
+//! with different parameters is a typed error, not a silently mixed
+//! division). It reuses the columnar community sections every other
+//! division artifact uses, under the dedicated
+//! [`SnapshotKind::DivisionCheckpoint`] kind.
+//!
+//! Writes are atomic (temp file + rename in the destination directory),
+//! so a coordinator killed mid-checkpoint leaves the previous checkpoint
+//! intact rather than a torn file.
+
+use crate::division::{add_community_sections, read_community_sections};
+use crate::format::{Enc, Snapshot, SnapshotError, SnapshotKind, SnapshotWriter};
+use locec_core::phase1::LocalCommunity;
+use std::path::Path;
+
+/// A coordinator's mid-run merge state plus the run parameters that make
+/// it resumable.
+pub struct DivisionCheckpoint {
+    /// Node count of the world being divided.
+    pub num_nodes: u32,
+    /// The task tiling of the interrupted run; a resume re-queues exactly
+    /// the tasks whose canonical ranges are not yet covered.
+    pub task_count: u32,
+    /// Wire id of the community detector (see
+    /// `locec_cluster::protocol::DivideParams`).
+    pub detector: u8,
+    /// Seed of the seeded detectors.
+    pub seed: u64,
+    /// Girvan–Newman ego-size cap.
+    pub gn_max_friends: u64,
+    /// Disjoint, sorted, coalesced absorbed ego ranges.
+    pub merged: Vec<(u32, u32)>,
+    /// The spliced communities of the absorbed ranges, in ego order.
+    pub communities: Vec<LocalCommunity>,
+}
+
+/// Writes a checkpoint atomically: the bytes land in `<path>.tmp` first
+/// and replace `path` with a rename, so a crash mid-write never corrupts
+/// the previous checkpoint.
+pub fn save_division_checkpoint(
+    path: &Path,
+    ckpt: &DivisionCheckpoint,
+) -> Result<(), SnapshotError> {
+    let mut w = SnapshotWriter::new(SnapshotKind::DivisionCheckpoint);
+    let mut meta = Enc::new();
+    meta.u32(ckpt.num_nodes);
+    meta.u32(ckpt.task_count);
+    meta.u8(ckpt.detector);
+    meta.u64(ckpt.seed);
+    meta.u64(ckpt.gn_max_friends);
+    w.add("meta", meta.finish());
+    let mut ranges = Enc::new();
+    ranges.u64(ckpt.merged.len() as u64);
+    for &(s, e) in &ckpt.merged {
+        ranges.u32(s);
+        ranges.u32(e);
+    }
+    w.add("ranges", ranges.finish());
+    add_community_sections(&mut w, &ckpt.communities);
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    w.write_to(&tmp)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a checkpoint back, validating the structural invariants a resume
+/// relies on: ranges sorted, disjoint, coalesced and inside the graph;
+/// communities inside the merged ranges. (Graph-dependent validation —
+/// members are neighbors of their egos — happens when the checkpoint is
+/// handed to `IncrementalMerge::resume` with the live graph.)
+pub fn load_division_checkpoint(path: &Path) -> Result<DivisionCheckpoint, SnapshotError> {
+    let snap = Snapshot::read_from(path)?;
+    snap.expect_kind(SnapshotKind::DivisionCheckpoint)?;
+    let mut dec = snap.section("meta")?;
+    let num_nodes = dec.u32()?;
+    let task_count = dec.u32()?;
+    let detector = dec.u8()?;
+    let seed = dec.u64()?;
+    let gn_max_friends = dec.u64()?;
+    dec.done()?;
+    if task_count == 0 && num_nodes > 0 {
+        return Err(SnapshotError::Corrupt("checkpoint has no task tiling"));
+    }
+
+    let mut dec = snap.section("ranges")?;
+    let count = dec.count()?;
+    let mut merged = Vec::with_capacity(count);
+    for _ in 0..count {
+        let s = dec.u32()?;
+        let e = dec.u32()?;
+        merged.push((s, e));
+    }
+    dec.done()?;
+    let mut prev_end = None::<u32>;
+    for &(s, e) in &merged {
+        if s >= e || e > num_nodes {
+            return Err(SnapshotError::Corrupt(
+                "checkpoint ego range is empty or exceeds the graph",
+            ));
+        }
+        if prev_end.is_some_and(|p| s <= p) {
+            return Err(SnapshotError::Corrupt(
+                "checkpoint ego ranges are not sorted, disjoint and coalesced",
+            ));
+        }
+        prev_end = Some(e);
+    }
+
+    let communities = read_community_sections(&snap, num_nodes)?;
+    let inside = |ego: u32| {
+        let i = merged.partition_point(|&(_, e)| e <= ego);
+        merged.get(i).is_some_and(|&(s, e)| s <= ego && ego < e)
+    };
+    if communities.iter().any(|c| !inside(c.ego.0)) {
+        return Err(SnapshotError::Corrupt(
+            "checkpoint community outside the merged ego ranges",
+        ));
+    }
+    Ok(DivisionCheckpoint {
+        num_nodes,
+        task_count,
+        detector,
+        seed,
+        gn_max_friends,
+        merged,
+        communities,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locec_graph::NodeId;
+
+    fn sample() -> DivisionCheckpoint {
+        DivisionCheckpoint {
+            num_nodes: 100,
+            task_count: 8,
+            detector: 0,
+            seed: 41,
+            gn_max_friends: 120,
+            merged: vec![(0, 25), (50, 62)],
+            communities: vec![
+                LocalCommunity {
+                    ego: NodeId(3),
+                    members: vec![NodeId(1), NodeId(7)],
+                    tightness: vec![0.5, 0.25],
+                },
+                LocalCommunity {
+                    ego: NodeId(55),
+                    members: vec![NodeId(54)],
+                    tightness: vec![1.0],
+                },
+            ],
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("locec_ckpt_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn checkpoint_roundtrips() {
+        let path = tmp("roundtrip.lsnap");
+        let ckpt = sample();
+        save_division_checkpoint(&path, &ckpt).unwrap();
+        let back = load_division_checkpoint(&path).unwrap();
+        assert_eq!(back.num_nodes, ckpt.num_nodes);
+        assert_eq!(back.task_count, ckpt.task_count);
+        assert_eq!(back.detector, ckpt.detector);
+        assert_eq!(back.seed, ckpt.seed);
+        assert_eq!(back.gn_max_friends, ckpt.gn_max_friends);
+        assert_eq!(back.merged, ckpt.merged);
+        assert_eq!(back.communities.len(), ckpt.communities.len());
+        assert_eq!(back.communities[1].ego, NodeId(55));
+        // The temp file was renamed away, not left behind.
+        assert!(!path.with_extension("lsnap.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error() {
+        let path = tmp("corrupt.lsnap");
+        save_division_checkpoint(&path, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_division_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_checkpoints_are_rejected() {
+        // Overlapping (non-coalesced) ranges.
+        let path = tmp("overlap.lsnap");
+        let mut bad = sample();
+        bad.merged = vec![(0, 25), (25, 30)];
+        save_division_checkpoint(&path, &bad).unwrap();
+        assert!(matches!(
+            load_division_checkpoint(&path),
+            Err(SnapshotError::Corrupt(
+                "checkpoint ego ranges are not sorted, disjoint and coalesced"
+            ))
+        ));
+        // A community outside every merged range.
+        let mut bad = sample();
+        bad.communities[1].ego = NodeId(80);
+        save_division_checkpoint(&path, &bad).unwrap();
+        assert!(matches!(
+            load_division_checkpoint(&path),
+            Err(SnapshotError::Corrupt(
+                "checkpoint community outside the merged ego ranges"
+            ))
+        ));
+        // A range past the graph.
+        let mut bad = sample();
+        bad.merged = vec![(0, 101)];
+        bad.communities.clear();
+        save_division_checkpoint(&path, &bad).unwrap();
+        assert!(load_division_checkpoint(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -375,6 +375,91 @@ impl<'g> IncrementalMerge<'g> {
         self.covered as usize == self.graph.num_nodes()
     }
 
+    /// The disjoint, sorted, coalesced ego ranges absorbed so far — the
+    /// durable half of a [`crate::DivisionCheckpoint`].
+    pub fn merged_ranges(&self) -> &[(u32, u32)] {
+        &self.merged
+    }
+
+    /// The spliced ego-ordered communities absorbed so far.
+    pub fn communities(&self) -> &[LocalCommunity] {
+        &self.communities
+    }
+
+    /// Whether `[start, end)` lies entirely inside absorbed work. Empty
+    /// ranges are trivially covered (they carry no egos).
+    pub fn range_is_covered(&self, start: u32, end: u32) -> bool {
+        if start >= end {
+            return true;
+        }
+        let i = self.merged.partition_point(|&(_, e)| e <= start);
+        self.merged
+            .get(i)
+            .is_some_and(|&(s, e)| s <= start && end <= e)
+    }
+
+    /// Rebuilds a merge from checkpointed state: `merged` must be sorted,
+    /// disjoint, coalesced and inside the graph; `communities` must be
+    /// ego-ordered, inside the merged ranges, and valid against `graph`
+    /// (the same validation [`IncrementalMerge::absorb`] applies to every
+    /// live shard).
+    pub fn resume(
+        graph: &'g CsrGraph,
+        communities: Vec<LocalCommunity>,
+        merged: Vec<(u32, u32)>,
+    ) -> Result<Self, SnapshotError> {
+        let n = graph.num_nodes() as u32;
+        let mut covered = 0u64;
+        let mut prev_end = None::<u32>;
+        for &(s, e) in &merged {
+            if s >= e || e > n {
+                return Err(SnapshotError::Corrupt(
+                    "checkpoint ego range is empty or exceeds the graph",
+                ));
+            }
+            if let Some(p) = prev_end {
+                // Adjacent ranges would have been coalesced at absorb time;
+                // requiring that here keeps range_is_covered's single-probe
+                // containment check sound.
+                if s <= p {
+                    return Err(SnapshotError::Corrupt(
+                        "checkpoint ego ranges are not sorted, disjoint and coalesced",
+                    ));
+                }
+            }
+            prev_end = Some(e);
+            covered += u64::from(e - s);
+        }
+        let inside = |ego: u32| {
+            let i = merged.partition_point(|&(_, e)| e <= ego);
+            merged.get(i).is_some_and(|&(s, e)| s <= ego && ego < e)
+        };
+        let mut prev_ego = None::<u32>;
+        for c in &communities {
+            if let Some(p) = prev_ego {
+                if c.ego.0 < p {
+                    return Err(SnapshotError::Corrupt(
+                        "checkpoint communities are not ego-ordered",
+                    ));
+                }
+            }
+            prev_ego = Some(c.ego.0);
+            if !inside(c.ego.0) {
+                return Err(SnapshotError::Corrupt(
+                    "checkpoint community outside the merged ego ranges",
+                ));
+            }
+        }
+        validate_members_are_neighbors(graph, &communities)?;
+        Ok(IncrementalMerge {
+            graph,
+            communities,
+            merged,
+            covered,
+            duplicates: 0,
+        })
+    }
+
     /// Builds the final [`DivisionResult`] (membership table included) —
     /// bit-identical to a single-process `divide` over the same graph.
     /// Fails unless the absorbed ranges tile the whole ego range.

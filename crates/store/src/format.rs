@@ -61,6 +61,9 @@ pub enum SnapshotKind {
     /// The incremental complement of a division: the dirty egos of one
     /// world delta and their re-divided communities only.
     DivisionDelta = 9,
+    /// A coordinator's mid-run merge state (absorbed ego ranges + spliced
+    /// communities + divide parameters) for `coordinate --resume`.
+    DivisionCheckpoint = 10,
 }
 
 impl SnapshotKind {
@@ -76,6 +79,7 @@ impl SnapshotKind {
             7 => SnapshotKind::Labels,
             8 => SnapshotKind::WorldDelta,
             9 => SnapshotKind::DivisionDelta,
+            10 => SnapshotKind::DivisionCheckpoint,
             _ => return None,
         })
     }
@@ -92,6 +96,7 @@ impl SnapshotKind {
             SnapshotKind::Labels => "labels",
             SnapshotKind::WorldDelta => "world-delta",
             SnapshotKind::DivisionDelta => "division-delta",
+            SnapshotKind::DivisionCheckpoint => "division-checkpoint",
         }
     }
 }
@@ -733,6 +738,7 @@ mod tests {
             SnapshotKind::Labels,
             SnapshotKind::WorldDelta,
             SnapshotKind::DivisionDelta,
+            SnapshotKind::DivisionCheckpoint,
         ];
         for &kind in &all {
             let bytes = SnapshotWriter::new(kind).to_bytes();
@@ -741,10 +747,10 @@ mod tests {
             assert_eq!(SnapshotKind::from_u32(kind as u32), Some(kind), "{kind:?}");
             assert!(!kind.name().is_empty(), "{kind:?}");
         }
-        // The registry is dense and ends at DivisionDelta.
+        // The registry is dense and ends at DivisionCheckpoint.
         assert_eq!(SnapshotKind::from_u32(0), None);
         assert_eq!(
-            SnapshotKind::from_u32(SnapshotKind::DivisionDelta as u32 + 1),
+            SnapshotKind::from_u32(SnapshotKind::DivisionCheckpoint as u32 + 1),
             None
         );
     }

@@ -6,8 +6,9 @@
 //! world, Phase I divisions (whole or per-shard), Phase II aggregations and
 //! trained models, the final edge labels, and the incremental-update pair
 //! of edge-event streams ([`delta`]: world deltas) and re-divided-egos
-//! division deltas — has a versioned binary columnar snapshot with writers
-//! and readers.
+//! division deltas, plus the cluster coordinator's mid-run merge state
+//! ([`checkpoint`]) — has a versioned binary columnar snapshot with
+//! writers and readers.
 //!
 //! The container format ([`format`]) is a magic header, a format version, a
 //! snapshot kind, and a table of named CRC32-checksummed sections whose
@@ -24,6 +25,7 @@
 //! `divide --shard i/n` / `divide --merge` workflow is built on.
 
 pub mod aggregation;
+pub mod checkpoint;
 pub mod delta;
 pub mod division;
 pub mod format;
@@ -32,6 +34,7 @@ pub mod models;
 pub mod world;
 
 pub use aggregation::{load_aggregation, save_aggregation};
+pub use checkpoint::{load_division_checkpoint, save_division_checkpoint, DivisionCheckpoint};
 pub use delta::{
     apply_division_delta, apply_world_delta, load_division_delta, load_world_delta,
     save_division_delta, save_world_delta, DivisionDelta,

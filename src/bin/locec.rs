@@ -30,7 +30,9 @@
 //! [`LocecPipeline`] on the same world and split and fails unless every
 //! predicted edge label matches — the end-to-end equivalence check CI runs.
 
-use locec::cluster::{run_worker, CoordinateConfig, Coordinator, WorkerOptions, WorkerSpawn};
+use locec::cluster::{
+    run_worker, CoordinateConfig, Coordinator, FaultPlan, RetryPolicy, WorkerOptions, WorkerSpawn,
+};
 use locec::core::phase1::{
     divide_egos, divide_range, splice_update_owned, update_prefers_full_divide, DivisionResult,
 };
@@ -43,10 +45,10 @@ use locec::core::{
 use locec::graph::{dirty_egos, GraphDelta};
 use locec::ml::metrics::Evaluation;
 use locec::store::{
-    apply_world_delta, load_aggregation, load_division, load_division_delta, load_edge_model,
-    load_labels, load_shard, load_world_delta, merge_shards, save_aggregation,
-    save_community_model, save_division, save_division_delta, save_edge_model, save_labels,
-    save_shard, save_world_delta, DivisionDelta, DivisionShard, Snapshot, StoredWorld,
+    apply_world_delta, load_aggregation, load_division, load_division_checkpoint,
+    load_division_delta, load_edge_model, load_labels, load_shard, load_world_delta, merge_shards,
+    save_aggregation, save_community_model, save_division, save_division_delta, save_edge_model,
+    save_labels, save_shard, save_world_delta, DivisionDelta, DivisionShard, Snapshot, StoredWorld,
 };
 use locec::synth::evolve::EvolveConfig;
 use locec::synth::types::RelationType;
@@ -64,9 +66,13 @@ USAGE:
   locec divide    --world FILE --out FILE --update --base DIVISION_FILE
                   --delta DELTA_FILE [--out-delta FILE] [config]
   locec coordinate --world FILE --out FILE [--workers N] [--listen ADDR]
-                  [--tasks T] [--lease-timeout-ms MS] [--ship-world] [config]
-  locec worker    --connect ADDR [--threads N]
-                  [--fail-after-leases K] [--hang-after-leases K]
+                  [--tasks T] [--lease-timeout-ms MS] [--stall-timeout-ms MS]
+                  [--heartbeat-ms MS] [--checkpoint FILE] [--checkpoint-every-ms MS]
+                  [--resume FILE] [--secret S] [--ship-world] [--fault-plan SPEC]
+                  [--worker-fault-plan SPEC] [--fault-seed N] [config]
+  locec worker    --connect ADDR [--threads N] [--secret S] [--retry-max N]
+                  [--retry-base-ms MS] [--retry-cap-ms MS]
+                  [--fault-plan SPEC] [--fault-seed N]
   locec evolve    --world FILE --out DELTA_FILE [--out-world FILE] [--seed N]
                   [--insert-fraction F] [--remove-fraction F] [--batches N]
   locec aggregate --world FILE --division FILE --out-agg FILE --out-model FILE [config]
@@ -89,8 +95,16 @@ cluster: `coordinate` runs Phase I across worker processes — it spawns
 or silent workers, merges shard results as they stream in, and writes a
 division snapshot byte-identical to a single-process `divide`. --ship-world
 sends workers the (graph-only) world over the wire instead of a snapshot
-path. The worker's --fail-after-leases/--hang-after-leases flags are
-failure-injection instrumentation for the fault-tolerance tests.
+path. --checkpoint persists the merge state after absorptions (atomic
+write-then-rename) so a killed coordinator restarted with --resume
+re-queues only unabsorbed ranges; --secret requires a mutual shared-secret
+handshake on both sides. Workers ride out transient failures by
+reconnecting with capped exponential backoff (--retry-max/base-ms/cap-ms)
+and resume their prior identity. A fault plan — `FRAME:N:KIND,...` with
+kinds drop|delay=MS|corrupt|truncate|disconnect|stall — injects
+deterministic wire failures seeded by --fault-seed: --fault-plan on the
+invoking side's own transport, --worker-fault-plan handed to every
+spawned local worker.
 
 lint: `lint` runs the workspace static-analysis pass (unsafe-containment,
 panic-freedom, wire-constant single-declaration, registry exhaustiveness,
@@ -648,6 +662,15 @@ fn cmd_coordinate(p: &Parsed) -> Result<(), String> {
             "listen",
             "tasks",
             "lease-timeout-ms",
+            "stall-timeout-ms",
+            "heartbeat-ms",
+            "checkpoint",
+            "checkpoint-every-ms",
+            "resume",
+            "secret",
+            "fault-plan",
+            "worker-fault-plan",
+            "fault-seed",
         ]),
         &["--ship-world"],
         false,
@@ -656,6 +679,7 @@ fn cmd_coordinate(p: &Parsed) -> Result<(), String> {
     let out = p.path("out")?;
     let config = p.locec_config()?;
     let workers = p.num::<usize>("workers")?.unwrap_or(2);
+    let fault_seed = p.num::<u64>("fault-seed")?.unwrap_or(0);
     let graph = StoredWorld::load_graph(&world).map_err(store_err)?;
 
     let mut cfg = CoordinateConfig::new(config, workers);
@@ -665,15 +689,47 @@ fn cmd_coordinate(p: &Parsed) -> Result<(), String> {
     if workers > 0 {
         let program =
             std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+        // Spawned workers inherit the shared secret and, when asked, their
+        // own deterministic fault plan.
+        let mut worker_args = Vec::new();
+        if let Some(secret) = p.str("secret") {
+            worker_args.extend(["--secret".to_owned(), secret.to_owned()]);
+        }
+        if let Some(spec) = p.str("worker-fault-plan") {
+            FaultPlan::parse(spec, fault_seed)?; // fail at launch, not in children
+            worker_args.extend([
+                "--fault-plan".to_owned(),
+                spec.to_owned(),
+                "--fault-seed".to_owned(),
+                fault_seed.to_string(),
+            ]);
+        }
         cfg.spawn = Some(WorkerSpawn {
             program,
             args: Vec::new(),
+            worker_args,
         });
     }
     cfg.explicit_tasks = p.num::<u32>("tasks")?;
     if let Some(ms) = p.num::<u64>("lease-timeout-ms")? {
         cfg.lease_timeout = std::time::Duration::from_millis(ms.max(100));
     }
+    if let Some(ms) = p.num::<u64>("stall-timeout-ms")? {
+        cfg.stall_timeout = std::time::Duration::from_millis(ms.max(100));
+    }
+    if let Some(ms) = p.num::<u64>("heartbeat-ms")? {
+        cfg.heartbeat_interval = Some(std::time::Duration::from_millis(ms.max(10)));
+    }
+    cfg.checkpoint = p.str("checkpoint").map(PathBuf::from);
+    if let Some(ms) = p.num::<u64>("checkpoint-every-ms")? {
+        cfg.checkpoint_every = std::time::Duration::from_millis(ms);
+    }
+    cfg.resume_from = p.str("resume").map(PathBuf::from);
+    cfg.secret = p.str("secret").map(str::to_owned);
+    cfg.fault_plan = p
+        .str("fault-plan")
+        .map(|spec| FaultPlan::parse(spec, fault_seed))
+        .transpose()?;
     cfg.ship_world_bytes = p.has("--ship-world");
     cfg.verbose = true;
 
@@ -701,12 +757,14 @@ fn cmd_coordinate(p: &Parsed) -> Result<(), String> {
     let s = &outcome.stats;
     println!(
         "coordinate: {} tasks over {} workers ({} requeued, {} duplicate shards, \
-         {} respawns) -> {} communities in {:.3}s -> {}",
+         {} respawns, {} reconnects, {} checkpoints) -> {} communities in {:.3}s -> {}",
         s.tasks,
         s.workers_seen,
         s.requeues,
         s.duplicates_dropped,
         s.respawns,
+        s.reconnects,
+        s.checkpoints_written,
         outcome.division.num_communities(),
         s.wall.as_secs_f64(),
         out.display()
@@ -721,8 +779,12 @@ fn cmd_worker(p: &Parsed) -> Result<(), String> {
         &[
             "connect",
             "threads",
-            "fail-after-leases",
-            "hang-after-leases",
+            "secret",
+            "retry-max",
+            "retry-base-ms",
+            "retry-cap-ms",
+            "fault-plan",
+            "fault-seed",
         ],
         &[],
         false,
@@ -730,15 +792,31 @@ fn cmd_worker(p: &Parsed) -> Result<(), String> {
     let addr = p
         .str("connect")
         .ok_or_else(|| "missing required --connect".to_owned())?;
+    let fault_seed = p.num::<u64>("fault-seed")?.unwrap_or(0);
+    let mut retry = RetryPolicy::default();
+    if let Some(max) = p.num::<u32>("retry-max")? {
+        retry.max_reconnects = max;
+    }
+    if let Some(ms) = p.num::<u64>("retry-base-ms")? {
+        retry.base = std::time::Duration::from_millis(ms.max(1));
+    }
+    if let Some(ms) = p.num::<u64>("retry-cap-ms")? {
+        retry.cap = std::time::Duration::from_millis(ms.max(1));
+    }
+    retry.seed = fault_seed;
     let opts = WorkerOptions {
         threads: p.num::<usize>("threads")?,
-        fail_after_leases: p.num::<u32>("fail-after-leases")?,
-        hang_after_leases: p.num::<u32>("hang-after-leases")?,
+        fault_plan: p
+            .str("fault-plan")
+            .map(|spec| FaultPlan::parse(spec, fault_seed))
+            .transpose()?,
+        secret: p.str("secret").map(str::to_owned),
+        retry,
     };
     let report = run_worker(addr, &opts).map_err(|e| e.to_string())?;
     println!(
-        "worker: completed {} leases ({} egos divided)",
-        report.leases_completed, report.egos_divided
+        "worker: completed {} leases ({} egos divided, {} reconnects, {} faults fired)",
+        report.leases_completed, report.egos_divided, report.reconnects, report.faults_fired
     );
     Ok(())
 }
@@ -1014,6 +1092,21 @@ fn cmd_inspect(p: &Parsed) -> Result<(), String> {
                     d.dirty.len(),
                     d.num_nodes,
                     d.communities.len()
+                );
+            }
+            locec::store::SnapshotKind::DivisionCheckpoint => {
+                let c = load_division_checkpoint(path).map_err(store_err)?;
+                let covered: u64 = c.merged.iter().map(|&(s, e)| u64::from(e - s)).sum();
+                println!(
+                    "  {} of {} egos absorbed across {} range(s), {} communities, \
+                     {} tasks (detector {}, seed {})",
+                    covered,
+                    c.num_nodes,
+                    c.merged.len(),
+                    c.communities.len(),
+                    c.task_count,
+                    c.detector,
+                    c.seed
                 );
             }
             locec::store::SnapshotKind::Labels => {

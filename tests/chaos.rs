@@ -1,0 +1,187 @@
+//! Chaos soak: a full cluster divide driven through a hostile seeded fault
+//! plan — every fault kind fires at least once across three workers — plus a
+//! coordinator SIGKILL mid-run and a `--resume` restart from its checkpoint.
+//! The final division snapshot must be byte-identical to single-process
+//! `locec divide`.
+
+use locec::store::{load_division_checkpoint, StoredWorld};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_locec")
+}
+
+fn run(dir: &Path, args: &[&str]) -> String {
+    let out = Command::new(bin())
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn locec");
+    assert!(
+        out.status.success(),
+        "locec {args:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("locec_chaos_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn free_port() -> u16 {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap().port()
+}
+
+fn spawn_worker(dir: &Path, addr: &str, fault_plan: &str) -> Child {
+    Command::new(bin())
+        .current_dir(dir)
+        .args([
+            "worker",
+            "--connect",
+            addr,
+            "--fault-plan",
+            fault_plan,
+            "--fault-seed",
+            "9",
+            "--retry-max",
+            "60",
+            "--retry-base-ms",
+            "50",
+            "--retry-cap-ms",
+            "200",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn chaos worker")
+}
+
+fn reap(mut child: Child) {
+    // Chaos processes are killed without exit-status assertions: the ones
+    // whose faults exhausted their retries exit nonzero by design.
+    child.kill().ok();
+    child.wait().ok();
+}
+
+#[test]
+fn chaos_soak_survives_every_fault_kind_and_a_coordinator_kill() {
+    let dir = tmp_dir("soak");
+    run(
+        &dir,
+        &[
+            "synth",
+            "--preset",
+            "tiny",
+            "--seed",
+            "51",
+            "--out",
+            "world.lsnap",
+        ],
+    );
+    run(
+        &dir,
+        &["divide", "--world", "world.lsnap", "--out", "single.lsnap"],
+    );
+    let world = dir.join("world.lsnap");
+    let num_nodes = StoredWorld::load_graph(&world).unwrap().num_nodes() as u64;
+
+    // Phase 1: coordinator process with checkpointing on every absorbed
+    // shard, three chaos workers whose plans between them fire every fault
+    // kind: corrupt + stall (w1), truncate + delay (w2), drop + disconnect
+    // (w3). The port is fixed so the workers can outlive the coordinator.
+    let port = free_port();
+    let addr = format!("127.0.0.1:{port}");
+    let coordinator = Command::new(bin())
+        .current_dir(&dir)
+        .args([
+            "coordinate",
+            "--world",
+            "world.lsnap",
+            "--out",
+            "clustered.lsnap",
+            "--workers",
+            "0",
+            "--listen",
+            &addr,
+            "--tasks",
+            "12",
+            "--lease-timeout-ms",
+            "1500",
+            "--heartbeat-ms",
+            "100",
+            "--checkpoint",
+            "ck.lsnap",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+    let workers = [
+        spawn_worker(&dir, &addr, "shard-result:1:corrupt,lease:2:stall"),
+        spawn_worker(&dir, &addr, "shard-result:1:truncate,hello:2:delay=150"),
+        spawn_worker(&dir, &addr, "shard-result:1:drop,lease:2:disconnect"),
+    ];
+
+    // Wait until the checkpoint covers at least half the graph, so the kill
+    // lands mid-run after the fault schedule has had room to fire — but
+    // tolerate the run finishing first (the checkpoint then covers it all).
+    let ck = dir.join("ck.lsnap");
+    let deadline = Instant::now() + Duration::from_secs(180);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "checkpoint never reached half coverage"
+        );
+        if let Ok(c) = load_division_checkpoint(&ck) {
+            let covered: u64 = c.merged.iter().map(|&(s, e)| u64::from(e - s)).sum();
+            if covered * 2 >= num_nodes {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    reap(coordinator); // SIGKILL mid-run (or reap, if it finished first)
+    for w in workers {
+        reap(w);
+    }
+
+    // Phase 2: resume from the checkpoint with two fresh, healthy local
+    // workers. Only unabsorbed ranges are re-queued; the task count comes
+    // from the checkpoint, not the command line.
+    let out = run(
+        &dir,
+        &[
+            "coordinate",
+            "--world",
+            "world.lsnap",
+            "--out",
+            "clustered.lsnap",
+            "--workers",
+            "2",
+            "--resume",
+            "ck.lsnap",
+            "--checkpoint",
+            "ck.lsnap",
+        ],
+    );
+    assert!(out.contains("12 tasks"), "resume ignored checkpoint: {out}");
+
+    let single = std::fs::read(dir.join("single.lsnap")).unwrap();
+    let clustered = std::fs::read(dir.join("clustered.lsnap")).unwrap();
+    assert!(
+        single == clustered,
+        "division after chaos + coordinator kill + resume differs from \
+         single-process divide"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -138,10 +138,14 @@ fn killed_worker_process_mid_lease_is_survived_byte_identically() {
     let mut coordinator = Coordinator::bind(Some(world_path), graph, cfg).unwrap();
     let addr = coordinator.local_addr().to_string();
 
-    // The first worker dies the instant it receives a lease — the process
-    // exits abruptly, mid-lease, without a result (its exit code is the
-    // InjectedFailure error path). The second is healthy.
-    let mut doomed = spawn_worker(&addr, &["--fail-after-leases", "1"]);
+    // The first worker dies the instant it receives a lease — the fault
+    // plan severs its connection on the first lease frame, and with
+    // reconnects disabled the process exits abruptly, mid-lease, without a
+    // result. The second is healthy.
+    let mut doomed = spawn_worker(
+        &addr,
+        &["--fault-plan", "lease:1:disconnect", "--retry-max", "0"],
+    );
     let mut healthy = spawn_worker(&addr, &[]);
 
     let outcome = coordinator.run().expect("coordination survives the kill");
@@ -176,7 +180,7 @@ fn killed_worker_process_mid_lease_is_survived_byte_identically() {
 #[test]
 fn worker_without_coordinator_fails_cleanly() {
     let out = Command::new(bin())
-        .args(["worker", "--connect", "127.0.0.1:1"])
+        .args(["worker", "--connect", "127.0.0.1:1", "--retry-max", "0"])
         .output()
         .unwrap();
     assert!(!out.status.success());
