@@ -19,8 +19,12 @@
 //! * `LOCEC_CL_OUT` — output path (default `BENCH_cluster.json`).
 
 use locec_bench::Scale;
-use locec_cluster::{run_worker, CoordinateConfig, Coordinator, WorkerOptions};
+use locec_cluster::{
+    run_worker, ClusterObs, CoordinateConfig, CoordinateStats, Coordinator, WorkerOptions,
+};
 use locec_core::{phase1, LocecConfig};
+use locec_obs::json::Value;
+use locec_obs::RunReport;
 use locec_synth::{Scenario, SynthConfig};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -30,6 +34,60 @@ struct Sample {
     seconds: f64,
     requeues: u64,
     tasks: u32,
+    /// The same `coordinate` run report `locec coordinate --report`
+    /// writes, embedded verbatim so the scaling numbers always travel
+    /// with the wire/compute/merge split that explains them.
+    report: Value,
+}
+
+/// A compact `coordinate` run report for one scaling sample, built on the
+/// same [`ClusterObs`] data the CLI's `--report` uses.
+fn sample_report(obs: &ClusterObs, stats: &CoordinateStats) -> Value {
+    let obj = |fields: Vec<(&str, Value)>| {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    };
+    let compute: u64 = obs.workers.iter().map(|(_, m)| m.compute_nanos).sum();
+    let wire: u64 = obs.workers.iter().map(|(_, m)| m.wire_nanos).sum();
+    let mut report = RunReport::new("coordinate");
+    report.set_section(
+        "cluster",
+        obj(vec![
+            ("wall_seconds", Value::Float(stats.wall.as_secs_f64())),
+            ("tasks", Value::Uint(u64::from(stats.tasks))),
+            ("workers_seen", Value::Uint(stats.workers_seen)),
+            ("requeues", Value::Uint(stats.requeues)),
+            ("merge_nanos", Value::Uint(obs.merge_nanos)),
+            ("bytes_sent", Value::Uint(obs.bytes_sent)),
+            ("bytes_received", Value::Uint(obs.bytes_received)),
+        ]),
+    );
+    report.set_section(
+        "workers",
+        Value::Array(
+            obs.workers
+                .iter()
+                .map(|(id, m)| {
+                    obj(vec![
+                        ("worker_id", Value::Uint(*id)),
+                        ("egos_divided", Value::Uint(m.egos_divided)),
+                        ("leases_completed", Value::Uint(m.leases_completed)),
+                        ("compute_nanos", Value::Uint(m.compute_nanos)),
+                        ("wire_nanos", Value::Uint(m.wire_nanos)),
+                        ("bytes_sent", Value::Uint(m.bytes_sent)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    report.set_section(
+        "split",
+        obj(vec![
+            ("fleet_compute_nanos", Value::Uint(compute)),
+            ("fleet_wire_nanos", Value::Uint(wire)),
+            ("coordinator_merge_nanos", Value::Uint(obs.merge_nanos)),
+        ]),
+    );
+    Value::parse(&report.to_json()).expect("run report round-trips")
 }
 
 fn main() {
@@ -131,19 +189,31 @@ fn main() {
             "membership tables diverged"
         );
 
+        let report = sample_report(&outcome.obs, &outcome.stats);
+        let compute: u64 = outcome
+            .obs
+            .workers
+            .iter()
+            .map(|(_, m)| m.compute_nanos)
+            .sum();
+        let wire: u64 = outcome.obs.workers.iter().map(|(_, m)| m.wire_nanos).sum();
         eprintln!(
             "cluster w={workers}: {secs:>8.3}s  ({:.0} egos/s, {} tasks, {} requeues)  \
-             speedup {:.2}x",
+             speedup {:.2}x  [fleet compute {:.2}s, wire {:.3}s, merge {:.3}s]",
             n as f64 / secs,
             outcome.stats.tasks,
             outcome.stats.requeues,
-            single_secs / secs
+            single_secs / secs,
+            compute as f64 / 1e9,
+            wire as f64 / 1e9,
+            outcome.obs.merge_nanos as f64 / 1e9,
         );
         samples.push(Sample {
             workers,
             seconds: secs,
             requeues: outcome.stats.requeues,
             tasks: outcome.stats.tasks,
+            report,
         });
     }
 
@@ -169,12 +239,13 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{ \"workers\": {}, \"seconds\": {:.4}, \"speedup_vs_single\": {:.3}, \
-             \"tasks\": {}, \"requeues\": {} }}{comma}",
+             \"tasks\": {}, \"requeues\": {}, \"report\": {} }}{comma}",
             s.workers,
             s.seconds,
             single_secs / s.seconds,
             s.tasks,
-            s.requeues
+            s.requeues,
+            s.report.render()
         );
     }
     let _ = writeln!(json, "  ]");

@@ -48,18 +48,19 @@
 //! parameters are cross-checked so a resume under a different
 //! configuration is a typed error, never a silently mixed division.
 
-use crate::fault::{splitmix64, FaultPlan, FaultyTransport};
+use crate::fault::{splitmix64, FaultPlan, FaultyTransport, TransportMeter};
 use crate::frame::{read_header, read_payload, write_frame, FrameType};
 use crate::protocol::{
     decode_heartbeat, decode_hello, decode_shard_result, encode_lease, encode_reject,
-    encode_welcome, handshake_mac, DivideParams, Hello, Lease, RejectReason, Welcome, WorldPayload,
-    AUTH_KEYED, PROTOCOL_VERSION,
+    encode_welcome, handshake_mac, DivideParams, Hello, Lease, RejectReason, Welcome,
+    WorkerMetrics, WorldPayload, AUTH_KEYED, PROTOCOL_VERSION,
 };
 use crate::queue::WorkQueue;
 use crate::ClusterError;
 use locec_core::phase1::DivisionResult;
 use locec_core::LocecConfig;
 use locec_graph::CsrGraph;
+use locec_obs::metrics::saturating_nanos;
 use locec_store::{
     load_division_checkpoint, save_division_checkpoint, shard_from_bytes, DivisionCheckpoint,
     IncrementalMerge, StoredWorld,
@@ -131,8 +132,6 @@ pub struct CoordinateConfig {
     pub secret: Option<String>,
     /// Deterministic fault injection on the coordinator's outgoing frames.
     pub fault_plan: Option<FaultPlan>,
-    /// Progress lines on stderr.
-    pub verbose: bool,
     /// The divide configuration (Phase-I-relevant fields are shipped to
     /// workers; `threads` also sizes the final membership-table build).
     pub divide: LocecConfig,
@@ -157,7 +156,6 @@ impl CoordinateConfig {
             resume_from: None,
             secret: None,
             fault_plan: None,
-            verbose: false,
             divide,
         }
     }
@@ -191,6 +189,39 @@ pub struct CoordinateOutcome {
     pub division: DivisionResult,
     /// Run counters.
     pub stats: CoordinateStats,
+    /// Observability data for the run report: per-worker metric blocks,
+    /// per-lease wall times, and the coordinator's own traffic meter.
+    pub obs: ClusterObs,
+}
+
+/// Coordinator-side observability of one run — everything the `--report`
+/// JSON's `cluster` section is built from. Worker blocks are the
+/// cumulative [`WorkerMetrics`] each worker last piggybacked on a
+/// Heartbeat or ShardResult frame, so the coordinator's view covers the
+/// fleet without extra round-trips.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterObs {
+    /// Last metrics block shipped by each worker, sorted by worker id.
+    pub workers: Vec<(u64, WorkerMetrics)>,
+    /// Per-lease wall time, lease grant → shard absorbed, tagged with the
+    /// worker the lease was granted to. Leases lost and redone elsewhere
+    /// time the *delivering* grant.
+    pub lease_walls: Vec<(u64, u64)>,
+    /// Total nanos the coordinator thread spent absorbing shards into the
+    /// streaming merge.
+    pub merge_nanos: u64,
+    /// Frames the coordinator wrote, by `FrameType as u8` slot.
+    pub frames_sent: [u64; 8],
+    /// Frames the coordinator's readers received, by slot.
+    pub frames_received: [u64; 8],
+    /// Frames swallowed by coordinator-side injected faults, by slot.
+    pub frames_dropped: [u64; 8],
+    /// Payload bytes the coordinator wrote.
+    pub bytes_sent: u64,
+    /// Payload bytes the coordinator's readers received.
+    pub bytes_received: u64,
+    /// Coordinator-side fault-plan rules that fired.
+    pub faults_fired: u64,
 }
 
 /// Events the accept/reader threads feed the coordinator.
@@ -204,6 +235,7 @@ enum Event {
         id: u64,
         busy: bool,
         completed: u64,
+        metrics: WorkerMetrics,
     },
     ResultIncoming {
         id: u64,
@@ -224,6 +256,9 @@ struct WorkerDiag {
     last_heartbeat: Instant,
     leases_completed: u64,
     connected: bool,
+    /// Last cumulative metrics block this worker shipped (heartbeats and
+    /// shard results both carry one; last value wins).
+    metrics: WorkerMetrics,
 }
 
 /// A single-permit gate bounding how many unmerged shard payloads exist in
@@ -408,7 +443,9 @@ impl Coordinator {
                 WorldPayload::Path(p.to_string_lossy().into_owned())
             },
         };
-        let transport = FaultyTransport::from_plan(self.cfg.fault_plan.clone());
+        let meter = Arc::new(TransportMeter::new());
+        let transport =
+            FaultyTransport::from_plan(self.cfg.fault_plan.clone()).with_meter(Arc::clone(&meter));
         let checkpoint_path = self.cfg.checkpoint.clone();
         let checkpoint_every = self.cfg.checkpoint_every;
         let mut last_checkpoint: Option<Instant> = None;
@@ -423,6 +460,7 @@ impl Coordinator {
             Arc::clone(&stop),
             hb_interval,
             Arc::new(self.cfg.secret.clone()),
+            Arc::clone(&meter),
         )?;
 
         let spawner = self.cfg.spawn.clone();
@@ -434,9 +472,9 @@ impl Coordinator {
         };
         let mut workers: HashMap<u64, WorkerConn> = HashMap::new();
         let mut diag: HashMap<u64, WorkerDiag> = HashMap::new();
+        let mut obs = RunObs::default();
         let mut last_progress = Instant::now();
         let mut last_ping = Instant::now();
-        let verbose = self.cfg.verbose;
         let lease_timeout = self.cfg.lease_timeout;
 
         let run_result = (|| -> Result<(), ClusterError> {
@@ -479,12 +517,14 @@ impl Coordinator {
                                     &mut diag,
                                 );
                                 stats.reconnects += 1;
-                                if verbose {
-                                    eprintln!(
-                                        "coordinate: worker #{id} reconnected (was #{})",
-                                        hello.prior_worker_id
-                                    );
-                                }
+                                locec_obs::log::warn(
+                                    "coordinator",
+                                    "worker reconnected",
+                                    &[
+                                        ("worker", &id.to_string()),
+                                        ("was", &hello.prior_worker_id.to_string()),
+                                    ],
+                                );
                             }
                             welcome.worker_id = id;
                             welcome.server_mac = match &self.cfg.secret {
@@ -503,31 +543,37 @@ impl Coordinator {
                                         last_heartbeat: Instant::now(),
                                         leases_completed: 0,
                                         connected: true,
+                                        metrics: WorkerMetrics::default(),
                                     },
                                 );
                                 if hello.prior_worker_id == 0 {
                                     stats.workers_seen += 1;
                                 }
                                 last_progress = Instant::now();
-                                if verbose {
-                                    eprintln!("coordinate: worker #{id} joined");
-                                }
+                                locec_obs::log::debug(
+                                    "coordinator",
+                                    "worker joined",
+                                    &[("worker", &id.to_string())],
+                                );
                             }
                         }
                         Event::Heartbeat {
                             id,
                             busy,
                             completed,
+                            metrics,
                         } => {
                             let lost = queue.heartbeat(id, busy, Instant::now(), lease_timeout);
                             if let Some(d) = diag.get_mut(&id) {
                                 d.last_heartbeat = Instant::now();
                                 d.leases_completed = completed;
+                                d.metrics = metrics;
                             }
-                            if verbose && lost > 0 {
-                                eprintln!(
-                                    "coordinate: worker #{id} reported idle under a lease; \
-                                     re-queued {lost} lost lease(s)"
+                            if lost > 0 {
+                                locec_obs::log::warn(
+                                    "coordinator",
+                                    "worker reported idle under a lease; re-queued lost leases",
+                                    &[("worker", &id.to_string()), ("lost", &lost.to_string())],
                                 );
                             }
                         }
@@ -535,8 +581,10 @@ impl Coordinator {
                             queue.result_incoming(id, Instant::now(), lease_timeout);
                         }
                         Event::Result { id, payload } => {
-                            let outcome =
-                                process_result(&payload, &mut queue, &mut merge, &mut stats);
+                            let outcome = process_result(
+                                &payload, id, &mut queue, &mut merge, &mut stats, &mut diag,
+                                &mut obs,
+                            );
                             gate.release();
                             match outcome {
                                 Ok(()) => {
@@ -552,9 +600,11 @@ impl Coordinator {
                                     }
                                 }
                                 Err(e) => {
-                                    if verbose {
-                                        eprintln!("coordinate: dropping worker #{id}: {e}");
-                                    }
+                                    locec_obs::log::warn(
+                                        "coordinator",
+                                        "dropping worker over a bad result",
+                                        &[("worker", &id.to_string()), ("error", &e.to_string())],
+                                    );
                                     fail_worker(id, &mut workers, &mut queue, &mut diag);
                                 }
                             }
@@ -565,10 +615,14 @@ impl Coordinator {
                                     d.connected = false;
                                 }
                                 let requeued = queue.requeue_worker(id);
-                                if verbose && requeued > 0 {
-                                    eprintln!(
-                                        "coordinate: worker #{id} disconnected, \
-                                         re-queued {requeued} lease(s)"
+                                if requeued > 0 {
+                                    locec_obs::log::warn(
+                                        "coordinator",
+                                        "worker disconnected; re-queued its leases",
+                                        &[
+                                            ("worker", &id.to_string()),
+                                            ("requeued", &requeued.to_string()),
+                                        ],
                                     );
                                 }
                             }
@@ -582,9 +636,11 @@ impl Coordinator {
 
                 // Expire silent leases and declare their workers dead.
                 for id in queue.expired_workers(Instant::now()) {
-                    if verbose {
-                        eprintln!("coordinate: worker #{id} missed its lease deadline");
-                    }
+                    locec_obs::log::warn(
+                        "coordinator",
+                        "worker missed its lease deadline",
+                        &[("worker", &id.to_string())],
+                    );
                     fail_worker(id, &mut workers, &mut queue, &mut diag);
                 }
 
@@ -596,9 +652,7 @@ impl Coordinator {
                     {
                         children.push(spawn_local_worker(spawn, self.addr)?);
                         stats.respawns += 1;
-                        if verbose {
-                            eprintln!("coordinate: respawned a local worker");
-                        }
+                        locec_obs::log::debug("coordinator", "respawned a local worker", &[]);
                     }
                     if children.is_empty() && workers.is_empty() {
                         return Err(ClusterError::Stalled(stall_report(
@@ -672,6 +726,10 @@ impl Coordinator {
                         .is_err()
                     {
                         fail_worker(id, &mut workers, &mut queue, &mut diag);
+                    } else {
+                        // A regrant of a lost lease restarts the wall clock:
+                        // the lease that finally delivers is the one timed.
+                        obs.lease_started.insert(lease_id, (id, Instant::now()));
                     }
                 }
             }
@@ -709,9 +767,53 @@ impl Coordinator {
         stats.requeues = queue.requeues();
         stats.duplicates_dropped += merge.duplicates_dropped();
         stats.wall = started.elapsed();
+
+        let mut worker_blocks: Vec<(u64, WorkerMetrics)> =
+            diag.iter().map(|(&id, d)| (id, d.metrics)).collect();
+        worker_blocks.sort_unstable_by_key(|&(id, _)| id);
+        let cluster_obs = ClusterObs {
+            workers: worker_blocks,
+            lease_walls: obs.lease_walls,
+            merge_nanos: obs.merge_nanos,
+            frames_sent: meter.frames_sent(),
+            frames_received: meter.frames_received(),
+            frames_dropped: meter.frames_dropped(),
+            bytes_sent: meter.bytes_sent(),
+            bytes_received: meter.bytes_received(),
+            faults_fired: transport.faults_fired(),
+        };
+        // Mirror the run counters into the process-global recorder so a
+        // host embedding the coordinator (the CLI, the bench) sees them in
+        // its metrics snapshot alongside the pipeline counters.
+        let recorder = locec_obs::Recorder::global();
+        recorder.counter("cluster.requeues").add(stats.requeues);
+        recorder.counter("cluster.reconnects").add(stats.reconnects);
+        recorder
+            .counter("cluster.workers_joined")
+            .add(stats.workers_seen);
+        recorder
+            .counter("cluster.duplicates_dropped")
+            .add(stats.duplicates_dropped);
+        recorder
+            .counter("cluster.faults_fired")
+            .add(cluster_obs.faults_fired);
+
         let division = merge.finish(self.cfg.divide.threads)?;
-        Ok(CoordinateOutcome { division, stats })
+        Ok(CoordinateOutcome {
+            division,
+            stats,
+            obs: cluster_obs,
+        })
     }
+}
+
+/// In-flight observability state of one `run()`: lease grant times keyed
+/// by lease id, completed lease walls, and merge time.
+#[derive(Default)]
+struct RunObs {
+    lease_started: HashMap<u64, (u64, Instant)>,
+    lease_walls: Vec<(u64, u64)>,
+    merge_nanos: u64,
 }
 
 /// Renders a stall into a diagnosis: overall task progress plus each
@@ -739,6 +841,21 @@ fn stall_report(reason: &str, diag: &HashMap<u64, WorkerDiag>, queue: &WorkQueue
             s.push_str("disconnected");
         }
         let _ = write!(s, ", {} lease(s) completed", d.leases_completed);
+        // The worker's own cumulative metrics block tells the difference
+        // between "never started", "computing but not delivering" and
+        // "delivering into a faulty wire".
+        let m = &d.metrics;
+        let _ = write!(
+            s,
+            ", {} egos divided, compute {}ms, wire {}ms",
+            m.egos_divided,
+            m.compute_nanos / 1_000_000,
+            m.wire_nanos / 1_000_000
+        );
+        let dropped: u64 = m.frames_dropped.iter().sum();
+        if dropped > 0 {
+            let _ = write!(s, ", {dropped} frame(s) dropped by faults");
+        }
         let held = queue.worker_leases(id);
         if !held.is_empty() {
             s.push_str(", outstanding");
@@ -773,13 +890,22 @@ fn write_checkpoint(
 
 /// Validates and absorbs one delivered shard. Any error means the sending
 /// worker is misbehaving and should be dropped (its work is re-queued).
+#[allow(clippy::too_many_arguments)]
 fn process_result(
     payload: &[u8],
+    id: u64,
     queue: &mut WorkQueue,
     merge: &mut IncrementalMerge<'_>,
     stats: &mut CoordinateStats,
+    diag: &mut HashMap<u64, WorkerDiag>,
+    obs: &mut RunObs,
 ) -> Result<(), ClusterError> {
     let msg = decode_shard_result(payload)?;
+    // The result carries the sender's cumulative metrics block — fresher
+    // than any heartbeat, since it was built after this very lease.
+    if let Some(d) = diag.get_mut(&id) {
+        d.metrics = msg.metrics;
+    }
     let lease_task = queue.remove_lease(msg.lease_id);
     let shard = match shard_from_bytes(&msg.shard_bytes) {
         Ok(s) => s,
@@ -806,12 +932,27 @@ fn process_result(
     }
     if queue.is_done(task) {
         // A re-queued lease already delivered this range.
+        obs.lease_started.remove(&msg.lease_id);
         stats.duplicates_dropped += 1;
         return Ok(());
     }
-    match merge.absorb(shard) {
+    let t_merge = Instant::now();
+    let absorbed = merge.absorb(shard);
+    let merge_nanos = saturating_nanos(t_merge);
+    obs.merge_nanos = obs.merge_nanos.saturating_add(merge_nanos);
+    locec_obs::Recorder::global()
+        .histogram("cluster.merge_nanos")
+        .record(merge_nanos);
+    match absorbed {
         Ok(_) => {
             queue.mark_done(task);
+            if let Some((worker, t0)) = obs.lease_started.remove(&msg.lease_id) {
+                let wall = saturating_nanos(t0);
+                obs.lease_walls.push((worker, wall));
+                locec_obs::Recorder::global()
+                    .histogram("cluster.lease_wall_nanos")
+                    .record(wall);
+            }
             Ok(())
         }
         Err(e) => {
@@ -852,6 +993,7 @@ fn spawn_local_worker(spawn: &WorkerSpawn, addr: SocketAddr) -> Result<Child, Cl
 /// Accepts connections until the stop flag flips, spawning one reader
 /// thread per worker. The listener is polled nonblocking so shutdown never
 /// hangs in `accept`.
+#[allow(clippy::too_many_arguments)]
 fn spawn_accept_thread(
     listener: TcpListener,
     tx: Sender<Event>,
@@ -859,6 +1001,7 @@ fn spawn_accept_thread(
     stop: Arc<AtomicBool>,
     hb_interval: Duration,
     secret: Arc<Option<String>>,
+    meter: Arc<TransportMeter>,
 ) -> Result<std::thread::JoinHandle<()>, ClusterError> {
     // Flip to nonblocking before the thread exists so a failure surfaces
     // as a typed error at the call site instead of a panic in a thread
@@ -878,10 +1021,11 @@ fn spawn_accept_thread(
                         let tx = tx.clone();
                         let gate = Arc::clone(&gate);
                         let secret = Arc::clone(&secret);
+                        let meter = Arc::clone(&meter);
                         let _ = std::thread::Builder::new()
                             .name(format!("locec-cluster-reader-{id}"))
                             .spawn(move || {
-                                reader_thread(stream, id, tx, gate, hb_interval, secret)
+                                reader_thread(stream, id, tx, gate, hb_interval, secret, meter)
                             });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -898,6 +1042,7 @@ fn spawn_accept_thread(
 /// auth failures), then decode frames into events until the peer goes
 /// away. Shard payloads pass through the gate (see module docs) so at most
 /// one unmerged shard is ever in coordinator memory.
+#[allow(clippy::too_many_arguments)]
 fn reader_thread(
     mut stream: TcpStream,
     id: u64,
@@ -905,6 +1050,7 @@ fn reader_thread(
     gate: Arc<Gate>,
     hb_interval: Duration,
     secret: Arc<Option<String>>,
+    meter: Arc<TransportMeter>,
 ) {
     let _ = stream.set_nodelay(true);
     // Heartbeats arrive every hb_interval; a read this patient only
@@ -921,6 +1067,9 @@ fn reader_thread(
     let Ok(payload) = read_payload(&mut stream, &header) else {
         return;
     };
+    // Reader threads read raw frames (faults are injected on the worker
+    // side of these flows), so received traffic is metered by hand here.
+    meter.record_recv(FrameType::Hello, payload.len());
     let hello = match decode_hello(&payload) {
         Ok(h) => h,
         Err(_) => {
@@ -985,6 +1134,7 @@ fn reader_thread(
                 let Ok(payload) = read_payload(&mut stream, &header) else {
                     break;
                 };
+                meter.record_recv(FrameType::Heartbeat, payload.len());
                 let Ok(info) = decode_heartbeat(&payload) else {
                     break;
                 };
@@ -993,6 +1143,7 @@ fn reader_thread(
                         id,
                         busy: info.busy,
                         completed: info.leases_completed,
+                        metrics: info.metrics,
                     })
                     .is_err()
                 {
@@ -1008,6 +1159,7 @@ fn reader_thread(
                 }
                 match read_payload(&mut stream, &header) {
                     Ok(payload) => {
+                        meter.record_recv(FrameType::ShardResult, payload.len());
                         if tx.send(Event::Result { id, payload }).is_err() {
                             gate.release();
                             break;

@@ -36,7 +36,7 @@
 use crate::frame::{self, FrameError, FrameType};
 use crate::ClusterError;
 use std::io::{Read, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -267,24 +267,120 @@ impl FaultClock {
     }
 }
 
+/// Per-frame-type traffic accounting for one transport endpoint:
+/// frames/bytes actually written, frames/bytes successfully read, and
+/// frames swallowed by injected drop/stall faults before reaching the
+/// wire. Indexed by `FrameType as u8` (slot 0 unused). Shared by
+/// `Arc` between a connection's reader and writer sides; all relaxed
+/// atomics, so metering never serializes frame I/O.
+#[derive(Debug, Default)]
+pub struct TransportMeter {
+    frames_sent: [AtomicU64; 8],
+    frames_received: [AtomicU64; 8],
+    frames_dropped: [AtomicU64; 8],
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl TransportMeter {
+    /// A zeroed meter.
+    pub fn new() -> TransportMeter {
+        TransportMeter::default()
+    }
+
+    /// Counts one frame of `ft` with `payload_len` payload bytes written.
+    pub fn record_send(&self, ft: FrameType, payload_len: usize) {
+        self.frames_sent[ft as u8 as usize % 8].fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(payload_len as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one frame of `ft` with `payload_len` payload bytes read.
+    pub fn record_recv(&self, ft: FrameType, payload_len: usize) {
+        self.frames_received[ft as u8 as usize % 8].fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(payload_len as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one frame of `ft` swallowed by a drop/stall fault.
+    pub fn record_drop(&self, ft: FrameType) {
+        self.frames_dropped[ft as u8 as usize % 8].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Frames written, by `FrameType as u8` slot.
+    pub fn frames_sent(&self) -> [u64; 8] {
+        std::array::from_fn(|i| self.frames_sent[i].load(Ordering::Relaxed))
+    }
+
+    /// Frames read, by slot.
+    pub fn frames_received(&self) -> [u64; 8] {
+        std::array::from_fn(|i| self.frames_received[i].load(Ordering::Relaxed))
+    }
+
+    /// Frames dropped by injected faults, by slot.
+    pub fn frames_dropped(&self) -> [u64; 8] {
+        std::array::from_fn(|i| self.frames_dropped[i].load(Ordering::Relaxed))
+    }
+
+    /// Total payload bytes written.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes read.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+}
+
 /// A frame reader/writer that consults an optional [`FaultClock`] before
-/// touching the wire. With no plan it is a zero-cost passthrough to
+/// touching the wire and an optional [`TransportMeter`] after. With
+/// neither it is a zero-cost passthrough to
 /// [`frame::read_frame`]/[`frame::write_frame`].
 #[derive(Clone, Debug, Default)]
 pub struct FaultyTransport {
     clock: Option<Arc<FaultClock>>,
+    meter: Option<Arc<TransportMeter>>,
 }
 
 impl FaultyTransport {
     /// A transport that injects nothing.
     pub fn passthrough() -> FaultyTransport {
-        FaultyTransport { clock: None }
+        FaultyTransport {
+            clock: None,
+            meter: None,
+        }
     }
 
     /// A transport driven by `plan` (or a passthrough for `None`).
     pub fn from_plan(plan: Option<FaultPlan>) -> FaultyTransport {
         FaultyTransport {
             clock: plan.map(|p| Arc::new(FaultClock::new(p))),
+            meter: None,
+        }
+    }
+
+    /// Attaches a meter that all frame traffic is accounted against.
+    pub fn with_meter(mut self, meter: Arc<TransportMeter>) -> FaultyTransport {
+        self.meter = Some(meter);
+        self
+    }
+
+    fn meter_send(&self, ft: FrameType, payload_len: usize) {
+        if let Some(m) = &self.meter {
+            m.record_send(ft, payload_len);
+        }
+    }
+
+    fn meter_recv(&self, ft: FrameType, payload_len: usize) {
+        if let Some(m) = &self.meter {
+            m.record_recv(ft, payload_len);
+        }
+    }
+
+    fn meter_drop(&self, ft: FrameType) {
+        if let Some(m) = &self.meter {
+            m.record_drop(ft);
         }
     }
 
@@ -317,19 +413,31 @@ impl FaultyTransport {
         payload: &[u8],
     ) -> Result<(), ClusterError> {
         let Some(clock) = &self.clock else {
-            return Ok(frame::write_frame(w, ft, payload)?);
+            frame::write_frame(w, ft, payload)?;
+            self.meter_send(ft, payload.len());
+            return Ok(());
         };
         if clock.stalled() {
             // A stalled peer is alive but silent: every write vanishes.
             let _ = clock.next_fault(ft);
+            self.meter_drop(ft);
             return Ok(());
         }
         match clock.next_fault(ft) {
-            None => Ok(frame::write_frame(w, ft, payload)?),
-            Some((FaultKind::Drop, _)) => Ok(()),
+            None => {
+                frame::write_frame(w, ft, payload)?;
+                self.meter_send(ft, payload.len());
+                Ok(())
+            }
+            Some((FaultKind::Drop, _)) => {
+                self.meter_drop(ft);
+                Ok(())
+            }
             Some((FaultKind::Delay(ms), _)) => {
                 std::thread::sleep(Duration::from_millis(ms));
-                Ok(frame::write_frame(w, ft, payload)?)
+                frame::write_frame(w, ft, payload)?;
+                self.meter_send(ft, payload.len());
+                Ok(())
             }
             Some((FaultKind::Corrupt, mix)) => {
                 let mut bytes = frame::frame_bytes(ft, payload)?;
@@ -344,6 +452,8 @@ impl FaultyTransport {
                 bytes[idx] ^= 1 | (mix >> 32) as u8;
                 w.write_all(&bytes).map_err(FrameError::Io)?;
                 w.flush().map_err(FrameError::Io)?;
+                // The damaged frame did hit the wire: count it as sent.
+                self.meter_send(ft, payload.len());
                 Ok(())
             }
             Some((FaultKind::Truncate, mix)) => {
@@ -360,6 +470,7 @@ impl FaultyTransport {
             )),
             Some((FaultKind::Stall, _)) => {
                 clock.set_stalled();
+                self.meter_drop(ft);
                 Ok(())
             }
         }
@@ -370,15 +481,24 @@ impl FaultyTransport {
     /// [`FrameError`] the equivalent wire damage would have produced.
     pub fn read_frame<R: Read>(&self, r: &mut R) -> Result<(FrameType, Vec<u8>), ClusterError> {
         let Some(clock) = &self.clock else {
-            return Ok(frame::read_frame(r)?);
+            let (ft, payload) = frame::read_frame(r)?;
+            self.meter_recv(ft, payload.len());
+            return Ok((ft, payload));
         };
         loop {
             let (ft, payload) = frame::read_frame(r)?;
             match clock.next_fault(ft) {
-                None => return Ok((ft, payload)),
-                Some((FaultKind::Drop, _)) => continue,
+                None => {
+                    self.meter_recv(ft, payload.len());
+                    return Ok((ft, payload));
+                }
+                Some((FaultKind::Drop, _)) => {
+                    self.meter_drop(ft);
+                    continue;
+                }
                 Some((FaultKind::Delay(ms), _)) => {
                     std::thread::sleep(Duration::from_millis(ms));
+                    self.meter_recv(ft, payload.len());
                     return Ok((ft, payload));
                 }
                 Some((FaultKind::Corrupt, _)) => {
@@ -394,6 +514,7 @@ impl FaultyTransport {
                 }
                 Some((FaultKind::Stall, _)) => {
                     clock.set_stalled();
+                    self.meter_recv(ft, payload.len());
                     return Ok((ft, payload));
                 }
             }
@@ -554,6 +675,55 @@ mod tests {
         t.clear_stall();
         t.write_frame(&mut wire, FrameType::Heartbeat, b"").unwrap();
         assert!(wire.len() > after_first);
+    }
+
+    #[test]
+    fn meter_accounts_sends_drops_and_recvs() {
+        let meter = Arc::new(TransportMeter::new());
+        let plan = FaultPlan::parse("heartbeat:2:drop,lease:1:drop", 11).unwrap();
+        let t = FaultyTransport::from_plan(Some(plan)).with_meter(Arc::clone(&meter));
+
+        let mut wire = Vec::new();
+        t.write_frame(&mut wire, FrameType::Heartbeat, b"hb")
+            .unwrap();
+        t.write_frame(&mut wire, FrameType::Heartbeat, b"hb")
+            .unwrap(); // dropped
+        t.write_frame(&mut wire, FrameType::ShardResult, b"shard")
+            .unwrap();
+        let hb = FrameType::Heartbeat as u8 as usize;
+        let sr = FrameType::ShardResult as u8 as usize;
+        assert_eq!(meter.frames_sent()[hb], 1);
+        assert_eq!(meter.frames_sent()[sr], 1);
+        assert_eq!(meter.frames_dropped()[hb], 1);
+        assert_eq!(meter.bytes_sent(), 2 + 5);
+
+        // Read side: the dropped lease is counted as dropped, the
+        // delivered frames as received.
+        let mut inbound = Vec::new();
+        frame::write_frame(&mut inbound, FrameType::Lease, b"abc").unwrap();
+        frame::write_frame(&mut inbound, FrameType::Lease, b"defg").unwrap();
+        let mut r = inbound.as_slice();
+        assert_eq!(
+            t.read_frame(&mut r).unwrap(),
+            (FrameType::Lease, b"defg".to_vec())
+        );
+        let le = FrameType::Lease as u8 as usize;
+        assert_eq!(meter.frames_dropped()[le], 1);
+        assert_eq!(meter.frames_received()[le], 1);
+        assert_eq!(meter.bytes_received(), 4);
+
+        // A passthrough with a meter still accounts traffic.
+        let meter2 = Arc::new(TransportMeter::new());
+        let p = FaultyTransport::passthrough().with_meter(Arc::clone(&meter2));
+        let mut wire = Vec::new();
+        p.write_frame(&mut wire, FrameType::Hello, b"hi").unwrap();
+        let mut r = wire.as_slice();
+        p.read_frame(&mut r).unwrap();
+        let hello = FrameType::Hello as u8 as usize;
+        assert_eq!(meter2.frames_sent()[hello], 1);
+        assert_eq!(meter2.frames_received()[hello], 1);
+        assert_eq!(meter2.bytes_sent(), 2);
+        assert_eq!(meter2.bytes_received(), 2);
     }
 
     #[test]

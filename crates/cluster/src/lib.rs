@@ -50,11 +50,12 @@ pub mod queue;
 pub mod worker;
 
 pub use coordinator::{
-    CoordinateConfig, CoordinateOutcome, CoordinateStats, Coordinator, WorkerSpawn,
+    ClusterObs, CoordinateConfig, CoordinateOutcome, CoordinateStats, Coordinator, WorkerSpawn,
 };
-pub use fault::{FaultKind, FaultPlan, FaultRule, FaultyTransport};
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultyTransport, TransportMeter};
 pub use frame::FrameError;
 pub use protocol::RejectReason;
+pub use protocol::WorkerMetrics;
 pub use worker::{run_worker, RetryPolicy, WorkerOptions, WorkerReport};
 
 use locec_store::SnapshotError;

@@ -32,6 +32,13 @@
 //! ([`handshake_mac`]): honest-peer mutual proof of a shared key, **not**
 //! a defense against an active adversary (the LAN trust caveat in the
 //! README still applies — there is no transport encryption).
+//!
+//! Protocol revision 3 appends a compact [`WorkerMetrics`] block to every
+//! `Heartbeat` and `ShardResult`, so the coordinator's run report (and
+//! its stall diagnostics) cover the whole fleet without any extra frame
+//! type: per-frame-type send/receive/drop counters, byte totals,
+//! compute-vs-wire nanoseconds, egos divided, reconnects and faults
+//! fired, all as observed by the worker itself.
 
 use crate::fault::splitmix64;
 use crate::ClusterError;
@@ -40,7 +47,7 @@ use locec_store::format::{Dec, Enc};
 use std::fmt;
 
 /// The protocol revision both sides must agree on.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// `Hello.auth`: no shared secret; the MAC fields are zero.
 pub const AUTH_NONE: u8 = 0;
@@ -209,6 +216,40 @@ pub struct Welcome {
     pub world: WorldPayload,
 }
 
+/// The compact self-observed metrics block a worker piggybacks on every
+/// `Heartbeat` and `ShardResult` (protocol revision 3). Totals are
+/// cumulative over the worker process (across reconnects), so the
+/// coordinator can keep last-value-wins state per worker and report the
+/// fleet without extra round trips.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Egos divided across all completed leases.
+    pub egos_divided: u64,
+    /// Leases completed.
+    pub leases_completed: u64,
+    /// Nanoseconds spent inside `divide_range` (pure compute).
+    pub compute_nanos: u64,
+    /// Nanoseconds spent serializing + writing result/heartbeat frames
+    /// under the writer lock (the wire side of a lease).
+    pub wire_nanos: u64,
+    /// Payload bytes actually written, all frame types.
+    pub bytes_sent: u64,
+    /// Payload bytes successfully read, all frame types.
+    pub bytes_received: u64,
+    /// Frames actually written, indexed by `FrameType as u8` (slot 0
+    /// unused).
+    pub frames_sent: [u64; 8],
+    /// Frames successfully read, same indexing.
+    pub frames_received: [u64; 8],
+    /// Frames swallowed by injected drop/stall faults before reaching
+    /// the wire, same indexing.
+    pub frames_dropped: [u64; 8],
+    /// Completed reconnect attempts (0 on a first, unbroken connection).
+    pub reconnects: u64,
+    /// Injected faults that have fired on this worker's transport.
+    pub faults_fired: u64,
+}
+
 /// Worker → coordinator liveness signal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HeartbeatInfo {
@@ -220,6 +261,8 @@ pub struct HeartbeatInfo {
     /// Leases the worker has completed this process — last-known-state
     /// for stall diagnostics.
     pub leases_completed: u64,
+    /// The worker's cumulative self-observed metrics.
+    pub metrics: WorkerMetrics,
 }
 
 /// One leased unit of work: the task's canonical contiguous ego range.
@@ -246,6 +289,8 @@ pub struct ShardResult {
     /// A serialized [`locec_store::DivisionShard`] snapshot — the exact
     /// bytes `locec divide --shard` would write to disk.
     pub shard_bytes: Vec<u8>,
+    /// The worker's cumulative self-observed metrics as of this result.
+    pub metrics: WorkerMetrics,
 }
 
 /// Encodes [`Hello`].
@@ -360,11 +405,58 @@ pub fn decode_welcome(payload: &[u8]) -> Result<Welcome, ClusterError> {
     })
 }
 
+/// Appends a [`WorkerMetrics`] block to a payload under construction.
+fn encode_worker_metrics(enc: &mut Enc, m: &WorkerMetrics) {
+    enc.u64(m.egos_divided);
+    enc.u64(m.leases_completed);
+    enc.u64(m.compute_nanos);
+    enc.u64(m.wire_nanos);
+    enc.u64(m.bytes_sent);
+    enc.u64(m.bytes_received);
+    for v in m.frames_sent {
+        enc.u64(v);
+    }
+    for v in m.frames_received {
+        enc.u64(v);
+    }
+    for v in m.frames_dropped {
+        enc.u64(v);
+    }
+    enc.u64(m.reconnects);
+    enc.u64(m.faults_fired);
+}
+
+/// Reads a [`WorkerMetrics`] block.
+fn decode_worker_metrics(dec: &mut Dec<'_>) -> Result<WorkerMetrics, ClusterError> {
+    let mut m = WorkerMetrics {
+        egos_divided: dec.u64()?,
+        leases_completed: dec.u64()?,
+        compute_nanos: dec.u64()?,
+        wire_nanos: dec.u64()?,
+        bytes_sent: dec.u64()?,
+        bytes_received: dec.u64()?,
+        ..WorkerMetrics::default()
+    };
+    for v in m.frames_sent.iter_mut() {
+        *v = dec.u64()?;
+    }
+    for v in m.frames_received.iter_mut() {
+        *v = dec.u64()?;
+    }
+    for v in m.frames_dropped.iter_mut() {
+        *v = dec.u64()?;
+    }
+    m.reconnects = dec.u64()?;
+    m.faults_fired = dec.u64()?;
+    Ok(m)
+}
+
 /// Encodes [`HeartbeatInfo`].
 pub fn encode_heartbeat(h: &HeartbeatInfo) -> Vec<u8> {
     let mut enc = Enc::new();
     enc.u8(u8::from(h.busy));
     enc.u64(h.leases_completed);
+    encode_worker_metrics(&mut enc, &h.metrics);
     enc.finish()
 }
 
@@ -373,10 +465,12 @@ pub fn decode_heartbeat(payload: &[u8]) -> Result<HeartbeatInfo, ClusterError> {
     let mut dec = Dec::new(payload);
     let busy = dec.u8()? != 0;
     let leases_completed = dec.u64()?;
+    let metrics = decode_worker_metrics(&mut dec)?;
     dec.done()?;
     Ok(HeartbeatInfo {
         busy,
         leases_completed,
+        metrics,
     })
 }
 
@@ -414,6 +508,7 @@ pub fn encode_shard_result(r: &ShardResult) -> Vec<u8> {
     enc.u64(r.lease_id);
     enc.u64(r.shard_bytes.len() as u64);
     enc.u8_slice(&r.shard_bytes);
+    encode_worker_metrics(&mut enc, &r.metrics);
     enc.finish()
 }
 
@@ -423,10 +518,12 @@ pub fn decode_shard_result(payload: &[u8]) -> Result<ShardResult, ClusterError> 
     let lease_id = dec.u64()?;
     let len = dec.count()?;
     let shard_bytes = dec.u8_vec(len)?;
+    let metrics = decode_worker_metrics(&mut dec)?;
     dec.done()?;
     Ok(ShardResult {
         lease_id,
         shard_bytes,
+        metrics,
     })
 }
 
@@ -478,9 +575,23 @@ mod tests {
         };
         assert_eq!(decode_lease(&encode_lease(&l)).unwrap(), l);
 
+        let metrics = WorkerMetrics {
+            egos_divided: 1000,
+            leases_completed: 4,
+            compute_nanos: 5_000_000,
+            wire_nanos: 250_000,
+            bytes_sent: 4096,
+            bytes_received: 8192,
+            frames_sent: [0, 1, 0, 0, 4, 9, 0, 0],
+            frames_received: [0, 0, 1, 5, 0, 0, 1, 0],
+            frames_dropped: [0, 0, 0, 0, 0, 2, 0, 0],
+            reconnects: 1,
+            faults_fired: 3,
+        };
         let r = ShardResult {
             lease_id: 9,
             shard_bytes: vec![0xAB; 64],
+            metrics,
         };
         assert_eq!(decode_shard_result(&encode_shard_result(&r)).unwrap(), r);
 
@@ -488,10 +599,12 @@ mod tests {
             HeartbeatInfo {
                 busy: true,
                 leases_completed: 0,
+                metrics: WorkerMetrics::default(),
             },
             HeartbeatInfo {
                 busy: false,
                 leases_completed: 12,
+                metrics,
             },
         ] {
             assert_eq!(decode_heartbeat(&encode_heartbeat(&hb)).unwrap(), hb);

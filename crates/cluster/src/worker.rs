@@ -28,21 +28,22 @@
 //! occurrences (the general replacement for the old
 //! `--fail-after-leases`/`--hang-after-leases` flags).
 
-use crate::fault::{splitmix64, FaultPlan, FaultyTransport};
+use crate::fault::{splitmix64, FaultPlan, FaultyTransport, TransportMeter};
 use crate::protocol::{
     decode_lease, decode_reject, decode_welcome, encode_heartbeat, encode_hello,
-    encode_shard_result, handshake_mac, HeartbeatInfo, Hello, ShardResult, Welcome, WorldPayload,
-    AUTH_KEYED, AUTH_NONE, PROTOCOL_VERSION,
+    encode_shard_result, handshake_mac, HeartbeatInfo, Hello, ShardResult, Welcome, WorkerMetrics,
+    WorldPayload, AUTH_KEYED, AUTH_NONE, PROTOCOL_VERSION,
 };
 use crate::{frame::FrameType, ClusterError, RejectReason};
 use locec_core::phase1::divide_range;
 use locec_graph::CsrGraph;
+use locec_obs::metrics::saturating_nanos;
 use locec_store::{shard_to_bytes, DivisionShard, StoredWorld};
 use std::net::{Shutdown, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a worker retries lost coordinator connections.
 #[derive(Clone, Copy, Debug)]
@@ -104,7 +105,9 @@ pub struct WorkerOptions {
 /// What a worker did before shutting down.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct WorkerReport {
-    /// Leases completed (result delivered).
+    /// Leases whose divide finished (whether or not the result survived
+    /// the wire — a lease lost to a write fault is requeued and redone
+    /// elsewhere, and this counter honestly records the work performed).
     pub leases_completed: u64,
     /// Total egos divided across those leases.
     pub egos_divided: u64,
@@ -112,6 +115,42 @@ pub struct WorkerReport {
     pub reconnects: u64,
     /// Fault-plan rules that fired on this worker's transport.
     pub faults_fired: u64,
+    /// The full cumulative metrics block this worker last shipped to its
+    /// coordinator (compute/wire split, frame and byte traffic).
+    pub metrics: WorkerMetrics,
+}
+
+/// Cumulative per-run metric state shared by the lease loop and the
+/// heartbeat thread. Deliberately **per run**, not process-global: a
+/// host running several in-process workers (the scaling bench, the
+/// chaos tests) must not blend their fleets' numbers.
+#[derive(Debug, Default)]
+struct MetricsHub {
+    egos_divided: AtomicU64,
+    leases_completed: AtomicU64,
+    compute_nanos: AtomicU64,
+    wire_nanos: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl MetricsHub {
+    /// The cumulative [`WorkerMetrics`] block shipped on every Heartbeat
+    /// and ShardResult frame (last value wins at the coordinator).
+    fn snapshot(&self, meter: &TransportMeter, transport: &FaultyTransport) -> WorkerMetrics {
+        WorkerMetrics {
+            egos_divided: self.egos_divided.load(Ordering::Relaxed),
+            leases_completed: self.leases_completed.load(Ordering::Relaxed),
+            compute_nanos: self.compute_nanos.load(Ordering::Relaxed),
+            wire_nanos: self.wire_nanos.load(Ordering::Relaxed),
+            bytes_sent: meter.bytes_sent(),
+            bytes_received: meter.bytes_received(),
+            frames_sent: meter.frames_sent(),
+            frames_received: meter.frames_received(),
+            frames_dropped: meter.frames_dropped(),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            faults_fired: transport.faults_fired(),
+        }
+    }
 }
 
 /// Identity carried across reconnects: who the coordinator said we are,
@@ -147,7 +186,10 @@ fn fresh_nonce(salt: u64) -> u64 {
 /// Connects to a coordinator and serves leases until it says Shutdown,
 /// reconnecting through transient failures per [`WorkerOptions::retry`].
 pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, ClusterError> {
-    let transport = FaultyTransport::from_plan(opts.fault_plan.clone());
+    let meter = Arc::new(TransportMeter::new());
+    let transport =
+        FaultyTransport::from_plan(opts.fault_plan.clone()).with_meter(Arc::clone(&meter));
+    let hub = Arc::new(MetricsHub::default());
     let mut report = WorkerReport::default();
     let mut identity = PriorIdentity::default();
     let mut cached_graph: Option<CsrGraph> = None;
@@ -161,12 +203,15 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, Clus
             addr,
             opts,
             &transport,
+            &meter,
+            &hub,
             &mut report,
             &mut identity,
             &mut cached_graph,
             &mut progressed,
         );
         report.faults_fired = transport.faults_fired();
+        report.metrics = hub.snapshot(&meter, &transport);
         let err = match result {
             Ok(()) => return Ok(report),
             Err(e) => e,
@@ -191,6 +236,15 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, Clus
             });
         }
         report.reconnects += 1;
+        hub.reconnects.store(report.reconnects, Ordering::Relaxed);
+        locec_obs::log::warn(
+            "worker",
+            "connection lost; reconnecting",
+            &[
+                ("attempt", &attempts.to_string()),
+                ("error", &err.to_string()),
+            ],
+        );
         std::thread::sleep(opts.retry.backoff(attempts));
     }
 }
@@ -198,10 +252,13 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerReport, Clus
 /// One connection lifetime: handshake, heartbeat thread, lease loop.
 /// `progressed` is set once the handshake completes, so the caller can
 /// reset the consecutive-failure budget.
+#[allow(clippy::too_many_arguments)]
 fn run_connection(
     addr: &str,
     opts: &WorkerOptions,
     transport: &FaultyTransport,
+    meter: &Arc<TransportMeter>,
+    hub: &Arc<MetricsHub>,
     report: &mut WorkerReport,
     identity: &mut PriorIdentity,
     cached_graph: &mut Option<CsrGraph>,
@@ -269,12 +326,12 @@ fn run_connection(
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let hb_stop = Arc::new(AtomicBool::new(false));
     let busy = Arc::new(AtomicBool::new(false));
-    let completed = Arc::new(AtomicU64::new(report.leases_completed));
     let hb_handle = {
         let writer = Arc::clone(&writer);
         let stop = Arc::clone(&hb_stop);
         let busy = Arc::clone(&busy);
-        let completed = Arc::clone(&completed);
+        let meter = Arc::clone(meter);
+        let hub = Arc::clone(hub);
         let transport = transport.clone();
         std::thread::Builder::new()
             .name("locec-worker-heartbeat".into())
@@ -285,7 +342,8 @@ fn run_connection(
                 }
                 let info = HeartbeatInfo {
                     busy: busy.load(Ordering::SeqCst),
-                    leases_completed: completed.load(Ordering::SeqCst),
+                    leases_completed: hub.leases_completed.load(Ordering::SeqCst),
+                    metrics: hub.snapshot(&meter, &transport),
                 };
                 let payload = encode_heartbeat(&info);
                 let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
@@ -301,12 +359,13 @@ fn run_connection(
         &mut stream,
         &writer,
         transport,
+        meter,
+        hub,
         &welcome,
         opts,
         report,
         cached_graph,
         &busy,
-        &completed,
     );
 
     hb_stop.store(true, Ordering::SeqCst);
@@ -320,12 +379,13 @@ fn serve_leases(
     stream: &mut TcpStream,
     writer: &Arc<Mutex<TcpStream>>,
     transport: &FaultyTransport,
+    meter: &Arc<TransportMeter>,
+    hub: &Arc<MetricsHub>,
     welcome: &Welcome,
     opts: &WorkerOptions,
     report: &mut WorkerReport,
     cached_graph: &mut Option<CsrGraph>,
     busy: &Arc<AtomicBool>,
-    completed: &Arc<AtomicU64>,
 ) -> Result<(), ClusterError> {
     // Reuse the graph a previous connection to this coordinator already
     // parsed — a reconnect re-ships the world payload, but re-decoding it
@@ -367,7 +427,10 @@ fn serve_leases(
                     continue;
                 }
                 busy.store(true, Ordering::SeqCst);
+                let t_compute = Instant::now();
                 let communities = divide_range(graph, lease.ego_start..lease.ego_end, &config);
+                hub.compute_nanos
+                    .fetch_add(saturating_nanos(t_compute), Ordering::Relaxed);
                 let shard = DivisionShard {
                     ego_start: lease.ego_start,
                     ego_end: lease.ego_end,
@@ -376,10 +439,21 @@ fn serve_leases(
                     shard_count: lease.task_count,
                     communities,
                 };
+                // The completed-work counters advance *before* the result
+                // frame is encoded, so the metrics block on this very
+                // ShardResult already covers the lease it carries.
+                report.leases_completed += 1;
+                report.egos_divided += u64::from(lease.ego_end - lease.ego_start);
+                hub.leases_completed
+                    .store(report.leases_completed, Ordering::SeqCst);
+                hub.egos_divided
+                    .store(report.egos_divided, Ordering::SeqCst);
                 let msg = ShardResult {
                     lease_id: lease.lease_id,
                     shard_bytes: shard_to_bytes(&shard),
+                    metrics: hub.snapshot(meter, transport),
                 };
+                let t_wire = Instant::now();
                 let write_result = {
                     let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
                     // locec-lint: allow(R5) — a shard result must be written as one atomic frame; the heartbeat thread shares this socket and would interleave bytes mid-frame without the lock.
@@ -389,11 +463,10 @@ fn serve_leases(
                         &encode_shard_result(&msg),
                     )
                 };
+                hub.wire_nanos
+                    .fetch_add(saturating_nanos(t_wire), Ordering::Relaxed);
                 busy.store(false, Ordering::SeqCst);
                 write_result?;
-                report.leases_completed += 1;
-                report.egos_divided += u64::from(lease.ego_end - lease.ego_start);
-                completed.store(report.leases_completed, Ordering::SeqCst);
             }
             // Coordinator liveness ping: its only job was resetting the
             // read timeout above.

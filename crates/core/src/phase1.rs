@@ -316,6 +316,7 @@ pub fn divide_range(
     );
     let len = egos.len();
     let threads = config.threads.clamp(1, len.max(1));
+    let wall = locec_obs::Recorder::global().span("phase1.wall_nanos");
     let pool = WorkerPool::global();
     let chunks: Vec<Vec<LocalCommunity>> = pool.run_chunked(len, threads, DIVIDE_GRAIN, |range| {
         SCRATCH.with(|scratch| {
@@ -333,7 +334,9 @@ pub fn divide_range(
             out
         })
     });
-    pool.concat(threads, chunks)
+    let merged = pool.concat(threads, chunks);
+    drop(wall);
+    merged
 }
 
 /// Phase I over an explicit (ascending, deduplicated) ego list — the unit
@@ -532,10 +535,14 @@ pub fn divide_one_with(
     scratch: &mut DivideScratch,
     out: &mut Vec<LocalCommunity>,
 ) {
+    let metrics = Phase1Metrics::get();
+    let t0 = std::time::Instant::now();
+    metrics.egos.incr();
     scratch.ego_net.rebuild(graph, ego, &mut scratch.ego);
     let ego_net = &scratch.ego_net;
     let nf = ego_net.num_friends();
     if nf == 0 {
+        metrics.ego_nanos.record_since(t0);
         return;
     }
 
@@ -588,6 +595,37 @@ pub fn divide_one_with(
             tightness: tightness_values,
         });
     }
+    metrics.ego_nanos.record_since(t0);
+}
+
+/// Cached global-recorder handles for the Phase I hot loop. Counter
+/// totals (egos, per-detector runs, fallbacks) are deterministic for a
+/// given graph + config and therefore identical across pool sizes; the
+/// ego-latency histogram is the per-ego timing engine comparisons need.
+struct Phase1Metrics {
+    egos: locec_obs::Counter,
+    gn_runs: locec_obs::Counter,
+    louvain_runs: locec_obs::Counter,
+    labelprop_runs: locec_obs::Counter,
+    louvain_fallbacks: locec_obs::Counter,
+    ego_nanos: locec_obs::Histogram,
+}
+
+impl Phase1Metrics {
+    fn get() -> &'static Phase1Metrics {
+        static METRICS: std::sync::OnceLock<Phase1Metrics> = std::sync::OnceLock::new();
+        METRICS.get_or_init(|| {
+            let rec = locec_obs::Recorder::global();
+            Phase1Metrics {
+                egos: rec.counter("phase1.egos"),
+                gn_runs: rec.counter("phase1.gn_runs"),
+                louvain_runs: rec.counter("phase1.louvain_runs"),
+                labelprop_runs: rec.counter("phase1.labelprop_runs"),
+                louvain_fallbacks: rec.counter("phase1.louvain_fallbacks"),
+                ego_nanos: rec.histogram("phase1.ego_nanos"),
+            }
+        })
+    }
 }
 
 /// Runs the configured detector on one ego network.
@@ -596,18 +634,29 @@ fn detect(
     config: &LocecConfig,
     gn_scratch: &mut GnScratch,
 ) -> locec_community::Partition {
+    let metrics = Phase1Metrics::get();
     let g = &ego_net.graph;
     let detector = if ego_net.num_friends() > config.gn_max_friends
         && config.detector == CommunityDetector::GirvanNewman
     {
+        metrics.louvain_fallbacks.incr();
         CommunityDetector::Louvain
     } else {
         config.detector
     };
     match detector {
-        CommunityDetector::GirvanNewman => girvan_newman_with(g, &Default::default(), gn_scratch),
-        CommunityDetector::Louvain => louvain(g, config.seed),
-        CommunityDetector::LabelPropagation => label_propagation(g, config.seed, 50),
+        CommunityDetector::GirvanNewman => {
+            metrics.gn_runs.incr();
+            girvan_newman_with(g, &Default::default(), gn_scratch)
+        }
+        CommunityDetector::Louvain => {
+            metrics.louvain_runs.incr();
+            louvain(g, config.seed)
+        }
+        CommunityDetector::LabelPropagation => {
+            metrics.labelprop_runs.incr();
+            label_propagation(g, config.seed, 50)
+        }
     }
 }
 

@@ -104,6 +104,8 @@ impl LocecPipeline {
         train_edges: &[(EdgeId, RelationType)],
         test_edges: &[(EdgeId, RelationType)],
     ) -> LocecOutcome {
+        let recorder = locec_obs::Recorder::global();
+
         // --- ground truth for Phase II (train labels only; no leakage) ---
         let train_label_map: std::collections::HashMap<EdgeId, RelationType> =
             train_edges.iter().copied().collect();
@@ -121,10 +123,12 @@ impl LocecPipeline {
         let mut classifier =
             CommunityClassifier::train(data, division, &community_train, &self.config);
         let training_time = t1.elapsed();
+        recorder.histogram("phase2.training_nanos").record_since(t1);
 
         let t2 = Instant::now();
         let agg = classifier.predict_all(data, division, &self.config);
         let phase2_time = t2.elapsed();
+        recorder.histogram("phase2.wall_nanos").record_since(t2);
 
         let community_eval = if community_test.is_empty() {
             None
@@ -139,6 +143,7 @@ impl LocecPipeline {
         let edge_eval = edge_clf.evaluate_on(data.graph, division, &agg, test_edges);
         let all_predictions = edge_clf.predict_all(data.graph, division, &agg, self.config.threads);
         let phase3_time = t3.elapsed();
+        recorder.histogram("phase3.wall_nanos").record_since(t3);
 
         LocecOutcome {
             edge_eval,

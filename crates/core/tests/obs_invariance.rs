@@ -1,0 +1,72 @@
+//! Thread-count invariance of the semantic Phase I counters.
+//!
+//! The observability layer's counters fall in two classes: *semantic*
+//! counters describe the work itself (egos divided, detector runs, work
+//! chunks — fixed by the input and config) and *scheduling* counters
+//! describe how the pool happened to execute it (steals, broadcasts,
+//! busy time — legitimately different on every run). A report is only
+//! trustworthy if the semantic class is bit-identical no matter how many
+//! worker threads the divide ran on; this test pins that contract across
+//! pool sizes 1, 2 and 8.
+//!
+//! Deltas are measured against the process-global recorder, so this file
+//! holds exactly one `#[test]` — a sibling test in the same binary would
+//! race the counters.
+
+use locec_core::phase1::divide_range;
+use locec_core::LocecConfig;
+use locec_obs::Recorder;
+use locec_synth::{Scenario, SynthConfig};
+
+/// Counters whose totals may not depend on parallelism. `pool.chunks` is
+/// semantic because the chunk grain is a constant: the chunk count is a
+/// function of the ego count alone.
+const SEMANTIC: &[&str] = &[
+    "phase1.egos",
+    "phase1.gn_runs",
+    "phase1.louvain_runs",
+    "phase1.labelprop_runs",
+    "phase1.louvain_fallbacks",
+    "pool.chunks",
+];
+
+#[test]
+fn semantic_counters_are_thread_count_invariant() {
+    let scenario = Scenario::generate(&SynthConfig::tiny(99));
+    let n = scenario.graph.num_nodes() as u32;
+    let recorder = Recorder::global();
+
+    let mut per_pool: Vec<(usize, Vec<u64>, usize)> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let config = LocecConfig {
+            threads,
+            ..LocecConfig::fast()
+        };
+        let before = recorder.snapshot();
+        let communities = divide_range(&scenario.graph, 0..n, &config);
+        let after = recorder.snapshot();
+        let deltas = SEMANTIC
+            .iter()
+            .map(|name| after.counter(name) - before.counter(name))
+            .collect();
+        per_pool.push((threads, deltas, communities.len()));
+    }
+
+    let (_, baseline, num_communities) = &per_pool[0];
+    assert!(
+        baseline.iter().sum::<u64>() > 0,
+        "divide recorded no semantic counters at all — instrumentation went dark"
+    );
+    for (threads, deltas, communities) in &per_pool[1..] {
+        assert_eq!(
+            communities, num_communities,
+            "community count diverged at {threads} threads"
+        );
+        for (name, (got, want)) in SEMANTIC.iter().zip(deltas.iter().zip(baseline)) {
+            assert_eq!(
+                got, want,
+                "{name} diverged: {got} at {threads} threads vs {want} at 1 thread"
+            );
+        }
+    }
+}

@@ -73,6 +73,7 @@ impl LintConfig {
             panic_scope_prefixes: s(&[
                 "crates/store/src/",
                 "crates/cluster/src/",
+                "crates/obs/src/",
                 "crates/graph/src/delta.rs",
             ]),
             magic_literals: vec![
@@ -111,6 +112,10 @@ impl LintConfig {
                 WireConst {
                     name: "AUTH_KEYED".into(),
                     declaring_file: "crates/cluster/src/protocol.rs".into(),
+                },
+                WireConst {
+                    name: "REPORT_SCHEMA_VERSION".into(),
+                    declaring_file: "crates/obs/src/report.rs".into(),
                 },
             ],
             registries: vec![

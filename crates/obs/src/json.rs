@@ -1,0 +1,574 @@
+//! A minimal JSON document model, writer and parser.
+//!
+//! The workspace's `serde` is a vendored no-op shim (the build is fully
+//! offline), so the run report needs its own JSON. This module is the
+//! single place the workspace hand-rolls it: an order-preserving
+//! [`Value`] tree, an escaping writer, and a recursive-descent parser
+//! with a depth limit. Integers keep their integer-ness ([`Value::Uint`]
+//! vs [`Value::Float`]) so `u64` counters round-trip exactly; floats are
+//! written with `{:?}` so they always carry a `.` or exponent and parse
+//! back as floats.
+//!
+//! Panic-free: the parser returns a typed [`ParseError`] with a byte
+//! offset, never panics, and refuses pathological nesting.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts.
+const MAX_DEPTH: u32 = 64;
+
+/// One JSON value. Objects preserve insertion order (reports are diffed
+/// and golden-tested, so stable output matters more than O(1) lookup).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (counters, byte totals, nanoseconds).
+    Uint(u64),
+    /// A negative integer.
+    Int(i64),
+    /// Any number written with a fraction or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (linear; objects here are small).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Uint(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Uint(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object fields.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders the value as indented JSON (2 spaces), stable across
+    /// runs for identical trees.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Uint(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Value::Int(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Value::Float(f) => write_float(out, *f),
+            Value::Str(s) => write_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_string(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(input: &str) -> Result<Value, ParseError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(ParseError {
+                offset: pos,
+                message: "trailing characters after document",
+            });
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` always includes a `.` or exponent, so the value parses
+        // back as a float.
+        let _ = fmt::Write::write_fmt(out, format_args!("{f:?}"));
+    } else {
+        // JSON has no NaN/Infinity.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(offset: usize, message: &'static str) -> ParseError {
+    ParseError { offset, message }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => *pos += 1,
+            _ => break,
+        }
+    }
+}
+
+fn expect_byte(
+    bytes: &[u8],
+    pos: &mut usize,
+    want: u8,
+    message: &'static str,
+) -> Result<(), ParseError> {
+    if bytes.get(*pos) == Some(&want) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, message))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, ParseError> {
+    if depth > MAX_DEPTH {
+        return Err(err(*pos, "nesting too deep"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or ']' in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_byte(bytes, pos, b':', "expected ':' after object key")?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or '}' in object")),
+                }
+            }
+        }
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(_) => Err(err(*pos, "unexpected character")),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &'static str,
+    value: Value,
+) -> Result<Value, ParseError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "unrecognized keyword"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| err(start, "invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(err(start, "invalid number"));
+    }
+    if !fractional {
+        if text.starts_with('-') {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Uint(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| err(start, "invalid number"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect_byte(bytes, pos, b'"', "expected '\"'")?;
+    let mut out = String::new();
+    let mut chunk_start = *pos;
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                out.push_str(str_slice(bytes, chunk_start, *pos)?);
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                out.push_str(str_slice(bytes, chunk_start, *pos)?);
+                *pos += 1;
+                let escaped = match bytes.get(*pos) {
+                    Some(b'"') => '"',
+                    Some(b'\\') => '\\',
+                    Some(b'/') => '/',
+                    Some(b'b') => '\u{8}',
+                    Some(b'f') => '\u{c}',
+                    Some(b'n') => '\n',
+                    Some(b'r') => '\r',
+                    Some(b't') => '\t',
+                    Some(b'u') => {
+                        *pos += 1;
+                        let hi = parse_hex4(bytes, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX low half.
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let lo = parse_hex4(bytes, pos)?;
+                                let combined =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined).unwrap_or('\u{fffd}')
+                            } else {
+                                '\u{fffd}'
+                            }
+                        } else {
+                            char::from_u32(hi).unwrap_or('\u{fffd}')
+                        };
+                        out.push(c);
+                        chunk_start = *pos;
+                        continue;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                };
+                out.push(escaped);
+                *pos += 1;
+                chunk_start = *pos;
+            }
+            Some(b) if *b < 0x20 => return Err(err(*pos, "control character in string")),
+            Some(_) => *pos += 1,
+        }
+    }
+}
+
+fn str_slice(bytes: &[u8], start: usize, end: usize) -> Result<&str, ParseError> {
+    std::str::from_utf8(&bytes[start..end]).map_err(|_| err(start, "invalid utf-8 in string"))
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, ParseError> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        let d = match bytes.get(*pos) {
+            Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+            Some(b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
+            Some(b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
+            _ => return Err(err(*pos, "invalid \\u escape")),
+        };
+        v = (v << 4) | d;
+        *pos += 1;
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let text = v.render();
+        let back = Value::parse(&text).unwrap_or_else(|e| panic!("parse {text:?}: {e}"));
+        assert_eq!(&back, v, "roundtrip through {text}");
+        // Pretty output parses back identically too.
+        let back = Value::parse(&v.render_pretty()).unwrap();
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::Uint(0));
+        roundtrip(&Value::Uint(u64::MAX));
+        roundtrip(&Value::Int(-42));
+        roundtrip(&Value::Int(i64::MIN));
+        roundtrip(&Value::Float(0.5));
+        roundtrip(&Value::Float(2.0)); // `{:?}` keeps the `.0`
+        roundtrip(&Value::Float(1.5e300));
+        roundtrip(&Value::Str(String::new()));
+        roundtrip(&Value::Str("plain".into()));
+        roundtrip(&Value::Str("quotes \" slashes \\ newline \n tab \t".into()));
+        roundtrip(&Value::Str("unicode: naïve — 日本語 \u{1}".into()));
+    }
+
+    #[test]
+    fn containers_roundtrip_in_order() {
+        let v = Value::Object(vec![
+            ("b".into(), Value::Uint(1)),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
+            (
+                "nested".into(),
+                Value::Object(vec![("x".into(), Value::Float(-0.25))]),
+            ),
+            ("empty_arr".into(), Value::Array(vec![])),
+            ("empty_obj".into(), Value::Object(vec![])),
+        ]);
+        roundtrip(&v);
+        // Insertion order is preserved verbatim in the rendering.
+        assert!(v.render().find("\"b\"").unwrap() < v.render().find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn parses_standard_documents() {
+        let v = Value::parse(r#" { "a" : [ 1 , -2 , 3.5 , "x\u0041y" ] , "b" : null } "#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0], Value::Uint(1));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1], Value::Int(-2));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[3],
+            Value::Str("xAy".into())
+        );
+        assert_eq!(v.get("b"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Value::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v, Value::Str("😀".into()));
+        // Lone surrogate degrades to the replacement char, not a panic.
+        let v = Value::parse(r#""\ud83d x""#).unwrap();
+        assert_eq!(v, Value::Str("\u{fffd} x".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "-",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "[1] trailing",
+            "\"\\q\"",
+            "\u{1}",
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Value::parse(&deep).is_err());
+        let ok = "[".repeat(30) + &"]".repeat(30);
+        assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn nan_renders_as_null() {
+        assert_eq!(Value::Float(f64::NAN).render(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).render(), "null");
+    }
+}

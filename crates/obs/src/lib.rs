@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+//! # locec_obs — structured observability for the LoCEC stack
+//!
+//! A std-only, zero-dependency, panic-free observability layer shared by
+//! every crate in the workspace:
+//!
+//! * [`metrics`] — named [`Counter`]s (sharded atomics, one cache line per
+//!   stripe, so the Phase I hot loop is never serialized), log-scale
+//!   [`Histogram`]s with p50/p90/p99, and RAII timing [`Span`]s, all behind
+//!   a cheap clonable [`Recorder`] handle.
+//! * [`report`] — the versioned machine-readable **run report**
+//!   ([`RunReport`], schema [`REPORT_SCHEMA_VERSION`]) every `locec` CLI
+//!   verb emits via `--report FILE`.
+//! * [`log`] — a leveled structured event sink (text or JSON lines on
+//!   stderr) replacing ad-hoc `eprintln!` diagnostics.
+//! * [`json`] — the minimal JSON value/parser/writer the report rides on
+//!   (the workspace's `serde` is a vendored no-op shim, so JSON is
+//!   hand-rolled here, once).
+//!
+//! Everything is panic-free under the workspace lint's R2 rule: no
+//! `unwrap`/`expect`/`panic!` on any non-test path, poisoned locks are
+//! recovered with `unwrap_or_else(|e| e.into_inner())`, and recording
+//! into a metric can never fail — at worst it is a no-op.
+
+pub mod json;
+pub mod log;
+pub mod metrics;
+pub mod report;
+
+pub use json::Value;
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsSnapshot, Recorder, Span};
+pub use report::{ReportError, RunReport, REPORT_SCHEMA_VERSION};

@@ -1,0 +1,233 @@
+//! A leveled structured event sink on stderr.
+//!
+//! Replaces the ad-hoc `eprintln!` diagnostics that used to live in the
+//! coordinator/worker: every event carries a level, a component and
+//! optional key=value fields, and the sink renders either human text
+//!
+//! ```text
+//! [info] coordinator: worker #3 joined (addr=127.0.0.1:9001)
+//! ```
+//!
+//! or, with JSON mode on (`locec … --log-json`), one JSON object per
+//! line — grep/parse-stable for chaos-soak analysis:
+//!
+//! ```text
+//! {"ts_ms":1754650000123,"level":"info","component":"coordinator","message":"worker #3 joined","addr":"127.0.0.1:9001"}
+//! ```
+//!
+//! The level threshold and JSON flag are process-global atomics (set
+//! once by the CLI from `--log-level`/`--log-json`); emitting below the
+//! threshold is a single relaxed load. Writes take the stderr lock so
+//! concurrent threads never interleave mid-line, and write failures are
+//! ignored — logging can never panic or error out of the caller.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The run is failing or lost data.
+    Error = 0,
+    /// Something degraded but recovered (requeue, reconnect, fault).
+    Warn = 1,
+    /// Run milestones (worker joined, checkpoint written).
+    Info = 2,
+    /// Per-lease / per-frame detail.
+    Debug = 3,
+    /// Firehose.
+    Trace = 4,
+}
+
+impl Level {
+    /// The lowercase name used in flags and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+/// Parses a `--log-level` value (`error|warn|info|debug|trace`).
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s {
+        "error" => Some(Level::Error),
+        "warn" => Some(Level::Warn),
+        "info" => Some(Level::Info),
+        "debug" => Some(Level::Debug),
+        "trace" => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+static THRESHOLD: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static JSON_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide level threshold (events above it are dropped).
+pub fn set_level(level: Level) {
+    THRESHOLD.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current threshold.
+pub fn level() -> Level {
+    Level::from_u8(THRESHOLD.load(Ordering::Relaxed))
+}
+
+/// Switches between text and JSON-lines output.
+pub fn set_json(json: bool) {
+    JSON_MODE.store(json, Ordering::Relaxed);
+}
+
+/// Whether JSON-lines output is on.
+pub fn json() -> bool {
+    JSON_MODE.load(Ordering::Relaxed)
+}
+
+/// Whether an event at `level` would currently be emitted. Call sites
+/// with expensive field formatting should gate on this.
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Emits one event. `fields` are appended as `k=v` pairs (text mode) or
+/// string-valued keys (JSON mode).
+pub fn event(level: Level, component: &str, message: &str, fields: &[(&str, &str)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut line = String::with_capacity(64 + message.len());
+    if json() {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let mut obj = vec![
+            (
+                "ts_ms".to_owned(),
+                crate::json::Value::Uint(u64::try_from(ts_ms).unwrap_or(u64::MAX)),
+            ),
+            (
+                "level".to_owned(),
+                crate::json::Value::Str(level.name().to_owned()),
+            ),
+            (
+                "component".to_owned(),
+                crate::json::Value::Str(component.to_owned()),
+            ),
+            (
+                "message".to_owned(),
+                crate::json::Value::Str(message.to_owned()),
+            ),
+        ];
+        for (k, v) in fields {
+            obj.push(((*k).to_owned(), crate::json::Value::Str((*v).to_owned())));
+        }
+        line.push_str(&crate::json::Value::Object(obj).render());
+    } else {
+        line.push('[');
+        line.push_str(level.name());
+        line.push_str("] ");
+        line.push_str(component);
+        line.push_str(": ");
+        line.push_str(message);
+        if !fields.is_empty() {
+            line.push_str(" (");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    line.push_str(", ");
+                }
+                line.push_str(k);
+                line.push('=');
+                line.push_str(v);
+            }
+            line.push(')');
+        }
+    }
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "{line}");
+}
+
+/// An [`Level::Error`] event.
+pub fn error(component: &str, message: &str, fields: &[(&str, &str)]) {
+    event(Level::Error, component, message, fields);
+}
+
+/// A [`Level::Warn`] event.
+pub fn warn(component: &str, message: &str, fields: &[(&str, &str)]) {
+    event(Level::Warn, component, message, fields);
+}
+
+/// An [`Level::Info`] event.
+pub fn info(component: &str, message: &str, fields: &[(&str, &str)]) {
+    event(Level::Info, component, message, fields);
+}
+
+/// A [`Level::Debug`] event.
+pub fn debug(component: &str, message: &str, fields: &[(&str, &str)]) {
+    event(Level::Debug, component, message, fields);
+}
+
+/// A [`Level::Trace`] event.
+pub fn trace(component: &str, message: &str, fields: &[(&str, &str)]) {
+    event(Level::Trace, component, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn && Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug && Level::Debug < Level::Trace);
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(parse_level(l.name()), Some(l));
+        }
+        assert_eq!(parse_level("verbose"), None);
+    }
+
+    #[test]
+    fn threshold_gates_enabled() {
+        // Note: process-global state; tests in this binary touch it
+        // carefully and restore the default.
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        // Emitting below threshold is a no-op and never panics.
+        event(Level::Trace, "test", "dropped", &[]);
+        event(Level::Error, "test", "emitted", &[("k", "v")]);
+    }
+
+    #[test]
+    fn json_mode_toggles() {
+        assert!(!json());
+        set_json(true);
+        assert!(json());
+        set_json(false);
+    }
+}

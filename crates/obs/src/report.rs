@@ -1,0 +1,225 @@
+//! The machine-readable **run report** every `locec` CLI verb can emit.
+//!
+//! A report is a versioned JSON document:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "verb": "coordinate",
+//!   "meta":    { "duration_ms": ..., ... },
+//!   "metrics": { "counters": {...}, "histograms": {...} },
+//!   ...verb-specific sections...
+//! }
+//! ```
+//!
+//! `schema_version` and `verb` are the only reserved top-level keys;
+//! everything else is a named **section** whose shape belongs to the verb
+//! that wrote it (`coordinate` adds `cluster` and `workers`, `divide`
+//! adds `phase1`, …). Section order is preserved so reports diff
+//! cleanly. [`RunReport::from_json`] validates the version and re-reads
+//! any report this build wrote — `locec report-check` and the CI smoke
+//! jobs are built on it.
+
+use crate::json::{ParseError, Value};
+use crate::metrics::MetricsSnapshot;
+use std::fmt;
+
+/// Version of the run-report JSON schema. Bump when a reserved key or
+/// required section changes shape incompatibly.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// A run report under construction (or re-read from disk).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// The CLI verb (or tool) that produced the report.
+    pub verb: String,
+    sections: Vec<(String, Value)>,
+}
+
+impl RunReport {
+    /// An empty report for `verb`.
+    pub fn new(verb: &str) -> Self {
+        RunReport {
+            verb: verb.to_owned(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds or replaces section `name`.
+    pub fn set_section(&mut self, name: &str, value: Value) {
+        if let Some(slot) = self.sections.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            self.sections.push((name.to_owned(), value));
+        }
+    }
+
+    /// Section `name`, if present.
+    pub fn section(&self, name: &str) -> Option<&Value> {
+        self.sections
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Section names in insertion order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|(k, _)| k.as_str()).collect()
+    }
+
+    /// Sets the standard `"metrics"` section from a snapshot.
+    pub fn attach_metrics(&mut self, snapshot: &MetricsSnapshot) {
+        self.set_section("metrics", snapshot.to_value());
+    }
+
+    /// The whole report as a [`Value`] tree.
+    pub fn to_value(&self) -> Value {
+        let mut fields = Vec::with_capacity(self.sections.len() + 2);
+        fields.push((
+            "schema_version".to_owned(),
+            Value::Uint(u64::from(REPORT_SCHEMA_VERSION)),
+        ));
+        fields.push(("verb".to_owned(), Value::Str(self.verb.clone())));
+        fields.extend(self.sections.iter().cloned());
+        Value::Object(fields)
+    }
+
+    /// Renders the report as indented JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().render_pretty()
+    }
+
+    /// Parses and validates a report document.
+    pub fn from_json(text: &str) -> Result<RunReport, ReportError> {
+        let value = Value::parse(text).map_err(ReportError::Json)?;
+        let Some(fields) = value.as_object() else {
+            return Err(ReportError::NotAnObject);
+        };
+        let version = value
+            .get("schema_version")
+            .and_then(Value::as_u64)
+            .ok_or(ReportError::MissingField("schema_version"))?;
+        if version != u64::from(REPORT_SCHEMA_VERSION) {
+            return Err(ReportError::SchemaVersion(version));
+        }
+        let verb = value
+            .get("verb")
+            .and_then(Value::as_str)
+            .ok_or(ReportError::MissingField("verb"))?
+            .to_owned();
+        let sections = fields
+            .iter()
+            .filter(|(k, _)| k != "schema_version" && k != "verb")
+            .cloned()
+            .collect();
+        Ok(RunReport { verb, sections })
+    }
+}
+
+/// Why a report failed to load.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReportError {
+    /// The document is not valid JSON.
+    Json(ParseError),
+    /// The document is valid JSON but not an object.
+    NotAnObject,
+    /// A reserved field is absent or has the wrong type.
+    MissingField(&'static str),
+    /// The document's `schema_version` is not the one this build reads.
+    SchemaVersion(u64),
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Json(e) => write!(f, "report is not valid JSON: {e}"),
+            ReportError::NotAnObject => write!(f, "report is not a JSON object"),
+            ReportError::MissingField(name) => {
+                write!(f, "report is missing required field `{name}`")
+            }
+            ReportError::SchemaVersion(v) => write!(
+                f,
+                "report schema version {v} (this build reads {REPORT_SCHEMA_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Recorder;
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let rec = Recorder::new();
+        rec.counter("phase1.egos").add(1234);
+        rec.histogram("pool.chunk_nanos").record(512);
+        let mut report = RunReport::new("divide");
+        report.set_section(
+            "meta",
+            Value::Object(vec![("duration_ms".into(), Value::Uint(42))]),
+        );
+        report.attach_metrics(&rec.snapshot());
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).expect("roundtrip parse");
+        assert_eq!(back, report);
+        assert_eq!(back.verb, "divide");
+        assert_eq!(back.section_names(), vec!["meta", "metrics"]);
+        assert_eq!(
+            back.section("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get("phase1.egos"))
+                .and_then(Value::as_u64),
+            Some(1234)
+        );
+    }
+
+    #[test]
+    fn golden_shape() {
+        // The reserved keys come first, in a fixed order, and sections
+        // keep insertion order: the exact top-of-document shape CI greps
+        // and external tooling rely on.
+        let mut report = RunReport::new("synth");
+        report.set_section("meta", Value::Object(vec![]));
+        let text = report.to_json();
+        let expected = "{\n  \"schema_version\": 1,\n  \"verb\": \"synth\",\n  \"meta\": {}\n}\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn set_section_replaces_in_place() {
+        let mut report = RunReport::new("x");
+        report.set_section("a", Value::Uint(1));
+        report.set_section("b", Value::Uint(2));
+        report.set_section("a", Value::Uint(3));
+        assert_eq!(report.section_names(), vec!["a", "b"]);
+        assert_eq!(report.section("a"), Some(&Value::Uint(3)));
+    }
+
+    #[test]
+    fn rejects_wrong_or_missing_version() {
+        assert!(matches!(
+            RunReport::from_json("{\"verb\": \"x\"}"),
+            Err(ReportError::MissingField("schema_version"))
+        ));
+        assert!(matches!(
+            RunReport::from_json("{\"schema_version\": 999, \"verb\": \"x\"}"),
+            Err(ReportError::SchemaVersion(999))
+        ));
+        assert!(matches!(
+            RunReport::from_json("{\"schema_version\": 1}"),
+            Err(ReportError::MissingField("verb"))
+        ));
+        assert!(matches!(
+            RunReport::from_json("[1,2]"),
+            Err(ReportError::NotAnObject)
+        ));
+        assert!(matches!(
+            RunReport::from_json("not json"),
+            Err(ReportError::Json(_))
+        ));
+    }
+}

@@ -17,6 +17,49 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Cached handles into the global recorder — looked up once, recorded
+/// into lock-free forever after, so instrumentation never serializes the
+/// chunk loop.
+struct PoolMetrics {
+    /// Chunks executed (identical across pool sizes for the same work).
+    chunks: locec_obs::Counter,
+    /// Chunks claimed by a participant other than the submitter.
+    steals: locec_obs::Counter,
+    /// Total nanoseconds participants spent inside chunk bodies.
+    busy_nanos: locec_obs::Counter,
+    /// Per-chunk latency distribution.
+    chunk_nanos: locec_obs::Histogram,
+    /// `broadcast` invocations (including those nested/inlined).
+    broadcasts: locec_obs::Counter,
+}
+
+impl PoolMetrics {
+    fn get() -> &'static PoolMetrics {
+        static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let rec = locec_obs::Recorder::global();
+            PoolMetrics {
+                chunks: rec.counter("pool.chunks"),
+                steals: rec.counter("pool.steals"),
+                busy_nanos: rec.counter("pool.busy_nanos"),
+                chunk_nanos: rec.histogram("pool.chunk_nanos"),
+                broadcasts: rec.counter("pool.broadcasts"),
+            }
+        })
+    }
+
+    fn record_chunk(&self, slot: usize, start: Instant) {
+        let nanos = locec_obs::metrics::saturating_nanos(start);
+        self.chunks.incr();
+        if slot != 0 {
+            self.steals.incr();
+        }
+        self.busy_nanos.add(nanos);
+        self.chunk_nanos.record(nanos);
+    }
+}
 
 /// A lifetime-erased pointer to the submitter's task closure.
 ///
@@ -144,6 +187,7 @@ impl WorkerPool {
     /// workers. Blocks until every participant has returned. Panics from any
     /// participant are re-raised here after all others finished.
     pub fn broadcast<F: Fn(usize) + Sync>(&self, parallelism: usize, task: F) {
+        PoolMetrics::get().broadcasts.incr();
         let extra = parallelism.saturating_sub(1).min(self.workers);
         if extra == 0 || IN_POOL_TASK.with(|f| f.get()) {
             task(0);
@@ -234,19 +278,29 @@ impl WorkerPool {
         if num_chunks == 0 {
             return Vec::new();
         }
+        let metrics = PoolMetrics::get();
         let chunk_range = |c: usize| (c * grain)..((c + 1) * grain).min(n);
         if parallelism <= 1 || self.workers == 0 || num_chunks == 1 {
-            return (0..num_chunks).map(|c| f(chunk_range(c))).collect();
+            return (0..num_chunks)
+                .map(|c| {
+                    let t0 = Instant::now();
+                    let out = f(chunk_range(c));
+                    metrics.record_chunk(0, t0);
+                    out
+                })
+                .collect();
         }
 
         let slots: Vec<Mutex<Option<T>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
-        self.broadcast(parallelism.min(num_chunks), |_slot| loop {
+        self.broadcast(parallelism.min(num_chunks), |slot| loop {
             let c = cursor.fetch_add(1, Ordering::Relaxed);
             if c >= num_chunks {
                 break;
             }
+            let t0 = Instant::now();
             let out = f(chunk_range(c));
+            metrics.record_chunk(slot, t0);
             *slots[c].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
         });
         slots

@@ -165,6 +165,41 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
+/// Cached global-recorder handles for snapshot I/O: byte/section totals
+/// per direction plus the time spent checksumming (the CPU cost the
+/// container format adds on top of raw file I/O).
+struct StoreMetrics {
+    bytes_written: locec_obs::Counter,
+    bytes_read: locec_obs::Counter,
+    sections_written: locec_obs::Counter,
+    sections_read: locec_obs::Counter,
+    crc_nanos: locec_obs::Histogram,
+}
+
+impl StoreMetrics {
+    fn get() -> &'static StoreMetrics {
+        static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let rec = locec_obs::Recorder::global();
+            StoreMetrics {
+                bytes_written: rec.counter("store.bytes_written"),
+                bytes_read: rec.counter("store.bytes_read"),
+                sections_written: rec.counter("store.sections_written"),
+                sections_read: rec.counter("store.sections_read"),
+                crc_nanos: rec.histogram("store.crc_nanos"),
+            }
+        })
+    }
+}
+
+/// [`crc32`] with the time spent recorded into `store.crc_nanos`.
+fn crc32_timed(bytes: &[u8]) -> u32 {
+    let t0 = std::time::Instant::now();
+    let crc = crc32(bytes);
+    StoreMetrics::get().crc_nanos.record_since(t0);
+    crc
+}
+
 /// CRC32 (IEEE 802.3 polynomial, the zlib/PNG variant), table-driven.
 pub fn crc32(bytes: &[u8]) -> u32 {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
@@ -386,11 +421,14 @@ impl SnapshotWriter {
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         out.extend_from_slice(&(self.kind as u32).to_le_bytes());
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let metrics = StoreMetrics::get();
         for (name, payload) in &self.sections {
+            metrics.sections_written.incr();
+            metrics.bytes_written.add(payload.len() as u64);
             out.extend_from_slice(&(name.len() as u16).to_le_bytes());
             out.extend_from_slice(name.as_bytes());
             out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(&crc32_timed(payload).to_le_bytes());
         }
         for (_, payload) in &self.sections {
             out.extend_from_slice(payload);
@@ -452,10 +490,13 @@ impl Snapshot {
             let crc = dec.u32()?;
             table.push((name, len, crc));
         }
+        let metrics = StoreMetrics::get();
         let mut sections = Vec::with_capacity(count);
         for (name, len, crc) in table {
             let payload = dec.take(len)?.to_vec();
-            if crc32(&payload) != crc {
+            metrics.sections_read.incr();
+            metrics.bytes_read.add(payload.len() as u64);
+            if crc32_timed(&payload) != crc {
                 return Err(SnapshotError::ChecksumMismatch { section: name });
             }
             sections.push((name, payload));
@@ -674,7 +715,10 @@ impl LazySnapshot {
         self.file.seek(SeekFrom::Start(offset))?;
         let mut payload = vec![0u8; len];
         read_exact_or_typed(&mut self.file, &mut payload)?;
-        if crc32(&payload) != crc {
+        let metrics = StoreMetrics::get();
+        metrics.sections_read.incr();
+        metrics.bytes_read.add(payload.len() as u64);
+        if crc32_timed(&payload) != crc {
             return Err(SnapshotError::ChecksumMismatch {
                 section: name.to_owned(),
             });

@@ -31,7 +31,8 @@
 //! predicted edge label matches — the end-to-end equivalence check CI runs.
 
 use locec::cluster::{
-    run_worker, CoordinateConfig, Coordinator, FaultPlan, RetryPolicy, WorkerOptions, WorkerSpawn,
+    run_worker, ClusterObs, CoordinateConfig, CoordinateStats, Coordinator, FaultPlan, RetryPolicy,
+    WorkerMetrics, WorkerOptions, WorkerSpawn,
 };
 use locec::core::phase1::{
     divide_egos, divide_range, splice_update_owned, update_prefers_full_divide, DivisionResult,
@@ -44,6 +45,7 @@ use locec::core::{
 };
 use locec::graph::{dirty_egos, GraphDelta};
 use locec::ml::metrics::Evaluation;
+use locec::obs::{json::Value, Recorder, RunReport};
 use locec::store::{
     apply_world_delta, load_aggregation, load_division, load_division_checkpoint,
     load_division_delta, load_edge_model, load_labels, load_shard, load_world_delta, merge_shards,
@@ -81,6 +83,7 @@ USAGE:
                   --out FILE [--verify-pipeline] [config]
   locec inspect   FILE...
   locec lint      [--root DIR] [--baseline FILE] [--json] [--write-baseline]
+  locec report-check FILE [--require SECTION[,SECTION...]]
 
 streaming updates: `evolve` records a timestamped edge-event stream against
 a world (and optionally writes the evolved world); `divide --update` applies
@@ -120,7 +123,20 @@ config (all stages after synth; defaults in parentheses):
   --detector gn|louvain|lp  Phase I detector (gn)
   --threads N             worker threads (preset value)
   --seed N                pipeline seed for splits and model init (preset value)
-  --k N                   feature-matrix rows (preset value)";
+  --k N                   feature-matrix rows (preset value)
+
+observability (every verb):
+  --report FILE           write a versioned JSON run report (schema_version 1:
+                          reserved keys schema_version/verb, a meta section, a
+                          metrics section with every counter and histogram, and
+                          verb-specific sections — divide adds phase1,
+                          coordinate adds cluster + workers, worker adds worker)
+  --log-level LEVEL       stderr event threshold: error|warn|info|debug|trace
+                          (info; fault recoveries log at warn, cluster progress
+                          at debug)
+  --log-json              emit log events as JSON lines instead of text
+`report-check` re-parses a report, validates its schema version, and fails
+unless every --require'd section is present — CI's artifact gate.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -135,23 +151,172 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(format!("missing subcommand\n\n{USAGE}"));
     };
     let parsed = Parsed::parse(rest)?;
-    match cmd.as_str() {
+    if let Some(level) = parsed.str("log-level") {
+        let level = locec::obs::log::parse_level(level).ok_or_else(|| {
+            format!("unknown --log-level '{level}' (error|warn|info|debug|trace)")
+        })?;
+        locec::obs::log::set_level(level);
+    }
+    if parsed.has("--log-json") {
+        locec::obs::log::set_json(true);
+    }
+
+    let t0 = std::time::Instant::now();
+    let mut report = RunReport::new(cmd.as_str());
+    let result = match cmd.as_str() {
         "synth" => cmd_synth(&parsed),
         "evolve" => cmd_evolve(&parsed),
-        "divide" => cmd_divide(&parsed),
-        "coordinate" => cmd_coordinate(&parsed),
-        "worker" => cmd_worker(&parsed),
+        "divide" => cmd_divide(&parsed, &mut report),
+        "coordinate" => cmd_coordinate(&parsed, &mut report),
+        "worker" => cmd_worker(&parsed, &mut report),
         "aggregate" => cmd_aggregate(&parsed),
         "train" => cmd_train(&parsed),
         "classify" => cmd_classify(&parsed),
         "inspect" => cmd_inspect(&parsed),
         "lint" => cmd_lint(&parsed),
+        "report-check" => cmd_report_check(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    result?;
+
+    if let Some(path) = parsed.str("report") {
+        // The meta section leads, then verb sections in the order the
+        // command added them, then the full metrics dump.
+        let mut finished = RunReport::new(&report.verb);
+        finished.set_section(
+            "meta",
+            vobj(vec![
+                (
+                    "argv",
+                    Value::Array(rest.iter().map(|a| Value::Str(a.clone())).collect()),
+                ),
+                ("duration_ms", Value::Uint(t0.elapsed().as_millis() as u64)),
+            ]),
+        );
+        for name in report.section_names() {
+            if let Some(v) = report.section(name) {
+                finished.set_section(name, v.clone());
+            }
+        }
+        finished.attach_metrics(&Recorder::global().snapshot());
+        std::fs::write(path, finished.to_json()).map_err(|e| format!("{path}: {e}"))?;
     }
+    Ok(())
+}
+
+/// Shorthand for building a JSON object section.
+fn vobj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// A per-frame-type counter array rendered as `{"hello": 1, ...}`, keyed
+/// by the wire spelling. Slot 0 is unused by the protocol and omitted.
+fn frames_obj(frames: &[u64; 8]) -> Value {
+    use locec::cluster::frame::FrameType;
+    let mut fields = Vec::new();
+    for (slot, &n) in frames.iter().enumerate() {
+        if let Some(ft) = FrameType::from_u8(slot as u8) {
+            fields.push((ft.name().to_owned(), Value::Uint(n)));
+        }
+    }
+    Value::Object(fields)
+}
+
+/// One worker's cumulative self-observed metrics block.
+fn worker_metrics_obj(m: &WorkerMetrics) -> Value {
+    vobj(vec![
+        ("egos_divided", Value::Uint(m.egos_divided)),
+        ("leases_completed", Value::Uint(m.leases_completed)),
+        ("compute_nanos", Value::Uint(m.compute_nanos)),
+        ("wire_nanos", Value::Uint(m.wire_nanos)),
+        ("bytes_sent", Value::Uint(m.bytes_sent)),
+        ("bytes_received", Value::Uint(m.bytes_received)),
+        ("frames_sent", frames_obj(&m.frames_sent)),
+        ("frames_received", frames_obj(&m.frames_received)),
+        ("frames_dropped", frames_obj(&m.frames_dropped)),
+        ("reconnects", Value::Uint(m.reconnects)),
+        ("faults_fired", Value::Uint(m.faults_fired)),
+    ])
+}
+
+/// The `cluster` + `workers` report sections from a coordination outcome.
+fn cluster_sections(report: &mut RunReport, obs: &ClusterObs, s: &CoordinateStats) {
+    let lease_total: u64 = obs.lease_walls.iter().map(|&(_, ns)| ns).sum();
+    let lease_max = obs.lease_walls.iter().map(|&(_, ns)| ns).max().unwrap_or(0);
+    report.set_section(
+        "cluster",
+        vobj(vec![
+            ("wall_seconds", Value::Float(s.wall.as_secs_f64())),
+            ("tasks", Value::Uint(u64::from(s.tasks))),
+            ("workers_seen", Value::Uint(s.workers_seen)),
+            ("requeues", Value::Uint(s.requeues)),
+            ("duplicates_dropped", Value::Uint(s.duplicates_dropped)),
+            ("respawns", Value::Uint(u64::from(s.respawns))),
+            ("reconnects", Value::Uint(s.reconnects)),
+            ("checkpoints_written", Value::Uint(s.checkpoints_written)),
+            ("frames_sent", frames_obj(&obs.frames_sent)),
+            ("frames_received", frames_obj(&obs.frames_received)),
+            ("frames_dropped", frames_obj(&obs.frames_dropped)),
+            ("bytes_sent", Value::Uint(obs.bytes_sent)),
+            ("bytes_received", Value::Uint(obs.bytes_received)),
+            ("faults_fired", Value::Uint(obs.faults_fired)),
+            ("merge_nanos", Value::Uint(obs.merge_nanos)),
+            ("leases_timed", Value::Uint(obs.lease_walls.len() as u64)),
+            ("lease_wall_nanos_total", Value::Uint(lease_total)),
+            ("lease_wall_nanos_max", Value::Uint(lease_max)),
+        ]),
+    );
+    report.set_section(
+        "workers",
+        Value::Array(
+            obs.workers
+                .iter()
+                .map(|(id, m)| {
+                    let mut fields = vec![("worker_id".to_owned(), Value::Uint(*id))];
+                    if let Value::Object(rest) = worker_metrics_obj(m) {
+                        fields.extend(rest);
+                    }
+                    Value::Object(fields)
+                })
+                .collect(),
+        ),
+    );
+}
+
+/// `locec report-check`: re-parse a run report, validate the schema
+/// version, and require named sections — the CI artifact gate.
+fn cmd_report_check(p: &Parsed) -> Result<(), String> {
+    p.check_args(&["require"], &[], true)?;
+    let [file] = p.positional.as_slice() else {
+        return Err("report-check needs exactly one report file".into());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let report = RunReport::from_json(&text).map_err(|e| format!("{file}: {e}"))?;
+    let mut missing = Vec::new();
+    for required in p.str("require").unwrap_or("").split(',') {
+        let required = required.trim();
+        if !required.is_empty() && report.section(required).is_none() {
+            missing.push(required.to_owned());
+        }
+    }
+    if !missing.is_empty() {
+        return Err(format!(
+            "{file}: report (verb '{}') is missing required section(s): {} — has: {}",
+            report.verb,
+            missing.join(", "),
+            report.section_names().join(", ")
+        ));
+    }
+    println!(
+        "report-check: {file} ok (verb '{}', sections: {})",
+        report.verb,
+        report.section_names().join(", ")
+    );
+    Ok(())
 }
 
 /// Minimal `--flag value` / `--switch` / positional argument parser.
@@ -169,7 +334,13 @@ const SWITCHES: &[&str] = &[
     "--ship-world",
     "--json",
     "--write-baseline",
+    "--log-json",
 ];
+
+/// Observability options accepted by every verb (see `run`); `check_args`
+/// admits these everywhere so no subcommand has to list them.
+const OBS_FLAGS: &[&str] = &["report", "log-level"];
+const OBS_SWITCHES: &[&str] = &["--log-json"];
 
 impl Parsed {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -208,12 +379,12 @@ impl Parsed {
         positional_ok: bool,
     ) -> Result<(), String> {
         for name in self.flags.keys() {
-            if !flags.contains(&name.as_str()) {
+            if !flags.contains(&name.as_str()) && !OBS_FLAGS.contains(&name.as_str()) {
                 return Err(format!("unknown option --{name}\n\n{USAGE}"));
             }
         }
         for s in &self.switches {
-            if !switches.contains(&s.as_str()) {
+            if !switches.contains(&s.as_str()) && !OBS_SWITCHES.contains(&s.as_str()) {
                 return Err(format!("{s} is not valid for this subcommand\n\n{USAGE}"));
             }
         }
@@ -448,7 +619,23 @@ fn ensure_division_matches(world: &StoredWorld, division: &DivisionResult) -> Re
     Ok(())
 }
 
-fn cmd_divide(p: &Parsed) -> Result<(), String> {
+/// The `phase1` report section shared by every divide-flavoured path:
+/// how many egos were divided and at what rate.
+fn phase1_section(report: &mut RunReport, path: &str, egos: u64, wall: std::time::Duration) {
+    let secs = wall.as_secs_f64();
+    let throughput = if secs > 0.0 { egos as f64 / secs } else { 0.0 };
+    report.set_section(
+        "phase1",
+        vobj(vec![
+            ("path", Value::Str(path.to_owned())),
+            ("egos", Value::Uint(egos)),
+            ("wall_seconds", Value::Float(secs)),
+            ("phase1_throughput", Value::Float(throughput)),
+        ]),
+    );
+}
+
+fn cmd_divide(p: &Parsed, report: &mut RunReport) -> Result<(), String> {
     p.check_args(
         &with_config(&["world", "out", "shard", "base", "delta", "out-delta"]),
         &["--merge", "--update"],
@@ -476,7 +663,7 @@ fn cmd_divide(p: &Parsed) -> Result<(), String> {
     let config = p.locec_config()?;
 
     if p.has("--update") {
-        return cmd_divide_update(p, &graph, &out, &config);
+        return cmd_divide_update(p, &graph, &out, &config, report);
     }
 
     if p.has("--merge") {
@@ -491,6 +678,18 @@ fn cmd_divide(p: &Parsed) -> Result<(), String> {
         let t0 = std::time::Instant::now();
         let division = merge_shards(&graph, shards, config.threads).map_err(store_err)?;
         let dt = t0.elapsed();
+        report.set_section(
+            "phase1",
+            vobj(vec![
+                ("path", Value::Str("merge".to_owned())),
+                ("shards", Value::Uint(p.positional.len() as u64)),
+                (
+                    "communities",
+                    Value::Uint(division.num_communities() as u64),
+                ),
+                ("wall_seconds", Value::Float(dt.as_secs_f64())),
+            ]),
+        );
         save_division(&out, &graph, &division).map_err(store_err)?;
         println!(
             "divide --merge: {} shards -> {} communities in {:.3}s -> {}",
@@ -518,6 +717,7 @@ fn cmd_divide(p: &Parsed) -> Result<(), String> {
                 shard_count: count,
                 communities,
             };
+            phase1_section(report, "shard", u64::from(range.end - range.start), dt);
             save_shard(&out, &shard).map_err(store_err)?;
             println!(
                 "divide --shard {index}/{count}: egos {}..{} -> {} communities in {:.3}s -> {}",
@@ -533,6 +733,7 @@ fn cmd_divide(p: &Parsed) -> Result<(), String> {
             let communities = divide_range(&graph, 0..n as u32, &config);
             let division = DivisionResult::from_communities(&graph, communities, config.threads);
             let dt = t0.elapsed();
+            phase1_section(report, "full", n as u64, dt);
             save_division(&out, &graph, &division).map_err(store_err)?;
             println!(
                 "divide: {} egos -> {} communities in {:.3}s -> {}",
@@ -555,6 +756,7 @@ fn cmd_divide_update(
     base_graph: &locec::graph::CsrGraph,
     out: &Path,
     config: &LocecConfig,
+    report: &mut RunReport,
 ) -> Result<(), String> {
     // The base division — the largest artifact here — is loaded only once
     // the incremental path is chosen below; the full-divide fallback never
@@ -588,6 +790,7 @@ fn cmd_divide_update(
         let division =
             DivisionResult::from_communities(&applied.graph, communities, config.threads);
         let dt = t0.elapsed();
+        phase1_section(report, "update-full", n as u64, dt);
         save_division(out, &applied.graph, &division).map_err(store_err)?;
         println!(
             "divide --update: {} of {} egos dirty ({:.1}%) — took the full-divide path \
@@ -634,6 +837,7 @@ fn cmd_divide_update(
         splice_update_owned(&applied.graph, base_division, &dirty, fresh, config.threads)
     };
     let dt = t0.elapsed();
+    phase1_section(report, "update-incremental", dirty.len() as u64, dt);
     save_division(out, &applied.graph, &division).map_err(store_err)?;
     println!(
         "divide --update: took the incremental path — re-divided {} of {} egos \
@@ -653,7 +857,7 @@ fn cmd_divide_update(
 /// remote workers that connect, leases ego ranges dynamically, merges
 /// shard results as they stream in, and writes a division snapshot
 /// byte-identical to a single-process `locec divide`.
-fn cmd_coordinate(p: &Parsed) -> Result<(), String> {
+fn cmd_coordinate(p: &Parsed, report: &mut RunReport) -> Result<(), String> {
     p.check_args(
         &with_config(&[
             "world",
@@ -731,7 +935,6 @@ fn cmd_coordinate(p: &Parsed) -> Result<(), String> {
         .map(|spec| FaultPlan::parse(spec, fault_seed))
         .transpose()?;
     cfg.ship_world_bytes = p.has("--ship-world");
-    cfg.verbose = true;
 
     // Local workers load the world by path; shipping bytes supports
     // remote-only setups with no shared filesystem.
@@ -755,6 +958,7 @@ fn cmd_coordinate(p: &Parsed) -> Result<(), String> {
     let outcome = coordinator.run().map_err(|e| e.to_string())?;
     save_division(&out, coordinator.graph(), &outcome.division).map_err(store_err)?;
     let s = &outcome.stats;
+    cluster_sections(report, &outcome.obs, s);
     println!(
         "coordinate: {} tasks over {} workers ({} requeued, {} duplicate shards, \
          {} respawns, {} reconnects, {} checkpoints) -> {} communities in {:.3}s -> {}",
@@ -774,7 +978,7 @@ fn cmd_coordinate(p: &Parsed) -> Result<(), String> {
 
 /// `locec worker`: one cluster worker. Normally spawned by `coordinate`,
 /// but equally happy connecting across machines.
-fn cmd_worker(p: &Parsed) -> Result<(), String> {
+fn cmd_worker(p: &Parsed, run_report: &mut RunReport) -> Result<(), String> {
     p.check_args(
         &[
             "connect",
@@ -814,6 +1018,7 @@ fn cmd_worker(p: &Parsed) -> Result<(), String> {
         retry,
     };
     let report = run_worker(addr, &opts).map_err(|e| e.to_string())?;
+    run_report.set_section("worker", worker_metrics_obj(&report.metrics));
     println!(
         "worker: completed {} leases ({} egos divided, {} reconnects, {} faults fired)",
         report.leases_completed, report.egos_divided, report.reconnects, report.faults_fired

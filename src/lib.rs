@@ -21,6 +21,9 @@
 //! * [`baselines`] — ProbWP, Economix and raw-XGBoost comparison methods.
 //! * [`lint`] — the workspace's own static-analysis pass (`locec lint`):
 //!   panic-safety, unsafe-containment and wire-format invariants.
+//! * [`obs`] — structured observability: sharded counters, log-scale
+//!   histograms, timing spans, leveled logging, and the versioned run
+//!   report every CLI verb emits via `--report`.
 //!
 //! ## Quickstart
 //!
@@ -46,5 +49,6 @@ pub use locec_core as core;
 pub use locec_graph as graph;
 pub use locec_lint as lint;
 pub use locec_ml as ml;
+pub use locec_obs as obs;
 pub use locec_store as store;
 pub use locec_synth as synth;
