@@ -116,11 +116,11 @@ fn bench_models(c: &mut Criterion) {
         )
     });
 
-    let mut cnn = CommCnn::new(20, 12, 3, &CommCnnConfig::fast());
+    let cnn = CommCnn::new(20, 12, 3, &CommCnnConfig::fast());
     c.bench_function("commcnn_infer_batch_32", |b| {
         b.iter(|| {
             let refs: Vec<&Tensor> = matrices.iter().collect();
-            black_box(cnn.predict_proba_batch(&refs))
+            black_box(cnn.predict_proba_batch(&refs, 1))
         })
     });
 }

@@ -1,0 +1,262 @@
+//! CommCNN math-kernel benchmark: training and batch-inference throughput
+//! of the blocked-GEMM fast backend against the seed repo's naive loops.
+//!
+//! Run: `cargo run --release -p locec_bench --bin ml_throughput`
+//!
+//! Environment knobs:
+//! * `LOCEC_ML_SAMPLES` — feature matrices in the inference pool (default
+//!   2048, the load the committed `BENCH_ml.json` is measured on);
+//! * `LOCEC_ML_TRAIN` — training-set size (default 512);
+//! * `LOCEC_ML_EPOCHS` — training epochs per backend (default 3);
+//! * `LOCEC_ML_THREADS` — comma-separated pool sizes for fast batch
+//!   inference (default `1,2,8`);
+//! * `LOCEC_ML_REPS` — timing repetitions per configuration; the reported
+//!   rate is the best of the reps (default 3, standard noise suppression
+//!   on a shared box — every rep's outputs are still checked);
+//! * `LOCEC_ML_OUT` — output path (default `BENCH_ml.json`).
+//!
+//! Both backends are bitwise-identical by contract (property-tested in
+//! `locec_ml`), so before timing anything the run asserts the probability
+//! rows agree exactly — a benchmark of a wrong answer is meaningless.
+
+use locec_core::commcnn::{CommCnn, CommCnnConfig};
+use locec_ml::kernel::{set_backend, Backend};
+use locec_ml::Tensor;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const K: usize = 20;
+const COLS: usize = 12;
+const CLASSES: usize = 3;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministic synthetic feature matrices: three separable "community
+/// classes" plus noise, the same shape Algorithm 1 produces.
+fn sample_pool(n: usize) -> (Vec<Tensor>, Vec<usize>) {
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((seed >> 33) as u32) as f32 / u32::MAX as f32
+    };
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % CLASSES;
+        let mut m = Tensor::zeros(&[K, COLS]);
+        for r in 0..K {
+            *m.at2_mut(r, class) = 0.5 + 0.5 * next();
+            *m.at2_mut(r, (class + 5) % COLS) = 0.2 * next();
+        }
+        xs.push(m);
+        ys.push(class);
+    }
+    (xs, ys)
+}
+
+fn train_rate(
+    backend: Backend,
+    xs: &[Tensor],
+    ys: &[usize],
+    epochs: usize,
+    reps: usize,
+) -> (f64, Vec<f32>) {
+    set_backend(backend);
+    let config = CommCnnConfig {
+        epochs,
+        target_loss: 0.0, // never early-stop: both backends do identical work
+        ..CommCnnConfig::default()
+    };
+    let mut best = 0.0f64;
+    let mut probe = Vec::new();
+    for rep in 0..reps.max(1) {
+        let mut cnn = CommCnn::new(K, COLS, CLASSES, &config);
+        let t = Instant::now();
+        cnn.train(xs, ys);
+        let secs = t.elapsed().as_secs_f64();
+        best = best.max((epochs * xs.len()) as f64 / secs);
+        let p = cnn.predict_proba(&xs[0]);
+        if rep == 0 {
+            probe = p;
+        } else {
+            assert_eq!(probe, p, "training is seeded — reps must agree bitwise");
+        }
+    }
+    (best, probe)
+}
+
+fn infer_rate(
+    cnn: &CommCnn,
+    refs: &[&Tensor],
+    threads: usize,
+    reps: usize,
+) -> (f64, Vec<Vec<f32>>) {
+    let mut best = 0.0f64;
+    let mut probs = Vec::new();
+    for rep in 0..reps.max(1) {
+        let t = Instant::now();
+        let p = cnn.predict_proba_batch(refs, threads);
+        let secs = t.elapsed().as_secs_f64();
+        best = best.max(refs.len() as f64 / secs);
+        if rep == 0 {
+            probs = p;
+        } else {
+            assert_eq!(probs, p, "inference reps must agree bitwise");
+        }
+    }
+    (best, probs)
+}
+
+fn main() {
+    let samples = env_usize("LOCEC_ML_SAMPLES", 2048);
+    let train_n = env_usize("LOCEC_ML_TRAIN", 512).min(samples);
+    let epochs = env_usize("LOCEC_ML_EPOCHS", 3).max(1);
+    let threads: Vec<usize> = std::env::var("LOCEC_ML_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 8]);
+    let reps = env_usize("LOCEC_ML_REPS", 3).max(1);
+    let out_path = std::env::var("LOCEC_ML_OUT").unwrap_or_else(|_| "BENCH_ml.json".into());
+
+    let (xs, ys) = sample_pool(samples);
+    let refs: Vec<&Tensor> = xs.iter().collect();
+    let train_xs = &xs[..train_n];
+    let train_ys = &ys[..train_n];
+
+    // One trained network shared by every inference measurement.
+    set_backend(Backend::Fast);
+    let mut cnn = CommCnn::new(
+        K,
+        COLS,
+        CLASSES,
+        &CommCnnConfig {
+            epochs: 2,
+            ..CommCnnConfig::default()
+        },
+    );
+    cnn.train(train_xs, train_ys);
+
+    // Equivalence gate, then a warmup pass for each backend.
+    set_backend(Backend::Reference);
+    let base_probs = cnn.predict_proba_batch(&refs[..64.min(samples)], 1);
+    set_backend(Backend::Fast);
+    let fast_probs = cnn.predict_proba_batch(&refs[..64.min(samples)], 1);
+    assert_eq!(
+        base_probs, fast_probs,
+        "fast backend diverged from reference — bitwise contract broken"
+    );
+
+    // Inference: reference at 1 thread, fast at each pool size.
+    set_backend(Backend::Reference);
+    let (ref_rate, ref_out) = infer_rate(&cnn, &refs, 1, reps);
+    eprintln!("infer reference @1 thread: {ref_rate:>9.1} samples/s");
+    set_backend(Backend::Fast);
+    {
+        // Breakdown of the fast single-threaded pass via the obs counters:
+        // how much wall time is GEMM + im2col vs shared layer plumbing.
+        let rec = locec_obs::Recorder::global();
+        let before = rec.snapshot();
+        let t = Instant::now();
+        let _ = cnn.predict_proba_batch(&refs, 1);
+        let wall = t.elapsed().as_nanos() as u64;
+        let after = rec.snapshot();
+        let gemm = after.counter("ml.gemm_nanos") - before.counter("ml.gemm_nanos");
+        let im2col = after.counter("ml.im2col_nanos") - before.counter("ml.im2col_nanos");
+        eprintln!(
+            "fast @1 breakdown: gemm {:.0}% im2col {:.0}% other {:.0}%",
+            100.0 * gemm as f64 / wall as f64,
+            100.0 * im2col as f64 / wall as f64,
+            100.0 * wall.saturating_sub(gemm + im2col) as f64 / wall as f64,
+        );
+    }
+    let mut infer_rows: Vec<(usize, f64)> = Vec::new();
+    for &t in &threads {
+        let (rate, out) = infer_rate(&cnn, &refs, t, reps);
+        assert_eq!(out, ref_out, "fast inference diverged at {t} threads");
+        eprintln!(
+            "infer fast      @{t} thread(s): {rate:>9.1} samples/s ({:.2}x vs reference)",
+            rate / ref_rate
+        );
+        infer_rows.push((t, rate));
+    }
+
+    // Training: fresh identically-seeded networks per backend.
+    let (ref_train_rate, ref_probe) =
+        train_rate(Backend::Reference, train_xs, train_ys, epochs, reps);
+    let (fast_train_rate, fast_probe) = train_rate(Backend::Fast, train_xs, train_ys, epochs, reps);
+    assert_eq!(
+        ref_probe, fast_probe,
+        "training diverged between backends — bitwise contract broken"
+    );
+    set_backend(Backend::Fast);
+    eprintln!("train reference: {ref_train_rate:>9.1} samples/s");
+    eprintln!(
+        "train fast:      {fast_train_rate:>9.1} samples/s ({:.2}x vs reference)",
+        fast_train_rate / ref_train_rate
+    );
+
+    let single = infer_rows
+        .iter()
+        .find(|&&(t, _)| t == 1)
+        .map_or(0.0, |&(_, r)| r);
+    let best = infer_rows.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+    println!(
+        "ml throughput: inference {:.2}x single-threaded, {:.2}x at best pool size; \
+         training {:.2}x (GEMM backend vs reference loops)",
+        single / ref_rate,
+        best / ref_rate,
+        fast_train_rate / ref_train_rate
+    );
+
+    // Hand-rolled JSON (the workspace's serde is a vendored no-op shim).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"ml_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"model\": {{ \"k\": {K}, \"cols\": {COLS}, \"classes\": {CLASSES} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"load\": {{ \"samples\": {samples}, \"train_samples\": {train_n}, \"epochs\": {epochs}, \"reps\": {reps} }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(
+        json,
+        "  \"train\": {{ \"reference_samples_per_sec\": {ref_train_rate:.1}, \
+         \"fast_samples_per_sec\": {fast_train_rate:.1}, \"speedup\": {:.3} }},",
+        fast_train_rate / ref_train_rate
+    );
+    let _ = writeln!(
+        json,
+        "  \"infer_reference\": {{ \"threads\": 1, \"samples_per_sec\": {ref_rate:.1} }},"
+    );
+    let _ = writeln!(json, "  \"infer_fast\": [");
+    for (i, (t, rate)) in infer_rows.iter().enumerate() {
+        let comma = if i + 1 < infer_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"threads\": {t}, \"samples_per_sec\": {rate:.1}, \
+             \"speedup_vs_reference\": {:.3} }}{comma}",
+            rate / ref_rate
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

@@ -53,7 +53,7 @@ fn main() {
         let mut cfg = config.clone();
         cfg.community_model = kind;
         let pipeline = LocecPipeline::new(cfg);
-        let (mut classifier, _) = pipeline.aggregate_only(&data, &division, &train);
+        let (classifier, _) = pipeline.aggregate_only(&data, &division, &train);
         let eval = classifier.evaluate_on(&data, &division, &test, &pipeline.config);
         print_evaluation(label, &eval);
         results.push((label, eval.overall.f1));

@@ -14,15 +14,37 @@
 //!   members, then a 1×1 convolution and global max pooling.
 //!
 //! The concatenation feeds two fully connected layers and a softmax.
+//!
+//! Inference is immutable: the layer stacks compute through
+//! `forward(&self, …, &mut Scratch)`, so a trained network is shared
+//! across `WorkerPool` threads and [`CommCnn::predict_proba_batch`] fans
+//! batches out with one scratch arena per chunk. Training keeps the
+//! `&mut self` path that caches activations for backward.
 
+use locec_ml::kernel;
 use locec_ml::nn::{
     Adam, Conv2d, Dense, Flatten, GlobalMaxPool2d, Layer, MaxPool2d, Model, Relu, Sequential,
     SoftmaxCrossEntropy,
 };
-use locec_ml::Tensor;
+use locec_ml::{Scratch, Tensor};
+use locec_runtime::WorkerPool;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::cell::RefCell;
+
+/// Samples per worker-pool chunk during batch inference. Fixed (not derived
+/// from the thread count) so the chunk layout — and therefore every
+/// semantic `ml.*` counter — is identical at any pool size. Kept well
+/// under [`INFER_BATCH`]: a chunk is one GEMM batch either way (every
+/// output element's fold is independent of its neighbours, so the batch
+/// split never changes results), and smaller chunks keep per-thread
+/// working sets cache-friendly when the pool is oversubscribed.
+const INFER_GRAIN: usize = 32;
+
+/// Upper bound on the NCHW batch assembled at once inside a chunk, keeping
+/// peak activation memory flat for large divisions.
+const INFER_BATCH: usize = 128;
 
 /// Hyper-parameters of [`CommCnn`].
 #[derive(Clone, Debug)]
@@ -183,26 +205,59 @@ impl CommCnn {
         batch
     }
 
-    /// Forward pass producing `(N, num_classes)` logits.
-    fn forward(&mut self, batch: &Tensor, train: bool) -> Tensor {
-        let sq = self.square.forward(batch, train);
-        let wd = self.wide.forward(batch, train);
-        let lg = self.long.forward(batch, train);
+    /// Immutable forward pass producing `(N, num_classes)` logits.
+    ///
+    /// Shape errors are unreachable here: `batch_tensor` already asserted
+    /// the input geometry, so any `MlError` would be a construction bug.
+    fn forward_frozen(&self, batch: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let sq = self.square.forward(batch, scratch).expect("square branch");
+        let wd = self.wide.forward(batch, scratch).expect("wide branch");
+        let lg = self.long.forward(batch, scratch).expect("long branch");
         let concat = concat_cols(&[&sq, &wd, &lg]);
-        self.head.forward(&concat, train)
+        self.head.forward(&concat, scratch).expect("head")
+    }
+
+    /// Training-mode forward pass (caches activations for backward).
+    fn forward_train(&mut self, batch: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let sq = self
+            .square
+            .forward_train(batch, scratch)
+            .expect("square branch");
+        let wd = self
+            .wide
+            .forward_train(batch, scratch)
+            .expect("wide branch");
+        let lg = self
+            .long
+            .forward_train(batch, scratch)
+            .expect("long branch");
+        let concat = concat_cols(&[&sq, &wd, &lg]);
+        self.head.forward_train(&concat, scratch).expect("head")
     }
 
     /// Backward pass from logit gradients.
-    fn backward(&mut self, grad_logits: &Tensor) {
-        let grad_concat = self.head.backward(grad_logits);
+    fn backward(&mut self, grad_logits: &Tensor, scratch: &mut Scratch) {
+        let grad_concat = self
+            .head
+            .backward(grad_logits, scratch)
+            .expect("head backward");
         let parts = split_cols(
             &grad_concat,
             &[self.square_dim, self.branch_dim, self.branch_dim],
         );
         // Input gradients are discarded (input is data, not parameters).
-        let _ = self.square.backward(&parts[0]);
-        let _ = self.wide.backward(&parts[1]);
-        let _ = self.long.backward(&parts[2]);
+        let _ = self
+            .square
+            .backward(&parts[0], scratch)
+            .expect("square backward");
+        let _ = self
+            .wide
+            .backward(&parts[1], scratch)
+            .expect("wide backward");
+        let _ = self
+            .long
+            .backward(&parts[2], scratch)
+            .expect("long backward");
     }
 
     /// Trains on feature matrices with labels; returns the final epoch's
@@ -214,6 +269,7 @@ impl CommCnn {
         let mut opt = Adam::new(self.config.learning_rate);
         let mut order: Vec<usize> = (0..matrices.len()).collect();
         let bs = self.config.batch_size.max(1);
+        let mut scratch = Scratch::new();
 
         let mut epoch_loss = f32::INFINITY;
         for _ in 0..self.config.epochs {
@@ -226,11 +282,12 @@ impl CommCnn {
                 let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
 
                 self.zero_grad();
-                let logits = self.forward(&batch, true);
-                let (loss, probs) = SoftmaxCrossEntropy::loss(&logits, &y);
-                let grad = SoftmaxCrossEntropy::grad(&probs, &y);
-                self.backward(&grad);
+                let logits = self.forward_train(&batch, &mut scratch);
+                let (loss, probs) = SoftmaxCrossEntropy::loss(&logits, &y).expect("loss");
+                let grad = SoftmaxCrossEntropy::grad(&probs, &y).expect("loss grad");
+                self.backward(&grad, &mut scratch);
                 opt.step(self);
+                kernel::record_train_samples(chunk.len());
 
                 total += loss;
                 batches += 1;
@@ -245,23 +302,59 @@ impl CommCnn {
 
     /// Class-probability vector `r_C` for one feature matrix (paper §IV-C:
     /// `r_C = [P(C, l) ∀ l ∈ L]`).
-    pub fn predict_proba(&mut self, matrix: &Tensor) -> Vec<f32> {
-        self.predict_proba_batch(&[matrix]).pop().expect("one row")
+    pub fn predict_proba(&self, matrix: &Tensor) -> Vec<f32> {
+        let mut scratch = Scratch::new();
+        self.predict_proba_chunk(&[matrix], &mut scratch)
+            .pop()
+            .expect("one row")
     }
 
-    /// Class-probability vectors for a batch of feature matrices.
-    pub fn predict_proba_batch(&mut self, matrices: &[&Tensor]) -> Vec<Vec<f32>> {
+    /// Class-probability vectors for a batch of feature matrices, fanned
+    /// out over the global [`WorkerPool`] with `threads` degree of
+    /// parallelism and one thread-local [`Scratch`] arena per worker
+    /// (buffer contents never leak into results — every use resizes and
+    /// overwrites — so reuse across chunks is free throughput).
+    ///
+    /// Chunk boundaries depend only on the input length and
+    /// [`INFER_GRAIN`], never on `threads`, so the output (and every
+    /// semantic `ml.*` counter) is bitwise identical at any pool size.
+    pub fn predict_proba_batch(&self, matrices: &[&Tensor], threads: usize) -> Vec<Vec<f32>> {
+        thread_local! {
+            static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+        }
         if matrices.is_empty() {
             return Vec::new();
         }
-        let batch = self.batch_tensor(matrices);
-        let logits = self.forward(&batch, false);
-        let probs = SoftmaxCrossEntropy::softmax(&logits);
-        (0..matrices.len()).map(|i| probs.row(i).to_vec()).collect()
+        let chunks =
+            WorkerPool::global().run_chunked(matrices.len(), threads, INFER_GRAIN, |range| {
+                SCRATCH.with(|s| {
+                    self.predict_proba_chunk(&matrices[range.start..range.end], &mut s.borrow_mut())
+                })
+            });
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Class-probability vectors for one worker's chunk, reusing the
+    /// caller's scratch arena. Sub-batches at [`INFER_BATCH`] samples to
+    /// bound peak activation memory.
+    pub fn predict_proba_chunk(
+        &self,
+        matrices: &[&Tensor],
+        scratch: &mut Scratch,
+    ) -> Vec<Vec<f32>> {
+        let mut rows = Vec::with_capacity(matrices.len());
+        for sub in matrices.chunks(INFER_BATCH) {
+            let batch = self.batch_tensor(sub);
+            let logits = self.forward_frozen(&batch, scratch);
+            let probs = SoftmaxCrossEntropy::softmax(&logits).expect("softmax");
+            rows.extend((0..sub.len()).map(|i| probs.row(i).to_vec()));
+        }
+        kernel::record_infer_samples(matrices.len());
+        rows
     }
 
     /// Most likely class for one feature matrix.
-    pub fn predict(&mut self, matrix: &Tensor) -> usize {
+    pub fn predict(&self, matrix: &Tensor) -> usize {
         locec_ml::linear::argmax(&self.predict_proba(matrix))
     }
 }
@@ -343,16 +436,34 @@ mod tests {
 
     #[test]
     fn shapes_are_consistent() {
-        let mut cnn = CommCnn::new(K, COLS, 3, &CommCnnConfig::fast());
+        let cnn = CommCnn::new(K, COLS, 3, &CommCnnConfig::fast());
         assert_eq!(cnn.input_shape(), (K, COLS));
         let (xs, _) = toy_matrices(2, 0);
         let refs: Vec<&Tensor> = xs.iter().collect();
-        let probs = cnn.predict_proba_batch(&refs);
+        let probs = cnn.predict_proba_batch(&refs, 1);
         assert_eq!(probs.len(), 6);
         for p in probs {
             assert_eq!(p.len(), 3);
             assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn batch_inference_is_thread_count_invariant() {
+        // 100 per class = 300 matrices: several INFER_GRAIN chunks, so the
+        // pool genuinely splits the work at every thread count.
+        let (xs, ys) = toy_matrices(100, 7);
+        // A couple of epochs is enough to move weights off their init.
+        let mut cfg = CommCnnConfig::fast();
+        cfg.epochs = 2;
+        let mut cnn = CommCnn::new(K, COLS, 3, &cfg);
+        cnn.train(&xs, &ys);
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let p1 = cnn.predict_proba_batch(&refs, 1);
+        let p2 = cnn.predict_proba_batch(&refs, 2);
+        let p8 = cnn.predict_proba_batch(&refs, 8);
+        assert_eq!(p1, p2, "threads=1 vs threads=2");
+        assert_eq!(p1, p8, "threads=1 vs threads=8");
     }
 
     #[test]
@@ -381,6 +492,18 @@ mod tests {
         c1.train(&xs, &ys);
         c2.train(&xs, &ys);
         assert_eq!(c1.predict_proba(&xs[0]), c2.predict_proba(&xs[0]));
+        // Frozen inference must agree with what training-mode forward saw.
+        let logits_frozen = {
+            let mut s = Scratch::new();
+            let batch = c1.batch_tensor(&[&xs[0]]);
+            c1.forward_frozen(&batch, &mut s)
+        };
+        let logits_train = {
+            let mut s = Scratch::new();
+            let batch = c1.batch_tensor(&[&xs[0]]);
+            c1.forward_train(&batch, &mut s)
+        };
+        assert_eq!(logits_frozen.data(), logits_train.data());
     }
 
     #[test]
@@ -405,7 +528,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "feature matrix shape")]
     fn rejects_wrong_input_shape() {
-        let mut cnn = CommCnn::new(K, COLS, 3, &CommCnnConfig::fast());
+        let cnn = CommCnn::new(K, COLS, 3, &CommCnnConfig::fast());
         let bad = Tensor::zeros(&[K + 1, COLS]);
         let _ = cnn.predict_proba(&bad);
     }

@@ -16,7 +16,7 @@ use crate::phase1::DivisionResult;
 use locec_ml::gbdt::Gbdt;
 use locec_ml::linear::argmax;
 use locec_ml::metrics::{evaluate, Evaluation};
-use locec_ml::{Dataset, Tensor};
+use locec_ml::{Dataset, Scratch, Tensor};
 use locec_runtime::WorkerPool;
 use locec_synth::types::RelationType;
 use locec_synth::SocialDataset;
@@ -159,7 +159,7 @@ impl CommunityClassifier {
 
     /// Computes `r_C` (embedding + probabilities) for every community.
     pub fn predict_all(
-        &mut self,
+        &self,
         data: &SocialDataset<'_>,
         division: &DivisionResult,
         config: &LocecConfig,
@@ -171,7 +171,6 @@ impl CommunityClassifier {
             CommunityClassifier::Xgb(model) => {
                 // Feature building and tree inference are both pure, so the
                 // whole per-community pipeline runs fused on the pool.
-                let model: &Gbdt = model;
                 let threads = config.threads.max(1);
                 let chunks: Vec<Vec<(Vec<f32>, Vec<f32>)>> =
                     WorkerPool::global().run_chunked(n, threads, FEATURE_GRAIN, |range| {
@@ -193,24 +192,35 @@ impl CommunityClassifier {
                 }
             }
             CommunityClassifier::Cnn(cnn) => {
-                // Feature matrices build in parallel slabs; inference stays
-                // on the submitting thread (the network is `&mut`) in
-                // batches that keep tensor churn bounded.
-                const BATCH: usize = 128;
-                const SLAB: usize = 2048;
-                let mut start = 0usize;
-                while start < n {
-                    let end = (start + SLAB).min(n);
-                    let ids: Vec<u32> = (start as u32..end as u32).collect();
-                    let matrices = feature_matrices(data, division, &ids, config);
-                    for chunk in matrices.chunks(BATCH) {
-                        let refs: Vec<&Tensor> = chunk.iter().collect();
-                        for p in cnn.predict_proba_batch(&refs) {
-                            embeddings.push(p.clone());
-                            probabilities.push(p);
-                        }
-                    }
-                    start = end;
+                // The frozen forward pass is `&self`, so feature building
+                // and CommCNN inference run fused per chunk on the pool,
+                // each chunk with its own scratch arena. Chunk boundaries
+                // depend only on (n, FEATURE_GRAIN), keeping the output —
+                // and the `ml.*` counters — thread-count invariant.
+                let cnn: &CommCnn = cnn;
+                let threads = config.threads.max(1);
+                let chunks: Vec<Vec<Vec<f32>>> =
+                    WorkerPool::global().run_chunked(n, threads, FEATURE_GRAIN, |range| {
+                        let matrices: Vec<Tensor> = range
+                            .map(|i| {
+                                community_feature_matrix_ordered(
+                                    data.graph,
+                                    data.interactions,
+                                    data.user_features,
+                                    &division.communities[i],
+                                    config.k,
+                                    config.row_order,
+                                    config.seed,
+                                )
+                            })
+                            .collect();
+                        let refs: Vec<&Tensor> = matrices.iter().collect();
+                        let mut scratch = Scratch::new();
+                        cnn.predict_proba_chunk(&refs, &mut scratch)
+                    });
+                for p in chunks.into_iter().flatten() {
+                    embeddings.push(p.clone());
+                    probabilities.push(p);
                 }
             }
         }
@@ -225,7 +235,7 @@ impl CommunityClassifier {
     /// Evaluates community classification on held-out labeled communities
     /// (Table V).
     pub fn evaluate_on(
-        &mut self,
+        &self,
         data: &SocialDataset<'_>,
         division: &DivisionResult,
         test: &[(u32, RelationType)],
@@ -296,7 +306,7 @@ mod tests {
         let labeled = labeled_communities(&scenario, &division, &config);
         assert!(labeled.len() >= 10, "only {} labeled", labeled.len());
         let ds = scenario.dataset();
-        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+        let model = CommunityClassifier::train(&ds, &division, &labeled, &config);
         let agg = model.predict_all(&ds, &division, &config);
         assert_eq!(agg.probabilities.len(), division.num_communities());
         assert_eq!(agg.embeddings.len(), division.num_communities());
@@ -313,7 +323,7 @@ mod tests {
         config.commcnn.epochs = 8; // keep the unit test quick
         let labeled = labeled_communities(&scenario, &division, &config);
         let ds = scenario.dataset();
-        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+        let model = CommunityClassifier::train(&ds, &division, &labeled, &config);
         let agg = model.predict_all(&ds, &division, &config);
         assert_eq!(agg.probabilities.len(), division.num_communities());
         assert_eq!(agg.embedding_dim, RelationType::COUNT);
@@ -327,7 +337,7 @@ mod tests {
         config.community_model = CommunityModelKind::Xgb;
         let labeled = labeled_communities(&scenario, &division, &config);
         let ds = scenario.dataset();
-        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+        let model = CommunityClassifier::train(&ds, &division, &labeled, &config);
         let eval = model.evaluate_on(&ds, &division, &labeled, &config);
         assert!(
             eval.accuracy > 0.8,
@@ -339,19 +349,25 @@ mod tests {
     #[test]
     fn predict_all_is_thread_count_invariant() {
         let (scenario, division, mut config) = setup();
-        config.community_model = CommunityModelKind::Xgb;
         let labeled = labeled_communities(&scenario, &division, &config);
         let ds = scenario.dataset();
-        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
-        let base = model.predict_all(&ds, &division, &config);
-        for threads in [1usize, 4, 8] {
-            let cfg = LocecConfig {
-                threads,
-                ..config.clone()
-            };
-            let agg = model.predict_all(&ds, &division, &cfg);
-            assert_eq!(agg.embeddings, base.embeddings, "{threads} threads");
-            assert_eq!(agg.probabilities, base.probabilities);
+        for kind in [CommunityModelKind::Xgb, CommunityModelKind::Cnn] {
+            config.community_model = kind;
+            config.commcnn.epochs = 4; // keep the unit test quick
+            let model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+            let base = model.predict_all(&ds, &division, &config);
+            for threads in [1usize, 2, 4, 8] {
+                let cfg = LocecConfig {
+                    threads,
+                    ..config.clone()
+                };
+                let agg = model.predict_all(&ds, &division, &cfg);
+                assert_eq!(
+                    agg.embeddings, base.embeddings,
+                    "{kind:?} {threads} threads"
+                );
+                assert_eq!(agg.probabilities, base.probabilities);
+            }
         }
     }
 

@@ -120,8 +120,7 @@ impl LocecPipeline {
         let t1 = Instant::now();
         let (community_train, community_test) =
             split_communities(&labeled_communities, 0.8, self.config.seed);
-        let mut classifier =
-            CommunityClassifier::train(data, division, &community_train, &self.config);
+        let classifier = CommunityClassifier::train(data, division, &community_train, &self.config);
         let training_time = t1.elapsed();
         recorder.histogram("phase2.training_nanos").record_since(t1);
 
@@ -176,7 +175,7 @@ impl LocecPipeline {
         division: &DivisionResult,
         labeled: &[(u32, RelationType)],
     ) -> (CommunityClassifier, AggregationResult) {
-        let mut classifier = CommunityClassifier::train(data, division, labeled, &self.config);
+        let classifier = CommunityClassifier::train(data, division, labeled, &self.config);
         let agg = classifier.predict_all(data, division, &self.config);
         (classifier, agg)
     }

@@ -75,6 +75,8 @@ impl LintConfig {
                 "crates/cluster/src/",
                 "crates/obs/src/",
                 "crates/graph/src/delta.rs",
+                "crates/ml/src/kernel/",
+                "crates/ml/src/nn/",
             ]),
             magic_literals: vec![
                 MagicLiteral {

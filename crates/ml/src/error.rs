@@ -1,0 +1,68 @@
+//! Typed errors for the math-kernel and layer APIs.
+//!
+//! The kernel and `nn` modules sit in the workspace lint's R2 panic-freedom
+//! scope: data-dependent failures (a mis-shaped input tensor, a backward
+//! call with no cached activations) surface as [`MlError`] values instead of
+//! asserts, so a caller feeding untrusted shapes gets an error it can
+//! handle. Programmer-error invariants that no input can trigger (layer
+//! constructor arguments) remain debug-style assertions at construction
+//! time.
+
+use std::fmt;
+
+/// Everything that can go wrong inside the kernel / layer stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MlError {
+    /// An input tensor's shape does not match what the operation expects.
+    ShapeMismatch {
+        /// The operation that rejected the input (`"conv2d_forward"`, …).
+        op: &'static str,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// `backward` was called without a preceding `forward_train`, so the
+    /// layer has no cached activations to differentiate through.
+    BackwardWithoutForward {
+        /// The layer that was asked to run backward (`"Conv2d"`, …).
+        layer: &'static str,
+    },
+}
+
+impl MlError {
+    /// Convenience constructor for shape mismatches.
+    pub fn shape(op: &'static str, detail: impl Into<String>) -> Self {
+        MlError::ShapeMismatch {
+            op,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::ShapeMismatch { op, detail } => {
+                write!(f, "{op}: shape mismatch: {detail}")
+            }
+            MlError::BackwardWithoutForward { layer } => {
+                write!(f, "{layer}: backward without a training-mode forward")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MlError::shape("conv2d_forward", "expected NCHW, got [2, 3]");
+        assert!(e.to_string().contains("conv2d_forward"));
+        assert!(e.to_string().contains("[2, 3]"));
+        let b = MlError::BackwardWithoutForward { layer: "Dense" };
+        assert!(b.to_string().contains("Dense"));
+    }
+}

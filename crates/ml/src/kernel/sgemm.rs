@@ -1,0 +1,294 @@
+//! Blocked f32 GEMM: `C += A · B` with packed A panels and an MR×NR
+//! register micro-kernel.
+//!
+//! # Blocking scheme
+//!
+//! * **A is packed** into strips of [`MR`] rows, transposed so the
+//!   micro-kernel reads `MR` values per `k`-step from one contiguous
+//!   cache line (`pack[strip][p·MR + i] = A[i₀+i][p]`). Ragged strips are
+//!   zero-padded; the padded rows produce all-zero accumulators that are
+//!   never written back.
+//! * **B is packed per column block when A has more than one strip**: the
+//!   `n` axis is walked in [`NC`]-wide blocks, and each block's full
+//!   [`NR`]-column panels are repacked k-major
+//!   (`bpack[panel][p·NR + j] = B[p][jt+j]`) so the micro-kernel streams
+//!   one contiguous cache line per `k`-step. Without this, a wide `B`
+//!   (im2col of a whole batch has `n = N·oh·ow` in the thousands) strides
+//!   `4n` bytes between `k`-steps and every A strip re-walks all of it;
+//!   packed, each block is touched once and stays cache-resident across
+//!   strips. With a single strip there is no reuse to buy, so packing
+//!   would be pure overhead — those GEMMs (e.g. the input-gradient GEMM,
+//!   `m = c_in`) read B in place. Ragged right-edge columns are always
+//!   read in place.
+//! * **No k-blocking.** Each output element is one flat left-fold over the
+//!   *entire* `k` dimension, in ascending order, starting from the value
+//!   already in `C`. Splitting `k` into cache panels would re-associate
+//!   the floating-point sum and break the bit-exactness contract with
+//!   [`super::reference`] (see the module docs of [`crate::kernel`]). The
+//!   CommCNN workload keeps `k ≤ c_in·kh·kw` or `k ≤` batch size — at most
+//!   a few hundred — so every A panel fits in L1/L2 anyway and k-blocking
+//!   would buy nothing.
+//!
+//! The micro-kernel is plain safe Rust (the workspace confines `unsafe` to
+//! `crates/runtime`): fixed-size local arrays keep the MR×NR accumulator
+//! block in vector registers, and slice-to-array copies give LLVM
+//! bounds-check-free, vectorizable inner loops.
+
+/// Rows per packed A strip (register-block height).
+pub const MR: usize = 4;
+/// Columns per B tile (register-block width).
+pub const NR: usize = 16;
+/// Columns per packed B block (cache-block width, a multiple of [`NR`]):
+/// a `k×NC` block at the workload's largest `k` (~100s) stays within L2.
+pub const NC: usize = 256;
+
+/// `C += A · B` for row-major slices: `A` is `m×k`, `B` is `k×n`, `C` is
+/// `m×n`. `pack` is the caller's reusable packing buffer (grown on demand,
+/// contents overwritten).
+///
+/// Accumulation per element is a single left-fold over `k` in ascending
+/// order seeded with the existing `C` value — callers preload `C` with the
+/// bias (forward) or the running gradient (backward) to fold initialization
+/// into the kernel without an extra pass.
+pub fn sgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    pack: &mut Vec<f32>,
+) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // A panels at the front of `pack`; the current B block after them when
+    // packing B pays for itself (more than one strip to reuse it).
+    let strips = m.div_ceil(MR);
+    let a_len = strips * MR * k;
+    let pack_b = strips > 1;
+    let bpack_cols = if pack_b {
+        NC.min(n.div_ceil(NR) * NR)
+    } else {
+        0
+    };
+    pack_a(m, k, a, pack);
+    pack.resize(a_len + k * bpack_cols, 0.0);
+    let (apack, bpack) = pack.split_at_mut(a_len);
+
+    let mut jc = 0;
+    while jc < n {
+        let nb = NC.min(n - jc);
+        let nb_full = nb - nb % NR;
+
+        if pack_b {
+            // Pack this block's full NR panels k-major, once, reused by
+            // every A strip below.
+            for t in 0..nb_full / NR {
+                let jt = jc + t * NR;
+                for p in 0..k {
+                    bpack[(t * k + p) * NR..(t * k + p + 1) * NR]
+                        .copy_from_slice(&b[p * n + jt..p * n + jt + NR]);
+                }
+            }
+        }
+
+        for (s, a_strip) in apack.chunks_exact(MR * k).enumerate() {
+            let i0 = s * MR;
+            let rows = MR.min(m - i0);
+
+            for t in 0..nb_full / NR {
+                let jt = jc + t * NR;
+                // Load the C block, run the k-fold in registers, store back.
+                let mut acc = [[0.0f32; NR]; MR];
+                for (i, row) in acc.iter_mut().enumerate().take(rows) {
+                    row.copy_from_slice(&c[(i0 + i) * n + jt..(i0 + i) * n + jt + NR]);
+                }
+                if pack_b {
+                    micro_tile_packed(a_strip, &bpack[t * k * NR..(t * k + k) * NR], &mut acc);
+                } else {
+                    micro_tile_strided(a_strip, &b[jt..], n, &mut acc);
+                }
+                for (i, row) in acc.iter().enumerate().take(rows) {
+                    c[(i0 + i) * n + jt..(i0 + i) * n + jt + NR].copy_from_slice(row);
+                }
+            }
+
+            // Ragged right edge of the block: scalar folds straight from B,
+            // same ascending-k order.
+            for j in jc + nb_full..jc + nb {
+                for i in 0..rows {
+                    let mut acc = c[(i0 + i) * n + j];
+                    for p in 0..k {
+                        acc += a_strip[p * MR + i] * b[p * n + j];
+                    }
+                    c[(i0 + i) * n + j] = acc;
+                }
+            }
+        }
+        jc += nb;
+    }
+}
+
+/// Rank-1 update of the MR×NR accumulator block for one `k`-step.
+#[inline(always)]
+fn rank1(ap: &[f32], bv: &[f32; NR], acc: &mut [[f32; NR]; MR]) {
+    let mut av = [0.0f32; MR];
+    av.copy_from_slice(ap);
+    for (row, &ai) in acc.iter_mut().zip(&av) {
+        for (cv, &bj) in row.iter_mut().zip(bv) {
+            *cv += ai * bj;
+        }
+    }
+}
+
+/// The register micro-kernel over a packed B panel: both operands stream
+/// contiguously, so the whole k-loop is bounds-check free (`chunks_exact`
+/// on both sides). Strictly ascending `k`.
+#[inline]
+fn micro_tile_packed(a_strip: &[f32], panel: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (ap, bp) in a_strip.chunks_exact(MR).zip(panel.chunks_exact(NR)) {
+        let mut bv = [0.0f32; NR];
+        bv.copy_from_slice(bp);
+        rank1(ap, &bv, acc);
+    }
+}
+
+/// The register micro-kernel reading B in place: NR values per `k`-step at
+/// `b_tile[p·n..]`. Used when A has a single strip and packing B would buy
+/// no reuse. Strictly ascending `k`.
+#[inline]
+fn micro_tile_strided(a_strip: &[f32], b_tile: &[f32], n: usize, acc: &mut [[f32; NR]; MR]) {
+    for (p, ap) in a_strip.chunks_exact(MR).enumerate() {
+        let mut bv = [0.0f32; NR];
+        bv.copy_from_slice(&b_tile[p * n..p * n + NR]);
+        rank1(ap, &bv, acc);
+    }
+}
+
+/// Packs A into zero-padded MR-row strips, k-major within a strip.
+fn pack_a(m: usize, k: usize, a: &[f32], pack: &mut Vec<f32>) {
+    let strips = m.div_ceil(MR);
+    pack.clear();
+    pack.resize(strips * MR * k, 0.0);
+    for (s, dst) in pack.chunks_exact_mut(MR * k).enumerate() {
+        let rows = MR.min(m - s * MR);
+        // `resize` only zeroes freshly grown tail; ragged strips must not
+        // inherit stale values from a previous, larger call.
+        if rows < MR {
+            dst.fill(0.0);
+        }
+        for i in 0..rows {
+            let src = &a[(s * MR + i) * k..(s * MR + i + 1) * k];
+            for (p, &v) in src.iter().enumerate() {
+                dst[p * MR + i] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The textbook triple loop, k ascending — the fold `sgemm` must match
+    /// bit for bit.
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = c[i * n + j];
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+    }
+
+    fn pseudo(seed: &mut u64) -> f32 {
+        // Deterministic splitmix-style values in roughly [-2, 2).
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((*seed >> 33) as u32) as f32 / u32::MAX as f32) * 4.0 - 2.0
+    }
+
+    fn check(m: usize, n: usize, k: usize) {
+        let mut s = (m * 131 + n * 17 + k + 1) as u64;
+        let a: Vec<f32> = (0..m * k).map(|_| pseudo(&mut s)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| pseudo(&mut s)).collect();
+        let c0: Vec<f32> = (0..m * n).map(|_| pseudo(&mut s)).collect();
+
+        let mut fast = c0.clone();
+        let mut pack = Vec::new();
+        sgemm(m, n, k, &a, &b, &mut fast, &mut pack);
+        let mut slow = c0;
+        naive(m, n, k, &a, &b, &mut slow);
+        for (i, (x, y)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "({m}×{k}·{k}×{n}) diverged at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_bitwise_across_shapes() {
+        // Multiples of the block, ragged edges, degenerate dims, m=1 rows.
+        for &(m, n, k) in &[
+            (4, 16, 8),
+            (8, 32, 4),
+            (5, 17, 9),
+            (3, 1, 7),
+            (1, 40, 3),
+            (13, 19, 1),
+            (2, 15, 21),
+            (24, 480, 108),
+            (1, 3, 736),
+            (7, 33, 64),
+        ] {
+            check(m, n, k);
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_are_noops() {
+        let mut pack = Vec::new();
+        let mut c = vec![1.5f32; 6];
+        sgemm(0, 3, 4, &[], &[0.0; 12], &mut [], &mut pack);
+        sgemm(2, 3, 0, &[], &[], &mut c, &mut pack);
+        assert!(c.iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn accumulates_on_top_of_c() {
+        // C preloaded with bias must end at bias + A·B.
+        let a = [1.0f32, 2.0];
+        let b = [10.0f32, 100.0];
+        let mut c = [0.5f32, 0.25];
+        let mut pack = Vec::new();
+        sgemm(2, 1, 1, &a, &b[..1], &mut c, &mut pack);
+        assert_eq!(c, [10.5, 20.25]);
+    }
+
+    #[test]
+    fn stale_pack_buffer_is_harmless() {
+        // A large call followed by a small ragged one must not leak padding.
+        let mut pack = Vec::new();
+        let a: Vec<f32> = (0..6 * 4).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..4 * 4).map(|i| (i as f32) * 0.5).collect();
+        let mut c = vec![0.0f32; 6 * 4];
+        sgemm(6, 4, 4, &a, &b, &mut c, &mut pack);
+        check(3, 2, 2); // ragged strip, reuses nothing but proves shape
+        let a2 = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b2 = [1.0f32, 0.0, 0.0, 1.0];
+        let mut c2 = vec![0.0f32; 3 * 2];
+        sgemm(3, 2, 2, &a2, &b2, &mut c2, &mut pack);
+        assert_eq!(c2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+}

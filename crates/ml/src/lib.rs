@@ -17,12 +17,20 @@
 //!   [`linear`];
 //! * **matrix factorization** for the Economix baseline — [`mf`].
 //!
+//! The [`nn`] layers compute through the [`kernel`] module — a blocked,
+//! cache-tiled GEMM with im2col lowering for convolution, plus the
+//! preserved naive loops as [`kernel::reference`]; the two backends are
+//! bit-identical for finite data (see the kernel docs). Data-dependent
+//! failures surface as typed [`MlError`]s rather than panics.
+//!
 //! Shared infrastructure: [`minhash`] (ProbWP's structural similarity),
 //! [`metrics`] (precision/recall/F1, the paper's evaluation metric), and
 //! [`data`] (datasets, splits, shuffling).
 
 pub mod data;
+pub mod error;
 pub mod gbdt;
+pub mod kernel;
 pub mod linear;
 pub mod metrics;
 pub mod mf;
@@ -31,7 +39,9 @@ pub mod nn;
 pub mod tensor;
 
 pub use data::Dataset;
+pub use error::MlError;
 pub use gbdt::{Gbdt, GbdtConfig};
+pub use kernel::{Backend, Scratch};
 pub use linear::{LogisticRegression, LogisticRegressionConfig};
 pub use metrics::{evaluate, ClassMetrics, Evaluation};
 pub use mf::{MatrixFactorization, MfConfig};

@@ -1,6 +1,8 @@
 //! Activation layers.
 
 use super::Layer;
+use crate::error::MlError;
+use crate::kernel::Scratch;
 use crate::tensor::Tensor;
 
 /// Rectified linear unit, applied element-wise.
@@ -13,6 +15,17 @@ impl Relu {
     pub fn new() -> Self {
         Relu { mask: None }
     }
+
+    fn clamp(input: &Tensor) -> Tensor {
+        // One pass: build the clamped buffer directly instead of cloning
+        // (a full memcpy) and then rewriting it.
+        let data = input
+            .data()
+            .iter()
+            .map(|&v| if v < 0.0 { 0.0 } else { v })
+            .collect();
+        Tensor::from_vec(input.shape(), data)
+    }
 }
 
 impl Default for Relu {
@@ -22,29 +35,27 @@ impl Default for Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut out = input.clone();
-        if train {
-            let mask: Vec<bool> = input.data().iter().map(|&v| v > 0.0).collect();
-            self.mask = Some(mask);
-        }
-        out.data_mut().iter_mut().for_each(|v| {
-            if *v < 0.0 {
-                *v = 0.0;
-            }
-        });
-        out
+    fn forward(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        Ok(Self::clamp(input))
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.take().expect("backward without training forward");
+    fn forward_train(&mut self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        Ok(Self::clamp(input))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or(MlError::BackwardWithoutForward { layer: "Relu" })?;
         let mut g = grad_out.clone();
         for (v, &keep) in g.data_mut().iter_mut().zip(&mask) {
             if !keep {
                 *v = 0.0;
             }
         }
-        g
+        Ok(g)
     }
 }
 
@@ -54,25 +65,38 @@ mod tests {
 
     #[test]
     fn clamps_negatives() {
-        let mut relu = Relu::new();
+        let relu = Relu::new();
         let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
-        let y = relu.forward(&x, false);
+        let y = relu.forward(&x, &mut Scratch::new()).unwrap();
         assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
     }
 
     #[test]
     fn gradient_masks_negatives_and_zero() {
         let mut relu = Relu::new();
+        let mut s = Scratch::new();
         let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.0, 2.0, 5.0]);
-        let _ = relu.forward(&x, true);
-        let g = relu.backward(&Tensor::full(&[1, 4], 1.0));
+        let _ = relu.forward_train(&x, &mut s).unwrap();
+        let g = relu.backward(&Tensor::full(&[1, 4], 1.0), &mut s).unwrap();
         assert_eq!(g.data(), &[0.0, 0.0, 1.0, 1.0]);
     }
 
     #[test]
     fn preserves_shape() {
-        let mut relu = Relu::new();
+        let relu = Relu::new();
         let x = Tensor::zeros(&[2, 3, 4, 5]);
-        assert_eq!(relu.forward(&x, false).shape(), &[2, 3, 4, 5]);
+        assert_eq!(
+            relu.forward(&x, &mut Scratch::new()).unwrap().shape(),
+            &[2, 3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn backward_requires_training_forward() {
+        let mut relu = Relu::new();
+        let e = relu
+            .backward(&Tensor::zeros(&[1, 2]), &mut Scratch::new())
+            .unwrap_err();
+        assert_eq!(e, MlError::BackwardWithoutForward { layer: "Relu" });
     }
 }

@@ -5,8 +5,14 @@
 //! reads one member's whole feature row, the k×1 "long" kernel that reads
 //! one feature across all members, and 1×1 kernels after the wide/long
 //! branches. All are stride-1 instances of this layer.
+//!
+//! The compute lives in [`crate::kernel`]: the default backend lowers each
+//! sample with im2col and runs the blocked GEMM; `kernel::reference` keeps
+//! the original loop nests, bit-identical to the fast path.
 
 use super::{he_normal, Layer};
+use crate::error::MlError;
+use crate::kernel::{self, ConvGeom, Scratch};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -72,131 +78,74 @@ impl Conv2d {
         let ow = w + 2 * self.pad_w + 1 - self.kw;
         (oh, ow)
     }
+
+    fn geom(&self, op: &'static str, input: &Tensor) -> Result<ConvGeom, MlError> {
+        ConvGeom::validate(
+            op,
+            input.shape(),
+            self.c_in,
+            self.c_out,
+            self.kh,
+            self.kw,
+            self.pad_h,
+            self.pad_w,
+        )
+    }
+
+    fn run_forward(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let g = self.geom("conv2d_forward", input)?;
+        let mut out = Tensor::zeros(&[g.n, g.c_out, g.oh, g.ow]);
+        kernel::conv2d_forward(
+            &g,
+            self.w.data(),
+            self.b.data(),
+            input.data(),
+            out.data_mut(),
+            scratch,
+        );
+        Ok(out)
+    }
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let [n, c_in, h, w]: [usize; 4] = input.shape().try_into().expect("NCHW input");
-        assert_eq!(c_in, self.c_in, "channel mismatch");
-        let (oh, ow) = self.output_size(h, w);
-        assert!(oh > 0 && ow > 0, "kernel larger than padded input");
-
-        let mut out = Tensor::zeros(&[n, self.c_out, oh, ow]);
-        // Kernel-position-major loops turn the innermost dimension into a
-        // contiguous axpy over an output row, which LLVM vectorizes; the
-        // naive output-pixel-major formulation is ~5× slower and dominates
-        // CommCNN training time.
-        let in_data = input.data();
-        let out_data = out.data_mut();
-        let w_data = self.w.data();
-        let b_data = self.b.data();
-        let (ph, pw) = (self.pad_h as isize, self.pad_w as isize);
-        for ni in 0..n {
-            for co in 0..self.c_out {
-                let out_plane = (ni * self.c_out + co) * oh * ow;
-                let bias = b_data[co];
-                out_data[out_plane..out_plane + oh * ow].fill(bias);
-                for ci in 0..c_in {
-                    let in_plane = (ni * c_in + ci) * h * w;
-                    let w_base = (co * c_in + ci) * self.kh * self.kw;
-                    for ky in 0..self.kh {
-                        for kx in 0..self.kw {
-                            let weight = w_data[w_base + ky * self.kw + kx];
-                            if weight == 0.0 {
-                                continue;
-                            }
-                            // Valid output range for this kernel offset.
-                            let dy = ky as isize - ph;
-                            let dx = kx as isize - pw;
-                            let yo_lo = (-dy).max(0) as usize;
-                            let yo_hi = ((h as isize - dy).min(oh as isize)).max(0) as usize;
-                            let xo_lo = (-dx).max(0) as usize;
-                            let xo_hi = ((w as isize - dx).min(ow as isize)).max(0) as usize;
-                            if xo_hi <= xo_lo {
-                                continue;
-                            }
-                            for yo in yo_lo..yo_hi {
-                                let yi = (yo as isize + dy) as usize;
-                                let out_row = out_plane + yo * ow;
-                                let in_row = in_plane + yi * w;
-                                let o = &mut out_data[out_row + xo_lo..out_row + xo_hi];
-                                let iv = &in_data[in_row + (xo_lo as isize + dx) as usize
-                                    ..in_row + (xo_hi as isize + dx) as usize];
-                                for (ov, &x) in o.iter_mut().zip(iv) {
-                                    *ov += weight * x;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        if train {
-            self.input_cache = Some(input.clone());
-        }
-        out
+    fn forward(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        self.run_forward(input, scratch)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn forward_train(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let out = self.run_forward(input, scratch)?;
+        self.input_cache = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
         let input = self
             .input_cache
             .take()
-            .expect("backward without training forward");
-        let [n, c_in, h, w]: [usize; 4] = input.shape().try_into().unwrap();
-        let [gn, gc, oh, ow]: [usize; 4] = grad_out.shape().try_into().unwrap();
-        assert_eq!(gn, n);
-        assert_eq!(gc, self.c_out);
-
-        let mut grad_in = Tensor::zeros(&[n, c_in, h, w]);
-        let g_data = grad_out.data();
-        let in_data = input.data();
-        let w_data = self.w.data();
-        let gin_data = grad_in.data_mut();
-        let gw_data = self.gw.data_mut();
-        let gb_data = self.gb.data_mut();
-        let (ph, pw) = (self.pad_h as isize, self.pad_w as isize);
-
-        for ni in 0..n {
-            for co in 0..self.c_out {
-                let g_plane = (ni * self.c_out + co) * oh * ow;
-                gb_data[co] += g_data[g_plane..g_plane + oh * ow].iter().sum::<f32>();
-                for ci in 0..c_in {
-                    let in_plane = (ni * c_in + ci) * h * w;
-                    let w_base = (co * c_in + ci) * self.kh * self.kw;
-                    for ky in 0..self.kh {
-                        for kx in 0..self.kw {
-                            let dy = ky as isize - ph;
-                            let dx = kx as isize - pw;
-                            let yo_lo = (-dy).max(0) as usize;
-                            let yo_hi = ((h as isize - dy).min(oh as isize)).max(0) as usize;
-                            let xo_lo = (-dx).max(0) as usize;
-                            let xo_hi = ((w as isize - dx).min(ow as isize)).max(0) as usize;
-                            if xo_hi <= xo_lo {
-                                continue;
-                            }
-                            let weight = w_data[w_base + ky * self.kw + kx];
-                            let mut wgrad = 0.0f32;
-                            for yo in yo_lo..yo_hi {
-                                let yi = (yo as isize + dy) as usize;
-                                let g_row = g_plane + yo * ow;
-                                let in_row = in_plane + yi * w;
-                                let gs = &g_data[g_row + xo_lo..g_row + xo_hi];
-                                let ilo = (in_row as isize + xo_lo as isize + dx) as usize;
-                                let ihi = (in_row as isize + xo_hi as isize + dx) as usize;
-                                let ivs = &in_data[ilo..ihi];
-                                let gins = &mut gin_data[ilo..ihi];
-                                for ((gin, &g), &x) in gins.iter_mut().zip(gs).zip(ivs) {
-                                    *gin += weight * g;
-                                    wgrad += g * x;
-                                }
-                            }
-                            gw_data[w_base + ky * self.kw + kx] += wgrad;
-                        }
-                    }
-                }
-            }
+            .ok_or(MlError::BackwardWithoutForward { layer: "Conv2d" })?;
+        let g = self.geom("conv2d_backward", &input)?;
+        let expected = [g.n, g.c_out, g.oh, g.ow];
+        if grad_out.shape() != expected {
+            return Err(MlError::shape(
+                "conv2d_backward",
+                format!(
+                    "grad_out {:?} does not match forward output {expected:?}",
+                    grad_out.shape()
+                ),
+            ));
         }
-        grad_in
+        let mut grad_in = Tensor::zeros(&[g.n, g.c_in, g.h, g.w]);
+        kernel::conv2d_backward(
+            &g,
+            self.w.data(),
+            input.data(),
+            grad_out.data(),
+            grad_in.data_mut(),
+            self.gw.data_mut(),
+            self.gb.data_mut(),
+            scratch,
+        );
+        Ok(grad_in)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -215,13 +164,17 @@ mod tests {
         StdRng::seed_from_u64(99)
     }
 
+    fn scratch() -> Scratch {
+        Scratch::new()
+    }
+
     #[test]
     fn identity_kernel_passes_through() {
         let mut conv = Conv2d::new(1, 1, 1, 1, &mut rng());
         conv.w.data_mut()[0] = 1.0;
         conv.b.data_mut()[0] = 0.0;
         let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
-        let y = conv.forward(&x, false);
+        let y = conv.forward(&x, &mut scratch()).unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), x.data());
     }
@@ -238,9 +191,9 @@ mod tests {
 
     #[test]
     fn same_padding_preserves_shape() {
-        let mut conv = Conv2d::square3x3(1, 2, &mut rng());
+        let conv = Conv2d::square3x3(1, 2, &mut rng());
         let x = Tensor::zeros(&[2, 1, 5, 7]);
-        let y = conv.forward(&x, false);
+        let y = conv.forward(&x, &mut scratch()).unwrap();
         assert_eq!(y.shape(), &[2, 2, 5, 7]);
     }
 
@@ -251,7 +204,7 @@ mod tests {
         conv.w.data_mut().iter_mut().for_each(|v| *v = 1.0);
         conv.b.data_mut()[0] = 0.0;
         let x = Tensor::from_vec(&[1, 1, 2, 3], vec![1., 2., 3., 4., 5., 6.]);
-        let y = conv.forward(&x, false);
+        let y = conv.forward(&x, &mut scratch()).unwrap();
         assert_eq!(y.shape(), &[1, 1, 1, 2]);
         assert_eq!(y.data(), &[12.0, 16.0]);
     }
@@ -262,7 +215,7 @@ mod tests {
         conv.w.data_mut().copy_from_slice(&[2.0, 3.0]);
         conv.b.data_mut()[0] = 1.0;
         let x = Tensor::from_vec(&[1, 2, 1, 1], vec![10.0, 100.0]);
-        let y = conv.forward(&x, false);
+        let y = conv.forward(&x, &mut scratch()).unwrap();
         assert_eq!(y.data(), &[2.0 * 10.0 + 3.0 * 100.0 + 1.0]);
     }
 
@@ -289,11 +242,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "backward without training forward")]
     fn backward_requires_training_forward() {
         let mut conv = Conv2d::new(1, 1, 1, 1, &mut rng());
         let x = Tensor::zeros(&[1, 1, 2, 2]);
-        let y = conv.forward(&x, false);
-        let _ = conv.backward(&y);
+        let mut s = scratch();
+        let y = conv.forward(&x, &mut s).unwrap();
+        assert_eq!(
+            conv.backward(&y, &mut s).unwrap_err(),
+            MlError::BackwardWithoutForward { layer: "Conv2d" }
+        );
+    }
+
+    #[test]
+    fn mis_shaped_inputs_are_typed_errors() {
+        let conv = Conv2d::new(2, 1, 3, 3, &mut rng());
+        let mut s = scratch();
+        // Not NCHW.
+        let e = conv.forward(&Tensor::zeros(&[2, 2]), &mut s).unwrap_err();
+        assert!(e.to_string().contains("NCHW"));
+        // Wrong channel count.
+        let e = conv
+            .forward(&Tensor::zeros(&[1, 3, 5, 5]), &mut s)
+            .unwrap_err();
+        assert!(e.to_string().contains("channel mismatch"));
+        // Kernel larger than the (unpadded) input.
+        let e = conv
+            .forward(&Tensor::zeros(&[1, 2, 2, 2]), &mut s)
+            .unwrap_err();
+        assert!(e.to_string().contains("larger than padded input"));
     }
 }

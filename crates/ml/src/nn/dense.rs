@@ -1,9 +1,13 @@
 //! Fully connected layers and flattening.
 //!
 //! CommCNN ends in two fully connected layers before the softmax (paper
-//! Fig. 8); [`Flatten`] bridges the convolutional NCHW world to them.
+//! Fig. 8); [`Flatten`] bridges the convolutional NCHW world to them. The
+//! dense forward/backward math runs through [`crate::kernel`] (GEMM on the
+//! default backend, the preserved loops on `kernel::reference`).
 
-use super::{xavier_uniform, Layer};
+use super::{dims2, xavier_uniform, Layer};
+use crate::error::MlError;
+use crate::kernel::{self, Scratch};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -39,52 +43,80 @@ impl Dense {
     pub fn out_features(&self) -> usize {
         self.w.shape()[1]
     }
+
+    fn checked_dims(
+        &self,
+        op: &'static str,
+        input: &Tensor,
+    ) -> Result<(usize, usize, usize), MlError> {
+        let (n, d) = dims2(op, input)?;
+        let din = self.in_features();
+        if d != din {
+            return Err(MlError::shape(
+                op,
+                format!("feature mismatch: input {d}, layer expects {din}"),
+            ));
+        }
+        Ok((n, din, self.out_features()))
+    }
+
+    fn run_forward(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let (n, din, dout) = self.checked_dims("dense_forward", input)?;
+        let mut out = Tensor::zeros(&[n, dout]);
+        kernel::dense_forward(
+            n,
+            din,
+            dout,
+            self.w.data(),
+            self.b.data(),
+            input.data(),
+            out.data_mut(),
+            scratch,
+        );
+        Ok(out)
+    }
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let [n, d]: [usize; 2] = input.shape().try_into().expect("2-D input");
-        let (din, dout) = (self.w.shape()[0], self.w.shape()[1]);
-        assert_eq!(d, din, "feature mismatch: input {d}, layer expects {din}");
-        let mut out = Tensor::zeros(&[n, dout]);
-        for i in 0..n {
-            let row = input.row(i);
-            for o in 0..dout {
-                let mut acc = self.b.data()[o];
-                for (j, &x) in row.iter().enumerate() {
-                    acc += x * self.w.at2(j, o);
-                }
-                *out.at2_mut(i, o) = acc;
-            }
-        }
-        if train {
-            self.input_cache = Some(input.clone());
-        }
-        out
+    fn forward(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        self.run_forward(input, scratch)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn forward_train(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let out = self.run_forward(input, scratch)?;
+        self.input_cache = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
         let input = self
             .input_cache
             .take()
-            .expect("backward without training forward");
-        let [n, din]: [usize; 2] = input.shape().try_into().unwrap();
-        let dout = self.w.shape()[1];
-        let mut grad_in = Tensor::zeros(&[n, din]);
-        for i in 0..n {
-            for o in 0..dout {
-                let g = grad_out.at2(i, o);
-                if g == 0.0 {
-                    continue;
-                }
-                self.gb.data_mut()[o] += g;
-                for j in 0..din {
-                    *self.gw.at2_mut(j, o) += g * input.at2(i, j);
-                    *grad_in.at2_mut(i, j) += g * self.w.at2(j, o);
-                }
-            }
+            .ok_or(MlError::BackwardWithoutForward { layer: "Dense" })?;
+        let (n, din, dout) = self.checked_dims("dense_backward", &input)?;
+        if grad_out.shape() != [n, dout] {
+            return Err(MlError::shape(
+                "dense_backward",
+                format!(
+                    "grad_out {:?} does not match forward output [{n}, {dout}]",
+                    grad_out.shape()
+                ),
+            ));
         }
-        grad_in
+        let mut grad_in = Tensor::zeros(&[n, din]);
+        kernel::dense_backward(
+            n,
+            din,
+            dout,
+            self.w.data(),
+            input.data(),
+            grad_out.data(),
+            grad_in.data_mut(),
+            self.gw.data_mut(),
+            self.gb.data_mut(),
+            scratch,
+        );
+        Ok(grad_in)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -103,6 +135,19 @@ impl Flatten {
     pub fn new() -> Self {
         Flatten { in_shape: None }
     }
+
+    fn flat(input: &Tensor) -> Result<Tensor, MlError> {
+        let shape = input.shape();
+        if shape.is_empty() {
+            return Err(MlError::shape(
+                "flatten",
+                "expected a batched tensor, got rank 0",
+            ));
+        }
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        Ok(input.clone().reshape(&[n, rest]))
+    }
 }
 
 impl Default for Flatten {
@@ -112,23 +157,22 @@ impl Default for Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let shape = input.shape().to_vec();
-        assert!(!shape.is_empty());
-        let n = shape[0];
-        let rest: usize = shape[1..].iter().product();
-        if train {
-            self.in_shape = Some(shape);
-        }
-        input.clone().reshape(&[n, rest])
+    fn forward(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        Self::flat(input)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn forward_train(&mut self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let out = Self::flat(input)?;
+        self.in_shape = Some(input.shape().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
         let shape = self
             .in_shape
             .take()
-            .expect("backward without training forward");
-        grad_out.clone().reshape(&shape)
+            .ok_or(MlError::BackwardWithoutForward { layer: "Flatten" })?;
+        Ok(grad_out.clone().reshape(&shape))
     }
 }
 
@@ -142,13 +186,17 @@ mod tests {
         StdRng::seed_from_u64(5)
     }
 
+    fn scratch() -> Scratch {
+        Scratch::new()
+    }
+
     #[test]
     fn dense_known_output() {
         let mut d = Dense::new(2, 2, &mut rng());
         d.w.data_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]); // (in=2, out=2)
         d.b.data_mut().copy_from_slice(&[0.5, -0.5]);
         let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
-        let y = d.forward(&x, false);
+        let y = d.forward(&x, &mut scratch()).unwrap();
         // out_0 = 1*1 + 1*3 + 0.5 = 4.5 ; out_1 = 1*2 + 1*4 - 0.5 = 5.5
         assert_eq!(y.data(), &[4.5, 5.5]);
     }
@@ -164,10 +212,11 @@ mod tests {
     #[test]
     fn flatten_roundtrip() {
         let mut f = Flatten::new();
+        let mut s = scratch();
         let x = Tensor::from_vec(&[2, 2, 1, 3], (0..12).map(|v| v as f32).collect());
-        let y = f.forward(&x, true);
+        let y = f.forward_train(&x, &mut s).unwrap();
         assert_eq!(y.shape(), &[2, 6]);
-        let g = f.backward(&y);
+        let g = f.backward(&y, &mut s).unwrap();
         assert_eq!(g.shape(), &[2, 2, 1, 3]);
         assert_eq!(g.data(), x.data());
     }
@@ -175,10 +224,37 @@ mod tests {
     #[test]
     fn dense_batch_independence() {
         // Each row of the batch must be transformed independently.
-        let mut d = Dense::new(2, 1, &mut rng());
-        let single = d.forward(&Tensor::from_vec(&[1, 2], vec![1.0, 2.0]), false);
-        let batch = d.forward(&Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 1.0, 2.0]), false);
+        let d = Dense::new(2, 1, &mut rng());
+        let mut s = scratch();
+        let single = d
+            .forward(&Tensor::from_vec(&[1, 2], vec![1.0, 2.0]), &mut s)
+            .unwrap();
+        let batch = d
+            .forward(&Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 1.0, 2.0]), &mut s)
+            .unwrap();
         assert!((batch.at2(0, 0) - single.at2(0, 0)).abs() < 1e-6);
         assert!((batch.at2(1, 0) - single.at2(0, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_rejects_feature_mismatch() {
+        let d = Dense::new(3, 2, &mut rng());
+        let e = d
+            .forward(&Tensor::zeros(&[1, 5]), &mut scratch())
+            .unwrap_err();
+        assert!(e.to_string().contains("feature mismatch"));
+        let e = d.forward(&Tensor::zeros(&[5]), &mut scratch()).unwrap_err();
+        assert!(e.to_string().contains("2-D"));
+    }
+
+    #[test]
+    fn backward_requires_training_forward() {
+        let mut d = Dense::new(2, 2, &mut rng());
+        let mut s = scratch();
+        let y = d.forward(&Tensor::zeros(&[1, 2]), &mut s).unwrap();
+        assert_eq!(
+            d.backward(&y, &mut s).unwrap_err(),
+            MlError::BackwardWithoutForward { layer: "Dense" }
+        );
     }
 }

@@ -2,7 +2,11 @@
 //!
 //! CommCNN's final layer (paper Fig. 8) — the fused formulation keeps the
 //! backward pass numerically trivial: `∂L/∂logits = (softmax − one_hot)/N`.
+//! Mis-shaped logits and out-of-range labels surface as typed
+//! [`MlError`]s, in line with the rest of the layer stack.
 
+use super::dims2;
+use crate::error::MlError;
 use crate::tensor::Tensor;
 
 /// Fused softmax + mean cross-entropy over a batch.
@@ -10,8 +14,8 @@ pub struct SoftmaxCrossEntropy;
 
 impl SoftmaxCrossEntropy {
     /// Row-wise softmax of `(N, K)` logits.
-    pub fn softmax(logits: &Tensor) -> Tensor {
-        let [n, k]: [usize; 2] = logits.shape().try_into().expect("2-D logits");
+    pub fn softmax(logits: &Tensor) -> Result<Tensor, MlError> {
+        let (n, k) = dims2("softmax", logits)?;
         let mut out = Tensor::zeros(&[n, k]);
         for i in 0..n {
             let row = logits.row(i);
@@ -26,35 +30,57 @@ impl SoftmaxCrossEntropy {
                 *out.at2_mut(i, j) /= denom;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Mean cross-entropy and the softmax probabilities.
     ///
     /// `labels[i] ∈ 0..K` is the true class of sample `i`.
-    pub fn loss(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
-        let [n, k]: [usize; 2] = logits.shape().try_into().expect("2-D logits");
-        assert_eq!(labels.len(), n, "one label per sample");
-        let probs = Self::softmax(logits);
+    pub fn loss(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor), MlError> {
+        let (n, k) = dims2("softmax_loss", logits)?;
+        if labels.len() != n {
+            return Err(MlError::shape(
+                "softmax_loss",
+                format!("{} labels for {n} samples", labels.len()),
+            ));
+        }
+        let probs = Self::softmax(logits)?;
         let mut total = 0.0f32;
         for (i, &y) in labels.iter().enumerate() {
-            assert!(y < k, "label {y} out of range for {k} classes");
+            if y >= k {
+                return Err(MlError::shape(
+                    "softmax_loss",
+                    format!("label {y} out of range for {k} classes"),
+                ));
+            }
             total -= probs.at2(i, y).max(1e-12).ln();
         }
-        (total / n as f32, probs)
+        Ok((total / n as f32, probs))
     }
 
     /// Gradient of the mean cross-entropy w.r.t. the logits:
     /// `(softmax − one_hot) / N`.
-    pub fn grad(probs: &Tensor, labels: &[usize]) -> Tensor {
-        let [n, _k]: [usize; 2] = probs.shape().try_into().expect("2-D probs");
+    pub fn grad(probs: &Tensor, labels: &[usize]) -> Result<Tensor, MlError> {
+        let (n, k) = dims2("softmax_grad", probs)?;
+        if labels.len() != n {
+            return Err(MlError::shape(
+                "softmax_grad",
+                format!("{} labels for {n} samples", labels.len()),
+            ));
+        }
         let mut g = probs.clone();
         let scale = 1.0 / n as f32;
         for (i, &y) in labels.iter().enumerate() {
+            if y >= k {
+                return Err(MlError::shape(
+                    "softmax_grad",
+                    format!("label {y} out of range for {k} classes"),
+                ));
+            }
             *g.at2_mut(i, y) -= 1.0;
         }
         g.scale(scale);
-        g
+        Ok(g)
     }
 }
 
@@ -65,7 +91,7 @@ mod tests {
     #[test]
     fn softmax_rows_sum_to_one() {
         let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
-        let p = SoftmaxCrossEntropy::softmax(&logits);
+        let p = SoftmaxCrossEntropy::softmax(&logits).unwrap();
         for i in 0..2 {
             let s: f32 = p.row(i).iter().sum();
             assert!((s - 1.0).abs() < 1e-6);
@@ -77,8 +103,8 @@ mod tests {
     fn softmax_is_shift_invariant() {
         let a = Tensor::from_vec(&[1, 3], vec![1.0, 2.0, 3.0]);
         let b = Tensor::from_vec(&[1, 3], vec![101.0, 102.0, 103.0]);
-        let pa = SoftmaxCrossEntropy::softmax(&a);
-        let pb = SoftmaxCrossEntropy::softmax(&b);
+        let pa = SoftmaxCrossEntropy::softmax(&a).unwrap();
+        let pb = SoftmaxCrossEntropy::softmax(&b).unwrap();
         for j in 0..3 {
             assert!((pa.at2(0, j) - pb.at2(0, j)).abs() < 1e-6);
         }
@@ -87,31 +113,40 @@ mod tests {
     #[test]
     fn loss_of_perfect_prediction_is_near_zero() {
         let logits = Tensor::from_vec(&[1, 3], vec![100.0, 0.0, 0.0]);
-        let (loss, _) = SoftmaxCrossEntropy::loss(&logits, &[0]);
+        let (loss, _) = SoftmaxCrossEntropy::loss(&logits, &[0]).unwrap();
         assert!(loss < 1e-6);
     }
 
     #[test]
     fn loss_of_uniform_prediction_is_ln_k() {
         let logits = Tensor::zeros(&[4, 3]);
-        let (loss, _) = SoftmaxCrossEntropy::loss(&logits, &[0, 1, 2, 0]);
+        let (loss, _) = SoftmaxCrossEntropy::loss(&logits, &[0, 1, 2, 0]).unwrap();
         assert!((loss - 3.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn out_of_range_label_is_a_typed_error() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let e = SoftmaxCrossEntropy::loss(&logits, &[3]).unwrap_err();
+        assert!(e.to_string().contains("out of range"));
+        let e = SoftmaxCrossEntropy::loss(&logits, &[0, 1]).unwrap_err();
+        assert!(e.to_string().contains("labels"));
     }
 
     #[test]
     fn grad_matches_finite_difference() {
         let logits = Tensor::from_vec(&[2, 3], vec![0.3, -0.2, 0.5, 1.0, 0.0, -1.0]);
         let labels = [2usize, 0];
-        let (_, probs) = SoftmaxCrossEntropy::loss(&logits, &labels);
-        let g = SoftmaxCrossEntropy::grad(&probs, &labels);
+        let (_, probs) = SoftmaxCrossEntropy::loss(&logits, &labels).unwrap();
+        let g = SoftmaxCrossEntropy::grad(&probs, &labels).unwrap();
         let eps = 1e-3f32;
         for i in 0..logits.len() {
             let mut plus = logits.clone();
             plus.data_mut()[i] += eps;
             let mut minus = logits.clone();
             minus.data_mut()[i] -= eps;
-            let (lp, _) = SoftmaxCrossEntropy::loss(&plus, &labels);
-            let (lm, _) = SoftmaxCrossEntropy::loss(&minus, &labels);
+            let (lp, _) = SoftmaxCrossEntropy::loss(&plus, &labels).unwrap();
+            let (lm, _) = SoftmaxCrossEntropy::loss(&minus, &labels).unwrap();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (g.data()[i] - numeric).abs() < 1e-3,
@@ -124,8 +159,8 @@ mod tests {
     #[test]
     fn grad_rows_sum_to_zero() {
         let logits = Tensor::from_vec(&[1, 3], vec![0.1, 0.2, 0.3]);
-        let (_, probs) = SoftmaxCrossEntropy::loss(&logits, &[1]);
-        let g = SoftmaxCrossEntropy::grad(&probs, &[1]);
+        let (_, probs) = SoftmaxCrossEntropy::loss(&logits, &[1]).unwrap();
+        let g = SoftmaxCrossEntropy::grad(&probs, &[1]).unwrap();
         let s: f32 = g.row(0).iter().sum();
         assert!(s.abs() < 1e-6);
     }

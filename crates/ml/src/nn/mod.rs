@@ -4,11 +4,24 @@
 //! convolutions with optional zero padding, 2×2 max pooling, global max
 //! pooling, dense layers, ReLU, softmax cross-entropy, and SGD/Adam.
 //!
-//! Layers cache what their backward pass needs during `forward(…, train =
-//! true)`; `backward` consumes the cache and accumulates parameter
-//! gradients. Optimizers visit parameters in a deterministic order through
+//! The layer API splits inference from training:
+//!
+//! * [`Layer::forward`] takes `&self` plus a caller-provided
+//!   [`Scratch`] arena and mutates nothing on the layer — a trained network
+//!   is therefore shareable across `WorkerPool` threads, each worker
+//!   holding its own scratch.
+//! * [`Layer::forward_train`] takes `&mut self` and caches whatever the
+//!   backward pass requires; [`Layer::backward`] consumes the cache and
+//!   accumulates parameter gradients.
+//!
+//! Data-dependent failures (mis-shaped inputs, a `backward` with no cached
+//! activations) surface as typed [`MlError`]s; constructor invariants that
+//! no runtime input can trigger remain assertions at construction time.
+//! Optimizers visit parameters in a deterministic order through
 //! [`Model::visit_params`], so their per-parameter state stays aligned
-//! across steps.
+//! across steps. The heavy layers (conv, dense) compute through
+//! [`crate::kernel`], which dispatches to the blocked-GEMM fast path or the
+//! preserved reference loops.
 
 pub mod activation;
 pub mod conv;
@@ -24,24 +37,50 @@ pub use loss::SoftmaxCrossEntropy;
 pub use optim::{Adam, Sgd};
 pub use pool::{GlobalMaxPool2d, MaxPool2d};
 
+use crate::error::MlError;
+use crate::kernel::Scratch;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A differentiable layer.
 pub trait Layer {
-    /// Computes the layer output. With `train = true` the layer caches
-    /// whatever its backward pass requires.
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+    /// Computes the layer output without touching layer state. Safe to call
+    /// concurrently on a shared layer as long as each caller brings its own
+    /// `scratch`.
+    fn forward(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError>;
+
+    /// Training-mode forward: same math as [`Layer::forward`], but caches
+    /// whatever the backward pass requires.
+    fn forward_train(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError>;
 
     /// Propagates `grad_out` (∂loss/∂output) to ∂loss/∂input, accumulating
-    /// parameter gradients along the way. Must follow a training-mode
-    /// forward pass.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// parameter gradients along the way. Must follow [`Layer::forward_train`];
+    /// otherwise returns [`MlError::BackwardWithoutForward`].
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError>;
 
     /// Visits each `(value, gradient)` parameter pair in a fixed order.
     /// Parameter-free layers use the default empty impl.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+}
+
+/// Destructures a 2-D shape or reports which op got what instead.
+pub(crate) fn dims2(op: &'static str, t: &Tensor) -> Result<(usize, usize), MlError> {
+    match *t.shape() {
+        [n, d] => Ok((n, d)),
+        ref s => Err(MlError::shape(op, format!("expected 2-D input, got {s:?}"))),
+    }
+}
+
+/// Destructures an NCHW shape or reports which op got what instead.
+pub(crate) fn dims4(op: &'static str, t: &Tensor) -> Result<(usize, usize, usize, usize), MlError> {
+    match *t.shape() {
+        [n, c, h, w] => Ok((n, c, h, w)),
+        ref s => Err(MlError::shape(
+            op,
+            format!("expected NCHW input, got {s:?}"),
+        )),
+    }
 }
 
 /// Anything that exposes trainable parameters (a layer stack, CommCNN, …).
@@ -93,7 +132,7 @@ pub fn import_params(model: &mut dyn Model, data: &[f32]) -> Result<(), &'static
 /// A simple chain of layers.
 #[derive(Default)]
 pub struct Sequential {
-    layers: Vec<Box<dyn Layer>>,
+    layers: Vec<Box<dyn Layer + Send + Sync>>,
 }
 
 impl Sequential {
@@ -103,7 +142,7 @@ impl Sequential {
     }
 
     /// Appends a layer (builder style).
-    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+    pub fn push(mut self, layer: impl Layer + Send + Sync + 'static) -> Self {
         self.layers.push(Box::new(layer));
         self
     }
@@ -120,20 +159,28 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+    fn forward(&self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
         let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, train);
+        for layer in &self.layers {
+            x = layer.forward(&x, scratch)?;
         }
-        x
+        Ok(x)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn forward_train(&mut self, input: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_train(&x, scratch)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, scratch: &mut Scratch) -> Result<Tensor, MlError> {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            g = layer.backward(&g, scratch)?;
         }
-        g
+        Ok(g)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
@@ -185,9 +232,10 @@ pub(crate) mod gradcheck {
     /// Using the plain sum as the loss makes the analytic gradient the
     /// backward pass applied to an all-ones upstream gradient.
     pub fn check_input_gradient(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
-        let out = layer.forward(input, true);
+        let mut scratch = Scratch::new();
+        let out = layer.forward_train(input, &mut scratch).unwrap();
         let ones = Tensor::full(out.shape(), 1.0);
-        let analytic = layer.backward(&ones);
+        let analytic = layer.backward(&ones, &mut scratch).unwrap();
 
         let eps = 1e-2f32;
         for i in 0..input.len() {
@@ -195,8 +243,8 @@ pub(crate) mod gradcheck {
             plus.data_mut()[i] += eps;
             let mut minus = input.clone();
             minus.data_mut()[i] -= eps;
-            let f_plus = layer.forward(&plus, false).sum();
-            let f_minus = layer.forward(&minus, false).sum();
+            let f_plus = layer.forward(&plus, &mut scratch).unwrap().sum();
+            let f_minus = layer.forward(&minus, &mut scratch).unwrap().sum();
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             let a = analytic.data()[i];
             assert!(
@@ -209,10 +257,11 @@ pub(crate) mod gradcheck {
     /// Checks parameter gradients against finite differences.
     pub fn check_param_gradients(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
         // Accumulate analytic parameter gradients.
+        let mut scratch = Scratch::new();
         layer.visit_params(&mut |_, g| g.fill_zero());
-        let out = layer.forward(input, true);
+        let out = layer.forward_train(input, &mut scratch).unwrap();
         let ones = Tensor::full(out.shape(), 1.0);
-        let _ = layer.backward(&ones);
+        let _ = layer.backward(&ones, &mut scratch).unwrap();
 
         let mut analytic: Vec<Vec<f32>> = Vec::new();
         layer.visit_params(&mut |_, g| analytic.push(g.data().to_vec()));
@@ -224,9 +273,9 @@ pub(crate) mod gradcheck {
                 let mut f_plus = 0.0;
                 let mut f_minus = 0.0;
                 perturb(layer, t, i, eps);
-                f_plus += layer.forward(input, false).sum();
+                f_plus += layer.forward(input, &mut scratch).unwrap().sum();
                 perturb(layer, t, i, -2.0 * eps);
-                f_minus += layer.forward(input, false).sum();
+                f_minus += layer.forward(input, &mut scratch).unwrap().sum();
                 perturb(layer, t, i, eps); // restore
                 let numeric = (f_plus - f_minus) / (2.0 * eps);
                 let a = analytic[t][i];
@@ -256,12 +305,29 @@ mod tests {
 
     #[test]
     fn sequential_identity_composition() {
+        let mut scratch = Scratch::new();
         let mut seq = Sequential::new().push(Relu::new()).push(Relu::new());
         let x = Tensor::from_vec(&[1, 3], vec![1.0, -2.0, 3.0]);
-        let y = seq.forward(&x, true);
+        let y = seq.forward_train(&x, &mut scratch).unwrap();
         assert_eq!(y.data(), &[1.0, 0.0, 3.0]);
-        let g = seq.backward(&Tensor::full(&[1, 3], 1.0));
+        let g = seq
+            .backward(&Tensor::full(&[1, 3], 1.0), &mut scratch)
+            .unwrap();
         assert_eq!(g.data(), &[1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn sequential_immutable_forward_matches_train() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seq = Sequential::new()
+            .push(Dense::new(4, 5, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(5, 2, &mut rng));
+        let x = Tensor::from_vec(&[2, 4], (0..8).map(|v| v as f32 * 0.3 - 1.0).collect());
+        let mut scratch = Scratch::new();
+        let trained = seq.forward_train(&x, &mut scratch).unwrap();
+        let frozen = (&seq as &dyn Layer).forward(&x, &mut scratch).unwrap();
+        assert_eq!(trained.data(), frozen.data());
     }
 
     #[test]
@@ -304,7 +370,11 @@ mod tests {
         assert_eq!(params.len(), Model::num_params(&mut a));
         import_params(&mut b, &params).unwrap();
         let x = Tensor::from_vec(&[1, 4], vec![0.5, -1.0, 2.0, 0.1]);
-        assert_eq!(a.forward(&x, false).data(), b.forward(&x, false).data());
+        let mut scratch = Scratch::new();
+        assert_eq!(
+            a.forward(&x, &mut scratch).unwrap().data(),
+            b.forward(&x, &mut scratch).unwrap().data()
+        );
         // Mismatched architectures are rejected.
         assert!(import_params(&mut b, &params[1..]).is_err());
     }

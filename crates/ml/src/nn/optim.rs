@@ -148,6 +148,7 @@ impl Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::Scratch;
     use crate::nn::{Dense, Layer, Sequential, SoftmaxCrossEntropy};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -206,13 +207,14 @@ mod tests {
         let x = Tensor::from_vec(&[4, 2], vec![2.0, 2.0, 3.0, 2.5, -2.0, -2.0, -3.0, -2.5]);
         let y = [0usize, 0, 1, 1];
         let mut opt = Adam::new(0.1);
+        let mut scratch = Scratch::new();
         let mut last_loss = f32::INFINITY;
         for _ in 0..100 {
             Model::zero_grad(&mut net);
-            let logits = net.forward(&x, true);
-            let (loss, probs) = SoftmaxCrossEntropy::loss(&logits, &y);
-            let g = SoftmaxCrossEntropy::grad(&probs, &y);
-            net.backward(&g);
+            let logits = net.forward_train(&x, &mut scratch).unwrap();
+            let (loss, probs) = SoftmaxCrossEntropy::loss(&logits, &y).unwrap();
+            let g = SoftmaxCrossEntropy::grad(&probs, &y).unwrap();
+            net.backward(&g, &mut scratch).unwrap();
             opt.step(&mut net);
             last_loss = loss;
         }

@@ -4,7 +4,9 @@
 //! wide/long branches end in *global* max pooling (paper Fig. 8), which
 //! collapses each channel map to a single activation.
 
-use super::Layer;
+use super::{dims4, Layer};
+use crate::error::MlError;
+use crate::kernel::Scratch;
 use crate::tensor::Tensor;
 
 /// Non-overlapping `kh × kw` max pooling (stride = kernel size). Trailing
@@ -31,13 +33,19 @@ impl MaxPool2d {
     pub fn output_size(&self, h: usize, w: usize) -> (usize, usize) {
         (h / self.kh, w / self.kw)
     }
-}
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let [n, c, h, w]: [usize; 4] = input.shape().try_into().expect("NCHW input");
+    fn run(&self, input: &Tensor) -> Result<(Tensor, Vec<usize>), MlError> {
+        let (n, c, h, w) = dims4("maxpool_forward", input)?;
         let (oh, ow) = self.output_size(h, w);
-        assert!(oh > 0 && ow > 0, "input {h}x{w} smaller than pool window");
+        if oh == 0 || ow == 0 {
+            return Err(MlError::shape(
+                "maxpool_forward",
+                format!(
+                    "input {h}x{w} smaller than pool window {}x{}",
+                    self.kh, self.kw
+                ),
+            ));
+        }
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let mut argmax = vec![0usize; n * c * oh * ow];
         let mut oi = 0usize;
@@ -66,22 +74,67 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        if train {
-            self.cache = Some((input.shape().to_vec(), argmax));
+        Ok((out, argmax))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        // Inference needs no argmax: window maxima straight from row
+        // slices, no per-element index arithmetic, no side allocation.
+        // The max value is identical to `run`'s, so training and frozen
+        // forwards stay bit-equal.
+        let (n, c, h, w) = dims4("maxpool_forward", input)?;
+        let (oh, ow) = self.output_size(h, w);
+        if oh == 0 || ow == 0 {
+            return Err(MlError::shape(
+                "maxpool_forward",
+                format!(
+                    "input {h}x{w} smaller than pool window {}x{}",
+                    self.kh, self.kw
+                ),
+            ));
         }
-        out
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let dst = out.data_mut();
+        let mut oi = 0usize;
+        for plane in input.data().chunks_exact(h * w).take(n * c) {
+            for yo in 0..oh {
+                let row = &mut dst[oi..oi + ow];
+                oi += ow;
+                for ky in 0..self.kh {
+                    let src = &plane[(yo * self.kh + ky) * w..(yo * self.kh + ky + 1) * w];
+                    for (xo, best) in row.iter_mut().enumerate() {
+                        let window = &src[xo * self.kw..(xo + 1) * self.kw];
+                        let m = window
+                            .iter()
+                            .fold(f32::NEG_INFINITY, |m, &v| if v > m { v } else { m });
+                        if ky == 0 || m > *best {
+                            *best = m;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn forward_train(&mut self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let (out, argmax) = self.run(input)?;
+        self.cache = Some((input.shape().to_vec(), argmax));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
         let (in_shape, argmax) = self
             .cache
             .take()
-            .expect("backward without training forward");
+            .ok_or(MlError::BackwardWithoutForward { layer: "MaxPool2d" })?;
         let mut grad_in = Tensor::zeros(&in_shape);
         for (g, &idx) in grad_out.data().iter().zip(&argmax) {
             grad_in.data_mut()[idx] += g;
         }
-        grad_in
+        Ok(grad_in)
     }
 }
 
@@ -95,18 +148,15 @@ impl GlobalMaxPool2d {
     pub fn new() -> Self {
         GlobalMaxPool2d { cache: None }
     }
-}
 
-impl Default for GlobalMaxPool2d {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Layer for GlobalMaxPool2d {
-    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let [n, c, h, w]: [usize; 4] = input.shape().try_into().expect("NCHW input");
-        assert!(h * w > 0, "empty spatial extent");
+    fn run(input: &Tensor) -> Result<(Tensor, Vec<usize>), MlError> {
+        let (n, c, h, w) = dims4("global_maxpool_forward", input)?;
+        if h * w == 0 {
+            return Err(MlError::shape(
+                "global_maxpool_forward",
+                "empty spatial extent",
+            ));
+        }
         let mut out = Tensor::zeros(&[n, c, 1, 1]);
         let mut argmax = vec![0usize; n * c];
         for ni in 0..n {
@@ -127,22 +177,54 @@ impl Layer for GlobalMaxPool2d {
                 argmax[ni * c + ci] = best_idx;
             }
         }
-        if train {
-            self.cache = Some((input.shape().to_vec(), argmax));
+        Ok((out, argmax))
+    }
+}
+
+impl Default for GlobalMaxPool2d {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalMaxPool2d {
+    fn forward(&self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        // Inference fast path: one slice fold per channel plane, no argmax.
+        let (n, c, h, w) = dims4("global_maxpool_forward", input)?;
+        if h * w == 0 {
+            return Err(MlError::shape(
+                "global_maxpool_forward",
+                "empty spatial extent",
+            ));
         }
-        out
+        let mut out = Tensor::zeros(&[n, c, 1, 1]);
+        for (dst, plane) in out
+            .data_mut()
+            .iter_mut()
+            .zip(input.data().chunks_exact(h * w))
+        {
+            *dst = plane
+                .iter()
+                .fold(f32::NEG_INFINITY, |m, &v| if v > m { v } else { m });
+        }
+        Ok(out)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (in_shape, argmax) = self
-            .cache
-            .take()
-            .expect("backward without training forward");
+    fn forward_train(&mut self, input: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let (out, argmax) = Self::run(input)?;
+        self.cache = Some((input.shape().to_vec(), argmax));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _scratch: &mut Scratch) -> Result<Tensor, MlError> {
+        let (in_shape, argmax) = self.cache.take().ok_or(MlError::BackwardWithoutForward {
+            layer: "GlobalMaxPool2d",
+        })?;
         let mut grad_in = Tensor::zeros(&in_shape);
         for (g, &idx) in grad_out.data().iter().zip(&argmax) {
             grad_in.data_mut()[idx] += g;
         }
-        grad_in
+        Ok(grad_in)
     }
 }
 
@@ -151,38 +233,53 @@ mod tests {
     use super::*;
     use crate::nn::gradcheck;
 
+    fn scratch() -> Scratch {
+        Scratch::new()
+    }
+
     #[test]
     fn pool_2x2_takes_max() {
-        let mut pool = MaxPool2d::new(2, 2);
+        let pool = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(&[1, 1, 2, 4], vec![1., 5., 2., 0., 3., 4., 8., 6.]);
-        let y = pool.forward(&x, false);
+        let y = pool.forward(&x, &mut scratch()).unwrap();
         assert_eq!(y.shape(), &[1, 1, 1, 2]);
         assert_eq!(y.data(), &[5.0, 8.0]);
     }
 
     #[test]
     fn pool_drops_partial_windows() {
-        let mut pool = MaxPool2d::new(2, 2);
+        let pool = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec(&[1, 1, 3, 3], vec![1., 2., 9., 3., 4., 9., 9., 9., 9.]);
-        let y = pool.forward(&x, false);
+        let y = pool.forward(&x, &mut scratch()).unwrap();
         assert_eq!(y.shape(), &[1, 1, 1, 1]);
         assert_eq!(y.data(), &[4.0]);
     }
 
     #[test]
+    fn pool_rejects_undersized_input() {
+        let pool = MaxPool2d::new(2, 2);
+        let x = Tensor::zeros(&[1, 1, 1, 3]);
+        let e = pool.forward(&x, &mut scratch()).unwrap_err();
+        assert!(e.to_string().contains("smaller than pool window"));
+    }
+
+    #[test]
     fn pool_backward_routes_to_argmax() {
         let mut pool = MaxPool2d::new(2, 2);
+        let mut s = scratch();
         let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 5., 2., 0.]);
-        let _ = pool.forward(&x, true);
-        let g = pool.backward(&Tensor::full(&[1, 1, 1, 1], 7.0));
+        let _ = pool.forward_train(&x, &mut s).unwrap();
+        let g = pool
+            .backward(&Tensor::full(&[1, 1, 1, 1], 7.0), &mut s)
+            .unwrap();
         assert_eq!(g.data(), &[0.0, 7.0, 0.0, 0.0]);
     }
 
     #[test]
     fn global_pool_shape_and_value() {
-        let mut gp = GlobalMaxPool2d::new();
+        let gp = GlobalMaxPool2d::new();
         let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1., 2., 3., 4., -1., -2., -3., -4.]);
-        let y = gp.forward(&x, false);
+        let y = gp.forward(&x, &mut scratch()).unwrap();
         assert_eq!(y.shape(), &[1, 2, 1, 1]);
         assert_eq!(y.data(), &[4.0, -1.0]);
     }

@@ -1,0 +1,187 @@
+//! Property tests of the fast math kernel against the reference loops.
+//!
+//! The kernel module's contract is *bitwise* equivalence for finite data
+//! (see `kernel::mod` docs), so every comparison here is `==` on the f32
+//! bit patterns — no tolerances. Shapes are drawn odd and ragged on
+//! purpose: the blocked GEMM's MR×NR micro-kernel has to handle partial
+//! strips and partial tiles, and the im2col lowering has to handle
+//! kernels larger than the unpadded input.
+
+use locec_ml::kernel::sgemm::sgemm;
+use locec_ml::kernel::{fast, reference, ConvGeom, Scratch};
+use proptest::prelude::*;
+
+/// Deterministic splitmix-style generator: proptest supplies the seed,
+/// the generator supplies however many values the drawn shape needs.
+fn pseudo(seed: &mut u64) -> f32 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (((*seed >> 33) as u32) as f32 / u32::MAX as f32) * 2.0 - 1.0
+}
+
+fn filled(len: usize, seed: &mut u64) -> Vec<f32> {
+    (0..len).map(|_| pseudo(seed)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sgemm_matches_naive_bitwise(
+        m in 1usize..24,
+        n in 1usize..40,
+        k in 1usize..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut s = seed;
+        let a = filled(m * k, &mut s);
+        let b = filled(k * n, &mut s);
+        let c0 = filled(m * n, &mut s);
+
+        let mut want = c0.clone();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = want[i * n + j];
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                want[i * n + j] = acc;
+            }
+        }
+
+        let mut got = c0;
+        let mut pack = Vec::new();
+        sgemm(m, n, k, &a, &b, &mut got, &mut pack);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(g.to_bits(), w.to_bits(), "element {} differs: {} vs {}", i, g, w);
+        }
+    }
+
+    #[test]
+    fn conv2d_fast_matches_reference_bitwise(
+        n in 1usize..3,
+        c_in in 1usize..4,
+        c_out in 1usize..5,
+        h in 1usize..8,
+        w in 1usize..8,
+        kh in 1usize..6,
+        kw in 1usize..6,
+        ph in 0usize..3,
+        pw in 0usize..3,
+        seed in 0u64..u64::MAX,
+    ) {
+        // Kernel larger than the padded input: both backends reject it the
+        // same way (via the shared validate), nothing to compare.
+        if let Ok(g) = ConvGeom::validate("prop", &[n, c_in, h, w], c_in, c_out, kh, kw, ph, pw) {
+        let mut s = seed;
+        let wts = filled(c_out * c_in * kh * kw, &mut s);
+        let bias = filled(c_out, &mut s);
+        let input = filled(n * c_in * h * w, &mut s);
+        let gout = filled(n * c_out * g.oh * g.ow, &mut s);
+        // Seed gw/gb with junk to prove accumulation (+=) matches too.
+        let gw0 = filled(wts.len(), &mut s);
+        let gb0 = filled(c_out, &mut s);
+
+        let out_len = n * c_out * g.oh * g.ow;
+        let mut out_ref = vec![0.0f32; out_len];
+        let mut out_fast = vec![0.0f32; out_len];
+        let mut scratch = Scratch::new();
+        reference::conv2d_forward(&g, &wts, &bias, &input, &mut out_ref);
+        fast::conv2d_forward(&g, &wts, &bias, &input, &mut out_fast, &mut scratch);
+        for (a, b) in out_fast.iter().zip(&out_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "forward {} vs {}", a, b);
+        }
+
+        let mut gin_ref = vec![0.0f32; input.len()];
+        let mut gin_fast = vec![0.0f32; input.len()];
+        let (mut gw_ref, mut gw_fast) = (gw0.clone(), gw0);
+        let (mut gb_ref, mut gb_fast) = (gb0.clone(), gb0);
+        reference::conv2d_backward(&g, &wts, &input, &gout, &mut gin_ref, &mut gw_ref, &mut gb_ref);
+        fast::conv2d_backward(
+            &g, &wts, &input, &gout, &mut gin_fast, &mut gw_fast, &mut gb_fast, &mut scratch,
+        );
+        for (a, b) in gin_fast.iter().zip(&gin_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "gin {} vs {}", a, b);
+        }
+        for (a, b) in gw_fast.iter().zip(&gw_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "gw {} vs {}", a, b);
+        }
+        for (a, b) in gb_fast.iter().zip(&gb_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "gb {} vs {}", a, b);
+        }
+        }
+    }
+
+    #[test]
+    fn dense_fast_matches_reference_bitwise(
+        n in 1usize..12,
+        din in 1usize..24,
+        dout in 1usize..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut s = seed;
+        let wts = filled(din * dout, &mut s);
+        let bias = filled(dout, &mut s);
+        let input = filled(n * din, &mut s);
+        let gout = filled(n * dout, &mut s);
+        let gw0 = filled(wts.len(), &mut s);
+        let gb0 = filled(dout, &mut s);
+
+        let mut out_ref = vec![0.0f32; n * dout];
+        let mut out_fast = vec![0.0f32; n * dout];
+        let mut scratch = Scratch::new();
+        reference::dense_forward(n, din, dout, &wts, &bias, &input, &mut out_ref);
+        fast::dense_forward(n, din, dout, &wts, &bias, &input, &mut out_fast, &mut scratch);
+        for (a, b) in out_fast.iter().zip(&out_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "forward {} vs {}", a, b);
+        }
+
+        let mut gin_ref = vec![0.0f32; input.len()];
+        let mut gin_fast = vec![0.0f32; input.len()];
+        let (mut gw_ref, mut gw_fast) = (gw0.clone(), gw0);
+        let (mut gb_ref, mut gb_fast) = (gb0.clone(), gb0);
+        reference::dense_backward(
+            n, din, dout, &wts, &input, &gout, &mut gin_ref, &mut gw_ref, &mut gb_ref,
+        );
+        fast::dense_backward(
+            n, din, dout, &wts, &input, &gout, &mut gin_fast, &mut gw_fast, &mut gb_fast,
+            &mut scratch,
+        );
+        for (a, b) in gin_fast.iter().zip(&gin_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "gin {} vs {}", a, b);
+        }
+        for (a, b) in gw_fast.iter().zip(&gw_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "gw {} vs {}", a, b);
+        }
+        for (a, b) in gb_fast.iter().zip(&gb_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "gb {} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn kernel_larger_than_padded_input_is_rejected(
+        h in 1usize..4,
+        w in 1usize..4,
+        extra in 1usize..4,
+    ) {
+        // Kernel strictly larger than the padded extent in one axis.
+        let kh = h + extra;
+        let e = ConvGeom::validate("prop", &[1, 1, h, w], 1, 2, kh, 1, 0, 0).unwrap_err();
+        prop_assert!(e.to_string().contains("larger than padded input"));
+        // With enough padding the same kernel fits — and the backends agree.
+        let g = ConvGeom::validate("prop", &[1, 1, h, w], 1, 2, kh, 1, extra, 0).unwrap();
+        let mut s = 42u64;
+        let wts = filled(2 * kh, &mut s);
+        let bias = filled(2, &mut s);
+        let input = filled(h * w, &mut s);
+        let mut out_ref = vec![0.0f32; 2 * g.oh * g.ow];
+        let mut out_fast = out_ref.clone();
+        let mut scratch = Scratch::new();
+        reference::conv2d_forward(&g, &wts, &bias, &input, &mut out_ref);
+        fast::conv2d_forward(&g, &wts, &bias, &input, &mut out_fast, &mut scratch);
+        for (a, b) in out_fast.iter().zip(&out_ref) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -14,7 +14,7 @@ proptest! {
     ) {
         let k = logits.len();
         let t = Tensor::from_vec(&[1, k], logits);
-        let p = SoftmaxCrossEntropy::softmax(&t);
+        let p = SoftmaxCrossEntropy::softmax(&t).unwrap();
         let sum: f32 = p.row(0).iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-4);
         prop_assert!(p.row(0).iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -26,7 +26,7 @@ proptest! {
         label in 0usize..3,
     ) {
         let t = Tensor::from_vec(&[1, 3], logits);
-        let (loss, _) = SoftmaxCrossEntropy::loss(&t, &[label]);
+        let (loss, _) = SoftmaxCrossEntropy::loss(&t, &[label]).unwrap();
         prop_assert!(loss >= 0.0);
     }
 

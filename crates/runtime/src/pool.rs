@@ -273,6 +273,13 @@ impl WorkerPool {
         T: Send,
         F: Fn(Range<usize>) -> T + Sync,
     {
+        // `parallelism` is an upper bound, not a demand: participants beyond
+        // the machine's concurrency only timeslice each other on the same
+        // cores (measurably slower for CPU-bound chunks), so cap there.
+        // Chunk layout is fixed by `n` and `grain` alone, so this changes
+        // scheduling only — never results.
+        let hw = std::thread::available_parallelism().map_or(usize::MAX, |p| p.get());
+        let parallelism = parallelism.min(hw);
         let grain = grain.max(1);
         let num_chunks = n.div_ceil(grain);
         if num_chunks == 0 {

@@ -130,7 +130,8 @@ observability (every verb):
                           reserved keys schema_version/verb, a meta section, a
                           metrics section with every counter and histogram, and
                           verb-specific sections — divide adds phase1,
-                          coordinate adds cluster + workers, worker adds worker)
+                          coordinate adds cluster + workers, worker adds
+                          worker, train adds train, classify adds classify)
   --log-level LEVEL       stderr event threshold: error|warn|info|debug|trace
                           (info; fault recoveries log at warn, cluster progress
                           at debug)
@@ -170,8 +171,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "coordinate" => cmd_coordinate(&parsed, &mut report),
         "worker" => cmd_worker(&parsed, &mut report),
         "aggregate" => cmd_aggregate(&parsed),
-        "train" => cmd_train(&parsed),
-        "classify" => cmd_classify(&parsed),
+        "train" => cmd_train(&parsed, &mut report),
+        "classify" => cmd_classify(&parsed, &mut report),
         "inspect" => cmd_inspect(&parsed),
         "lint" => cmd_lint(&parsed),
         "report-check" => cmd_report_check(&parsed),
@@ -1084,7 +1085,7 @@ fn cmd_aggregate(p: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(p: &Parsed) -> Result<(), String> {
+fn cmd_train(p: &Parsed, report: &mut RunReport) -> Result<(), String> {
     p.check_args(
         &with_config(&["world", "division", "agg", "out"]),
         &[],
@@ -1112,6 +1113,14 @@ fn cmd_train(p: &Parsed) -> Result<(), String> {
     );
     let dt = t0.elapsed();
     save_edge_model(&out, &clf).map_err(store_err)?;
+    report.set_section(
+        "train",
+        vobj(vec![
+            ("edges", Value::Uint(world.train_edges.len() as u64)),
+            ("features", Value::Uint(clf.model().num_features() as u64)),
+            ("wall_seconds", Value::Float(dt.as_secs_f64())),
+        ]),
+    );
     println!(
         "train: logistic regression on {} edges ({} features) in {:.3}s -> {}",
         world.train_edges.len(),
@@ -1132,7 +1141,7 @@ fn print_eval(stage: &str, eval: &Evaluation) {
     );
 }
 
-fn cmd_classify(p: &Parsed) -> Result<(), String> {
+fn cmd_classify(p: &Parsed, report: &mut RunReport) -> Result<(), String> {
     p.check_args(
         &with_config(&["world", "division", "agg", "model", "out"]),
         &["--verify-pipeline"],
@@ -1154,6 +1163,23 @@ fn cmd_classify(p: &Parsed) -> Result<(), String> {
     let dt = t0.elapsed();
     let eval = clf.evaluate_on(&world.graph, &division, &agg, &world.test_edges);
     save_labels(&out, &predictions).map_err(store_err)?;
+    let secs = dt.as_secs_f64();
+    let throughput = if secs > 0.0 {
+        predictions.len() as f64 / secs
+    } else {
+        0.0
+    };
+    report.set_section(
+        "classify",
+        vobj(vec![
+            ("edges", Value::Uint(predictions.len() as u64)),
+            ("wall_seconds", Value::Float(secs)),
+            ("edge_throughput", Value::Float(throughput)),
+            ("accuracy", Value::Float(eval.accuracy)),
+            ("macro_f1", Value::Float(eval.overall.f1)),
+            ("micro_f1", Value::Float(eval.micro_f1)),
+        ]),
+    );
     println!(
         "classify: {} edges labeled in {:.3}s -> {}",
         predictions.len(),
