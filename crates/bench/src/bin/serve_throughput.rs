@@ -1,0 +1,430 @@
+//! Serve throughput benchmark: the `locec_serve` daemon under concurrent
+//! classify-edge traffic at 1/2/4 clients, on the synthetic world the
+//! other throughput benches use.
+//!
+//! The daemon runs in-process against real TCP clients, so the numbers
+//! include framing and loopback wire time — everything the serving
+//! subsystem adds over raw inference. Every classify-edge reply is
+//! checked **bitwise** against the offline pipeline's answer for that
+//! edge (the correctness gate: a daemon that answers fast but wrong
+//! scores nothing), and each sample performs hot reloads mid-traffic so
+//! the epoch-swap cost shows up in the split.
+//!
+//! Run: `cargo run --release -p locec_bench --bin serve_throughput`
+//!
+//! Environment knobs:
+//! * `LOCEC_SCALE` — `tiny` | `small` | `medium` | `paper`; overridden by
+//! * `LOCEC_SV_USERS` — explicit user count (default 50_000);
+//! * `LOCEC_SV_CLIENTS` — comma-separated client counts (default `1,2,4`);
+//! * `LOCEC_SV_SECONDS` — seconds of traffic per sample (default 5);
+//! * `LOCEC_SV_MIX` — `edge,community,topk` weights (default `8,1,1`);
+//! * `LOCEC_SV_RELOADS` — hot reloads per sample (default 2);
+//! * `LOCEC_SV_MODEL` — `xgb` | `cnn` Phase II model (default `xgb`);
+//! * `LOCEC_SV_OUT` — output path (default `BENCH_serve.json`).
+
+use locec_bench::Scale;
+use locec_core::ground_truth::community_ground_truth;
+use locec_core::phase2::CommunityClassifier;
+use locec_core::phase3::EdgeClassifier;
+use locec_core::pipeline::{split_communities, split_edges};
+use locec_core::{CommunityModelKind, LocecConfig, LocecPipeline};
+use locec_graph::EdgeId;
+use locec_obs::json::Value;
+use locec_obs::{Recorder, RunReport};
+use locec_serve::{EdgeOutcome, ServeAssets, ServeClient, Server};
+use locec_store::{save_division, InferenceWorld};
+use locec_synth::{Scenario, SynthConfig};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One client thread's haul: request count and client-side latency (one
+/// entry per request, nanos).
+struct ClientHaul {
+    queries: u64,
+    latencies: Vec<u64>,
+}
+
+/// What one client thread needs: the daemon address, the query picker
+/// inputs, and the per-edge offline reference it verifies against.
+struct ClientTask {
+    addr: String,
+    seed: u64,
+    mix: (u64, u64, u64),
+    edges: Vec<(u32, u32)>,
+    expected: Arc<Vec<(u8, Vec<f32>)>>,
+    deadline: Instant,
+    stop: Arc<AtomicBool>,
+}
+
+fn run_client(task: ClientTask) -> ClientHaul {
+    let mut client = ServeClient::connect(&task.addr).expect("client connect");
+    let (we, wc, wt) = task.mix;
+    let total_weight = (we + wc + wt).max(1);
+    let mut queries = 0u64;
+    let mut latencies = Vec::new();
+    let mut i = 0u64;
+    while Instant::now() < task.deadline && !task.stop.load(Ordering::Relaxed) {
+        let roll = splitmix(task.seed ^ i.wrapping_mul(0x9E37)) % total_weight;
+        let pick = splitmix(task.seed.wrapping_add(i)) as usize % task.edges.len();
+        let (u, v) = task.edges[pick];
+        let t0 = Instant::now();
+        if roll < we {
+            let reply = client.classify_edge(u, v).expect("classify-edge");
+            latencies.push(t0.elapsed().as_nanos() as u64);
+            let (want_label, want_proba) = &task.expected[pick];
+            match reply.outcome {
+                EdgeOutcome::Classified { label, proba } => {
+                    assert_eq!(label, *want_label, "edge {pick}: served label diverged");
+                    let got: Vec<u32> = proba.iter().map(|p| p.to_bits()).collect();
+                    let want: Vec<u32> = want_proba.iter().map(|p| p.to_bits()).collect();
+                    assert_eq!(got, want, "edge {pick}: served probabilities diverged");
+                }
+                other => panic!("edge {pick}: unexpected outcome {other:?}"),
+            }
+        } else if roll < we + wc {
+            let reply = client.communities_of(u).expect("community-of");
+            latencies.push(t0.elapsed().as_nanos() as u64);
+            assert!(reply.epoch > 0, "community reply missing its epoch stamp");
+        } else {
+            let reply = client.top_k_intimate(u, 8).expect("top-k");
+            latencies.push(t0.elapsed().as_nanos() as u64);
+            assert!(reply.epoch > 0, "top-k reply missing its epoch stamp");
+        }
+        queries += 1;
+        i += 1;
+    }
+    ClientHaul { queries, latencies }
+}
+
+/// `(p50, p99)` of a latency population, nanos. Zeros when empty.
+fn percentiles(latencies: &mut Vec<u64>) -> (u64, u64) {
+    if latencies.is_empty() {
+        return (0, 0);
+    }
+    latencies.sort_unstable();
+    let at = |q: f64| {
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    (at(0.5), at(0.99))
+}
+
+/// Sum of one histogram's recorded values in a snapshot delta.
+fn histogram_sum(snap: &locec_obs::MetricsSnapshot, name: &str) -> u64 {
+    snap.histograms.get(name).map(|h| h.sum).unwrap_or(0)
+}
+
+struct Sample {
+    clients: usize,
+    seconds: f64,
+    queries: u64,
+    qps: f64,
+    p50_nanos: u64,
+    p99_nanos: u64,
+    reloads: u64,
+    report: Value,
+}
+
+fn main() {
+    let users: usize = std::env::var("LOCEC_SV_USERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            if std::env::var("LOCEC_SCALE").is_ok() {
+                Scale::from_env().config(7).num_users
+            } else {
+                50_000
+            }
+        });
+    let client_counts: Vec<usize> = std::env::var("LOCEC_SV_CLIENTS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let seconds: f64 = env_num("LOCEC_SV_SECONDS", 5.0);
+    let reloads_per_sample: u64 = env_num("LOCEC_SV_RELOADS", 2);
+    let mix: (u64, u64, u64) = std::env::var("LOCEC_SV_MIX")
+        .ok()
+        .and_then(|v| {
+            let parts: Vec<u64> = v.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+            (parts.len() == 3).then(|| (parts[0], parts[1], parts[2]))
+        })
+        .unwrap_or((8, 1, 1));
+    let model_kind = match std::env::var("LOCEC_SV_MODEL").as_deref() {
+        Ok("cnn") => CommunityModelKind::Cnn,
+        _ => CommunityModelKind::Xgb,
+    };
+    let out_path = std::env::var("LOCEC_SV_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+
+    eprintln!("generating synthetic world ({users} users)...");
+    let t_gen = Instant::now();
+    let scenario = Scenario::generate(&SynthConfig {
+        num_users: users,
+        surveyed_users: (users / 50).max(10),
+        seed: 7,
+        ..SynthConfig::default()
+    });
+    let n = scenario.graph.num_nodes();
+    let m = scenario.graph.num_edges();
+    eprintln!(
+        "world ready in {:.1}s: {n} nodes, {m} edges",
+        t_gen.elapsed().as_secs_f64()
+    );
+
+    // Train the full stack offline, exactly the way the snapshot pipeline
+    // does, and record the reference answer for every edge.
+    let config = LocecConfig {
+        community_model: model_kind,
+        ..LocecConfig::default()
+    };
+    let data = scenario.dataset();
+    let t_train = Instant::now();
+    let division = LocecPipeline::new(config.clone()).divide_only(&data);
+    let labeled = data.labeled_edges_sorted();
+    let (train, _test) = split_edges(&labeled, 0.8, config.seed);
+    let train_map: HashMap<_, _> = train.iter().copied().collect();
+    let labeled_communities = community_ground_truth(
+        data.graph,
+        &division,
+        &train_map,
+        config.community_label_min_coverage,
+    );
+    let (community_train, _) = split_communities(&labeled_communities, 0.8, config.seed);
+    let community_model = CommunityClassifier::train(&data, &division, &community_train, &config);
+    let agg = community_model.predict_all(&data, &division, &config);
+    let edge_model = EdgeClassifier::train(data.graph, &division, &agg, &train, &config.lr);
+    let expected: Arc<Vec<(u8, Vec<f32>)>> = Arc::new(
+        (0..m)
+            .map(|i| {
+                let e = EdgeId(i as u32);
+                let label = edge_model
+                    .predict(data.graph, &division, &agg, e)
+                    .expect("full divide covers every edge")
+                    .label() as u8;
+                let proba = edge_model
+                    .predict_proba(data.graph, &division, &agg, e)
+                    .expect("full divide covers every edge");
+                (label, proba)
+            })
+            .collect(),
+    );
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|i| {
+            let (u, v) = data.graph.endpoints(EdgeId(i as u32));
+            (u.0, v.0)
+        })
+        .collect();
+    eprintln!(
+        "offline stack trained in {:.1}s: {} communities",
+        t_train.elapsed().as_secs_f64(),
+        division.num_communities()
+    );
+
+    // The hot-reload target: the same division snapshot, so the epoch id
+    // changes mid-traffic but the reference answers stay valid.
+    let dir = std::env::temp_dir().join(format!("locec_serve_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let division_path = dir.join("division.lsnap");
+    save_division(&division_path, &scenario.graph, &division).expect("save division");
+
+    let world = InferenceWorld::from_parts(
+        scenario.graph.clone(),
+        scenario.user_features().to_vec(),
+        scenario.interactions.clone(),
+    );
+    let assets = ServeAssets {
+        community_model,
+        edge_model,
+        k: config.k,
+        row_order: config.row_order,
+        seed: config.seed,
+    };
+    let server =
+        Arc::new(Server::bind(world, assets, division, "127.0.0.1:0").expect("bind daemon"));
+    let addr = server.local_addr().expect("local addr").to_string();
+    let daemon = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("daemon run"))
+    };
+    eprintln!("daemon listening on {addr}");
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for &clients in &client_counts {
+        let before = Recorder::global().snapshot();
+        let stop = Arc::new(AtomicBool::new(false));
+        let deadline = Instant::now() + Duration::from_secs_f64(seconds);
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let task = ClientTask {
+                    addr: addr.clone(),
+                    seed: splitmix(0xC11E_u64 ^ ((clients as u64) << 32) ^ c as u64),
+                    mix,
+                    edges: edges.clone(),
+                    expected: Arc::clone(&expected),
+                    deadline,
+                    stop: Arc::clone(&stop),
+                };
+                std::thread::spawn(move || run_client(task))
+            })
+            .collect();
+
+        // Hot reloads spread over the sample window, on a control
+        // connection of their own.
+        let mut control = ServeClient::connect(&addr).expect("control connect");
+        let gap = Duration::from_secs_f64(seconds / (reloads_per_sample + 1) as f64);
+        let mut reloads_done = 0u64;
+        for _ in 0..reloads_per_sample {
+            std::thread::sleep(gap);
+            if Instant::now() >= deadline {
+                break;
+            }
+            let reply = control
+                .reload(None, division_path.to_str().expect("utf-8 path"))
+                .expect("reload roundtrip");
+            reply.outcome.expect("reload must succeed");
+            reloads_done += 1;
+        }
+
+        let mut queries = 0u64;
+        let mut latencies: Vec<u64> = Vec::new();
+        for h in handles {
+            let haul = h.join().expect("client thread");
+            queries += haul.queries;
+            latencies.extend(haul.latencies);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let (p50, p99) = percentiles(&mut latencies);
+        let qps = queries as f64 / secs;
+
+        // The compute/wire/epoch-swap split for this sample, as a delta of
+        // the daemon's own metrics: server-side verb nanos are compute,
+        // the rest of the client-observed latency is framing + loopback.
+        let after = Recorder::global().snapshot();
+        let verb_hists = [
+            "serve.edge_nanos",
+            "serve.community_nanos",
+            "serve.top_k_nanos",
+        ];
+        let compute: u64 = verb_hists
+            .iter()
+            .map(|h| histogram_sum(&after, h).saturating_sub(histogram_sum(&before, h)))
+            .sum();
+        let swap = histogram_sum(&after, "serve.reload_nanos")
+            .saturating_sub(histogram_sum(&before, "serve.reload_nanos"));
+        let client_total: u64 = latencies.iter().sum();
+        let wire = client_total.saturating_sub(compute);
+        let mut report = RunReport::new("serve");
+        report.set_section(
+            "split",
+            Value::Object(vec![
+                ("server_compute_nanos".to_owned(), Value::Uint(compute)),
+                ("wire_nanos".to_owned(), Value::Uint(wire)),
+                ("epoch_swap_nanos".to_owned(), Value::Uint(swap)),
+                ("reloads".to_owned(), Value::Uint(reloads_done)),
+            ]),
+        );
+        let report = Value::parse(&report.to_json()).expect("run report round-trips");
+
+        eprintln!(
+            "serve c={clients}: {qps:>8.0} q/s over {secs:.1}s  (p50 {:.0}us, p99 {:.0}us, \
+             {reloads_done} reload(s))  [compute {:.2}s, wire {:.2}s, swap {:.3}s]",
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3,
+            compute as f64 / 1e9,
+            wire as f64 / 1e9,
+            swap as f64 / 1e9,
+        );
+        samples.push(Sample {
+            clients,
+            seconds: secs,
+            queries,
+            qps,
+            p50_nanos: p50,
+            p99_nanos: p99,
+            reloads: reloads_done,
+            report,
+        });
+    }
+
+    server.stop();
+    let summary = daemon.join().expect("daemon thread");
+
+    // Hand-rolled JSON (the workspace's serde is a vendored no-op shim).
+    let mix_str = format!("{},{},{}", mix.0, mix.1, mix.2);
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"world\": {{ \"users\": {users}, \"nodes\": {n}, \"edges\": {m}, \"seed\": 7 }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"model\": \"{}\",",
+        match model_kind {
+            CommunityModelKind::Cnn => "cnn",
+            _ => "xgb",
+        }
+    );
+    let _ = writeln!(json, "  \"mix_edge_community_topk\": \"{mix_str}\",");
+    let _ = writeln!(
+        json,
+        "  \"hardware_threads\": {},",
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(0)
+    );
+    let _ = writeln!(json, "  \"verified_bitwise_against_offline\": true,");
+    let _ = writeln!(
+        json,
+        "  \"daemon_totals\": {{ \"connections\": {}, \"edge_queries\": {}, \
+         \"community_queries\": {}, \"top_k_queries\": {}, \"reloads\": {}, \
+         \"final_epoch\": {} }},",
+        summary.connections,
+        summary.edge_queries,
+        summary.community_queries,
+        summary.top_k_queries,
+        summary.reloads,
+        summary.final_epoch
+    );
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"clients\": {}, \"seconds\": {:.4}, \"queries\": {}, \"qps\": {:.1}, \
+             \"p50_nanos\": {}, \"p99_nanos\": {}, \"reloads\": {}, \"report\": {} }}{comma}",
+            s.clients,
+            s.seconds,
+            s.queries,
+            s.qps,
+            s.p50_nanos,
+            s.p99_nanos,
+            s.reloads,
+            s.report.render()
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -52,6 +52,32 @@ pub enum FrameType {
     /// Coordinator → worker: handshake refused (version or auth); the
     /// payload carries a typed [`crate::protocol::RejectReason`].
     Reject = 7,
+    /// Serve client → daemon: handshake (serve protocol version).
+    ServeHello = 8,
+    /// Daemon → serve client: handshake accepted (epoch + world shape).
+    ServeWelcome = 9,
+    /// Serve client → daemon: classify one edge `⟨u, v⟩`.
+    EdgeQuery = 10,
+    /// Daemon → serve client: the edge's predicted relationship type and
+    /// class probabilities, stamped with the answering epoch.
+    EdgeReply = 11,
+    /// Serve client → daemon: list every local community a node belongs to.
+    CommunityQuery = 12,
+    /// Daemon → serve client: the node's (overlapping) community
+    /// memberships.
+    CommunityReply = 13,
+    /// Serve client → daemon: the node's top-k most intimate neighbors.
+    TopKQuery = 14,
+    /// Daemon → serve client: the ranked `(neighbor, intimacy)` list.
+    TopKReply = 15,
+    /// Serve client → daemon: daemon status/stats request.
+    StatusQuery = 16,
+    /// Daemon → serve client: epoch, uptime and per-verb counters.
+    StatusReply = 17,
+    /// Serve client → daemon: hot-swap to a new division snapshot.
+    Reload = 18,
+    /// Daemon → serve client: the reload outcome (new epoch or a refusal).
+    ReloadReply = 19,
 }
 
 impl FrameType {
@@ -65,6 +91,18 @@ impl FrameType {
             5 => FrameType::Heartbeat,
             6 => FrameType::Shutdown,
             7 => FrameType::Reject,
+            8 => FrameType::ServeHello,
+            9 => FrameType::ServeWelcome,
+            10 => FrameType::EdgeQuery,
+            11 => FrameType::EdgeReply,
+            12 => FrameType::CommunityQuery,
+            13 => FrameType::CommunityReply,
+            14 => FrameType::TopKQuery,
+            15 => FrameType::TopKReply,
+            16 => FrameType::StatusQuery,
+            17 => FrameType::StatusReply,
+            18 => FrameType::Reload,
+            19 => FrameType::ReloadReply,
             _ => return None,
         })
     }
@@ -79,6 +117,18 @@ impl FrameType {
             FrameType::Heartbeat => "heartbeat",
             FrameType::Shutdown => "shutdown",
             FrameType::Reject => "reject",
+            FrameType::ServeHello => "serve-hello",
+            FrameType::ServeWelcome => "serve-welcome",
+            FrameType::EdgeQuery => "edge-query",
+            FrameType::EdgeReply => "edge-reply",
+            FrameType::CommunityQuery => "community-query",
+            FrameType::CommunityReply => "community-reply",
+            FrameType::TopKQuery => "top-k-query",
+            FrameType::TopKReply => "top-k-reply",
+            FrameType::StatusQuery => "status-query",
+            FrameType::StatusReply => "status-reply",
+            FrameType::Reload => "reload",
+            FrameType::ReloadReply => "reload-reply",
         }
     }
 }
@@ -257,6 +307,18 @@ mod tests {
             FrameType::Heartbeat,
             FrameType::Shutdown,
             FrameType::Reject,
+            FrameType::ServeHello,
+            FrameType::ServeWelcome,
+            FrameType::EdgeQuery,
+            FrameType::EdgeReply,
+            FrameType::CommunityQuery,
+            FrameType::CommunityReply,
+            FrameType::TopKQuery,
+            FrameType::TopKReply,
+            FrameType::StatusQuery,
+            FrameType::StatusReply,
+            FrameType::Reload,
+            FrameType::ReloadReply,
         ];
         for (i, &ft) in all.iter().enumerate() {
             // Distinct payloads per type, including the empty one.
@@ -270,9 +332,14 @@ mod tests {
                 "{ft:?}"
             );
         }
-        // The registry ends at Reject: the next discriminant is unknown.
+        // The registered discriminants are dense (1..=last) and every one
+        // round-trips; the registry ends at ReloadReply — the next
+        // discriminant is unknown, as is 0.
+        for (i, &ft) in all.iter().enumerate() {
+            assert_eq!(ft as u8, i as u8 + 1, "{ft:?} discriminant");
+        }
         assert_eq!(FrameType::from_u8(0), None);
-        assert_eq!(FrameType::from_u8(FrameType::Reject as u8 + 1), None);
+        assert_eq!(FrameType::from_u8(FrameType::ReloadReply as u8 + 1), None);
     }
 
     /// Every corruption mode yields its own [`FrameError`] variant on the

@@ -208,7 +208,7 @@ mod tests {
             ds.labeled_edges,
             config.community_label_min_coverage,
         );
-        let mut model = CommunityClassifier::train(&ds, &division, &labeled, &config);
+        let model = CommunityClassifier::train(&ds, &division, &labeled, &config);
         let agg = model.predict_all(&ds, &division, &config);
         Fixture {
             scenario,

@@ -73,6 +73,7 @@ impl LintConfig {
             panic_scope_prefixes: s(&[
                 "crates/store/src/",
                 "crates/cluster/src/",
+                "crates/serve/src/",
                 "crates/obs/src/",
                 "crates/graph/src/delta.rs",
                 "crates/ml/src/kernel/",
@@ -114,6 +115,10 @@ impl LintConfig {
                 WireConst {
                     name: "AUTH_KEYED".into(),
                     declaring_file: "crates/cluster/src/protocol.rs".into(),
+                },
+                WireConst {
+                    name: "SERVE_PROTOCOL_VERSION".into(),
+                    declaring_file: "crates/serve/src/protocol.rs".into(),
                 },
                 WireConst {
                     name: "REPORT_SCHEMA_VERSION".into(),

@@ -1,0 +1,116 @@
+#![forbid(unsafe_code)]
+//! # locec_serve — the always-on LoCEC edge-query daemon
+//!
+//! Turns a trained LoCEC pipeline into a long-lived network service:
+//! `locec serve` loads a world snapshot (through the lazy per-section
+//! reader, so label and split columns never leave the disk), a Phase I
+//! division and the trained Phase II/III models, then answers queries over
+//! the same `LCF1` frame discipline the cluster subsystem speaks:
+//!
+//! * **classify-edge(u, v)** — the Eq. 4 feature vector is built on demand
+//!   and pushed through the immutable CNN/GBDT + logistic-regression
+//!   inference path; the answer is bit-identical to what the offline
+//!   [`locec_core::pipeline::LocecPipeline`] computes for the same edge.
+//! * **community-of(u)** — every local community `u` occupies across its
+//!   neighbors' ego networks, with size, tightness and predicted type.
+//! * **top-k-intimate(u, k)** — `u`'s neighbors ranked by Eq. 3 tightness
+//!   inside `u`'s own ego network, the paper's intimacy proxy.
+//! * **status / stats** — serving shape, per-verb counters, uptime.
+//!
+//! ## Epoch hot-swap
+//!
+//! All serving state (world, models, division, and the per-community
+//! embedding memo) lives in an immutable [`epoch::ServingEpoch`] behind an
+//! atomically swappable handle. A `reload` request builds the next epoch
+//! off to the side and swaps the handle in O(1): connections pin the epoch
+//! `Arc` once per request, so every response is computed against exactly
+//! one consistent epoch (and stamps that epoch's id); old epochs drain by
+//! reference count as in-flight requests finish — nothing is dropped.
+//!
+//! Per-community embeddings `r_C` are computed lazily on first touch and
+//! memoized per epoch (`OnceLock` per community), so a freshly reloaded
+//! daemon pays inference cost only for the communities queries actually
+//! reach.
+
+pub mod client;
+pub mod epoch;
+pub mod protocol;
+pub mod server;
+#[cfg(test)]
+pub(crate) mod testfix;
+
+use std::fmt;
+
+use locec_cluster::frame::FrameType;
+use locec_cluster::FrameError;
+use locec_cluster::RejectReason;
+use locec_store::SnapshotError;
+
+pub use client::ServeClient;
+pub use epoch::{EpochHandle, ServeAssets, ServingEpoch};
+pub use protocol::{
+    CommunityMembership, CommunityQuery, CommunityReply, EdgeOutcome, EdgeQuery, EdgeReply, Reload,
+    ReloadReply, ServeHello, ServeWelcome, StatusReply, TopKQuery, TopKReply,
+    SERVE_PROTOCOL_VERSION,
+};
+pub use server::{ServeSummary, Server};
+
+/// Everything that can go wrong in the serving subsystem. Every variant is
+/// a typed, printable failure — the daemon and client never panic on bad
+/// input, bad files or bad peers.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// Framing failed (truncation, checksum, unknown type...).
+    Frame(FrameError),
+    /// A snapshot file or a payload column failed to decode.
+    Snapshot(SnapshotError),
+    /// The peer refused the handshake.
+    Rejected(RejectReason),
+    /// A structurally valid frame of the wrong type arrived.
+    Unexpected {
+        /// What the state machine was waiting for.
+        expected: &'static str,
+        /// What actually arrived.
+        got: FrameType,
+    },
+    /// The serving state is inconsistent (e.g. a division computed on a
+    /// different world than the one being served).
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve i/o error: {e}"),
+            ServeError::Frame(e) => write!(f, "serve frame error: {e}"),
+            ServeError::Snapshot(e) => write!(f, "serve snapshot error: {e}"),
+            ServeError::Rejected(r) => write!(f, "serve handshake rejected: {r}"),
+            ServeError::Unexpected { expected, got } => {
+                write!(f, "expected {expected}, got {} frame", got.name())
+            }
+            ServeError::Config(msg) => write!(f, "serve configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<FrameError> for ServeError {
+    fn from(e: FrameError) -> Self {
+        ServeError::Frame(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}

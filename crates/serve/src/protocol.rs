@@ -1,0 +1,658 @@
+//! Serve-side payload codecs for the `LCF1` frame protocol.
+//!
+//! The daemon reuses the cluster subsystem's frame discipline (13-byte
+//! header, CRC32-checked payload) and adds its own request/response frame
+//! types ([`locec_cluster::frame::FrameType`] values 8–19). Payloads are
+//! encoded with the same little-endian column primitives snapshots use
+//! ([`locec_store::format::Enc`] / [`Dec`]), so every decode failure is a
+//! typed [`SnapshotError`](locec_store::SnapshotError) — never a panic.
+//!
+//! Every reply carries the id of the epoch that computed it, which is what
+//! lets clients (and the hot-swap property test) assert that a response
+//! was produced by exactly one consistent serving epoch.
+
+use locec_store::format::{Dec, Enc};
+use locec_store::SnapshotError;
+
+use crate::ServeError;
+
+/// Version of the serve request/response protocol. Bumped whenever any
+/// payload layout below changes shape.
+pub const SERVE_PROTOCOL_VERSION: u32 = 1;
+
+/// Client → daemon handshake.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeHello {
+    /// The client's [`SERVE_PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+}
+
+impl ServeHello {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.protocol_version);
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let protocol_version = d.u32()?;
+        d.done()?;
+        Ok(ServeHello { protocol_version })
+    }
+}
+
+/// Daemon → client handshake acceptance: protocol version plus the shape
+/// of the world being served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeWelcome {
+    /// The daemon's [`SERVE_PROTOCOL_VERSION`].
+    pub protocol_version: u32,
+    /// Id of the serving epoch at accept time.
+    pub epoch: u64,
+    /// Nodes in the served graph.
+    pub num_nodes: u64,
+    /// Undirected edges in the served graph.
+    pub num_edges: u64,
+    /// Local communities in the serving division.
+    pub num_communities: u64,
+}
+
+impl ServeWelcome {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.protocol_version);
+        e.u64(self.epoch);
+        e.u64(self.num_nodes);
+        e.u64(self.num_edges);
+        e.u64(self.num_communities);
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let out = ServeWelcome {
+            protocol_version: d.u32()?,
+            epoch: d.u64()?,
+            num_nodes: d.u64()?,
+            num_edges: d.u64()?,
+            num_communities: d.u64()?,
+        };
+        d.done()?;
+        Ok(out)
+    }
+}
+
+/// classify-edge request: the two endpoints of the friendship edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeQuery {
+    /// One endpoint (global node id).
+    pub u: u32,
+    /// The other endpoint.
+    pub v: u32,
+}
+
+impl EdgeQuery {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.u);
+        e.u32(self.v);
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let out = EdgeQuery {
+            u: d.u32()?,
+            v: d.u32()?,
+        };
+        d.done()?;
+        Ok(out)
+    }
+}
+
+/// What classify-edge produced.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EdgeOutcome {
+    /// The edge exists and the division covers it: the predicted
+    /// relationship type and the full class-probability vector, bitwise
+    /// equal to the offline pipeline's answer for the same edge.
+    Classified {
+        /// `RelationType` label index.
+        label: u8,
+        /// Class probabilities (length `|L|`).
+        proba: Vec<f32>,
+    },
+    /// The queried pair is not a friendship edge of the served graph.
+    NoSuchEdge,
+    /// The edge exists but the serving division does not cover it (only
+    /// possible when serving a division of a different or partial world).
+    Uncovered,
+}
+
+const EDGE_CLASSIFIED: u8 = 0;
+const EDGE_NO_SUCH_EDGE: u8 = 1;
+const EDGE_UNCOVERED: u8 = 2;
+
+/// classify-edge response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeReply {
+    /// Id of the epoch that computed this answer.
+    pub epoch: u64,
+    /// The classification outcome.
+    pub outcome: EdgeOutcome,
+}
+
+impl EdgeReply {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.epoch);
+        match &self.outcome {
+            EdgeOutcome::Classified { label, proba } => {
+                e.u8(EDGE_CLASSIFIED);
+                e.u8(*label);
+                e.u64(proba.len() as u64);
+                e.f32_slice(proba);
+            }
+            EdgeOutcome::NoSuchEdge => e.u8(EDGE_NO_SUCH_EDGE),
+            EdgeOutcome::Uncovered => e.u8(EDGE_UNCOVERED),
+        }
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let epoch = d.u64()?;
+        let outcome = match d.u8()? {
+            EDGE_CLASSIFIED => {
+                let label = d.u8()?;
+                let n = d.count()?;
+                let proba = d.f32_vec(n)?;
+                EdgeOutcome::Classified { label, proba }
+            }
+            EDGE_NO_SUCH_EDGE => EdgeOutcome::NoSuchEdge,
+            EDGE_UNCOVERED => EdgeOutcome::Uncovered,
+            _ => return Err(SnapshotError::Corrupt("unknown edge outcome tag").into()),
+        };
+        d.done()?;
+        Ok(EdgeReply { epoch, outcome })
+    }
+}
+
+/// community-of request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommunityQuery {
+    /// The node whose community memberships are requested.
+    pub node: u32,
+}
+
+impl CommunityQuery {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.node);
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let node = d.u32()?;
+        d.done()?;
+        Ok(CommunityQuery { node })
+    }
+}
+
+/// One local community a node occupies: LoCEC communities are per-ego, so
+/// a node belongs to (at most) one community in each neighbor's ego
+/// network.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunityMembership {
+    /// The ego whose ego network hosts this community.
+    pub ego: u32,
+    /// Global community index in the serving division.
+    pub community: u32,
+    /// Member count `|C|`.
+    pub size: u32,
+    /// Eq. 3 tightness of the queried node inside this community.
+    pub tightness: f32,
+    /// Predicted community type (argmax of the Phase II probabilities).
+    pub label: u8,
+}
+
+/// community-of response: one entry per neighbor ego network that places
+/// the node in a community, in ascending ego order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunityReply {
+    /// Id of the epoch that computed this answer.
+    pub epoch: u64,
+    /// The node's community memberships.
+    pub memberships: Vec<CommunityMembership>,
+}
+
+impl CommunityReply {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.epoch);
+        e.u64(self.memberships.len() as u64);
+        for m in &self.memberships {
+            e.u32(m.ego);
+            e.u32(m.community);
+            e.u32(m.size);
+            e.f32(m.tightness);
+            e.u8(m.label);
+        }
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let epoch = d.u64()?;
+        let n = d.count()?;
+        let mut memberships = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            memberships.push(CommunityMembership {
+                ego: d.u32()?,
+                community: d.u32()?,
+                size: d.u32()?,
+                tightness: d.f32()?,
+                label: d.u8()?,
+            });
+        }
+        d.done()?;
+        Ok(CommunityReply { epoch, memberships })
+    }
+}
+
+/// top-k-intimate request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopKQuery {
+    /// The node whose most intimate friends are requested.
+    pub node: u32,
+    /// How many neighbors to return.
+    pub k: u32,
+}
+
+impl TopKQuery {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u32(self.node);
+        e.u32(self.k);
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let out = TopKQuery {
+            node: d.u32()?,
+            k: d.u32()?,
+        };
+        d.done()?;
+        Ok(out)
+    }
+}
+
+/// top-k-intimate response: neighbors ranked by descending Eq. 3
+/// tightness in the queried node's own ego network (node-id ascending on
+/// ties), truncated to `k`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKReply {
+    /// Id of the epoch that computed this answer.
+    pub epoch: u64,
+    /// `(neighbor, tightness)` pairs, best first.
+    pub neighbors: Vec<(u32, f32)>,
+}
+
+impl TopKReply {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.epoch);
+        e.u64(self.neighbors.len() as u64);
+        for &(node, tightness) in &self.neighbors {
+            e.u32(node);
+            e.f32(tightness);
+        }
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let epoch = d.u64()?;
+        let n = d.count()?;
+        let mut neighbors = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            neighbors.push((d.u32()?, d.f32()?));
+        }
+        d.done()?;
+        Ok(TopKReply { epoch, neighbors })
+    }
+}
+
+/// status response: serving shape, per-verb counters and uptime. The
+/// status request itself carries an empty payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatusReply {
+    /// Id of the current serving epoch.
+    pub epoch: u64,
+    /// Nanoseconds since the daemon started.
+    pub uptime_nanos: u64,
+    /// Completed hot reloads.
+    pub reloads: u64,
+    /// Accepted connections.
+    pub connections: u64,
+    /// classify-edge requests answered.
+    pub edge_queries: u64,
+    /// community-of requests answered.
+    pub community_queries: u64,
+    /// top-k-intimate requests answered.
+    pub top_k_queries: u64,
+    /// Nodes in the served graph.
+    pub num_nodes: u64,
+    /// Undirected edges in the served graph.
+    pub num_edges: u64,
+    /// Local communities in the current epoch's division.
+    pub num_communities: u64,
+    /// Communities whose `r_C` embedding the current epoch has memoized.
+    pub cached_embeddings: u64,
+}
+
+impl StatusReply {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        for v in [
+            self.epoch,
+            self.uptime_nanos,
+            self.reloads,
+            self.connections,
+            self.edge_queries,
+            self.community_queries,
+            self.top_k_queries,
+            self.num_nodes,
+            self.num_edges,
+            self.num_communities,
+            self.cached_embeddings,
+        ] {
+            e.u64(v);
+        }
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let out = StatusReply {
+            epoch: d.u64()?,
+            uptime_nanos: d.u64()?,
+            reloads: d.u64()?,
+            connections: d.u64()?,
+            edge_queries: d.u64()?,
+            community_queries: d.u64()?,
+            top_k_queries: d.u64()?,
+            num_nodes: d.u64()?,
+            num_edges: d.u64()?,
+            num_communities: d.u64()?,
+            cached_embeddings: d.u64()?,
+        };
+        d.done()?;
+        Ok(out)
+    }
+}
+
+/// Hot-swap request: point the daemon at a new division snapshot (and
+/// optionally a new world snapshot, for serving an evolved graph).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reload {
+    /// Path of the replacement world snapshot, if the world changed too.
+    pub world_path: Option<String>,
+    /// Path of the replacement division snapshot.
+    pub division_path: String,
+}
+
+fn enc_str(e: &mut Enc, s: &str) {
+    e.u64(s.len() as u64);
+    e.u8_slice(s.as_bytes());
+}
+
+fn dec_str(d: &mut Dec<'_>) -> Result<String, ServeError> {
+    let n = d.count()?;
+    let bytes = d.u8_vec(n)?;
+    String::from_utf8(bytes)
+        .map_err(|_| SnapshotError::Corrupt("snapshot path is not valid utf-8").into())
+}
+
+impl Reload {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match &self.world_path {
+            Some(w) => {
+                e.u8(1);
+                enc_str(&mut e, w);
+            }
+            None => e.u8(0),
+        }
+        enc_str(&mut e, &self.division_path);
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let world_path = match d.u8()? {
+            0 => None,
+            1 => Some(dec_str(&mut d)?),
+            _ => return Err(SnapshotError::Corrupt("unknown reload world tag").into()),
+        };
+        let division_path = dec_str(&mut d)?;
+        d.done()?;
+        Ok(Reload {
+            world_path,
+            division_path,
+        })
+    }
+}
+
+/// Hot-swap response: the new epoch on success, a printable reason on
+/// failure (the old epoch keeps serving either way).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReloadReply {
+    /// `Ok((new_epoch_id, num_communities))` or `Err(reason)`.
+    pub outcome: Result<(u64, u64), String>,
+}
+
+impl ReloadReply {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match &self.outcome {
+            Ok((epoch, communities)) => {
+                e.u8(0);
+                e.u64(*epoch);
+                e.u64(*communities);
+            }
+            Err(msg) => {
+                e.u8(1);
+                enc_str(&mut e, msg);
+            }
+        }
+        e.finish()
+    }
+
+    /// Parses the payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ServeError> {
+        let mut d = Dec::new(bytes);
+        let outcome = match d.u8()? {
+            0 => Ok((d.u64()?, d.u64()?)),
+            1 => Err(dec_str(&mut d)?),
+            _ => return Err(SnapshotError::Corrupt("unknown reload outcome tag").into()),
+        };
+        d.done()?;
+        Ok(ReloadReply { outcome })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_serve_payload_roundtrips() {
+        let hello = ServeHello {
+            protocol_version: SERVE_PROTOCOL_VERSION,
+        };
+        assert_eq!(ServeHello::decode(&hello.encode()).unwrap(), hello);
+
+        let welcome = ServeWelcome {
+            protocol_version: SERVE_PROTOCOL_VERSION,
+            epoch: 3,
+            num_nodes: 50_000,
+            num_edges: 400_000,
+            num_communities: 123_456,
+        };
+        assert_eq!(ServeWelcome::decode(&welcome.encode()).unwrap(), welcome);
+
+        let query = EdgeQuery { u: 17, v: 40_001 };
+        assert_eq!(EdgeQuery::decode(&query.encode()).unwrap(), query);
+
+        for outcome in [
+            EdgeOutcome::Classified {
+                label: 2,
+                proba: vec![0.125, 0.5, 0.375],
+            },
+            EdgeOutcome::NoSuchEdge,
+            EdgeOutcome::Uncovered,
+        ] {
+            let reply = EdgeReply { epoch: 9, outcome };
+            assert_eq!(EdgeReply::decode(&reply.encode()).unwrap(), reply);
+        }
+
+        let cq = CommunityQuery { node: 5 };
+        assert_eq!(CommunityQuery::decode(&cq.encode()).unwrap(), cq);
+
+        let cr = CommunityReply {
+            epoch: 1,
+            memberships: vec![
+                CommunityMembership {
+                    ego: 3,
+                    community: 7,
+                    size: 12,
+                    tightness: 0.75,
+                    label: 1,
+                },
+                CommunityMembership {
+                    ego: 9,
+                    community: 2,
+                    size: 4,
+                    tightness: 0.25,
+                    label: 0,
+                },
+            ],
+        };
+        assert_eq!(CommunityReply::decode(&cr.encode()).unwrap(), cr);
+
+        let tq = TopKQuery { node: 8, k: 5 };
+        assert_eq!(TopKQuery::decode(&tq.encode()).unwrap(), tq);
+
+        let tr = TopKReply {
+            epoch: 2,
+            neighbors: vec![(4, 1.0), (11, 0.5), (2, 0.5)],
+        };
+        assert_eq!(TopKReply::decode(&tr.encode()).unwrap(), tr);
+
+        let status = StatusReply {
+            epoch: 4,
+            uptime_nanos: 1_000_000_007,
+            reloads: 3,
+            connections: 12,
+            edge_queries: 1000,
+            community_queries: 50,
+            top_k_queries: 25,
+            num_nodes: 50_000,
+            num_edges: 400_000,
+            num_communities: 123_456,
+            cached_embeddings: 512,
+        };
+        assert_eq!(StatusReply::decode(&status.encode()).unwrap(), status);
+
+        for reload in [
+            Reload {
+                world_path: None,
+                division_path: "out/division2.snap".to_owned(),
+            },
+            Reload {
+                world_path: Some("out/world2.snap".to_owned()),
+                division_path: "out/division2.snap".to_owned(),
+            },
+        ] {
+            assert_eq!(Reload::decode(&reload.encode()).unwrap(), reload);
+        }
+
+        for rr in [
+            ReloadReply {
+                outcome: Ok((5, 99)),
+            },
+            ReloadReply {
+                outcome: Err("division does not match the world".to_owned()),
+            },
+        ] {
+            assert_eq!(ReloadReply::decode(&rr.encode()).unwrap(), rr);
+        }
+    }
+
+    #[test]
+    fn truncated_and_damaged_payloads_are_typed_errors() {
+        let reply = EdgeReply {
+            epoch: 7,
+            outcome: EdgeOutcome::Classified {
+                label: 1,
+                proba: vec![0.25, 0.25, 0.5],
+            },
+        };
+        let good = reply.encode();
+        // Every proper prefix fails to decode with a typed error.
+        for cut in 0..good.len() {
+            assert!(EdgeReply::decode(&good[..cut]).is_err());
+        }
+        // Trailing garbage is rejected by the exhaustiveness check.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(EdgeReply::decode(&long).is_err());
+        // An unknown outcome tag is rejected.
+        let mut bad_tag = good;
+        bad_tag[8] = 99;
+        assert!(EdgeReply::decode(&bad_tag).is_err());
+
+        // Non-utf8 bytes in a reload path are a typed error, not a panic.
+        let mut e = Enc::new();
+        e.u8(0);
+        e.u64(2);
+        e.u8_slice(&[0xFF, 0xFE]);
+        assert!(Reload::decode(&e.finish()).is_err());
+    }
+
+    #[test]
+    fn reject_reason_byte_is_cluster_compatible() {
+        use locec_cluster::RejectReason;
+        // The serve handshake reuses the cluster Reject frame payload: one
+        // RejectReason byte.
+        assert_eq!(
+            RejectReason::from_u8(RejectReason::Version as u8),
+            Some(RejectReason::Version)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared unit-test fixture: a tiny trained world plus the offline
+//! pipeline's reference answers, against which every served reply is
+//! checked bit-for-bit.
+
+use std::collections::HashMap;
+
+use locec_core::ground_truth::community_ground_truth;
+use locec_core::phase2::CommunityClassifier;
+use locec_core::phase3::EdgeClassifier;
+use locec_core::pipeline::{split_communities, split_edges};
+use locec_core::{CommunityModelKind, DivisionResult, LocecConfig, LocecPipeline};
+use locec_graph::EdgeId;
+use locec_store::InferenceWorld;
+use locec_synth::{Scenario, SynthConfig};
+
+use crate::epoch::ServeAssets;
+
+/// A trained tiny world with its offline reference answers.
+pub(crate) struct Fixture {
+    /// The serving-side world columns.
+    pub world: InferenceWorld,
+    /// The trained models + feature parameters.
+    pub assets: ServeAssets,
+    /// The Phase I division both sides use.
+    pub division: DivisionResult,
+    /// Offline `(label, probabilities)` per `EdgeId` — the bit-identity
+    /// reference.
+    pub expected: Vec<(u8, Vec<f32>)>,
+}
+
+/// Generates a tiny scenario, trains the full LoCEC stack on it exactly
+/// the way [`LocecPipeline::run_with_division`] does, and records the
+/// offline answer for every edge.
+pub(crate) fn fixture(model: CommunityModelKind, seed: u64) -> Fixture {
+    let scenario = Scenario::generate(&SynthConfig::tiny(seed));
+    let config = LocecConfig {
+        community_model: model,
+        ..LocecConfig::fast()
+    };
+    let data = scenario.dataset();
+    let pipeline = LocecPipeline::new(config.clone());
+    let division = pipeline.divide_only(&data);
+
+    let labeled = data.labeled_edges_sorted();
+    let (train, _test) = split_edges(&labeled, 0.8, config.seed);
+    let train_map: HashMap<_, _> = train.iter().copied().collect();
+    let labeled_communities = community_ground_truth(
+        data.graph,
+        &division,
+        &train_map,
+        config.community_label_min_coverage,
+    );
+    let (community_train, _) = split_communities(&labeled_communities, 0.8, config.seed);
+    let community_model = CommunityClassifier::train(&data, &division, &community_train, &config);
+    let agg = community_model.predict_all(&data, &division, &config);
+    let edge_model = EdgeClassifier::train(data.graph, &division, &agg, &train, &config.lr);
+
+    let expected: Vec<(u8, Vec<f32>)> = (0..data.graph.num_edges())
+        .map(|i| {
+            let e = EdgeId(i as u32);
+            let label = edge_model
+                .predict(data.graph, &division, &agg, e)
+                // locec-lint: allow(R2) — cfg(test)-only fixture; a full divide covers every edge by construction.
+                .expect("division covers every edge")
+                .label() as u8;
+            let proba = edge_model
+                .predict_proba(data.graph, &division, &agg, e)
+                // locec-lint: allow(R2) — cfg(test)-only fixture; a full divide covers every edge by construction.
+                .expect("division covers every edge");
+            (label, proba)
+        })
+        .collect();
+
+    let world = InferenceWorld::from_parts(
+        scenario.graph.clone(),
+        scenario.user_features().to_vec(),
+        scenario.interactions.clone(),
+    );
+    let assets = ServeAssets {
+        community_model,
+        edge_model,
+        k: config.k,
+        row_order: config.row_order,
+        seed: config.seed,
+    };
+    Fixture {
+        world,
+        assets,
+        division,
+        expected,
+    }
+}

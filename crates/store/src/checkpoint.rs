@@ -39,6 +39,96 @@ pub struct DivisionCheckpoint {
     pub communities: Vec<LocalCommunity>,
 }
 
+/// How much of the ego space a checkpoint has absorbed — the facts a
+/// `--resume` decision needs: what is done, what is left, and where the
+/// holes are.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointCoverage {
+    /// Node count of the world being divided.
+    pub num_nodes: u32,
+    /// Egos inside the merged ranges.
+    pub covered: u64,
+    /// Egos a resumed coordinator still has to divide.
+    pub remaining: u64,
+    /// Sorted, disjoint uncovered ranges (the complement of `merged`
+    /// within `[0, num_nodes)`).
+    pub gaps: Vec<(u32, u32)>,
+    /// Communities spliced in so far.
+    pub communities: u64,
+}
+
+impl CheckpointCoverage {
+    /// Covered fraction in percent (100 for an empty graph).
+    pub fn percent(&self) -> f64 {
+        if self.num_nodes == 0 {
+            100.0
+        } else {
+            self.covered as f64 * 100.0 / f64::from(self.num_nodes)
+        }
+    }
+
+    /// Whether every ego is absorbed — a resume would finalize
+    /// immediately without re-queuing any work.
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// The human-readable summary `locec inspect` prints, one line per
+    /// element.
+    pub fn render(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "{} of {} egos absorbed ({:.1}%), {} communities",
+            self.covered,
+            self.num_nodes,
+            self.percent(),
+            self.communities
+        )];
+        if self.is_complete() {
+            lines.push("resume: complete — nothing left to re-queue".to_owned());
+        } else {
+            let gaps: Vec<String> = self
+                .gaps
+                .iter()
+                .map(|&(s, e)| format!("{s}..{e}"))
+                .collect();
+            lines.push(format!(
+                "resume: {} ego(s) left across {} gap(s): {}",
+                self.remaining,
+                self.gaps.len(),
+                gaps.join(", ")
+            ));
+        }
+        lines
+    }
+}
+
+impl DivisionCheckpoint {
+    /// Summarizes the merged ranges against the full ego space. Relies on
+    /// the invariants [`load_division_checkpoint`] enforces (sorted,
+    /// disjoint, coalesced, in-bounds ranges).
+    pub fn coverage(&self) -> CheckpointCoverage {
+        let covered: u64 = self.merged.iter().map(|&(s, e)| u64::from(e - s)).sum();
+        let mut gaps = Vec::new();
+        let mut cursor = 0u32;
+        for &(s, e) in &self.merged {
+            if cursor < s {
+                gaps.push((cursor, s));
+            }
+            cursor = e;
+        }
+        if cursor < self.num_nodes {
+            gaps.push((cursor, self.num_nodes));
+        }
+        CheckpointCoverage {
+            num_nodes: self.num_nodes,
+            covered,
+            remaining: u64::from(self.num_nodes) - covered,
+            gaps,
+            communities: self.communities.len() as u64,
+        }
+    }
+}
+
 /// Writes a checkpoint atomically: the bytes land in `<path>.tmp` first
 /// and replace `path` with a rename, so a crash mid-write never corrupts
 /// the previous checkpoint.
@@ -186,6 +276,53 @@ mod tests {
         // The temp file was renamed away, not left behind.
         assert!(!path.with_extension("lsnap.tmp").exists());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn coverage_reports_gaps_for_a_partial_checkpoint() {
+        let cov = sample().coverage();
+        assert_eq!(
+            cov,
+            CheckpointCoverage {
+                num_nodes: 100,
+                covered: 37,
+                remaining: 63,
+                gaps: vec![(25, 50), (62, 100)],
+                communities: 2,
+            }
+        );
+        assert!(!cov.is_complete());
+        assert!((cov.percent() - 37.0).abs() < 1e-9);
+        let lines = cov.render();
+        assert_eq!(
+            lines,
+            vec![
+                "37 of 100 egos absorbed (37.0%), 2 communities".to_owned(),
+                "resume: 63 ego(s) left across 2 gap(s): 25..50, 62..100".to_owned(),
+            ]
+        );
+    }
+
+    #[test]
+    fn coverage_of_a_complete_checkpoint_requeues_nothing() {
+        let mut ckpt = sample();
+        ckpt.merged = vec![(0, 100)];
+        let cov = ckpt.coverage();
+        assert!(cov.is_complete());
+        assert_eq!(cov.remaining, 0);
+        assert!(cov.gaps.is_empty());
+        assert_eq!(
+            cov.render()[1],
+            "resume: complete — nothing left to re-queue"
+        );
+
+        // A leading gap (nothing merged yet) is one whole-range hole.
+        ckpt.merged.clear();
+        ckpt.communities.clear();
+        let cov = ckpt.coverage();
+        assert_eq!(cov.covered, 0);
+        assert_eq!(cov.gaps, vec![(0, 100)]);
+        assert!((cov.percent()).abs() < 1e-9);
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod models;
 pub mod world;
 
 pub use aggregation::{load_aggregation, save_aggregation};
-pub use checkpoint::{load_division_checkpoint, save_division_checkpoint, DivisionCheckpoint};
+pub use checkpoint::{
+    load_division_checkpoint, save_division_checkpoint, CheckpointCoverage, DivisionCheckpoint,
+};
 pub use delta::{
     apply_division_delta, apply_world_delta, load_division_delta, load_world_delta,
     save_division_delta, save_world_delta, DivisionDelta,
@@ -48,4 +50,4 @@ pub use format::{
 };
 pub use labels::{load_labels, save_labels};
 pub use models::{load_community_model, load_edge_model, save_community_model, save_edge_model};
-pub use world::StoredWorld;
+pub use world::{InferenceWorld, StoredWorld};

@@ -46,11 +46,13 @@ use locec::core::{
 use locec::graph::{dirty_egos, GraphDelta};
 use locec::ml::metrics::Evaluation;
 use locec::obs::{json::Value, Recorder, RunReport};
+use locec::serve::{EdgeOutcome, ServeAssets, ServeClient, Server};
 use locec::store::{
-    apply_world_delta, load_aggregation, load_division, load_division_checkpoint,
-    load_division_delta, load_edge_model, load_labels, load_shard, load_world_delta, merge_shards,
-    save_aggregation, save_community_model, save_division, save_division_delta, save_edge_model,
-    save_labels, save_shard, save_world_delta, DivisionDelta, DivisionShard, Snapshot, StoredWorld,
+    apply_world_delta, load_aggregation, load_community_model, load_division,
+    load_division_checkpoint, load_division_delta, load_edge_model, load_labels, load_shard,
+    load_world_delta, merge_shards, save_aggregation, save_community_model, save_division,
+    save_division_delta, save_edge_model, save_labels, save_shard, save_world_delta, DivisionDelta,
+    DivisionShard, InferenceWorld, Snapshot, StoredWorld,
 };
 use locec::synth::evolve::EvolveConfig;
 use locec::synth::types::RelationType;
@@ -81,6 +83,11 @@ USAGE:
   locec train     --world FILE --division FILE --agg FILE --out FILE [config]
   locec classify  --world FILE --division FILE --agg FILE --model FILE
                   --out FILE [--verify-pipeline] [config]
+  locec serve     --world FILE --division FILE --model FILE --edge-model FILE
+                  [--listen ADDR] [--addr-file FILE] [config]
+  locec serve     --connect ADDR (--status | --stop |
+                  --reload-division FILE [--reload-world FILE] |
+                  --edge U,V | --community-of N | --top-k N,K)
   locec inspect   FILE...
   locec lint      [--root DIR] [--baseline FILE] [--json] [--write-baseline]
   locec report-check FILE [--require SECTION[,SECTION...]]
@@ -108,6 +115,17 @@ kinds drop|delay=MS|corrupt|truncate|disconnect|stall — injects
 deterministic wire failures seeded by --fault-seed: --fault-plan on the
 invoking side's own transport, --worker-fault-plan handed to every
 spawned local worker.
+
+serving: `serve` without --connect runs the always-on edge-query daemon —
+it loads the world through the lazy per-section reader plus a division and
+the trained Phase II/III models, answers classify-edge / community-of /
+top-k-intimate / status over LCF1 frames, and keeps serving until a
+Shutdown frame (`serve --connect ADDR --stop`). All serving state lives in
+an immutable epoch behind an atomically swappable handle:
+`serve --connect ADDR --reload-division FILE [--reload-world FILE]` builds
+the next epoch off to the side and swaps it in without dropping in-flight
+requests — replies are stamped with the epoch id they were computed from.
+With --connect the verb is a one-shot control/query client instead.
 
 lint: `lint` runs the workspace static-analysis pass (unsafe-containment,
 panic-freedom, wire-constant single-declaration, registry exhaustiveness,
@@ -173,6 +191,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "aggregate" => cmd_aggregate(&parsed),
         "train" => cmd_train(&parsed, &mut report),
         "classify" => cmd_classify(&parsed, &mut report),
+        "serve" => cmd_serve(&parsed, &mut report),
         "inspect" => cmd_inspect(&parsed),
         "lint" => cmd_lint(&parsed),
         "report-check" => cmd_report_check(&parsed),
@@ -333,6 +352,8 @@ const SWITCHES: &[&str] = &[
     "--update",
     "--verify-pipeline",
     "--ship-world",
+    "--status",
+    "--stop",
     "--json",
     "--write-baseline",
     "--log-json",
@@ -1235,6 +1256,245 @@ fn verify_against_pipeline(
     Ok(())
 }
 
+/// Parses `"A,B"` into two integers for the `--edge U,V` / `--top-k N,K`
+/// control flags.
+fn parse_pair(name: &str, value: &str) -> Result<(u32, u32), String> {
+    let (a, b) = value
+        .split_once(',')
+        .ok_or_else(|| format!("--{name} wants 'A,B', got '{value}'"))?;
+    let a = a
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid --{name} '{value}'"))?;
+    let b = b
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid --{name} '{value}'"))?;
+    Ok((a, b))
+}
+
+/// p50/p99 (in nanoseconds) of a recorded latency histogram, as report
+/// fields; zeros when the verb was never exercised.
+fn latency_fields(name: &str, histogram: &str) -> Vec<(String, Value)> {
+    let snap = Recorder::global().snapshot();
+    let (p50, p99) = snap
+        .histograms
+        .get(histogram)
+        .map(|h| (h.percentile(0.5), h.percentile(0.99)))
+        .unwrap_or((0, 0));
+    vec![
+        (format!("{name}_p50_nanos"), Value::Uint(p50)),
+        (format!("{name}_p99_nanos"), Value::Uint(p99)),
+    ]
+}
+
+fn cmd_serve(p: &Parsed, report: &mut RunReport) -> Result<(), String> {
+    if p.str("connect").is_some() {
+        return cmd_serve_control(p);
+    }
+    p.check_args(
+        &with_config(&[
+            "world",
+            "division",
+            "model",
+            "edge-model",
+            "listen",
+            "addr-file",
+        ]),
+        &[],
+        false,
+    )?;
+    let config = p.locec_config()?;
+    let world = InferenceWorld::load(&p.path("world")?).map_err(store_err)?;
+    let division = load_division(&p.path("division")?).map_err(store_err)?;
+    let community_model = load_community_model(&p.path("model")?).map_err(store_err)?;
+    let edge_model = load_edge_model(&p.path("edge-model")?).map_err(store_err)?;
+    // The CNN's feature matrix must keep the trained height; --k only
+    // applies to the GBDT pooling path.
+    let k = match &community_model {
+        CommunityClassifier::Cnn(cnn) => cnn.input_shape().0,
+        _ => config.k,
+    };
+    let assets = ServeAssets {
+        community_model,
+        edge_model,
+        k,
+        row_order: config.row_order,
+        seed: config.seed,
+    };
+    let listen = p.str("listen").unwrap_or("127.0.0.1:0");
+    let server = Server::bind(world, assets, division, listen).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(addr_file) = p.str("addr-file") {
+        std::fs::write(addr_file, addr.to_string()).map_err(|e| format!("{addr_file}: {e}"))?;
+    }
+    println!("serve: listening on {addr}");
+    let t0 = std::time::Instant::now();
+    let summary = server.run().map_err(|e| e.to_string())?;
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut fields = vec![
+        ("listen".to_owned(), Value::Str(addr.to_string())),
+        ("wall_seconds".to_owned(), Value::Float(secs)),
+        ("connections".to_owned(), Value::Uint(summary.connections)),
+        ("edge_queries".to_owned(), Value::Uint(summary.edge_queries)),
+        (
+            "community_queries".to_owned(),
+            Value::Uint(summary.community_queries),
+        ),
+        (
+            "top_k_queries".to_owned(),
+            Value::Uint(summary.top_k_queries),
+        ),
+        ("reloads".to_owned(), Value::Uint(summary.reloads)),
+        ("final_epoch".to_owned(), Value::Uint(summary.final_epoch)),
+    ];
+    fields.extend(latency_fields("edge", "serve.edge_nanos"));
+    fields.extend(latency_fields("community", "serve.community_nanos"));
+    fields.extend(latency_fields("top_k", "serve.top_k_nanos"));
+    fields.extend(latency_fields("reload", "serve.reload_nanos"));
+    report.set_section("serve", Value::Object(fields));
+    println!(
+        "serve: shut down after {:.3}s — {} connections, {} edge / {} community / {} top-k \
+         queries, {} reload(s), final epoch {}",
+        secs,
+        summary.connections,
+        summary.edge_queries,
+        summary.community_queries,
+        summary.top_k_queries,
+        summary.reloads,
+        summary.final_epoch
+    );
+    Ok(())
+}
+
+/// One-shot control/query client: `locec serve --connect ADDR ...`.
+fn cmd_serve_control(p: &Parsed) -> Result<(), String> {
+    p.check_args(
+        &[
+            "connect",
+            "reload-division",
+            "reload-world",
+            "edge",
+            "community-of",
+            "top-k",
+        ],
+        &["--status", "--stop"],
+        false,
+    )?;
+    let addr = p.str("connect").unwrap_or_default();
+    let mut client = ServeClient::connect(addr).map_err(|e| e.to_string())?;
+    let welcome = client.welcome().clone();
+    let mut acted = false;
+
+    if let Some(spec) = p.str("edge") {
+        let (u, v) = parse_pair("edge", spec)?;
+        let reply = client.classify_edge(u, v).map_err(|e| e.to_string())?;
+        match reply.outcome {
+            EdgeOutcome::Classified { label, proba } => {
+                let name = if (label as usize) < RelationType::COUNT {
+                    RelationType::from_label(label as usize).name()
+                } else {
+                    "unknown"
+                };
+                let proba: Vec<String> = proba.iter().map(|p| format!("{p:.4}")).collect();
+                println!(
+                    "edge {u}-{v}: {name} [{}] (epoch {})",
+                    proba.join(", "),
+                    reply.epoch
+                );
+            }
+            EdgeOutcome::NoSuchEdge => println!("edge {u}-{v}: no such edge"),
+            EdgeOutcome::Uncovered => {
+                println!("edge {u}-{v}: not covered by the served division")
+            }
+        }
+        acted = true;
+    }
+    if let Some(node) = p.num::<u32>("community-of")? {
+        let reply = client.communities_of(node).map_err(|e| e.to_string())?;
+        println!(
+            "node {node}: {} local communit{} (epoch {})",
+            reply.memberships.len(),
+            if reply.memberships.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            reply.epoch
+        );
+        for m in &reply.memberships {
+            let name = if (m.label as usize) < RelationType::COUNT {
+                RelationType::from_label(m.label as usize).name()
+            } else {
+                "unknown"
+            };
+            println!(
+                "  ego {} community {}: {} members, tightness {:.4}, {}",
+                m.ego, m.community, m.size, m.tightness, name
+            );
+        }
+        acted = true;
+    }
+    if let Some(spec) = p.str("top-k") {
+        let (node, k) = parse_pair("top-k", spec)?;
+        let reply = client.top_k_intimate(node, k).map_err(|e| e.to_string())?;
+        println!(
+            "node {node}: top {} intimate neighbor(s) (epoch {})",
+            reply.neighbors.len(),
+            reply.epoch
+        );
+        for (rank, (v, tightness)) in reply.neighbors.iter().enumerate() {
+            println!("  #{} node {v} tightness {tightness:.4}", rank + 1);
+        }
+        acted = true;
+    }
+    if let Some(division) = p.str("reload-division") {
+        let reply = client
+            .reload(p.str("reload-world"), division)
+            .map_err(|e| e.to_string())?;
+        match reply.outcome {
+            Ok((epoch, communities)) => {
+                println!("reload: now serving epoch {epoch} ({communities} communities)")
+            }
+            Err(e) => return Err(format!("reload refused: {e}")),
+        }
+        acted = true;
+    }
+    if p.has("--status") {
+        let s = client.status().map_err(|e| e.to_string())?;
+        println!(
+            "status: epoch {}, up {:.1}s, {} reload(s), {} connection(s)",
+            s.epoch,
+            s.uptime_nanos as f64 / 1e9,
+            s.reloads,
+            s.connections
+        );
+        println!(
+            "  {} nodes, {} edges, {} communities ({} embeddings cached)",
+            s.num_nodes, s.num_edges, s.num_communities, s.cached_embeddings
+        );
+        println!(
+            "  queries: {} edge, {} community, {} top-k",
+            s.edge_queries, s.community_queries, s.top_k_queries
+        );
+        acted = true;
+    }
+    if p.has("--stop") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        println!("stop: shutdown requested");
+        return Ok(());
+    }
+    if !acted {
+        return Err(format!(
+            "serve --connect {}: nothing to do — pass --status, --stop, --reload-division, \
+             --edge, --community-of or --top-k (daemon epoch {})",
+            addr, welcome.epoch
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_inspect(p: &Parsed) -> Result<(), String> {
     p.check_args(&[], &[], true)?;
     if p.positional.is_empty() {
@@ -1327,14 +1587,12 @@ fn cmd_inspect(p: &Parsed) -> Result<(), String> {
             }
             locec::store::SnapshotKind::DivisionCheckpoint => {
                 let c = load_division_checkpoint(path).map_err(store_err)?;
-                let covered: u64 = c.merged.iter().map(|&(s, e)| u64::from(e - s)).sum();
+                for line in c.coverage().render() {
+                    println!("  {line}");
+                }
                 println!(
-                    "  {} of {} egos absorbed across {} range(s), {} communities, \
-                     {} tasks (detector {}, seed {})",
-                    covered,
-                    c.num_nodes,
+                    "  {} merged range(s), {} tasks (detector {}, seed {})",
                     c.merged.len(),
-                    c.communities.len(),
                     c.task_count,
                     c.detector,
                     c.seed

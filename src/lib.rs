@@ -18,6 +18,9 @@
 //! * [`cluster`] — the coordinator/worker subsystem that distributes
 //!   Phase I across processes or machines with streaming shard merge and
 //!   lease-based fault tolerance (`locec coordinate` / `locec worker`).
+//! * [`serve`] — the always-on edge-query daemon (`locec serve`):
+//!   classify-edge / community-of / top-k-intimate over the `LCF1` frame
+//!   protocol, with atomic epoch hot-swap of the serving division.
 //! * [`baselines`] — ProbWP, Economix and raw-XGBoost comparison methods.
 //! * [`lint`] — the workspace's own static-analysis pass (`locec lint`):
 //!   panic-safety, unsafe-containment and wire-format invariants.
@@ -50,5 +53,6 @@ pub use locec_graph as graph;
 pub use locec_lint as lint;
 pub use locec_ml as ml;
 pub use locec_obs as obs;
+pub use locec_serve as serve;
 pub use locec_store as store;
 pub use locec_synth as synth;
